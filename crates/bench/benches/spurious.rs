@@ -1,0 +1,37 @@
+//! Criterion bench for E4: Figure-5 SC cost as the spurious-failure
+//! probability rises (retries are the paper's "finitely many failures"
+//! cost made visible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nbsp_core::{Keep, RllLlSc, TagLayout};
+use nbsp_memsim::{InstructionSet, Machine, SpuriousMode};
+
+fn bench_spurious(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spurious");
+    g.sample_size(20);
+    for p_fail in [0.0f64, 0.1, 0.5, 0.9] {
+        let m = Machine::builder(1)
+            .instruction_set(InstructionSet::RllRscOnly)
+            .spurious(SpuriousMode::Probability { p: p_fail })
+            .build();
+        let proc = m.processor(0);
+        let var = RllLlSc::new(TagLayout::half(), 0).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("fig5_sc_under_p", format!("{p_fail:.1}")),
+            &p_fail,
+            |b, _| {
+                b.iter(|| {
+                    let mut keep = Keep::default();
+                    let v = var.ll(&proc, &mut keep);
+                    black_box(var.sc(&proc, &keep, v.wrapping_add(1) & 0xFFFF_FFFF))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spurious);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates every experiment table in `EXPERIMENTS.md` (E1–E5, E7–E10;
+//! E6 is `examples/concurrent_sequences.rs` / `tests/figure1.rs`; the
+//! model-checking certificates are the separate `exp_modelcheck` binary).
+//!
+//! Run with `--quick` for a fast smoke pass.
+use nbsp_bench::experiments::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (big, mid) = if quick { (5_000, 2_000) } else { (200_000, 100_000) };
+    println!("{}\n", e1_time::run(big));
+    println!("{}\n", e2_wide::run(mid));
+    println!("{}\n", e3_space::run(e3_space::SpaceConfig::default()));
+    println!("{}\n", e4_spurious::run(mid));
+    println!("{}\n", e5_wraparound::run(big));
+    println!("{}\n", e7_structures::run(big));
+    println!("{}\n", e8_interface::run(big));
+    println!("{}\n", e9_bounded::run(if quick { 20_000 } else { 500_000 }));
+    println!("{}\n", e10_disjoint::run(2_000));
+}

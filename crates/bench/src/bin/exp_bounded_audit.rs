@@ -1,0 +1,4 @@
+//! E9: bounded-tag safety audit. See `EXPERIMENTS.md`.
+fn main() {
+    println!("{}", nbsp_bench::experiments::e9_bounded::run(500_000));
+}

@@ -1,0 +1,4 @@
+//! E10: disjoint-access parallelism. See `EXPERIMENTS.md`.
+fn main() {
+    println!("{}", nbsp_bench::experiments::e10_disjoint::run(2_000));
+}

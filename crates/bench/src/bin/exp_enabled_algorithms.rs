@@ -1,0 +1,4 @@
+//! E7: re-enabled non-blocking algorithms. See `EXPERIMENTS.md`.
+fn main() {
+    println!("{}", nbsp_bench::experiments::e7_structures::run(200_000));
+}

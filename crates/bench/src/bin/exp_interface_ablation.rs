@@ -1,0 +1,4 @@
+//! E8: the keep-pointer interface ablation. See `EXPERIMENTS.md`.
+fn main() {
+    println!("{}", nbsp_bench::experiments::e8_interface::run(200_000));
+}

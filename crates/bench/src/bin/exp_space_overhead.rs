@@ -1,0 +1,5 @@
+//! E3: space overhead vs number of variables. See `EXPERIMENTS.md`.
+use nbsp_bench::experiments::e3_space::{run, SpaceConfig};
+fn main() {
+    println!("{}", run(SpaceConfig::default()));
+}

@@ -1,0 +1,4 @@
+//! E4: spurious-failure resilience. See `EXPERIMENTS.md`.
+fn main() {
+    println!("{}", nbsp_bench::experiments::e4_spurious::run(100_000));
+}

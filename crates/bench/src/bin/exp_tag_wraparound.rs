@@ -1,0 +1,4 @@
+//! E5: tag width vs wraparound horizon. See `EXPERIMENTS.md`.
+fn main() {
+    println!("{}", nbsp_bench::experiments::e5_wraparound::run(200_000));
+}

@@ -1,0 +1,4 @@
+//! E1: constant-time operations (Theorems 1–3). See `EXPERIMENTS.md`.
+fn main() {
+    println!("{}", nbsp_bench::experiments::e1_time::run(200_000));
+}

@@ -1,0 +1,4 @@
+//! E2: Θ(W) WLL/SC, Θ(1) VL (Theorem 4). See `EXPERIMENTS.md`.
+fn main() {
+    println!("{}", nbsp_bench::experiments::e2_wide::run(100_000));
+}

@@ -1,0 +1,254 @@
+//! **E10 — disjoint-access parallelism** (§5).
+//!
+//! > *"Our first three implementations are disjoint access parallel \[10\].
+//! > Roughly, this means that memory contention is not introduced by these
+//! > implementations. While our other two implementations are not disjoint
+//! > access parallel, we believe that it is unlikely that they will
+//! > introduce excessive contention because accesses to common variables
+//! > are not concentrated in any one area."*
+//!
+//! Disjoint-access parallelism is a property of *which words operations
+//! touch*, so it is measured here exactly that way — host-independently —
+//! using the simulator's instruction traces: two processes run LL;SC
+//! cycles on two **different** variables, and we intersect the sets of
+//! addresses they accessed. A DAP construction has an empty intersection;
+//! Figures 6 and 7 share announce-array words (the paper's admission), and
+//! the table quantifies how many.
+
+use std::collections::BTreeSet;
+
+use nbsp_core::bounded::BoundedDomain;
+use nbsp_core::wide::{WideDomain, WideKeep};
+use nbsp_core::{CasLlSc, EmuCasWord, Keep, RllLlSc, SimCas, SimFamily, TagLayout};
+use nbsp_memsim::{InstructionSet, Machine, ProcId, Processor};
+
+use crate::report::{Report, Table};
+
+/// Shared-address analysis for one construction: each process ran `ops`
+/// operations on its own variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Footprint {
+    /// Words touched by both processes.
+    pub shared: usize,
+    /// Words touched in total.
+    pub union: usize,
+}
+
+impl Footprint {
+    /// True iff the construction behaved disjoint-access parallel in this
+    /// run.
+    #[must_use]
+    pub fn is_disjoint(&self) -> bool {
+        self.shared == 0
+    }
+}
+
+fn traced_machine(n: usize, isa: InstructionSet) -> Machine {
+    Machine::builder(n)
+        .instruction_set(isa)
+        .trace_depth(1 << 16)
+        .build()
+}
+
+fn footprints(procs: &[Processor]) -> Footprint {
+    let sets: Vec<BTreeSet<usize>> = procs
+        .iter()
+        .map(|p| p.trace().iter().map(|e| e.addr).collect())
+        .collect();
+    let union: BTreeSet<usize> = sets.iter().flatten().copied().collect();
+    let shared: BTreeSet<usize> = sets[0].intersection(&sets[1]).copied().collect();
+    Footprint {
+        shared: shared.len(),
+        union: union.len(),
+    }
+}
+
+/// Figure 3 (emulated CAS): two processes CAS-increment disjoint words.
+#[must_use]
+pub fn fig3_footprint(ops: u64) -> Footprint {
+    let m = traced_machine(2, InstructionSet::RllRscOnly);
+    let procs = m.processors();
+    let vars = [
+        EmuCasWord::new(TagLayout::half(), 0).unwrap(),
+        EmuCasWord::new(TagLayout::half(), 0).unwrap(),
+    ];
+    for (p, v) in procs.iter().zip(&vars) {
+        for i in 0..ops {
+            assert!(v.cas(p, i, i + 1));
+        }
+    }
+    footprints(&procs)
+}
+
+/// Figure 4 over simulated CAS: two processes on disjoint variables.
+#[must_use]
+pub fn fig4_footprint(ops: u64) -> Footprint {
+    let m = traced_machine(2, InstructionSet::CasOnly);
+    let procs = m.processors();
+    let vars = [
+        CasLlSc::<SimFamily>::new(TagLayout::half(), 0).unwrap(),
+        CasLlSc::<SimFamily>::new(TagLayout::half(), 0).unwrap(),
+    ];
+    for (p, v) in procs.iter().zip(&vars) {
+        let mem = SimCas::new(p);
+        for _ in 0..ops {
+            let mut keep = Keep::default();
+            let x = v.ll(&mem, &mut keep);
+            assert!(v.sc(&mem, &keep, x + 1));
+        }
+    }
+    footprints(&procs)
+}
+
+/// Figure 5: two processes on disjoint variables.
+#[must_use]
+pub fn fig5_footprint(ops: u64) -> Footprint {
+    let m = traced_machine(2, InstructionSet::RllRscOnly);
+    let procs = m.processors();
+    let vars = [
+        RllLlSc::new(TagLayout::half(), 0).unwrap(),
+        RllLlSc::new(TagLayout::half(), 0).unwrap(),
+    ];
+    for (p, v) in procs.iter().zip(&vars) {
+        for _ in 0..ops {
+            let mut keep = Keep::default();
+            let x = v.ll(p, &mut keep);
+            assert!(v.sc(p, &keep, x + 1));
+        }
+    }
+    footprints(&procs)
+}
+
+/// Figure 6: two processes on disjoint wide variables of one domain.
+#[must_use]
+pub fn fig6_footprint(ops: u64) -> Footprint {
+    const W: usize = 4;
+    let m = traced_machine(2, InstructionSet::CasOnly);
+    let procs = m.processors();
+    let d = WideDomain::<SimFamily>::new(2, W, 32).unwrap();
+    let vars = [d.var(&[0; W]).unwrap(), d.var(&[0; W]).unwrap()];
+    for (i, (p, v)) in procs.iter().zip(&vars).enumerate() {
+        let mem = SimCas::new(p);
+        let pid = ProcId::new(i);
+        for _ in 0..ops {
+            let mut keep = WideKeep::default();
+            let mut buf = [0u64; W];
+            assert!(v.wll(&mem, &mut keep, &mut buf).is_success());
+            assert!(v.sc(&mem, pid, &keep, &[buf[0] + 1; W]));
+        }
+    }
+    footprints(&procs)
+}
+
+/// Figure 7: two processes on disjoint bounded variables of one domain.
+#[must_use]
+pub fn fig7_footprint(ops: u64) -> Footprint {
+    let m = traced_machine(2, InstructionSet::CasOnly);
+    let procs = m.processors();
+    let d = BoundedDomain::<SimFamily>::new(2, 2).unwrap();
+    let vars = [d.var(0).unwrap(), d.var(0).unwrap()];
+    let mut states: Vec<_> = (0..2).map(|i| d.proc(i)).collect();
+    for (i, p) in procs.iter().enumerate() {
+        let mem = SimCas::new(p);
+        for _ in 0..ops {
+            let (x, keep) = vars[i].ll(&mem, &mut states[i]);
+            assert!(vars[i].sc(&mem, &mut states[i], keep, x + 1));
+        }
+    }
+    footprints(&procs)
+}
+
+/// Runs E10.
+#[must_use]
+pub fn run(ops: u64) -> Report {
+    let mut report = Report::new();
+    report.heading("E10 — disjoint-access parallelism (§5)");
+    report.para(
+        "Paper claim: Figures 3/4/5 are disjoint-access parallel (DAP); \
+         Figures 6/7 are not, but their shared accesses \"are not \
+         concentrated in any one area\". Measured directly from simulator \
+         traces: two processes each run LL;SC cycles on their *own* \
+         variable; the table counts distinct words touched by both. DAP = \
+         zero shared words; for Figures 6/7 the shared words are the \
+         domain's announce arrays — a few words out of many, confirming \
+         \"not concentrated\".",
+    );
+    let mut t = Table::new([
+        "construction",
+        "shared words",
+        "total words touched",
+        "disjoint-access parallel?",
+    ]);
+    type Runner = fn(u64) -> Footprint;
+    let rows: [(&str, Runner); 5] = [
+        ("Figure 3 (CAS from RLL/RSC)", fig3_footprint),
+        ("Figure 4 (LL/VL/SC from CAS)", fig4_footprint),
+        ("Figure 5 (LL/VL/SC from RLL/RSC)", fig5_footprint),
+        ("Figure 6 (W=4, helping-only sharing)", fig6_footprint),
+        ("Figure 7 (shared announce + scan)", fig7_footprint),
+    ];
+    for (name, f) in rows {
+        let fp = f(ops);
+        t.row([
+            name.to_string(),
+            fp.shared.to_string(),
+            fp.union.to_string(),
+            if fp.is_disjoint() { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    report.table(&t);
+    report.para(
+        "Expected shape: zero shared words for Figures 3/4/5 — the paper's \
+         DAP claim, with the trace proving the code matches it. Figure 7 \
+         is *structurally* non-DAP: every SC scans the shared announce \
+         array, so shared words appear even in this uncontended run. \
+         Figure 6 refines the paper's blanket \"not DAP\" statement: its \
+         cross-variable sharing arises only *while helping an interrupted \
+         SC* (a reader touching the owner's announce row), so an \
+         uncontended disjoint run shows zero shared words — the sharing is \
+         transient, which is the strongest form of the paper's \"not \
+         concentrated in any one area\" expectation. The helping \
+         interleavings themselves are covered exhaustively by \
+         exp_modelcheck.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_three_constructions_are_dap() {
+        assert!(fig3_footprint(200).is_disjoint());
+        assert!(fig4_footprint(200).is_disjoint());
+        assert!(fig5_footprint(200).is_disjoint());
+    }
+
+    #[test]
+    fn figure7_is_structurally_non_dap() {
+        // Every Figure-7 SC scans the shared announce array, so disjoint
+        // variables still share words.
+        let f7 = fig7_footprint(100);
+        assert!(!f7.is_disjoint(), "{f7:?}");
+        // …but the shared portion is small relative to the total — the
+        // paper's "not concentrated in any one area".
+        assert!(f7.shared < f7.union, "{f7:?}");
+    }
+
+    #[test]
+    fn figure6_shares_only_while_helping() {
+        // Without an interrupted SC to help, Figure 6's disjoint
+        // operations touch no common words (a refinement of the paper's
+        // blanket "not disjoint access parallel").
+        let f6 = fig6_footprint(100);
+        assert!(f6.is_disjoint(), "{f6:?}");
+    }
+
+    #[test]
+    fn report_smoke() {
+        let md = run(100).to_markdown();
+        assert!(md.contains("E10"));
+        assert!(md.contains("disjoint-access parallel?"));
+    }
+}

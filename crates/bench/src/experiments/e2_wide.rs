@@ -1,0 +1,126 @@
+//! **E2 — W-word scaling** (Theorem 4).
+//!
+//! > WLL and SC run in Θ(W); VL runs in Θ(1).
+//!
+//! We measure single-threaded ns/op for each operation across W and report
+//! the per-word cost: WLL and SC should have roughly constant ns/word
+//! (linear total), VL roughly constant ns (flat).
+
+use nbsp_core::wide::{WideDomain, WideKeep};
+use nbsp_core::Native;
+use nbsp_memsim::ProcId;
+
+use crate::measure::ns_per_op;
+use crate::report::{fmt_ns, Report, Table};
+
+/// Width sweep used by the experiment.
+pub const WIDTHS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Raw measurements for one width.
+#[derive(Clone, Copy, Debug)]
+pub struct WidePoint {
+    /// Words per variable.
+    pub w: usize,
+    /// ns per WLL.
+    pub wll_ns: f64,
+    /// ns per successful SC (including its WLL).
+    pub sc_ns: f64,
+    /// ns per VL.
+    pub vl_ns: f64,
+}
+
+/// Measures one width (exposed for tests and the criterion bench).
+#[must_use]
+pub fn measure_width(w: usize, iters: u64) -> WidePoint {
+    let domain = WideDomain::<Native>::new(4, w, 32).unwrap();
+    let var = domain.var(&vec![0u64; w]).unwrap();
+    let mem = Native;
+    let p = ProcId::new(0);
+    let mut buf = vec![0u64; w];
+
+    let mut keep = WideKeep::default();
+    let wll_ns = ns_per_op(iters, 3, || {
+        let _ = var.wll(&mem, &mut keep, &mut buf);
+    });
+
+    let vl_keep = {
+        let mut k = WideKeep::default();
+        let _ = var.wll(&mem, &mut k, &mut buf);
+        k
+    };
+    let vl_ns = ns_per_op(iters, 3, || {
+        let _ = var.vl(&mem, &vl_keep);
+    });
+
+    let newval = vec![1u64; w];
+    let sc_ns = ns_per_op(iters, 3, || {
+        let mut k = WideKeep::default();
+        let _ = var.wll(&mem, &mut k, &mut buf);
+        let ok = var.sc(&mem, p, &k, &newval);
+        debug_assert!(ok);
+    });
+
+    WidePoint {
+        w,
+        wll_ns,
+        sc_ns,
+        vl_ns,
+    }
+}
+
+/// Runs E2 with `iters` operations per point.
+#[must_use]
+pub fn run(iters: u64) -> Report {
+    let mut report = Report::new();
+    report.heading("E2 — W-word operation scaling (Theorem 4)");
+    report.para(
+        "Paper claim: WLL and SC cost Θ(W); VL costs Θ(1). Expected shape: \
+         the ns/word columns roughly constant for WLL and WLL+SC, the VL \
+         column flat in W.",
+    );
+    let mut t = Table::new([
+        "W", "WLL", "WLL ns/word", "WLL+SC", "SC ns/word", "VL",
+    ]);
+    for &w in &WIDTHS {
+        let pt = measure_width(w, iters);
+        t.row([
+            w.to_string(),
+            fmt_ns(pt.wll_ns),
+            format!("{:.1}", pt.wll_ns / w as f64),
+            fmt_ns(pt.sc_ns),
+            format!("{:.1}", pt.sc_ns / w as f64),
+            fmt_ns(pt.vl_ns),
+        ]);
+    }
+    report.table(&t);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wll_scales_roughly_linearly_and_vl_is_flat() {
+        let small = measure_width(2, 20_000);
+        let big = measure_width(64, 20_000);
+        let wll_ratio = big.wll_ns / small.wll_ns;
+        // 32x more words: demand at least ~6x more time (loose: constant
+        // overheads dampen the ratio at small W) and that VL grew far less.
+        assert!(
+            wll_ratio > 6.0,
+            "WLL cost should grow with W: {small:?} -> {big:?}"
+        );
+        assert!(
+            big.vl_ns < big.wll_ns / 4.0,
+            "VL must be much cheaper than WLL at large W: {big:?}"
+        );
+    }
+
+    #[test]
+    fn report_smoke() {
+        let md = run(2_000).to_markdown();
+        assert!(md.contains("E2"));
+        assert!(md.contains("ns/word"));
+    }
+}

@@ -1,0 +1,117 @@
+//! **E4 — spurious-failure resilience** (§1, §5).
+//!
+//! The RLL/RSC-based constructions are wait-free *provided finitely many
+//! spurious failures occur per operation*, and terminate in constant time
+//! after the last one. Two adversaries:
+//!
+//! * probabilistic background noise (cache-invalidation traffic): every
+//!   RSC fails with probability p — mean attempts per operation should be
+//!   the geometric 1/(1-p);
+//! * a worst-case budget adversary that fails the first B RSCs outright —
+//!   the operation must complete in exactly B + 1 attempts.
+
+use nbsp_core::{Keep, RllLlSc, TagLayout};
+use nbsp_memsim::{InstructionSet, Machine, SpuriousMode};
+
+use crate::report::{Report, Table};
+
+/// Mean RSC attempts per successful Figure-5 SC under failure probability
+/// `p`, over `ops` operations.
+#[must_use]
+pub fn attempts_under_probability(p: f64, ops: u64, seed: u64) -> f64 {
+    let m = Machine::builder(1)
+        .instruction_set(InstructionSet::RllRscOnly)
+        .spurious(SpuriousMode::Probability { p })
+        .seed(seed)
+        .build();
+    let proc = m.processor(0);
+    let var = RllLlSc::new(TagLayout::half(), 0).unwrap();
+    for _ in 0..ops {
+        let mut keep = Keep::default();
+        let v = var.ll(&proc, &mut keep);
+        assert!(var.sc(&proc, &keep, v + 1), "single-threaded SC must win");
+    }
+    proc.stats().rsc_attempts as f64 / ops as f64
+}
+
+/// Attempts used by one SC against a budget adversary failing the first
+/// `budget` RSCs.
+#[must_use]
+pub fn attempts_under_budget(budget: u64) -> u64 {
+    let m = Machine::builder(1)
+        .instruction_set(InstructionSet::RllRscOnly)
+        .spurious(SpuriousMode::Budget { per_proc: budget })
+        .build();
+    let proc = m.processor(0);
+    let var = RllLlSc::new(TagLayout::half(), 0).unwrap();
+    let mut keep = Keep::default();
+    let v = var.ll(&proc, &mut keep);
+    assert!(var.sc(&proc, &keep, v + 1));
+    proc.stats().rsc_attempts
+}
+
+/// Runs E4.
+#[must_use]
+pub fn run(ops: u64) -> Report {
+    let mut report = Report::new();
+    report.heading("E4 — spurious-failure resilience (wait-freedom caveat)");
+    report.para(
+        "Paper claim: RLL/RSC-based operations terminate given finitely \
+         many spurious failures, in constant time after the last one. \
+         Probabilistic adversary: mean attempts should track the geometric \
+         expectation 1/(1-p).",
+    );
+    let mut t = Table::new(["P(spurious)", "mean RSC attempts/op", "expected 1/(1-p)"]);
+    for p in [0.0, 0.01, 0.1, 0.5, 0.9] {
+        let measured = attempts_under_probability(p, ops, 42);
+        t.row([
+            format!("{p:.2}"),
+            format!("{measured:.3}"),
+            format!("{:.3}", 1.0 / (1.0 - p)),
+        ]);
+    }
+    report.table(&t);
+
+    report.para(
+        "Budget adversary (fails the first B RSCs outright): the operation \
+         must finish in exactly B + 1 attempts — \"constant time after the \
+         last spurious failure\" with zero slack.",
+    );
+    let mut t2 = Table::new(["B (forced failures)", "attempts used", "bound B + 1"]);
+    for b in [0u64, 1, 4, 16, 64, 256] {
+        let used = attempts_under_budget(b);
+        t2.row([b.to_string(), used.to_string(), (b + 1).to_string()]);
+    }
+    report.table(&t2);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_means_one_attempt() {
+        assert!((attempts_under_probability(0.0, 2_000, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attempts_track_geometric_mean() {
+        let a = attempts_under_probability(0.5, 20_000, 7);
+        assert!((a - 2.0).abs() < 0.1, "p=0.5 should need ~2 attempts, got {a}");
+    }
+
+    #[test]
+    fn budget_adversary_is_exactly_b_plus_one() {
+        for b in [0u64, 3, 17, 100] {
+            assert_eq!(attempts_under_budget(b), b + 1);
+        }
+    }
+
+    #[test]
+    fn report_smoke() {
+        let md = run(2_000).to_markdown();
+        assert!(md.contains("E4"));
+        assert!(md.contains("1/(1-p)"));
+    }
+}

@@ -1,0 +1,186 @@
+//! **E8 — the keep-pointer interface ablation** (§3.2).
+//!
+//! The paper's second contribution is an interface change: LL takes a
+//! pointer to a private word, VL/SC get that word back. Without it, an
+//! implementation must *associate* each in-flight sequence with its
+//! process and variable somehow, paying either space (a per-variable
+//! keep array: Θ(NT) words) or time (a searchable registry — which also
+//! reintroduces blocking). This experiment measures all three.
+
+use nbsp_core::keep_search::{KeepRegistry, PerVarKeepVar, RegistryKeepVar};
+use nbsp_core::{CasLlSc, Keep, Native, TagLayout};
+use nbsp_memsim::ProcId;
+
+use crate::measure::{ns_per_op, throughput};
+use crate::report::{fmt_ns, fmt_ops, Report, Table};
+
+/// Latency of one uncontended LL;SC cycle per association mechanism.
+#[derive(Clone, Copy, Debug)]
+pub struct InterfacePoint {
+    /// Keep-pointer (the paper's interface).
+    pub keep_pointer_ns: f64,
+    /// Per-variable keep array.
+    pub keep_array_ns: f64,
+    /// Shared registry (hash map under a lock).
+    pub registry_ns: f64,
+}
+
+/// Measures uncontended latency with `live` *other* live sequences in the
+/// registry (lookup pressure).
+#[must_use]
+pub fn measure_latency(iters: u64, live: usize) -> InterfacePoint {
+    const N: usize = 16;
+    let layout = TagLayout::half();
+
+    let v = CasLlSc::new_native(layout, 0).unwrap();
+    let keep_pointer_ns = ns_per_op(iters, 3, || {
+        let mut keep = Keep::default();
+        let x = v.ll(&Native, &mut keep);
+        let ok = v.sc(&Native, &keep, (x + 1) & 0xFFFF);
+        debug_assert!(ok);
+    });
+
+    let v = PerVarKeepVar::new(N, layout, 0).unwrap();
+    let p = ProcId::new(0);
+    let keep_array_ns = ns_per_op(iters, 3, || {
+        let x = v.ll(p);
+        let ok = v.sc(p, (x + 1) & 0xFFFF);
+        debug_assert!(ok);
+    });
+
+    let registry = KeepRegistry::new();
+    // Fill the registry with `live` in-flight sequences on other variables.
+    let others: Vec<RegistryKeepVar> = (0..live)
+        .map(|_| RegistryKeepVar::new(&registry, N, layout, 0).unwrap())
+        .collect();
+    for (i, o) in others.iter().enumerate() {
+        let _ = o.ll(ProcId::new(i % N));
+    }
+    let v = RegistryKeepVar::new(&registry, N, layout, 0).unwrap();
+    let registry_ns = ns_per_op(iters, 3, || {
+        let x = v.ll(p);
+        let ok = v.sc(p, (x + 1) & 0xFFFF);
+        debug_assert!(ok);
+    });
+
+    InterfacePoint {
+        keep_pointer_ns,
+        keep_array_ns,
+        registry_ns,
+    }
+}
+
+/// Multi-thread throughput on disjoint variables: the registry serialises
+/// unrelated operations through its lock; the keep-pointer version does
+/// not.
+#[must_use]
+pub fn disjoint_throughput(threads: usize, iters: u64) -> (f64, f64) {
+    let layout = TagLayout::half();
+    let vars: Vec<CasLlSc<Native>> = (0..threads)
+        .map(|_| CasLlSc::new_native(layout, 0).unwrap())
+        .collect();
+    let keep_ptr = throughput(threads, iters, |tid| {
+        let v = &vars[tid];
+        move || {
+            let mut keep = Keep::default();
+            let x = v.ll(&Native, &mut keep);
+            let _ = v.sc(&Native, &keep, (x + 1) & 0xFFFF);
+        }
+    });
+
+    let registry = KeepRegistry::new();
+    let rvars: Vec<RegistryKeepVar> = (0..threads)
+        .map(|_| RegistryKeepVar::new(&registry, threads, layout, 0).unwrap())
+        .collect();
+    let reg = throughput(threads, iters, |tid| {
+        let v = &rvars[tid];
+        let p = ProcId::new(tid);
+        move || {
+            let x = v.ll(p);
+            let _ = v.sc(p, (x + 1) & 0xFFFF);
+        }
+    });
+    (keep_ptr, reg)
+}
+
+/// Runs E8.
+#[must_use]
+pub fn run(iters: u64) -> Report {
+    let mut report = Report::new();
+    report.heading("E8 — what the keep-pointer interface buys (§3.2)");
+    report.para(
+        "Paper claim: passing a private keep word to LL avoids \"a \
+         fundamental space-time tradeoff that would render the \
+         implementation impractical\". Latency of an uncontended LL;SC \
+         cycle under each association mechanism:",
+    );
+    let mut t = Table::new([
+        "association mechanism",
+        "ns/cycle (idle registry)",
+        "ns/cycle (4096 live seqs)",
+        "space for T vars, N=16",
+    ]);
+    let idle = measure_latency(iters, 0);
+    let loaded = measure_latency(iters, 4096);
+    t.row([
+        "keep pointer (paper)".to_string(),
+        fmt_ns(idle.keep_pointer_ns),
+        fmt_ns(loaded.keep_pointer_ns),
+        "0".to_string(),
+    ]);
+    t.row([
+        "per-var keep array".to_string(),
+        fmt_ns(idle.keep_array_ns),
+        fmt_ns(loaded.keep_array_ns),
+        "16·T words".to_string(),
+    ]);
+    t.row([
+        "shared registry (lock + hash)".to_string(),
+        fmt_ns(idle.registry_ns),
+        fmt_ns(loaded.registry_ns),
+        "dyn (+ blocking!)".to_string(),
+    ]);
+    report.table(&t);
+
+    report.para(
+        "Disjoint-access scalability: 4 threads on 4 *unrelated* variables. \
+         The registry's lock serialises them; the paper's interface keeps \
+         them independent (disjoint access parallelism, §5):",
+    );
+    let (kp, reg) = disjoint_throughput(4, iters);
+    let mut t2 = Table::new(["mechanism", "4-thread disjoint throughput"]);
+    t2.row(["keep pointer (paper)".to_string(), fmt_ops(kp)]);
+    t2.row(["shared registry".to_string(), fmt_ops(reg)]);
+    report.table(&t2);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_pointer_is_not_slower_than_registry() {
+        let p = measure_latency(20_000, 256);
+        assert!(
+            p.keep_pointer_ns < p.registry_ns,
+            "registry lookup should cost more: {p:?}"
+        );
+    }
+
+    #[test]
+    fn disjoint_scaling_favors_keep_pointer() {
+        let (kp, reg) = disjoint_throughput(4, 50_000);
+        assert!(
+            kp > reg,
+            "lock-serialised registry should not beat disjoint access: {kp} vs {reg}"
+        );
+    }
+
+    #[test]
+    fn report_smoke() {
+        let md = run(2_000).to_markdown();
+        assert!(md.contains("E8"));
+        assert!(md.contains("keep pointer"));
+    }
+}

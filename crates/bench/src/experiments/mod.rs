@@ -1,0 +1,26 @@
+//! One module per experiment (see `DESIGN.md` §4 for the index).
+//!
+//! | Module | Experiment | Paper claim |
+//! |---|---|---|
+//! | [`e1_time`] | E1 | Thm 1–3: constant time per op, independent of N |
+//! | [`e2_wide`] | E2 | Thm 4: WLL/SC Θ(W), VL Θ(1) |
+//! | [`e3_space`] | E3 | space overheads: 0 / 0 / Θ(NW) / Θ(N(k+T)) vs Θ(N²T), Θ(NWT) |
+//! | [`e4_spurious`] | E4 | wait-free given finitely many spurious failures |
+//! | [`e5_wraparound`] | E5 | 48-bit tag @ 10⁶ mods/s ≈ 9 years to wrap |
+//! | [`e7_structures`] | E7 | previously-inapplicable algorithms now run (incl. STM) |
+//! | [`e8_interface`] | E8 | keep-pointer interface avoids the search space–time tradeoff |
+//! | [`e9_bounded`] | E9 | bounded tags are never prematurely reused |
+//! | [`e10_disjoint`] | E10 | Figures 3/4/5 are disjoint-access parallel; 6/7 are not but contention stays moderate |
+//!
+//! (E6 — Figure 1 — is `examples/concurrent_sequences.rs` and
+//! `tests/figure1.rs`.)
+
+pub mod e10_disjoint;
+pub mod e1_time;
+pub mod e2_wide;
+pub mod e3_space;
+pub mod e4_spurious;
+pub mod e5_wraparound;
+pub mod e7_structures;
+pub mod e8_interface;
+pub mod e9_bounded;

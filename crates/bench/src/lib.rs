@@ -1,0 +1,18 @@
+//! # nbsp-bench — the experiment harness
+//!
+//! One module per experiment in `EXPERIMENTS.md` (E1–E9, minus E6 which
+//! lives in `examples/concurrent_sequences.rs` and `tests/figure1.rs`).
+//! Each module exposes a `run(...) -> Report` function; the `exp_*`
+//! binaries print single experiments and `exp_all` regenerates the full
+//! results file.
+//!
+//! Absolute numbers depend on the host; the *shapes* — flat in N, linear
+//! in W, space formulas, retry counts tracking the injected adversary —
+//! are the reproducible content (see DESIGN.md §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod report;

@@ -1,0 +1,83 @@
+//! Timing helpers for the experiment binaries.
+//!
+//! Criterion handles the statistically careful micro-benchmarks (see
+//! `benches/`); these helpers produce the coarser single-number summaries
+//! the experiment tables need, with a warmup pass and median-of-runs to
+//! keep noise tolerable.
+
+use std::time::Instant;
+
+/// Median nanoseconds per iteration of `f`, over `runs` timed runs of
+/// `iters` iterations each (after one warmup run).
+pub fn ns_per_op(iters: u64, runs: usize, mut f: impl FnMut()) -> f64 {
+    assert!(iters > 0 && runs > 0);
+    for _ in 0..iters.min(10_000) {
+        f(); // warmup
+    }
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Total throughput (ops/sec) of `threads` concurrent workers each running
+/// `per_thread` iterations of the closure produced by `make_worker(thread)`.
+///
+/// `make_worker` is called once per thread on the coordinator and the
+/// resulting closure is moved into the worker, so it can capture claimed
+/// processors or other per-thread state.
+pub fn throughput<W>(threads: usize, per_thread: u64, mut make_worker: impl FnMut(usize) -> W) -> f64
+where
+    W: FnMut() + Send,
+{
+    assert!(threads > 0 && per_thread > 0);
+    let workers: Vec<W> = (0..threads).map(&mut make_worker).collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for mut w in workers {
+            s.spawn(move || {
+                for _ in 0..per_thread {
+                    w();
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (threads as u64 * per_thread) as f64 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn ns_per_op_is_positive_and_finite() {
+        let x = AtomicU64::new(0);
+        let ns = ns_per_op(10_000, 3, || {
+            x.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(ns.is_finite() && ns > 0.0, "{ns}");
+    }
+
+    #[test]
+    fn throughput_counts_all_ops() {
+        let x = AtomicU64::new(0);
+        let t = throughput(4, 10_000, |_| {
+            let x = &x;
+            move || {
+                x.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(t > 0.0);
+        // No warmup pass in throughput(): exactly threads * per_thread ops.
+        assert_eq!(x.load(Ordering::Relaxed), 40_000);
+    }
+}

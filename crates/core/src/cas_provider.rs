@@ -1,0 +1,253 @@
+//! The `CasFamily`/`CasMemory` abstraction: "any machine that provides CAS".
+//!
+//! The paper's constructions in Figures 4, 6 and 7 are written "using CAS",
+//! deliberately agnostic about where that CAS comes from: native hardware,
+//! or the Figure-3 emulation over RLL/RSC. Two traits capture this:
+//!
+//! * [`CasFamily`] describes the *storage*: the shared cell type, and how
+//!   many of its 64 bits the layer above may use. Variables are
+//!   parameterized by a family, so their types carry no thread or lifetime
+//!   information.
+//! * [`CasMemory`] is the *per-thread accessor* that actually executes
+//!   loads, stores and CAS on that family's cells. Accessors may borrow
+//!   thread-private state (a simulated [`Processor`]); one is created per
+//!   thread.
+//!
+//! Three families ship with the crate:
+//!
+//! * [`Native`] — the host's real `AtomicU64` (a "CAS machine"); the family
+//!   and the accessor are the same zero-sized type.
+//! * [`SimFamily`] / [`SimCas`] — a [`nbsp_memsim`] machine configured
+//!   [`CasOnly`](nbsp_memsim::InstructionSet::CasOnly), with instruction
+//!   counting.
+//! * [`EmuFamily`](crate::EmuFamily) / [`EmuCas`](crate::EmuCas) — Figure
+//!   3's CAS emulated from RLL/RSC, making the paper's "combine the
+//!   techniques" remark (and the two-tag word-budget problem it notes)
+//!   executable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nbsp_memsim::{Processor, SimWord};
+
+/// Storage family for 64-bit shared cells supporting load, store and CAS.
+///
+/// See the crate-level docs for the family/accessor split: variables are
+/// parameterized by a family (no lifetimes), accessors are per-thread.
+pub trait CasFamily {
+    /// Shared storage for one 64-bit word.
+    type Cell: Send + Sync + std::fmt::Debug;
+
+    /// How many low-order bits of a cell are usable as a value by the layer
+    /// above (64 for real CAS; less when the CAS itself is emulated with an
+    /// in-word tag).
+    const VALUE_BITS: u32;
+
+    /// Creates a cell holding `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` needs more than [`CasFamily::VALUE_BITS`] bits.
+    /// Callers in this crate validate values first and surface
+    /// [`Error::ValueTooLarge`](crate::Error::ValueTooLarge) instead.
+    fn make_cell(value: u64) -> Self::Cell;
+}
+
+/// Shorthand for the cell type of a memory's family.
+pub type CellOf<M> = <<M as CasMemory>::Family as CasFamily>::Cell;
+
+/// A per-thread accessor executing operations on a [`CasFamily`]'s cells.
+pub trait CasMemory {
+    /// The storage family this accessor operates on.
+    type Family: CasFamily;
+
+    /// Atomically reads the cell's value.
+    fn load(&self, cell: &CellOf<Self>) -> u64;
+
+    /// Atomically writes the cell's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` needs more than `Family::VALUE_BITS` bits.
+    fn store(&self, cell: &CellOf<Self>, value: u64);
+
+    /// The paper's Figure-2 CAS: iff the cell holds `old`, replace it with
+    /// `new` and return `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` needs more than `Family::VALUE_BITS` bits.
+    fn cas(&self, cell: &CellOf<Self>, old: u64, new: u64) -> bool;
+}
+
+/// [`CasFamily`] and [`CasMemory`] backed by the host's native `AtomicU64` —
+/// the "machine that provides CAS" case, and the implementation a real
+/// application would deploy.
+///
+/// ```
+/// use nbsp_core::{CasFamily, CasMemory, Native};
+/// let cell = Native::make_cell(5);
+/// let mem = Native;
+/// assert!(mem.cas(&cell, 5, 6));
+/// assert_eq!(mem.load(&cell), 6);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Native;
+
+impl CasFamily for Native {
+    type Cell = AtomicU64;
+    const VALUE_BITS: u32 = 64;
+
+    fn make_cell(value: u64) -> AtomicU64 {
+        AtomicU64::new(value)
+    }
+}
+
+impl CasMemory for Native {
+    type Family = Native;
+
+    fn load(&self, cell: &AtomicU64) -> u64 {
+        cell.load(Ordering::SeqCst)
+    }
+
+    fn store(&self, cell: &AtomicU64, value: u64) {
+        cell.store(value, Ordering::SeqCst);
+    }
+
+    fn cas(&self, cell: &AtomicU64, old: u64, new: u64) -> bool {
+        cell.compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
+
+/// Storage family for simulated CAS machines: cells are [`SimWord`]s.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimFamily;
+
+impl CasFamily for SimFamily {
+    type Cell = SimWord;
+    const VALUE_BITS: u32 = 64;
+
+    fn make_cell(value: u64) -> SimWord {
+        SimWord::new(value)
+    }
+}
+
+/// [`CasMemory`] accessor for a simulated CAS machine, with per-processor
+/// instruction counting.
+///
+/// A [`CasOnly`](nbsp_memsim::InstructionSet::CasOnly) machine *proves*
+/// that constructions built over this accessor never touch LL/SC (the
+/// simulator panics if they do).
+///
+/// ```
+/// use nbsp_core::{CasFamily, CasMemory, SimCas, SimFamily};
+/// use nbsp_memsim::{InstructionSet, Machine};
+///
+/// let machine = Machine::builder(1)
+///     .instruction_set(InstructionSet::CasOnly)
+///     .build();
+/// let p = machine.processor(0);
+/// let mem = SimCas::new(&p);
+/// let cell = SimFamily::make_cell(1);
+/// assert!(mem.cas(&cell, 1, 2));
+/// ```
+#[derive(Debug)]
+pub struct SimCas<'a> {
+    proc: &'a Processor,
+}
+
+impl<'a> SimCas<'a> {
+    /// Wraps a simulated processor as a CAS accessor.
+    #[must_use]
+    pub fn new(proc: &'a Processor) -> Self {
+        SimCas { proc }
+    }
+
+    /// The underlying processor (for reading stats).
+    #[must_use]
+    pub fn processor(&self) -> &Processor {
+        self.proc
+    }
+}
+
+impl CasMemory for SimCas<'_> {
+    type Family = SimFamily;
+
+    fn load(&self, cell: &SimWord) -> u64 {
+        self.proc.read(cell)
+    }
+
+    fn store(&self, cell: &SimWord, value: u64) {
+        self.proc.write(cell, value);
+    }
+
+    fn cas(&self, cell: &SimWord, old: u64, new: u64) -> bool {
+        self.proc.cas(cell, old, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbsp_memsim::{InstructionSet, Machine};
+
+    #[test]
+    fn native_cas_round_trip() {
+        let mem = Native;
+        let cell = Native::make_cell(10);
+        assert_eq!(mem.load(&cell), 10);
+        mem.store(&cell, 11);
+        assert!(mem.cas(&cell, 11, 12));
+        assert!(!mem.cas(&cell, 11, 13));
+        assert_eq!(mem.load(&cell), 12);
+    }
+
+    #[test]
+    fn sim_cas_counts_instructions() {
+        let m = Machine::builder(1)
+            .instruction_set(InstructionSet::CasOnly)
+            .build();
+        let p = m.processor(0);
+        let mem = SimCas::new(&p);
+        let cell = SimFamily::make_cell(0);
+        let _ = mem.load(&cell);
+        mem.store(&cell, 1);
+        assert!(mem.cas(&cell, 1, 2));
+        let s = mem.processor().stats();
+        assert_eq!((s.reads, s.writes, s.cas_attempts), (1, 1, 1));
+    }
+
+    #[test]
+    fn sim_cas_works_on_cas_only_machine() {
+        // The whole point: no LL/SC instructions are issued.
+        let m = Machine::builder(2)
+            .instruction_set(InstructionSet::CasOnly)
+            .build();
+        let cell = SimFamily::make_cell(0);
+        std::thread::scope(|s| {
+            for id in 0..2 {
+                let p = m.processor(id);
+                let cell = &cell;
+                s.spawn(move || {
+                    let mem = SimCas::new(&p);
+                    for _ in 0..1000 {
+                        loop {
+                            let v = mem.load(cell);
+                            if mem.cas(cell, v, v + 1) {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.peek(), 2000);
+    }
+
+    #[test]
+    fn native_is_copy_and_default() {
+        fn copy<T: Copy>(_: T) {}
+        copy(Native);
+        let _ = Native;
+    }
+}

@@ -1,0 +1,109 @@
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors returned when constructing or configuring the primitives.
+///
+/// Hot-path operations (`LL`/`VL`/`SC`/`CAS`) never return errors — like the
+/// instructions they emulate they are total once the variable is validly
+/// constructed — so all validation happens at construction time and is
+/// reported through this type. Passing an out-of-range *value* to a hot-path
+/// operation is a programming error and panics (documented per method).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A tag/value bit split does not fit the available word.
+    InvalidLayout {
+        /// Requested tag bits.
+        tag_bits: u32,
+        /// Requested value bits.
+        val_bits: u32,
+        /// Bits actually available in the underlying word.
+        available: u32,
+    },
+    /// An initial or stored value does not fit the layout's value field.
+    ValueTooLarge {
+        /// The offending value.
+        value: u64,
+        /// Largest representable value.
+        max: u64,
+    },
+    /// A W-word buffer had the wrong length.
+    WidthMismatch {
+        /// Width the variable was created with.
+        expected: usize,
+        /// Width supplied by the caller.
+        got: usize,
+    },
+    /// A domain parameter (N, W or k) is zero or too large for the word.
+    InvalidDomain {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidLayout {
+                tag_bits,
+                val_bits,
+                available,
+            } => write!(
+                f,
+                "layout of {tag_bits} tag bits + {val_bits} value bits does not fit \
+                 {available} available bits"
+            ),
+            Error::ValueTooLarge { value, max } => {
+                write!(f, "value {value} exceeds the layout's maximum {max}")
+            }
+            Error::WidthMismatch { expected, got } => {
+                write!(f, "buffer of {got} words supplied to a {expected}-word variable")
+            }
+            Error::InvalidDomain { what } => write!(f, "invalid domain parameter: {what}"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (
+                Error::InvalidLayout {
+                    tag_bits: 40,
+                    val_bits: 40,
+                    available: 64,
+                },
+                "does not fit",
+            ),
+            (Error::ValueTooLarge { value: 9, max: 3 }, "exceeds"),
+            (
+                Error::WidthMismatch {
+                    expected: 4,
+                    got: 2,
+                },
+                "2 words",
+            ),
+            (Error::InvalidDomain { what: "n must be positive" }, "n must be"),
+        ];
+        for (e, needle) in cases {
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn takes<E: StdError + Send + Sync + 'static>() {}
+        takes::<Error>();
+    }
+}

@@ -1,0 +1,470 @@
+//! A uniform interface over every LL/VL/SC implementation in this crate.
+//!
+//! The data structures in `nbsp-structures` and the benchmark harness need
+//! to run the *same* algorithm over Figure 4, Figure 5, Figure 7, the lock
+//! baseline and the keep-search ablations. [`LlScVar`] abstracts the
+//! variable; its associated `Ctx` type carries whatever per-thread state the
+//! implementation requires (nothing for native atomics, a simulated
+//! [`Processor`](nbsp_memsim::Processor) for RLL/RSC-based variants, the
+//! private slot/queue state for the bounded construction, a bare
+//! [`ProcId`] for the baselines).
+//!
+//! The generic `Keep` is an `Option`-like state machine: `ll` begins a
+//! sequence (silently aborting any previous one held by the same keep,
+//! releasing its resources), `sc` finishes it, `cl` aborts it.
+
+use nbsp_memsim::{ProcId, Processor};
+
+use crate::bounded::{BoundedKeep, BoundedProc, BoundedVar};
+use crate::keep_search::{PerVarKeepVar, RegistryKeepVar};
+use crate::lock_baseline::LockLlSc;
+use crate::{CasLlSc, EmuCas, EmuFamily, Keep, Native, RllLlSc, SimCas, SimFamily};
+
+/// A shared variable supporting LL/VL/SC, usable from many threads, with
+/// per-thread context `Ctx` and per-sequence state `Keep`.
+///
+/// `vl`/`sc`/`cl` on a keep with no sequence in progress return `false` /
+/// `false` / nothing — mirroring hardware, where SC without LL simply
+/// fails. (The paper leaves this case undefined; total behaviour is easier
+/// to compose generically.)
+///
+/// ```
+/// use nbsp_core::{CasLlSc, LlScVar, Native, TagLayout};
+///
+/// // Algorithms written against the trait run on every construction:
+/// fn fetch_add<V: LlScVar>(var: &V, ctx: &mut V::Ctx<'_>, delta: u64) -> u64 {
+///     let mut keep = V::Keep::default();
+///     loop {
+///         let v = var.ll(ctx, &mut keep);
+///         if var.sc(ctx, &mut keep, v + delta) {
+///             return v;
+///         }
+///     }
+/// }
+///
+/// let var = CasLlSc::new_native(TagLayout::half(), 5)?;
+/// assert_eq!(fetch_add(&var, &mut Native, 3), 5);
+/// assert_eq!(LlScVar::read(&var, &mut Native), 8);
+/// # Ok::<(), nbsp_core::Error>(())
+/// ```
+pub trait LlScVar: Send + Sync {
+    /// Per-sequence private state; `Default` is "no sequence in progress".
+    type Keep: Default + Send;
+
+    /// Per-thread context (processor handle, private bounded-tag state, …).
+    type Ctx<'a>
+    where
+        Self: 'a;
+
+    /// Starts an LL–SC sequence, returning the value read. Any sequence
+    /// previously tracked by `keep` is aborted first.
+    fn ll(&self, ctx: &mut Self::Ctx<'_>, keep: &mut Self::Keep) -> u64;
+
+    /// Validates the sequence: true iff an SC at this point could succeed.
+    fn vl(&self, ctx: &mut Self::Ctx<'_>, keep: &Self::Keep) -> bool;
+
+    /// Finishes the sequence with a store-conditional of `new`.
+    fn sc(&self, ctx: &mut Self::Ctx<'_>, keep: &mut Self::Keep, new: u64) -> bool;
+
+    /// Aborts the sequence without storing.
+    fn cl(&self, ctx: &mut Self::Ctx<'_>, keep: &mut Self::Keep);
+
+    /// Reads the current value (a sequence-free load).
+    fn read(&self, ctx: &mut Self::Ctx<'_>) -> u64;
+
+    /// Largest value this variable can store.
+    fn max_val(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 over native CAS.
+// ---------------------------------------------------------------------------
+
+impl LlScVar for CasLlSc<Native> {
+    type Keep = Option<Keep>;
+    type Ctx<'a> = Native;
+
+    fn ll(&self, _ctx: &mut Native, keep: &mut Option<Keep>) -> u64 {
+        let k = keep.get_or_insert_with(Keep::default);
+        CasLlSc::ll(self, &Native, k)
+    }
+
+    fn vl(&self, _ctx: &mut Native, keep: &Option<Keep>) -> bool {
+        keep.as_ref().is_some_and(|k| CasLlSc::vl(self, &Native, k))
+    }
+
+    fn sc(&self, _ctx: &mut Native, keep: &mut Option<Keep>, new: u64) -> bool {
+        keep.take()
+            .is_some_and(|k| CasLlSc::sc(self, &Native, &k, new))
+    }
+
+    fn cl(&self, _ctx: &mut Native, keep: &mut Option<Keep>) {
+        *keep = None;
+    }
+
+    fn read(&self, _ctx: &mut Native) -> u64 {
+        CasLlSc::read(self, &Native)
+    }
+
+    fn max_val(&self) -> u64 {
+        self.layout().max_val()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 over a simulated CAS-only machine.
+// ---------------------------------------------------------------------------
+
+impl LlScVar for CasLlSc<SimFamily> {
+    type Keep = Option<Keep>;
+    type Ctx<'a> = SimCas<'a>;
+
+    fn ll(&self, ctx: &mut SimCas<'_>, keep: &mut Option<Keep>) -> u64 {
+        let k = keep.get_or_insert_with(Keep::default);
+        CasLlSc::ll(self, ctx, k)
+    }
+
+    fn vl(&self, ctx: &mut SimCas<'_>, keep: &Option<Keep>) -> bool {
+        keep.as_ref().is_some_and(|k| CasLlSc::vl(self, ctx, k))
+    }
+
+    fn sc(&self, ctx: &mut SimCas<'_>, keep: &mut Option<Keep>, new: u64) -> bool {
+        keep.take().is_some_and(|k| CasLlSc::sc(self, ctx, &k, new))
+    }
+
+    fn cl(&self, _ctx: &mut SimCas<'_>, keep: &mut Option<Keep>) {
+        *keep = None;
+    }
+
+    fn read(&self, ctx: &mut SimCas<'_>) -> u64 {
+        CasLlSc::read(self, ctx)
+    }
+
+    fn max_val(&self) -> u64 {
+        self.layout().max_val()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 over Figure 3 (the full stack on an RLL/RSC-only machine).
+// ---------------------------------------------------------------------------
+
+impl<const TAG_BITS: u32> LlScVar for CasLlSc<EmuFamily<TAG_BITS>> {
+    type Keep = Option<Keep>;
+    type Ctx<'a> = EmuCas<'a, TAG_BITS>;
+
+    fn ll(&self, ctx: &mut EmuCas<'_, TAG_BITS>, keep: &mut Option<Keep>) -> u64 {
+        let k = keep.get_or_insert_with(Keep::default);
+        CasLlSc::ll(self, ctx, k)
+    }
+
+    fn vl(&self, ctx: &mut EmuCas<'_, TAG_BITS>, keep: &Option<Keep>) -> bool {
+        keep.as_ref().is_some_and(|k| CasLlSc::vl(self, ctx, k))
+    }
+
+    fn sc(&self, ctx: &mut EmuCas<'_, TAG_BITS>, keep: &mut Option<Keep>, new: u64) -> bool {
+        keep.take().is_some_and(|k| CasLlSc::sc(self, ctx, &k, new))
+    }
+
+    fn cl(&self, _ctx: &mut EmuCas<'_, TAG_BITS>, keep: &mut Option<Keep>) {
+        *keep = None;
+    }
+
+    fn read(&self, ctx: &mut EmuCas<'_, TAG_BITS>) -> u64 {
+        CasLlSc::read(self, ctx)
+    }
+
+    fn max_val(&self) -> u64 {
+        self.layout().max_val()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 (direct RLL/RSC).
+// ---------------------------------------------------------------------------
+
+impl LlScVar for RllLlSc {
+    type Keep = Option<Keep>;
+    type Ctx<'a> = &'a Processor;
+
+    fn ll(&self, ctx: &mut &Processor, keep: &mut Option<Keep>) -> u64 {
+        let k = keep.get_or_insert_with(Keep::default);
+        RllLlSc::ll(self, ctx, k)
+    }
+
+    fn vl(&self, ctx: &mut &Processor, keep: &Option<Keep>) -> bool {
+        keep.as_ref().is_some_and(|k| RllLlSc::vl(self, ctx, k))
+    }
+
+    fn sc(&self, ctx: &mut &Processor, keep: &mut Option<Keep>, new: u64) -> bool {
+        keep.take().is_some_and(|k| RllLlSc::sc(self, ctx, &k, new))
+    }
+
+    fn cl(&self, _ctx: &mut &Processor, keep: &mut Option<Keep>) {
+        *keep = None;
+    }
+
+    fn read(&self, ctx: &mut &Processor) -> u64 {
+        RllLlSc::read(self, ctx)
+    }
+
+    fn max_val(&self) -> u64 {
+        self.layout().max_val()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 (bounded tags) over native CAS.
+// ---------------------------------------------------------------------------
+
+impl LlScVar for BoundedVar<Native> {
+    type Keep = Option<BoundedKeep>;
+    type Ctx<'a> = BoundedProc<Native>;
+
+    fn ll(&self, ctx: &mut BoundedProc<Native>, keep: &mut Option<BoundedKeep>) -> u64 {
+        if let Some(old) = keep.take() {
+            ctx.cl(old); // abandoning a sequence must release its slot
+        }
+        let (v, k) = BoundedVar::ll(self, &Native, ctx);
+        *keep = Some(k);
+        v
+    }
+
+    fn vl(&self, ctx: &mut BoundedProc<Native>, keep: &Option<BoundedKeep>) -> bool {
+        keep.as_ref()
+            .is_some_and(|k| BoundedVar::vl(self, &Native, ctx, k))
+    }
+
+    fn sc(&self, ctx: &mut BoundedProc<Native>, keep: &mut Option<BoundedKeep>, new: u64) -> bool {
+        keep.take()
+            .is_some_and(|k| BoundedVar::sc(self, &Native, ctx, k, new))
+    }
+
+    fn cl(&self, ctx: &mut BoundedProc<Native>, keep: &mut Option<BoundedKeep>) {
+        if let Some(k) = keep.take() {
+            ctx.cl(k);
+        }
+    }
+
+    fn read(&self, _ctx: &mut BoundedProc<Native>) -> u64 {
+        BoundedVar::peek(self, &Native)
+    }
+
+    fn max_val(&self) -> u64 {
+        self.domain().max_val()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 lock baseline.
+// ---------------------------------------------------------------------------
+
+/// For the baselines the keep is implicit in the variable (per-process
+/// valid bits / keep slots); the generic keep only tracks whether a
+/// sequence was started, to keep `vl`/`sc` total.
+impl LlScVar for LockLlSc {
+    type Keep = bool;
+    type Ctx<'a> = ProcId;
+
+    fn ll(&self, ctx: &mut ProcId, keep: &mut bool) -> u64 {
+        *keep = true;
+        LockLlSc::ll(self, *ctx)
+    }
+
+    fn vl(&self, ctx: &mut ProcId, keep: &bool) -> bool {
+        *keep && LockLlSc::vl(self, *ctx)
+    }
+
+    fn sc(&self, ctx: &mut ProcId, keep: &mut bool, new: u64) -> bool {
+        std::mem::take(keep) && LockLlSc::sc(self, *ctx, new)
+    }
+
+    fn cl(&self, _ctx: &mut ProcId, keep: &mut bool) {
+        *keep = false;
+    }
+
+    fn read(&self, _ctx: &mut ProcId) -> u64 {
+        LockLlSc::read(self)
+    }
+
+    fn max_val(&self) -> u64 {
+        u64::MAX
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keep-search ablations.
+// ---------------------------------------------------------------------------
+
+impl LlScVar for PerVarKeepVar {
+    type Keep = bool;
+    type Ctx<'a> = ProcId;
+
+    fn ll(&self, ctx: &mut ProcId, keep: &mut bool) -> u64 {
+        *keep = true;
+        PerVarKeepVar::ll(self, *ctx)
+    }
+
+    fn vl(&self, ctx: &mut ProcId, keep: &bool) -> bool {
+        *keep && PerVarKeepVar::vl(self, *ctx)
+    }
+
+    fn sc(&self, ctx: &mut ProcId, keep: &mut bool, new: u64) -> bool {
+        std::mem::take(keep) && PerVarKeepVar::sc(self, *ctx, new)
+    }
+
+    fn cl(&self, _ctx: &mut ProcId, keep: &mut bool) {
+        *keep = false;
+    }
+
+    fn read(&self, _ctx: &mut ProcId) -> u64 {
+        PerVarKeepVar::read(self)
+    }
+
+    fn max_val(&self) -> u64 {
+        crate::TagLayout::half().max_val()
+    }
+}
+
+impl LlScVar for RegistryKeepVar {
+    type Keep = bool;
+    type Ctx<'a> = ProcId;
+
+    fn ll(&self, ctx: &mut ProcId, keep: &mut bool) -> u64 {
+        *keep = true;
+        RegistryKeepVar::ll(self, *ctx)
+    }
+
+    fn vl(&self, ctx: &mut ProcId, keep: &bool) -> bool {
+        *keep && RegistryKeepVar::vl(self, *ctx)
+    }
+
+    fn sc(&self, ctx: &mut ProcId, keep: &mut bool, new: u64) -> bool {
+        std::mem::take(keep) && RegistryKeepVar::sc(self, *ctx, new)
+    }
+
+    fn cl(&self, _ctx: &mut ProcId, keep: &mut bool) {
+        *keep = false;
+    }
+
+    fn read(&self, _ctx: &mut ProcId) -> u64 {
+        RegistryKeepVar::read(self)
+    }
+
+    fn max_val(&self) -> u64 {
+        crate::TagLayout::half().max_val()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::BoundedDomain;
+    use crate::TagLayout;
+
+    /// The generic increment loop every implementation must support.
+    fn increment_n_times<V: LlScVar>(var: &V, ctx: &mut V::Ctx<'_>, times: u64) {
+        for _ in 0..times {
+            let mut keep = V::Keep::default();
+            loop {
+                let v = var.ll(ctx, &mut keep);
+                if var.sc(ctx, &mut keep, v + 1) {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generic_loop_on_cas_llsc() {
+        let v = CasLlSc::new_native(TagLayout::half(), 0).unwrap();
+        increment_n_times(&v, &mut Native, 100);
+        assert_eq!(LlScVar::read(&v, &mut Native), 100);
+    }
+
+    #[test]
+    fn generic_loop_on_bounded() {
+        let d = BoundedDomain::<Native>::new(2, 2).unwrap();
+        let v = d.var(0).unwrap();
+        let mut me = d.proc(0);
+        increment_n_times(&v, &mut me, 100);
+        assert_eq!(LlScVar::read(&v, &mut me), 100);
+        assert_eq!(me.free_slots(), 2, "all slots must be returned");
+    }
+
+    #[test]
+    fn generic_loop_on_lock_baseline() {
+        let v = LockLlSc::new(2, 0);
+        let mut ctx = ProcId::new(1);
+        increment_n_times(&v, &mut ctx, 100);
+        assert_eq!(LlScVar::read(&v, &mut ctx), 100);
+    }
+
+    #[test]
+    fn generic_loop_on_keep_search_variants() {
+        let v = PerVarKeepVar::new(2, TagLayout::half(), 0).unwrap();
+        let mut ctx = ProcId::new(0);
+        increment_n_times(&v, &mut ctx, 50);
+        assert_eq!(LlScVar::read(&v, &mut ctx), 50);
+
+        let r = crate::keep_search::KeepRegistry::new();
+        let v = RegistryKeepVar::new(&r, 2, TagLayout::half(), 0).unwrap();
+        let mut ctx = ProcId::new(0);
+        increment_n_times(&v, &mut ctx, 50);
+        assert_eq!(LlScVar::read(&v, &mut ctx), 50);
+    }
+
+    #[test]
+    fn generic_loop_on_rll_llsc() {
+        let m = nbsp_memsim::Machine::builder(1)
+            .instruction_set(nbsp_memsim::InstructionSet::RllRscOnly)
+            .build();
+        let p = m.processor(0);
+        let v = RllLlSc::new(TagLayout::half(), 0).unwrap();
+        let mut ctx: &Processor = &p;
+        increment_n_times(&v, &mut ctx, 100);
+        assert_eq!(LlScVar::read(&v, &mut ctx), 100);
+    }
+
+    #[test]
+    fn sc_without_ll_is_false_not_panic() {
+        let v = CasLlSc::new_native(TagLayout::half(), 0).unwrap();
+        let mut keep = <CasLlSc<Native> as LlScVar>::Keep::default();
+        assert!(!LlScVar::sc(&v, &mut Native, &mut keep, 1));
+        assert!(!LlScVar::vl(&v, &mut Native, &keep));
+    }
+
+    #[test]
+    fn restarting_ll_on_bounded_releases_old_slot() {
+        let d = BoundedDomain::<Native>::new(1, 1).unwrap();
+        let v = d.var(0).unwrap();
+        let mut me = d.proc(0);
+        let mut keep = <BoundedVar<Native> as LlScVar>::Keep::default();
+        // Two consecutive lls through the generic interface with k = 1:
+        // without the auto-cl this would panic on slot exhaustion.
+        let _ = LlScVar::ll(&v, &mut me, &mut keep);
+        let _ = LlScVar::ll(&v, &mut me, &mut keep);
+        assert!(LlScVar::sc(&v, &mut me, &mut keep, 7));
+        assert_eq!(BoundedVar::peek(&v, &Native), 7);
+    }
+
+    #[test]
+    fn trait_objects_are_not_needed_but_dyn_compatibility_holds_for_ctxless() {
+        // Generic use across two implementations in one function:
+        fn bump_twice<A: LlScVar, B: LlScVar>(
+            a: &A,
+            ca: &mut A::Ctx<'_>,
+            b: &B,
+            cb: &mut B::Ctx<'_>,
+        ) {
+            increment_n_times(a, ca, 2);
+            increment_n_times(b, cb, 2);
+        }
+        let x = CasLlSc::new_native(TagLayout::half(), 0).unwrap();
+        let y = LockLlSc::new(1, 0);
+        let mut cy = ProcId::new(0);
+        bump_twice(&x, &mut Native, &y, &mut cy);
+        assert_eq!(LlScVar::read(&x, &mut Native), 2);
+        assert_eq!(LlScVar::read(&y, &mut cy), 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! The Wing & Gong linearizability checker.
+//!
+//! A history is linearizable iff there is a total order of its operations
+//! that (a) respects real-time precedence and (b) is a legal sequential
+//! execution of the specification producing exactly the recorded return
+//! values. The checker searches linearization orders depth-first, pruning
+//! with a memo of visited (linearized-set, specification-state) pairs —
+//! exponential in the worst case, comfortably fast for the ≤ 24-operation
+//! histories the test harness generates.
+
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use crate::history::Completed;
+use crate::spec::SeqSpec;
+
+/// Maximum history length the checker accepts (operations are tracked in a
+/// 64-bit linearized-set mask).
+pub const MAX_OPS: usize = 64;
+
+/// Decides whether `history` is linearizable with respect to the
+/// specification starting in `init`.
+///
+/// # Panics
+///
+/// Panics if the history exceeds [`MAX_OPS`] operations.
+///
+/// ```
+/// use nbsp_linearize::{is_linearizable, Completed, LlScSpec, Op, Ret};
+/// use nbsp_memsim::ProcId;
+///
+/// // p0: LL -> 0 ........ SC(1) -> true
+/// // p1:      LL -> 0 .................. SC(2) -> false
+/// let history = vec![
+///     Completed { proc: ProcId::new(0), op: Op::Ll, ret: Ret::Value(0), invoked: 0, returned: 1 },
+///     Completed { proc: ProcId::new(1), op: Op::Ll, ret: Ret::Value(0), invoked: 2, returned: 3 },
+///     Completed { proc: ProcId::new(0), op: Op::Sc(1), ret: Ret::Bool(true), invoked: 4, returned: 5 },
+///     Completed { proc: ProcId::new(1), op: Op::Sc(2), ret: Ret::Bool(false), invoked: 6, returned: 7 },
+/// ];
+/// assert!(is_linearizable(LlScSpec::new(2, 0), &history));
+/// ```
+#[must_use]
+pub fn is_linearizable<S: SeqSpec>(init: S, history: &[Completed<S::Op, S::Ret>]) -> bool {
+    assert!(
+        history.len() <= MAX_OPS,
+        "history of {} operations exceeds the checker's limit of {MAX_OPS}",
+        history.len()
+    );
+    if history.is_empty() {
+        return true;
+    }
+    // preds[i] = bitmask of operations that must be linearized before i.
+    let n = history.len();
+    let mut preds = vec![0u64; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && history[j].really_precedes(&history[i]) {
+                preds[i] |= 1 << j;
+            }
+        }
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1 << n) - 1 };
+    let mut memo: HashSet<(u64, u64)> = HashSet::new();
+    dfs(&init, 0, full, &preds, history, &mut memo)
+}
+
+fn state_fingerprint<S: Hash>(state: &S) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    state.hash(&mut h);
+    h.finish()
+}
+
+fn dfs<S: SeqSpec>(
+    state: &S,
+    done: u64,
+    full: u64,
+    preds: &[u64],
+    history: &[Completed<S::Op, S::Ret>],
+    memo: &mut HashSet<(u64, u64)>,
+) -> bool {
+    if done == full {
+        return true;
+    }
+    if !memo.insert((done, state_fingerprint(state))) {
+        return false; // already explored this configuration
+    }
+    for (i, ev) in history.iter().enumerate() {
+        let bit = 1u64 << i;
+        if done & bit != 0 {
+            continue; // already linearized
+        }
+        if preds[i] & !done != 0 {
+            continue; // a real-time predecessor is still pending
+        }
+        let mut next = state.clone();
+        if next.apply(ev.proc, &ev.op) != ev.ret {
+            continue; // the spec forbids this return value here
+        }
+        if dfs(&next, done | bit, full, preds, history, memo) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{Op, Ret};
+    use crate::spec::{CasSpec, LlScSpec};
+    use nbsp_memsim::ProcId;
+
+    fn ev(p: usize, op: Op, ret: Ret, inv: u64, ret_t: u64) -> Completed {
+        Completed {
+            proc: ProcId::new(p),
+            op,
+            ret,
+            invoked: inv,
+            returned: ret_t,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(is_linearizable(LlScSpec::new(1, 0), &[]));
+    }
+
+    #[test]
+    fn sequential_legal_history_passes() {
+        let h = vec![
+            ev(0, Op::Ll, Ret::Value(0), 0, 1),
+            ev(0, Op::Sc(1), Ret::Bool(true), 2, 3),
+            ev(0, Op::Read, Ret::Value(1), 4, 5),
+        ];
+        assert!(is_linearizable(LlScSpec::new(1, 0), &h));
+    }
+
+    #[test]
+    fn wrong_read_value_fails() {
+        let h = vec![
+            ev(0, Op::Ll, Ret::Value(0), 0, 1),
+            ev(0, Op::Sc(1), Ret::Bool(true), 2, 3),
+            ev(0, Op::Read, Ret::Value(0), 4, 5), // stale read after SC
+        ];
+        assert!(!is_linearizable(LlScSpec::new(1, 0), &h));
+    }
+
+    #[test]
+    fn both_scs_succeeding_is_not_linearizable() {
+        // Two LLs then two SCs: only one SC may succeed.
+        let h = vec![
+            ev(0, Op::Ll, Ret::Value(0), 0, 1),
+            ev(1, Op::Ll, Ret::Value(0), 2, 3),
+            ev(0, Op::Sc(1), Ret::Bool(true), 4, 5),
+            ev(1, Op::Sc(2), Ret::Bool(true), 6, 7),
+        ];
+        assert!(!is_linearizable(LlScSpec::new(2, 0), &h));
+    }
+
+    #[test]
+    fn overlapping_scs_one_winner_passes() {
+        let h = vec![
+            ev(0, Op::Ll, Ret::Value(0), 0, 1),
+            ev(1, Op::Ll, Ret::Value(0), 0, 2),
+            ev(0, Op::Sc(1), Ret::Bool(true), 3, 6),
+            ev(1, Op::Sc(2), Ret::Bool(false), 4, 7),
+        ];
+        assert!(is_linearizable(LlScSpec::new(2, 0), &h));
+    }
+
+    #[test]
+    fn overlap_allows_reordering() {
+        // A read overlapping an SC may see either the old or new value.
+        for seen in [0u64, 9] {
+            let h = vec![
+                ev(0, Op::Ll, Ret::Value(0), 0, 1),
+                ev(0, Op::Sc(9), Ret::Bool(true), 2, 10),
+                ev(1, Op::Read, Ret::Value(seen), 3, 9),
+            ];
+            assert!(
+                is_linearizable(LlScSpec::new(2, 0), &h),
+                "read of {seen} should be allowed"
+            );
+        }
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // The read strictly FOLLOWS the successful SC, so it must see 9.
+        let h = vec![
+            ev(0, Op::Ll, Ret::Value(0), 0, 1),
+            ev(0, Op::Sc(9), Ret::Bool(true), 2, 3),
+            ev(1, Op::Read, Ret::Value(0), 4, 5),
+        ];
+        assert!(!is_linearizable(LlScSpec::new(2, 0), &h));
+    }
+
+    #[test]
+    fn aba_violation_is_caught() {
+        // p0: LL -> 0, later SC(5) -> true. In between (really preceding
+        // the SC), p1 performs two successful complete LL/SC pairs taking
+        // the value 0 -> 7 -> 0. p0's SC must fail; a history where it
+        // succeeds is not linearizable.
+        let h = vec![
+            ev(0, Op::Ll, Ret::Value(0), 0, 1),
+            ev(1, Op::Ll, Ret::Value(0), 2, 3),
+            ev(1, Op::Sc(7), Ret::Bool(true), 4, 5),
+            ev(1, Op::Ll, Ret::Value(7), 6, 7),
+            ev(1, Op::Sc(0), Ret::Bool(true), 8, 9),
+            ev(0, Op::Sc(5), Ret::Bool(true), 10, 11), // the ABA bug
+        ];
+        assert!(!is_linearizable(LlScSpec::new(2, 0), &h));
+        // The honest outcome passes:
+        let mut ok = h;
+        ok[5].ret = Ret::Bool(false);
+        assert!(is_linearizable(LlScSpec::new(2, 0), &ok));
+    }
+
+    #[test]
+    fn vl_must_agree_with_interference() {
+        let h = vec![
+            ev(0, Op::Ll, Ret::Value(0), 0, 1),
+            ev(1, Op::Ll, Ret::Value(0), 2, 3),
+            ev(1, Op::Sc(1), Ret::Bool(true), 4, 5),
+            ev(0, Op::Vl, Ret::Bool(true), 6, 7), // must be false
+        ];
+        assert!(!is_linearizable(LlScSpec::new(2, 0), &h));
+    }
+
+    #[test]
+    fn cas_spec_histories() {
+        let h = vec![
+            ev(0, Op::Cas { old: 0, new: 1 }, Ret::Bool(true), 0, 3),
+            ev(1, Op::Cas { old: 0, new: 2 }, Ret::Bool(false), 1, 4),
+            ev(0, Op::Read, Ret::Value(1), 5, 6),
+        ];
+        assert!(is_linearizable(CasSpec::new(0), &h));
+        let bad = vec![
+            ev(0, Op::Cas { old: 0, new: 1 }, Ret::Bool(true), 0, 1),
+            ev(1, Op::Cas { old: 0, new: 2 }, Ret::Bool(true), 2, 3),
+        ];
+        assert!(!is_linearizable(CasSpec::new(0), &bad));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the checker's limit")]
+    fn oversized_history_is_rejected() {
+        let h: Vec<Completed> = (0..65)
+            .map(|i| ev(0, Op::Read, Ret::Value(0), 2 * i, 2 * i + 1))
+            .collect();
+        let _ = is_linearizable(LlScSpec::new(1, 0), &h);
+    }
+
+    #[test]
+    fn memoization_handles_wide_overlap() {
+        // 16 fully-overlapping reads: naively 16! orders; the memo makes
+        // this instant.
+        let h: Vec<Completed> = (0..16)
+            .map(|i| ev(i % 4, Op::Read, Ret::Value(0), 0, 100))
+            .collect();
+        assert!(is_linearizable(LlScSpec::new(4, 0), &h));
+    }
+}

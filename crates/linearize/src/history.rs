@@ -1,0 +1,261 @@
+//! Concurrent history recording.
+//!
+//! Each operation is stamped with two tickets from a shared logical clock:
+//! one drawn just before the operation's first shared-memory step could
+//! have happened, one just after its last. Operation `A` *really precedes*
+//! `B` iff `A.returned < B.invoked`; overlapping operations may be
+//! linearized in either order. This is the standard history model of
+//! Herlihy & Wing (the paper's \[9\]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nbsp_memsim::ProcId;
+
+/// An operation on a single LL/VL/SC/CAS variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Load-linked.
+    Ll,
+    /// Validate.
+    Vl,
+    /// Store-conditional of the given value.
+    Sc(u64),
+    /// Plain atomic read.
+    Read,
+    /// Compare-and-swap.
+    Cas {
+        /// Expected value.
+        old: u64,
+        /// Replacement value.
+        new: u64,
+    },
+}
+
+/// An operation's observed return value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Ret {
+    /// A value (from `Ll` or `Read`).
+    Value(u64),
+    /// A boolean (from `Vl`, `Sc`, `Cas`).
+    Bool(bool),
+}
+
+/// One completed operation with its real-time interval.
+///
+/// Generic over the operation and return types so the same machinery
+/// checks raw LL/VL/SC histories and whole data structures (stacks,
+/// queues) against their sequential specifications; defaults to the
+/// LL/VL/SC domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completed<O = Op, R = Ret> {
+    /// The process that executed the operation.
+    pub proc: ProcId,
+    /// What was executed.
+    pub op: O,
+    /// What it returned.
+    pub ret: R,
+    /// Clock ticket drawn at invocation.
+    pub invoked: u64,
+    /// Clock ticket drawn at response.
+    pub returned: u64,
+}
+
+impl<O, R> Completed<O, R> {
+    /// True iff `self` finished before `other` began (real-time order).
+    #[must_use]
+    pub fn really_precedes(&self, other: &Completed<O, R>) -> bool {
+        self.returned < other.invoked
+    }
+}
+
+/// The shared logical clock for one recorded execution.
+#[derive(Clone, Debug, Default)]
+pub struct HistoryClock {
+    ticks: Arc<AtomicU64>,
+}
+
+impl HistoryClock {
+    /// Creates a clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        HistoryClock::default()
+    }
+
+    /// Draws the next ticket.
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Creates a per-thread recorder for process `proc` (LL/VL/SC domain).
+    #[must_use]
+    pub fn recorder(&self, proc: ProcId) -> Recorder {
+        self.recorder_for(proc)
+    }
+
+    /// Creates a per-thread recorder for process `proc` with custom
+    /// operation and return types (for data-structure histories).
+    #[must_use]
+    pub fn recorder_for<O, R>(&self, proc: ProcId) -> Recorder<O, R> {
+        Recorder {
+            clock: self.clone(),
+            proc,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// A per-thread event log; merge the logs of all threads into one history
+/// after joining.
+///
+/// ```
+/// use nbsp_linearize::{HistoryClock, Op, Recorder, Ret};
+/// use nbsp_memsim::ProcId;
+///
+/// let clock = HistoryClock::new();
+/// let mut rec = clock.recorder(ProcId::new(0));
+/// let value = rec.record(Op::Read, || Ret::Value(42));
+/// assert_eq!(value, Ret::Value(42));
+/// let history = rec.into_events();
+/// assert_eq!(history.len(), 1);
+/// assert!(history[0].invoked < history[0].returned);
+/// ```
+#[derive(Debug)]
+pub struct Recorder<O = Op, R = Ret> {
+    clock: HistoryClock,
+    proc: ProcId,
+    events: Vec<Completed<O, R>>,
+}
+
+impl<O, R: Clone> Recorder<O, R> {
+    /// Runs `f` as operation `op`, recording its interval and result, and
+    /// returns the result.
+    pub fn record(&mut self, op: O, f: impl FnOnce() -> R) -> R {
+        let invoked = self.clock.tick();
+        let ret = f();
+        let returned = self.clock.tick();
+        self.events.push(Completed {
+            proc: self.proc,
+            op,
+            ret: ret.clone(),
+            invoked,
+            returned,
+        });
+        ret
+    }
+
+    /// This recorder's process.
+    #[must_use]
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// Consumes the recorder, yielding its events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<Completed<O, R>> {
+        self.events
+    }
+}
+
+/// Merges per-thread logs into one history sorted by invocation ticket
+/// (sorting is cosmetic; the checker uses only the interval order).
+#[must_use]
+pub fn merge<O, R>(
+    logs: impl IntoIterator<Item = Vec<Completed<O, R>>>,
+) -> Vec<Completed<O, R>> {
+    let mut all: Vec<Completed<O, R>> = logs.into_iter().flatten().collect();
+    all.sort_by_key(|e| e.invoked);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_are_strictly_increasing() {
+        let c = HistoryClock::new();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn recorder_stamps_intervals() {
+        let c = HistoryClock::new();
+        let mut r = c.recorder(ProcId::new(3));
+        let _ = r.record(Op::Ll, || Ret::Value(9));
+        let _ = r.record(Op::Sc(10), || Ret::Bool(true));
+        let ev = r.into_events();
+        assert_eq!(ev.len(), 2);
+        assert!(ev[0].really_precedes(&ev[1]));
+        assert!(!ev[1].really_precedes(&ev[0]));
+        assert_eq!(ev[0].proc, ProcId::new(3));
+    }
+
+    #[test]
+    fn concurrent_ops_do_not_precede_each_other() {
+        // Hand-build two overlapping intervals.
+        let a = Completed {
+            proc: ProcId::new(0),
+            op: Op::Read,
+            ret: Ret::Value(0),
+            invoked: 0,
+            returned: 5,
+        };
+        let b = Completed {
+            proc: ProcId::new(1),
+            op: Op::Read,
+            ret: Ret::Value(0),
+            invoked: 3,
+            returned: 7,
+        };
+        assert!(!a.really_precedes(&b));
+        assert!(!b.really_precedes(&a));
+    }
+
+    #[test]
+    fn merge_sorts_by_invocation() {
+        let c = HistoryClock::new();
+        let mut r0 = c.recorder(ProcId::new(0));
+        let mut r1 = c.recorder(ProcId::new(1));
+        let _ = r0.record(Op::Read, || Ret::Value(1));
+        let _ = r1.record(Op::Read, || Ret::Value(2));
+        let _ = r0.record(Op::Read, || Ret::Value(3));
+        let h = merge([r1.into_events(), r0.into_events()]);
+        assert_eq!(h.len(), 3);
+        assert!(h.windows(2).all(|w| w[0].invoked < w[1].invoked));
+    }
+
+    #[test]
+    fn clock_is_shared_across_threads() {
+        let c = HistoryClock::new();
+        let logs: Vec<Vec<Completed>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|t| {
+                    let mut rec = c.recorder(ProcId::new(t));
+                    s.spawn(move || {
+                        for _ in 0..100 {
+                            let _ = rec.record(Op::Read, || Ret::Value(0));
+                        }
+                        rec.into_events()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let merged = merge(logs);
+        assert_eq!(merged.len(), 400);
+        // All tickets distinct:
+        let mut tickets: Vec<u64> = merged
+            .iter()
+            .flat_map(|e| [e.invoked, e.returned])
+            .collect();
+        tickets.sort_unstable();
+        tickets.dedup();
+        assert_eq!(tickets.len(), 800);
+    }
+}

@@ -1,0 +1,702 @@
+//! Exhaustive model checking of the paper's pseudocode.
+//!
+//! The stress and history tests sample schedules; this module *enumerates*
+//! them. Figure 3's CAS (and Figure 5's SC, which shares its loop) is
+//! transliterated from the paper's pseudocode into an explicit step
+//! machine — one shared-memory access per step — and a DFS scheduler
+//! explores **every** interleaving of every step of concurrent operations,
+//! with spurious RSC failures as additional nondeterministic branches.
+//! Each complete execution yields a history that is fed to the
+//! [Wing & Gong checker](crate::checker).
+//!
+//! Three results fall out:
+//!
+//! * every interleaving of the checked Figure-3 programs is linearizable
+//!   — mechanical evidence for Theorem 1 on small configurations. Notably
+//!   this holds **even with degenerate tags**: CAS semantics are
+//!   value-only, so value-ABA cannot produce an illegal CAS outcome — the
+//!   tags buy Figure 3 *termination* (and protect the CAS-based RSC
+//!   simulation), not safety;
+//! * for Figure 5 (LL/VL/SC, whose SC **must** fail after any intervening
+//!   successful SC), a degenerate tag range makes the search *find* the
+//!   ABA violation — the tags are load-bearing exactly where the paper
+//!   says, and this checker has teeth;
+//! * with an adequate tag range, all Figure-5 interleavings linearize.
+
+use nbsp_memsim::ProcId;
+
+use crate::checker::is_linearizable;
+use crate::history::{Completed, Op, Ret};
+use crate::spec::CasSpec;
+
+/// One CAS operation of a process's program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CasOp {
+    /// Expected value.
+    pub old: u64,
+    /// Replacement value.
+    pub new: u64,
+}
+
+/// The shared word: Figure 3's `record tag: tagtype; val: valtype end`,
+/// with the tag reduced modulo `tag_modulus`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Word {
+    tag: u64,
+    val: u64,
+}
+
+/// Program counter of one in-flight Figure-3 CAS (numbers are the paper's
+/// line numbers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pc {
+    /// About to execute line 1 (read the word).
+    Line1,
+    /// Lines 2–4 are local; holds the word read at line 1.
+    Line5 { oldword: Word },
+    /// About to execute line 6 (RSC) with the reservation armed.
+    Line6 { oldword: Word },
+    /// Finished with this outcome.
+    Done(bool),
+}
+
+#[derive(Clone, Debug)]
+struct ProcState {
+    program: Vec<CasOp>,
+    /// Index of the op currently executing (or next to start).
+    op_index: usize,
+    pc: Pc,
+    /// Spurious failures still permitted for this process.
+    spurious_budget: u32,
+    /// Step ticket at which the current op was invoked.
+    invoked_at: u64,
+}
+
+/// Result of an exhaustive check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelResult {
+    /// Complete executions explored.
+    pub executions: u64,
+    /// A witness history for the first non-linearizable execution found,
+    /// if any.
+    pub violation: Option<Vec<Completed>>,
+}
+
+impl ModelResult {
+    /// True iff every execution was linearizable.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Exhaustively checks Figure 3's CAS over all interleavings of the given
+/// per-process programs.
+///
+/// * `initial` — the word's starting value;
+/// * `tag_modulus` — the tag range (the paper's `tagtype`); 1 disables
+///   tags entirely, small values model imminent wraparound;
+/// * `spurious_budget` — how many spurious RSC failures the adversary may
+///   inject *per process* (each failure point branches the search).
+///
+/// # Panics
+///
+/// Panics if more than 64 operations are supplied in total (checker
+/// limit) or `tag_modulus` is zero.
+///
+/// ```
+/// use nbsp_linearize::modelcheck::{check_figure3, CasOp};
+///
+/// // Two processes race CAS(0→1) and CAS(0→2): every interleaving of the
+/// // paper's algorithm must linearize (exactly one may win).
+/// let result = check_figure3(
+///     vec![
+///         vec![CasOp { old: 0, new: 1 }],
+///         vec![CasOp { old: 0, new: 2 }],
+///     ],
+///     0,
+///     1 << 16,
+///     1,
+/// );
+/// assert!(result.holds());
+/// assert!(result.executions > 10);
+/// ```
+#[must_use]
+pub fn check_figure3(
+    programs: Vec<Vec<CasOp>>,
+    initial: u64,
+    tag_modulus: u64,
+    spurious_budget: u32,
+) -> ModelResult {
+    assert!(tag_modulus > 0, "tag modulus must be positive");
+    let total_ops: usize = programs.iter().map(Vec::len).sum();
+    assert!(total_ops <= 64, "too many operations for the checker");
+    let procs: Vec<ProcState> = programs
+        .into_iter()
+        .map(|program| ProcState {
+            program,
+            op_index: 0,
+            pc: Pc::Line1,
+            spurious_budget,
+            invoked_at: 0,
+        })
+        .collect();
+    let mut result = ModelResult {
+        executions: 0,
+        violation: None,
+    };
+    let mut history: Vec<Completed> = Vec::new();
+    explore(
+        Word {
+            tag: 0,
+            val: initial,
+        },
+        initial,
+        tag_modulus,
+        &procs,
+        &mut history,
+        0,
+        &mut result,
+    );
+    result
+}
+
+/// Nondeterministically runs one step of process `i`; `clock` is the
+/// global step ticket (every shared-memory step is atomic, so an op's
+/// interval is [ticket of its first step, ticket of its last]).
+#[allow(clippy::too_many_lines)]
+fn explore(
+    word: Word,
+    initial: u64,
+    tag_modulus: u64,
+    procs: &[ProcState],
+    history: &mut Vec<Completed>,
+    clock: u64,
+    result: &mut ModelResult,
+) {
+    if result.violation.is_some() {
+        return; // first witness is enough
+    }
+    let mut any_active = false;
+    for (i, p) in procs.iter().enumerate() {
+        // A process is schedulable if it still has steps to take.
+        let (op, finished) = match p.program.get(p.op_index) {
+            Some(op) => (op, false),
+            None => (&CasOp { old: 0, new: 0 }, true),
+        };
+        if finished {
+            continue;
+        }
+        any_active = true;
+        let step = |new_word: Word,
+                        new_pc: Pc,
+                        new_budget: u32,
+                        history: &mut Vec<Completed>,
+                        result: &mut ModelResult| {
+            let mut procs2 = procs.to_vec();
+            let me = &mut procs2[i];
+            me.spurious_budget = new_budget;
+            let mut pushed = false;
+            match new_pc {
+                Pc::Done(ok) => {
+                    history.push(Completed {
+                        proc: ProcId::new(i),
+                        op: Op::Cas {
+                            old: op.old,
+                            new: op.new,
+                        },
+                        ret: Ret::Bool(ok),
+                        invoked: me.invoked_at,
+                        returned: clock,
+                    });
+                    pushed = true;
+                    me.op_index += 1;
+                    me.pc = Pc::Line1;
+                }
+                pc => me.pc = pc,
+            }
+            explore(
+                new_word, initial, tag_modulus, &procs2, history, clock + 1, result,
+            );
+            if pushed {
+                history.pop();
+            }
+        };
+
+        match p.pc {
+            Pc::Line1 => {
+                // Line 1: atomic read. Lines 2–3 are local and execute
+                // immediately after (they touch no shared memory).
+                let mut procs2 = procs.to_vec();
+                procs2[i].invoked_at = clock;
+                let oldword = word;
+                if oldword.val != op.old {
+                    // line 2: fail, linearized at this read.
+                    let me = &mut procs2[i];
+                    me.op_index += 1;
+                    me.pc = Pc::Line1;
+                    history.push(Completed {
+                        proc: ProcId::new(i),
+                        op: Op::Cas {
+                            old: op.old,
+                            new: op.new,
+                        },
+                        ret: Ret::Bool(false),
+                        invoked: clock,
+                        returned: clock,
+                    });
+                    explore(word, initial, tag_modulus, &procs2, history, clock + 1, result);
+                    history.pop();
+                } else if op.old == op.new {
+                    // line 3: trivial success.
+                    let me = &mut procs2[i];
+                    me.op_index += 1;
+                    me.pc = Pc::Line1;
+                    history.push(Completed {
+                        proc: ProcId::new(i),
+                        op: Op::Cas {
+                            old: op.old,
+                            new: op.new,
+                        },
+                        ret: Ret::Bool(true),
+                        invoked: clock,
+                        returned: clock,
+                    });
+                    explore(word, initial, tag_modulus, &procs2, history, clock + 1, result);
+                    history.pop();
+                } else {
+                    procs2[i].pc = Pc::Line5 { oldword };
+                    explore(word, initial, tag_modulus, &procs2, history, clock + 1, result);
+                }
+            }
+            Pc::Line5 { oldword } => {
+                // Line 5: RLL — an atomic read plus reservation.
+                if word != oldword {
+                    step(word, Pc::Done(false), p.spurious_budget, history, result);
+                } else {
+                    step(word, Pc::Line6 { oldword }, p.spurious_budget, history, result);
+                }
+            }
+            Pc::Line6 { oldword } => {
+                // Line 6: RSC. The reservation stands iff the word is
+                // still exactly `oldword` (the simulator's CAS-based RSC);
+                // the adversary may additionally fail it spuriously.
+                if word == oldword {
+                    // Success branch.
+                    let new_word = Word {
+                        tag: (oldword.tag + 1) % tag_modulus,
+                        val: op.new,
+                    };
+                    step(new_word, Pc::Done(true), p.spurious_budget, history, result);
+                    // Spurious-failure branch (back to line 5).
+                    if p.spurious_budget > 0 {
+                        step(
+                            word,
+                            Pc::Line5 { oldword },
+                            p.spurious_budget - 1,
+                            history,
+                            result,
+                        );
+                    }
+                } else {
+                    // Conflict: RSC fails, loop back to line 5 (which will
+                    // observe the change and return false).
+                    step(word, Pc::Line5 { oldword }, p.spurious_budget, history, result);
+                }
+            }
+            Pc::Done(_) => unreachable!("Done is consumed by step()"),
+        }
+    }
+
+    if !any_active {
+        // Every program finished: one complete execution.
+        result.executions += 1;
+        if !is_linearizable(CasSpec::new(initial), history) {
+            result.violation = Some(history.clone());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: LL/VL/SC step machine.
+// ---------------------------------------------------------------------------
+
+/// One operation of a process's Figure-5 program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LlScOp {
+    /// Load-linked (one atomic read; stores the word in the private keep).
+    Ll,
+    /// Validate (one atomic read compared with the keep).
+    Vl,
+    /// Store-conditional of the value (the paper's RLL/RSC retry loop).
+    Sc(u64),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pc5 {
+    /// Next op starts here (Ll and Vl are single-step).
+    Start,
+    /// Inside Sc: about to RLL.
+    ScRll,
+    /// Inside Sc: reservation armed, about to RSC.
+    ScRsc,
+}
+
+#[derive(Clone, Debug)]
+struct Proc5 {
+    program: Vec<LlScOp>,
+    op_index: usize,
+    pc: Pc5,
+    /// The private keep word (written by Ll).
+    keep: Option<Word>,
+    spurious_budget: u32,
+    invoked_at: u64,
+}
+
+/// Exhaustively checks Figure 5's LL/VL/SC over all interleavings.
+///
+/// Same parameters as [`check_figure3`]. The specification is Figure 2's
+/// LL/VL/SC semantics ([`LlScSpec`](crate::spec::LlScSpec)): an SC must
+/// fail after **any** intervening successful SC — which is exactly what a
+/// wrapped tag can violate.
+///
+/// # Panics
+///
+/// Panics if more than 64 operations are supplied in total or
+/// `tag_modulus` is zero.
+#[must_use]
+pub fn check_figure5(
+    programs: Vec<Vec<LlScOp>>,
+    initial: u64,
+    tag_modulus: u64,
+    spurious_budget: u32,
+) -> ModelResult {
+    assert!(tag_modulus > 0, "tag modulus must be positive");
+    let total_ops: usize = programs.iter().map(Vec::len).sum();
+    assert!(total_ops <= 64, "too many operations for the checker");
+    let n = programs.len();
+    let procs: Vec<Proc5> = programs
+        .into_iter()
+        .map(|program| Proc5 {
+            program,
+            op_index: 0,
+            pc: Pc5::Start,
+            keep: None,
+            spurious_budget,
+            invoked_at: 0,
+        })
+        .collect();
+    let mut result = ModelResult {
+        executions: 0,
+        violation: None,
+    };
+    let mut history: Vec<Completed> = Vec::new();
+    explore5(
+        Word {
+            tag: 0,
+            val: initial,
+        },
+        initial,
+        n,
+        tag_modulus,
+        &procs,
+        &mut history,
+        0,
+        &mut result,
+    );
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore5(
+    word: Word,
+    initial: u64,
+    n: usize,
+    tag_modulus: u64,
+    procs: &[Proc5],
+    history: &mut Vec<Completed>,
+    clock: u64,
+    result: &mut ModelResult,
+) {
+    if result.violation.is_some() {
+        return;
+    }
+    let mut any_active = false;
+    for (i, p) in procs.iter().enumerate() {
+        let Some(&op) = p.program.get(p.op_index) else {
+            continue;
+        };
+        any_active = true;
+        let finish = |new_word: Word,
+                          recorded: Op,
+                          ret: Ret,
+                          invoked: u64,
+                          keep: Option<Word>,
+                          history: &mut Vec<Completed>,
+                          result: &mut ModelResult| {
+            let mut procs2 = procs.to_vec();
+            let me = &mut procs2[i];
+            me.op_index += 1;
+            me.pc = Pc5::Start;
+            me.keep = keep;
+            history.push(Completed {
+                proc: ProcId::new(i),
+                op: recorded,
+                ret,
+                invoked,
+                returned: clock,
+            });
+            explore5(
+                new_word, initial, n, tag_modulus, &procs2, history, clock + 1, result,
+            );
+            history.pop();
+        };
+        let goto = |new_pc: Pc5,
+                        new_budget: u32,
+                        invoked: u64,
+                        history: &mut Vec<Completed>,
+                        result: &mut ModelResult| {
+            let mut procs2 = procs.to_vec();
+            let me = &mut procs2[i];
+            me.pc = new_pc;
+            me.spurious_budget = new_budget;
+            me.invoked_at = invoked;
+            explore5(
+                word, initial, n, tag_modulus, &procs2, history, clock + 1, result,
+            );
+        };
+
+        match (p.pc, op) {
+            (Pc5::Start, LlScOp::Ll) => {
+                finish(
+                    word,
+                    Op::Ll,
+                    Ret::Value(word.val),
+                    clock,
+                    Some(word),
+                    history,
+                    result,
+                );
+            }
+            (Pc5::Start, LlScOp::Vl) => {
+                let ok = p.keep == Some(word);
+                finish(word, Op::Vl, Ret::Bool(ok), clock, p.keep, history, result);
+            }
+            (Pc5::Start, LlScOp::Sc(_)) => {
+                goto(Pc5::ScRll, p.spurious_budget, clock, history, result);
+            }
+            (Pc5::ScRll, LlScOp::Sc(v)) => {
+                if p.keep == Some(word) {
+                    goto(Pc5::ScRsc, p.spurious_budget, p.invoked_at, history, result);
+                } else {
+                    finish(
+                        word,
+                        Op::Sc(v),
+                        Ret::Bool(false),
+                        p.invoked_at,
+                        p.keep,
+                        history,
+                        result,
+                    );
+                }
+            }
+            (Pc5::ScRsc, LlScOp::Sc(v)) => {
+                if p.keep == Some(word) {
+                    // RSC success branch.
+                    let keep = p.keep.expect("ScRsc requires a keep");
+                    let new_word = Word {
+                        tag: (keep.tag + 1) % tag_modulus,
+                        val: v,
+                    };
+                    finish(
+                        new_word,
+                        Op::Sc(v),
+                        Ret::Bool(true),
+                        p.invoked_at,
+                        p.keep,
+                        history,
+                        result,
+                    );
+                    // Spurious-failure branch.
+                    if p.spurious_budget > 0 {
+                        goto(
+                            Pc5::ScRll,
+                            p.spurious_budget - 1,
+                            p.invoked_at,
+                            history,
+                            result,
+                        );
+                    }
+                } else {
+                    goto(Pc5::ScRll, p.spurious_budget, p.invoked_at, history, result);
+                }
+            }
+            (Pc5::ScRll | Pc5::ScRsc, _) => unreachable!("loop states only occur inside Sc"),
+        }
+    }
+    if !any_active {
+        result.executions += 1;
+        if !is_linearizable(crate::spec::LlScSpec::new(n, initial), history) {
+            result.violation = Some(history.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn racing_cas_pair_is_linearizable_in_every_interleaving() {
+        let r = check_figure3(
+            vec![
+                vec![CasOp { old: 0, new: 1 }],
+                vec![CasOp { old: 0, new: 2 }],
+            ],
+            0,
+            1 << 16,
+            1,
+        );
+        assert!(r.holds(), "violation: {:#?}", r.violation);
+        assert!(r.executions > 10, "only {} executions", r.executions);
+    }
+
+    #[test]
+    fn aba_program_is_linearizable_with_real_tags() {
+        // p0 tries CAS(0 -> 5); p1 drives 0 -> 7 -> 0. With a working tag,
+        // all interleavings linearize.
+        let r = check_figure3(
+            vec![
+                vec![CasOp { old: 0, new: 5 }],
+                vec![CasOp { old: 0, new: 7 }, CasOp { old: 7, new: 0 }],
+            ],
+            0,
+            1 << 16,
+            1,
+        );
+        assert!(r.holds(), "violation: {:#?}", r.violation);
+        assert!(r.executions > 50);
+    }
+
+    #[test]
+    fn figure3_survives_degenerate_tags_because_cas_is_value_only() {
+        // A finding worth a test of its own: CAS semantics only constrain
+        // values, so value-ABA cannot make a *terminating* Figure-3
+        // execution non-linearizable even with the tag disabled. The tags
+        // buy wait-freedom of the retry loop (and protect the CAS-based
+        // RSC simulation), not CAS safety.
+        let r = check_figure3(
+            vec![
+                vec![CasOp { old: 0, new: 5 }],
+                vec![CasOp { old: 0, new: 7 }, CasOp { old: 7, new: 0 }],
+            ],
+            0,
+            1,
+            0,
+        );
+        assert!(r.holds(), "violation: {:#?}", r.violation);
+    }
+
+    fn aba_llsc_program() -> Vec<Vec<LlScOp>> {
+        // p0: LL … SC(5).  p1: two full LL;SC pairs driving 0 -> 7 -> 0.
+        vec![
+            vec![LlScOp::Ll, LlScOp::Sc(5)],
+            vec![LlScOp::Ll, LlScOp::Sc(7), LlScOp::Ll, LlScOp::Sc(0)],
+        ]
+    }
+
+    #[test]
+    fn figure5_degenerate_tags_are_caught() {
+        // For LL/VL/SC the spec says an SC must fail after ANY intervening
+        // successful SC. With the tag disabled (modulus 1), p1's 0 -> 7 ->
+        // 0 round trip restores the exact word and p0's SC falsely
+        // succeeds in some interleaving: the checker must find it.
+        let r = check_figure5(aba_llsc_program(), 0, 1, 0);
+        assert!(
+            !r.holds(),
+            "the ABA violation was not found in {} executions",
+            r.executions
+        );
+    }
+
+    #[test]
+    fn figure5_tag_wraparound_is_caught() {
+        // Modulus 2 also wraps within p1's two SCs (tags 0 -> 1 -> 0).
+        let r = check_figure5(aba_llsc_program(), 0, 2, 0);
+        assert!(!r.holds(), "modulus-2 wraparound not caught");
+    }
+
+    #[test]
+    fn figure5_is_linearizable_with_adequate_tags() {
+        // Modulus 3 already cannot wrap within this program; all
+        // interleavings (incl. spurious-failure branches) linearize.
+        let r = check_figure5(aba_llsc_program(), 0, 3, 1);
+        assert!(r.holds(), "violation: {:#?}", r.violation);
+        assert!(r.executions > 100);
+    }
+
+    #[test]
+    fn figure5_vl_agrees_with_spec_in_every_interleaving() {
+        let r = check_figure5(
+            vec![
+                vec![LlScOp::Ll, LlScOp::Vl, LlScOp::Sc(1), LlScOp::Vl],
+                vec![LlScOp::Ll, LlScOp::Sc(2)],
+            ],
+            0,
+            1 << 16,
+            0,
+        );
+        assert!(r.holds(), "violation: {:#?}", r.violation);
+    }
+
+    #[test]
+    fn spurious_failures_add_branches_but_not_violations() {
+        let base = check_figure3(
+            vec![
+                vec![CasOp { old: 0, new: 1 }],
+                vec![CasOp { old: 1, new: 2 }],
+            ],
+            0,
+            1 << 16,
+            0,
+        );
+        let noisy = check_figure3(
+            vec![
+                vec![CasOp { old: 0, new: 1 }],
+                vec![CasOp { old: 1, new: 2 }],
+            ],
+            0,
+            1 << 16,
+            2,
+        );
+        assert!(base.holds() && noisy.holds());
+        assert!(
+            noisy.executions > base.executions,
+            "spurious branches must grow the space: {} vs {}",
+            noisy.executions,
+            base.executions
+        );
+    }
+
+    #[test]
+    fn three_processes_exhaust_cleanly() {
+        let r = check_figure3(
+            vec![
+                vec![CasOp { old: 0, new: 1 }],
+                vec![CasOp { old: 0, new: 2 }],
+                vec![CasOp { old: 2, new: 3 }],
+            ],
+            0,
+            1 << 16,
+            0,
+        );
+        assert!(r.holds(), "violation: {:#?}", r.violation);
+        assert!(r.executions > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag modulus")]
+    fn zero_modulus_rejected() {
+        let _ = check_figure3(vec![vec![]], 0, 0, 0);
+    }
+}

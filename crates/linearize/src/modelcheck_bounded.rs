@@ -1,0 +1,428 @@
+//! Exhaustive model checking of Figure 7 (the bounded-tag feedback).
+//!
+//! Theorem 5 hinges on an arithmetic fact: with `2Nk + 1` tags per
+//! process, a per-(process, variable) counter of range `Nk + 1`, and a
+//! round-robin scan of the announce array, no (tag, cnt, pid) stamp can be
+//! reused while a sequence that observed it is still in flight. This
+//! module transliterates Figure 7 into a step machine (N = 2, k = 1, one
+//! variable) and enumerates every interleaving — and, crucially, lets the
+//! tag universe be *undersized*, demonstrating that the paper's `2Nk + 1`
+//! bound is load-bearing: with fewer tags the search finds a history where
+//! a stale SC falsely succeeds.
+
+use nbsp_memsim::ProcId;
+
+use crate::checker::is_linearizable;
+use crate::history::{Completed, Op, Ret};
+use crate::spec::LlScSpec;
+
+/// One operation of a process's Figure-7 program. The slot index selects
+/// which of the process's `k` concurrent sequences the op belongs to —
+/// slots are what let a process park one sequence while churning another,
+/// which is exactly the scenario Theorem 5's tag budget must survive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundedOp {
+    /// Load-linked in the given slot (reads, announces, re-reads).
+    Ll(usize),
+    /// Store-conditional of the value, finishing the given slot's sequence.
+    Sc(usize, u64),
+}
+
+/// The packed word: Figure 7's `wordtype`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+struct BWord {
+    tag: u64,
+    cnt: u64,
+    pid: usize,
+    val: u64,
+}
+
+const N: usize = 2;
+const K: usize = 2;
+const NK: usize = N * K;
+
+#[derive(Clone, Debug)]
+struct BShared {
+    word: BWord,
+    /// Announce array A[p][slot].
+    announce: [[BWord; K]; N],
+    /// `last[p]` for the single variable.
+    last: [u64; N],
+}
+
+/// Per-process program counter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Pc {
+    Start,
+    /// LL line 2 done (`old` read); about to announce (line 3).
+    LlAnnounce { slot: usize, old: BWord },
+    /// Announce done; about to re-read (line 4).
+    LlRecheck { slot: usize, old: BWord },
+    /// SC: about to read A[j] (line 10).
+    ScScan { slot: usize, newval: u64 },
+    /// SC: feedback done, tag chosen; about to CAS (line 15).
+    ScCas { slot: usize, newval: u64, t: u64 },
+}
+
+#[derive(Clone, Debug)]
+struct BProc {
+    op_index: usize,
+    pc: Pc,
+    /// Per-slot keep = (announced word, fail flag); None = no sequence.
+    keep: [Option<(BWord, bool)>; K],
+    /// The private tag queue, front at index 0.
+    queue: Vec<u64>,
+    /// The announce-scan index.
+    j: usize,
+    /// Clock ticket at which the current op took its first step.
+    invoked_at: u64,
+}
+
+/// Result of an exhaustive Figure-7 check.
+#[derive(Clone, Debug)]
+pub struct BoundedModelResult {
+    /// Complete executions explored.
+    pub executions: u64,
+    /// Witness history of the first violation, if any.
+    pub violation: Option<Vec<Completed>>,
+}
+
+impl BoundedModelResult {
+    /// True iff every execution was linearizable.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Exhaustively checks Figure 7 (N = 2, k = 2, one variable) over all
+/// interleavings, with a configurable tag-universe size.
+///
+/// The paper mandates `universe = 2Nk + 1 = 9`; pass a much smaller value
+/// to watch the feedback mechanism fail (with too few tags, a process that
+/// parks one slot and churns the other recreates the parked sequence's
+/// exact (tag, cnt, pid, val) word, and the parked SC falsely succeeds).
+///
+/// # Panics
+///
+/// Panics if more than 2 programs, more than 64 total ops, or a zero
+/// universe is supplied.
+#[must_use]
+pub fn check_figure7(
+    programs: Vec<Vec<BoundedOp>>,
+    initial: u64,
+    universe: u64,
+) -> BoundedModelResult {
+    assert!(programs.len() <= N, "the model is sized for two processes");
+    assert!(universe > 0, "tag universe must be non-empty");
+    let total: usize = programs.iter().map(Vec::len).sum();
+    assert!(total <= 64, "too many operations for the checker");
+    let procs: Vec<BProc> = programs
+        .iter()
+        .map(|_| BProc {
+            op_index: 0,
+            pc: Pc::Start,
+            keep: [None; K],
+            queue: (0..universe).collect(),
+            j: 0,
+            invoked_at: 0,
+        })
+        .collect();
+    let shared = BShared {
+        word: BWord {
+            val: initial,
+            ..BWord::default()
+        },
+        announce: [[BWord::default(); K]; N],
+        last: [0; N],
+    };
+    let mut result = BoundedModelResult {
+        executions: 0,
+        violation: None,
+    };
+    let mut history = Vec::new();
+    explore(
+        &shared,
+        initial,
+        &programs,
+        &procs,
+        &mut history,
+        0,
+        &mut result,
+    );
+    result
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn explore(
+    shared: &BShared,
+    initial: u64,
+    programs: &[Vec<BoundedOp>],
+    procs: &[BProc],
+    history: &mut Vec<Completed>,
+    clock: u64,
+    result: &mut BoundedModelResult,
+) {
+    if result.violation.is_some() {
+        return;
+    }
+    let mut any_active = false;
+    for (i, p) in procs.iter().enumerate() {
+        let Some(&op) = programs[i].get(p.op_index) else {
+            continue;
+        };
+        any_active = true;
+
+        let cont = |shared2: BShared,
+                    me2: BProc,
+                    event: Option<(Op, Ret, u64)>,
+                    history: &mut Vec<Completed>,
+                    result: &mut BoundedModelResult| {
+            let mut procs2 = procs.to_vec();
+            procs2[i] = me2;
+            let pushed = if let Some((rop, ret, invoked)) = event {
+                history.push(Completed {
+                    proc: ProcId::new(i),
+                    op: rop,
+                    ret,
+                    invoked,
+                    returned: clock,
+                });
+                true
+            } else {
+                false
+            };
+            explore(
+                &shared2, initial, programs, &procs2, history, clock + 1, result,
+            );
+            if pushed {
+                history.pop();
+            }
+        };
+
+        match (p.pc.clone(), op) {
+            // ----- LL: lines 1–5 -----
+            (Pc::Start, BoundedOp::Ll(slot)) => {
+                // Line 2: read the word (the slot pop is local).
+                assert!(slot < K, "slot out of range");
+                let old = shared.word;
+                let mut me2 = p.clone();
+                me2.invoked_at = clock;
+                me2.pc = Pc::LlAnnounce { slot, old };
+                cont(shared.clone(), me2, None, history, result);
+            }
+            (Pc::LlAnnounce { slot, old }, BoundedOp::Ll(_)) => {
+                // Line 3: announce the observed word in A[p][slot].
+                let mut shared2 = shared.clone();
+                shared2.announce[i][slot] = old;
+                let mut me2 = p.clone();
+                me2.pc = Pc::LlRecheck { slot, old };
+                cont(shared2, me2, None, history, result);
+            }
+            (Pc::LlRecheck { slot, old }, BoundedOp::Ll(_)) => {
+                // Line 4: re-read; fail flag set if the word moved.
+                let fail = shared.word != old;
+                let mut me2 = p.clone();
+                me2.keep[slot] = Some((old, fail));
+                me2.op_index += 1;
+                me2.pc = Pc::Start;
+                cont(
+                    shared.clone(),
+                    me2,
+                    Some((Op::Ll, Ret::Value(old.val), p.invoked_at)),
+                    history,
+                    result,
+                );
+            }
+            // ----- SC: lines 8–15 -----
+            (Pc::Start, BoundedOp::Sc(slot, v)) => {
+                assert!(slot < K, "slot out of range");
+                let Some((_, fail)) = p.keep[slot] else {
+                    // SC without LL: fails immediately (slot bookkeeping
+                    // is local). The spec's valid bit is false too.
+                    let mut me2 = p.clone();
+                    me2.op_index += 1;
+                    cont(
+                        shared.clone(),
+                        me2,
+                        Some((Op::Sc(v), Ret::Bool(false), clock)),
+                        history,
+                        result,
+                    );
+                    continue;
+                };
+                if fail {
+                    // Line 9.
+                    let mut me2 = p.clone();
+                    me2.keep[slot] = None;
+                    me2.op_index += 1;
+                    cont(
+                        shared.clone(),
+                        me2,
+                        Some((Op::Sc(v), Ret::Bool(false), clock)),
+                        history,
+                        result,
+                    );
+                } else {
+                    let mut me2 = p.clone();
+                    me2.invoked_at = clock;
+                    me2.pc = Pc::ScScan { slot, newval: v };
+                    cont(shared.clone(), me2, None, history, result);
+                }
+            }
+            (Pc::ScScan { slot, newval }, BoundedOp::Sc(..)) => {
+                // Line 10: read A[j div k][j mod k], retire the observed
+                // tag to the back of the private queue; line 11: advance
+                // j; line 12: rotate the queue to pick the new tag.
+                let observed = shared.announce[p.j / K][p.j % K].tag;
+                let mut me2 = p.clone();
+                if let Some(pos) = me2.queue.iter().position(|&t| t == observed) {
+                    let t = me2.queue.remove(pos);
+                    me2.queue.push(t);
+                }
+                me2.j = (me2.j + 1) % NK;
+                let t = me2.queue.remove(0);
+                me2.queue.push(t);
+                me2.pc = Pc::ScCas { slot, newval, t };
+                cont(shared.clone(), me2, None, history, result);
+            }
+            (Pc::ScCas { slot, newval, t }, BoundedOp::Sc(..)) => {
+                // Lines 13–14 (cnt feedback; last[p] is only ever touched
+                // by p) and line 15: the CAS.
+                let (old, _) = p.keep[slot].expect("ScCas requires a keep");
+                let mut me2 = p.clone();
+                me2.keep[slot] = None;
+                me2.op_index += 1;
+                me2.pc = Pc::Start;
+                let mut shared2 = shared.clone();
+                let cnt = (shared2.last[i] + 1) % (NK as u64 + 1);
+                shared2.last[i] = cnt;
+                let ok = shared2.word == old;
+                if ok {
+                    shared2.word = BWord {
+                        tag: t,
+                        cnt,
+                        pid: i,
+                        val: newval,
+                    };
+                }
+                cont(
+                    shared2,
+                    me2,
+                    Some((Op::Sc(newval), Ret::Bool(ok), p.invoked_at)),
+                    history,
+                    result,
+                );
+            }
+            (pc, o) => unreachable!("illegal state {pc:?} for op {o:?}"),
+        }
+    }
+    if !any_active {
+        result.executions += 1;
+        if !is_linearizable(LlScSpec::new(N, initial), history) {
+            result.violation = Some(history.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The park-and-churn torture: p0 parks a sequence in slot 0, churns
+    /// `churn` full LL;SC pairs through slot 1 (values returning to 0 each
+    /// round so the `val` field recurs; `cnt` recurs mod Nk+1 = 5; `pid`
+    /// is p0's own, so only the tag protects the parked keep), then fires
+    /// the parked SC. p1 is idle, making the run deterministic: this is a
+    /// direct probe of the tag-reuse arithmetic.
+    fn park_and_churn(churn: usize) -> Vec<Vec<BoundedOp>> {
+        let mut p0 = vec![BoundedOp::Ll(0)];
+        for round in 0..churn {
+            p0.push(BoundedOp::Ll(1));
+            let v = if round % 2 == 0 { 7 } else { 0 };
+            p0.push(BoundedOp::Sc(1, v));
+        }
+        p0.push(BoundedOp::Sc(0, 5));
+        vec![p0, vec![]]
+    }
+
+    #[test]
+    fn paper_universe_survives_park_and_churn() {
+        // 2Nk + 1 = 9 tags: however long the churn, the parked tag is
+        // re-announced into the scan's view and never reused.
+        for churn in [6usize, 10, 20] {
+            let r = check_figure7(park_and_churn(churn), 0, 9);
+            assert!(r.holds(), "churn {churn}: violation: {:#?}", r.violation);
+        }
+    }
+
+    #[test]
+    fn undersized_universe_is_caught() {
+        // With only 2 tags the (tag, cnt, pid, val) word recurs during the
+        // churn (the tag cycle and the mod-(Nk+1) counter align at churn
+        // 10 for this program) and the parked SC falsely succeeds — the
+        // paper's 2Nk + 1 bound is load-bearing. The parked SC must land
+        // on the recurrence, so scan a churn range as a scheduler would.
+        let caught = (1..=12).any(|churn| !check_figure7(park_and_churn(churn), 0, 2).holds());
+        assert!(caught, "undersized universe never caught");
+        // And the paper's universe survives the same sweep:
+        for churn in 1..=12 {
+            let r = check_figure7(park_and_churn(churn), 0, 9);
+            assert!(r.holds(), "churn {churn}: violation: {:#?}", r.violation);
+        }
+    }
+
+    #[test]
+    fn racing_processes_hold_with_paper_universe() {
+        let r = check_figure7(
+            vec![
+                vec![BoundedOp::Ll(0), BoundedOp::Sc(0, 1)],
+                vec![BoundedOp::Ll(0), BoundedOp::Sc(0, 2)],
+            ],
+            0,
+            9,
+        );
+        assert!(r.holds(), "violation: {:#?}", r.violation);
+        assert!(r.executions > 50);
+    }
+
+    #[test]
+    fn concurrent_slots_within_one_process_hold() {
+        // Figure 1(a)-style: two sequences in flight in one process, with
+        // a rival process interfering.
+        let r = check_figure7(
+            vec![
+                vec![
+                    BoundedOp::Ll(0),
+                    BoundedOp::Ll(1),
+                    BoundedOp::Sc(1, 3),
+                    BoundedOp::Sc(0, 4),
+                ],
+                vec![BoundedOp::Ll(0), BoundedOp::Sc(0, 2)],
+            ],
+            0,
+            9,
+        );
+        assert!(r.holds(), "violation: {:#?}", r.violation);
+        assert!(r.executions > 500);
+    }
+
+    #[test]
+    fn sc_without_ll_fails_everywhere() {
+        let r = check_figure7(
+            vec![
+                vec![BoundedOp::Sc(0, 9)],
+                vec![BoundedOp::Ll(0), BoundedOp::Sc(0, 1)],
+            ],
+            0,
+            9,
+        );
+        assert!(r.holds(), "violation: {:#?}", r.violation);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_universe_rejected() {
+        let _ = check_figure7(vec![vec![]], 0, 0);
+    }
+}

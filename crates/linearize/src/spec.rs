@@ -1,0 +1,200 @@
+//! Sequential specifications (the paper's Figure 2) as state machines.
+
+use nbsp_memsim::ProcId;
+
+use crate::history::{Op, Ret};
+
+/// A deterministic sequential specification: given a state and an
+/// operation by a process, produce the mandated return value and the next
+/// state.
+pub trait SeqSpec: Clone + Eq + std::hash::Hash {
+    /// The operation alphabet.
+    type Op: Clone + std::fmt::Debug;
+    /// The return-value type.
+    type Ret: Clone + PartialEq + std::fmt::Debug;
+
+    /// Applies `op` by `proc`, mutating the state and returning the result
+    /// the specification mandates.
+    fn apply(&mut self, proc: ProcId, op: &Self::Op) -> Self::Ret;
+}
+
+/// Figure 2's LL/VL/SC specification (with Read and CAS for mixed
+/// histories): a value plus per-process `valid` bits; SC succeeds iff the
+/// caller's bit is set and clears everyone's.
+///
+/// ```
+/// use nbsp_linearize::{LlScSpec, SeqSpec, Op, Ret};
+/// use nbsp_memsim::ProcId;
+///
+/// let mut s = LlScSpec::new(2, 5);
+/// assert_eq!(s.apply(ProcId::new(0), &Op::Ll), Ret::Value(5));
+/// assert_eq!(s.apply(ProcId::new(1), &Op::Ll), Ret::Value(5));
+/// assert_eq!(s.apply(ProcId::new(0), &Op::Sc(6)), Ret::Bool(true));
+/// assert_eq!(s.apply(ProcId::new(1), &Op::Sc(7)), Ret::Bool(false));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LlScSpec {
+    value: u64,
+    valid: Vec<bool>,
+}
+
+impl LlScSpec {
+    /// Creates the specification state for `n` processes with `initial`
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize, initial: u64) -> Self {
+        assert!(n > 0, "need at least one process");
+        LlScSpec {
+            value: initial,
+            valid: vec![false; n],
+        }
+    }
+
+    /// The current specification value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+impl SeqSpec for LlScSpec {
+    type Op = Op;
+    type Ret = Ret;
+
+    fn apply(&mut self, proc: ProcId, op: &Op) -> Ret {
+        let p = proc.index();
+        assert!(p < self.valid.len(), "process {proc} out of spec range");
+        match *op {
+            Op::Ll => {
+                self.valid[p] = true;
+                Ret::Value(self.value)
+            }
+            Op::Vl => Ret::Bool(self.valid[p]),
+            Op::Sc(v) => {
+                if self.valid[p] {
+                    self.value = v;
+                    self.valid.fill(false);
+                    Ret::Bool(true)
+                } else {
+                    Ret::Bool(false)
+                }
+            }
+            Op::Read => Ret::Value(self.value),
+            Op::Cas { old, new } => {
+                if self.value == old {
+                    self.value = new;
+                    Ret::Bool(true)
+                } else {
+                    Ret::Bool(false)
+                }
+            }
+        }
+    }
+}
+
+/// Figure 2's CAS specification alone: a bare value supporting `Read` and
+/// `Cas` (LL/VL/SC operations are rejected).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CasSpec {
+    value: u64,
+}
+
+impl CasSpec {
+    /// Creates the specification state with `initial` value.
+    #[must_use]
+    pub fn new(initial: u64) -> Self {
+        CasSpec { value: initial }
+    }
+
+    /// The current specification value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+impl SeqSpec for CasSpec {
+    type Op = Op;
+    type Ret = Ret;
+
+    fn apply(&mut self, _proc: ProcId, op: &Op) -> Ret {
+        match *op {
+            Op::Read => Ret::Value(self.value),
+            Op::Cas { old, new } => {
+                if self.value == old {
+                    self.value = new;
+                    Ret::Bool(true)
+                } else {
+                    Ret::Bool(false)
+                }
+            }
+            Op::Ll | Op::Vl | Op::Sc(_) => {
+                panic!("CasSpec does not model LL/VL/SC; use LlScSpec")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ll_then_sc_succeeds_once() {
+        let mut s = LlScSpec::new(1, 0);
+        assert_eq!(s.apply(ProcId::new(0), &Op::Ll), Ret::Value(0));
+        assert_eq!(s.apply(ProcId::new(0), &Op::Sc(1)), Ret::Bool(true));
+        // valid bit consumed:
+        assert_eq!(s.apply(ProcId::new(0), &Op::Sc(2)), Ret::Bool(false));
+        assert_eq!(s.value(), 1);
+    }
+
+    #[test]
+    fn vl_reflects_valid_bit() {
+        let mut s = LlScSpec::new(2, 0);
+        assert_eq!(s.apply(ProcId::new(0), &Op::Vl), Ret::Bool(false));
+        let _ = s.apply(ProcId::new(0), &Op::Ll);
+        assert_eq!(s.apply(ProcId::new(0), &Op::Vl), Ret::Bool(true));
+        let _ = s.apply(ProcId::new(1), &Op::Ll);
+        let _ = s.apply(ProcId::new(1), &Op::Sc(3));
+        assert_eq!(s.apply(ProcId::new(0), &Op::Vl), Ret::Bool(false));
+    }
+
+    #[test]
+    fn cas_does_not_clear_valid_bits() {
+        let mut s = LlScSpec::new(1, 4);
+        let _ = s.apply(ProcId::new(0), &Op::Ll);
+        assert_eq!(
+            s.apply(ProcId::new(0), &Op::Cas { old: 4, new: 5 }),
+            Ret::Bool(true)
+        );
+        assert_eq!(s.apply(ProcId::new(0), &Op::Vl), Ret::Bool(true));
+    }
+
+    #[test]
+    fn read_does_not_disturb_state() {
+        let mut s = LlScSpec::new(1, 9);
+        let _ = s.apply(ProcId::new(0), &Op::Ll);
+        assert_eq!(s.apply(ProcId::new(0), &Op::Read), Ret::Value(9));
+        assert_eq!(s.apply(ProcId::new(0), &Op::Sc(1)), Ret::Bool(true));
+    }
+
+    #[test]
+    fn cas_spec_basics() {
+        let mut s = CasSpec::new(1);
+        assert_eq!(s.apply(ProcId::new(0), &Op::Cas { old: 2, new: 3 }), Ret::Bool(false));
+        assert_eq!(s.apply(ProcId::new(0), &Op::Cas { old: 1, new: 3 }), Ret::Bool(true));
+        assert_eq!(s.apply(ProcId::new(0), &Op::Read), Ret::Value(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not model")]
+    fn cas_spec_rejects_ll() {
+        let mut s = CasSpec::new(0);
+        let _ = s.apply(ProcId::new(0), &Op::Ll);
+    }
+}

@@ -1,0 +1,276 @@
+//! Sequential specifications for the data structures in
+//! `nbsp-structures`, so whole-structure histories can be checked — not
+//! just the primitives they are built from.
+//!
+//! The paper's claim is transitive: if the emulated LL/VL/SC is
+//! linearizable, algorithms proven correct over LL/VL/SC (stacks, queues
+//! [4, 7]) stay correct. Checking the end structures directly closes the
+//! loop on *our* implementations of those algorithms too.
+
+use std::collections::VecDeque;
+
+use nbsp_memsim::ProcId;
+
+use crate::spec::SeqSpec;
+
+/// Operations on a bounded LIFO stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StackOp {
+    /// Push a value.
+    Push(u64),
+    /// Pop the top value.
+    Pop,
+}
+
+/// Return values of stack operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StackRet {
+    /// Push outcome: `true` on success, `false` when full.
+    Pushed(bool),
+    /// Pop outcome.
+    Popped(Option<u64>),
+}
+
+/// The sequential bounded stack.
+///
+/// ```
+/// use nbsp_linearize::{SeqSpec, StackOp, StackRet, StackSpec};
+/// use nbsp_memsim::ProcId;
+///
+/// let mut s = StackSpec::new(2);
+/// let p = ProcId::new(0);
+/// assert_eq!(s.apply(p, &StackOp::Push(1)), StackRet::Pushed(true));
+/// assert_eq!(s.apply(p, &StackOp::Push(2)), StackRet::Pushed(true));
+/// assert_eq!(s.apply(p, &StackOp::Push(3)), StackRet::Pushed(false)); // full
+/// assert_eq!(s.apply(p, &StackOp::Pop), StackRet::Popped(Some(2)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StackSpec {
+    items: Vec<u64>,
+    capacity: usize,
+}
+
+impl StackSpec {
+    /// An empty stack of the given capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        StackSpec {
+            items: Vec::new(),
+            capacity,
+        }
+    }
+}
+
+impl SeqSpec for StackSpec {
+    type Op = StackOp;
+    type Ret = StackRet;
+
+    fn apply(&mut self, _proc: ProcId, op: &StackOp) -> StackRet {
+        match *op {
+            StackOp::Push(v) => {
+                if self.items.len() < self.capacity {
+                    self.items.push(v);
+                    StackRet::Pushed(true)
+                } else {
+                    StackRet::Pushed(false)
+                }
+            }
+            StackOp::Pop => StackRet::Popped(self.items.pop()),
+        }
+    }
+}
+
+/// Operations on a bounded FIFO queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueueOp {
+    /// Enqueue a value at the tail.
+    Enqueue(u64),
+    /// Dequeue from the head.
+    Dequeue,
+}
+
+/// Return values of queue operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueueRet {
+    /// Enqueue outcome: `true` on success, `false` when full.
+    Enqueued(bool),
+    /// Dequeue outcome.
+    Dequeued(Option<u64>),
+}
+
+/// The sequential bounded FIFO queue.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueueSpec {
+    items: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl QueueSpec {
+    /// An empty queue of the given capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        QueueSpec {
+            items: VecDeque::new(),
+            capacity,
+        }
+    }
+}
+
+impl SeqSpec for QueueSpec {
+    type Op = QueueOp;
+    type Ret = QueueRet;
+
+    fn apply(&mut self, _proc: ProcId, op: &QueueOp) -> QueueRet {
+        match *op {
+            QueueOp::Enqueue(v) => {
+                if self.items.len() < self.capacity {
+                    self.items.push_back(v);
+                    QueueRet::Enqueued(true)
+                } else {
+                    QueueRet::Enqueued(false)
+                }
+            }
+            QueueOp::Dequeue => QueueRet::Dequeued(self.items.pop_front()),
+        }
+    }
+}
+
+/// Operations on a sorted set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SetOp {
+    /// Insert a key.
+    Add(u64),
+    /// Delete a key.
+    Remove(u64),
+    /// Membership test.
+    Contains(u64),
+}
+
+/// Return values of set operations (all booleans: changed / changed /
+/// present).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SetRet(pub bool);
+
+/// The sequential sorted set (capacity-free: the implementation's
+/// lifetime-insert budget is a resource limit, not part of the abstract
+/// state, so histories that hit it must simply avoid asserting `Add` →
+/// `true` there — the test harness sizes arenas to never fill).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct SetSpec {
+    items: std::collections::BTreeSet<u64>,
+}
+
+impl SetSpec {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        SetSpec::default()
+    }
+}
+
+impl SeqSpec for SetSpec {
+    type Op = SetOp;
+    type Ret = SetRet;
+
+    fn apply(&mut self, _proc: ProcId, op: &SetOp) -> SetRet {
+        SetRet(match *op {
+            SetOp::Add(k) => self.items.insert(k),
+            SetOp::Remove(k) => self.items.remove(&k),
+            SetOp::Contains(k) => self.items.contains(&k),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::is_linearizable;
+    use crate::history::Completed;
+
+    fn p0() -> ProcId {
+        ProcId::new(0)
+    }
+
+    #[test]
+    fn stack_lifo_discipline() {
+        let mut s = StackSpec::new(8);
+        for v in [1, 2, 3] {
+            assert_eq!(s.apply(p0(), &StackOp::Push(v)), StackRet::Pushed(true));
+        }
+        assert_eq!(s.apply(p0(), &StackOp::Pop), StackRet::Popped(Some(3)));
+        assert_eq!(s.apply(p0(), &StackOp::Pop), StackRet::Popped(Some(2)));
+        assert_eq!(s.apply(p0(), &StackOp::Pop), StackRet::Popped(Some(1)));
+        assert_eq!(s.apply(p0(), &StackOp::Pop), StackRet::Popped(None));
+    }
+
+    #[test]
+    fn queue_fifo_discipline() {
+        let mut q = QueueSpec::new(2);
+        assert_eq!(q.apply(p0(), &QueueOp::Enqueue(1)), QueueRet::Enqueued(true));
+        assert_eq!(q.apply(p0(), &QueueOp::Enqueue(2)), QueueRet::Enqueued(true));
+        assert_eq!(q.apply(p0(), &QueueOp::Enqueue(3)), QueueRet::Enqueued(false));
+        assert_eq!(q.apply(p0(), &QueueOp::Dequeue), QueueRet::Dequeued(Some(1)));
+        assert_eq!(q.apply(p0(), &QueueOp::Dequeue), QueueRet::Dequeued(Some(2)));
+        assert_eq!(q.apply(p0(), &QueueOp::Dequeue), QueueRet::Dequeued(None));
+    }
+
+    #[test]
+    fn checker_works_on_stack_histories() {
+        let ev = |p: usize, op, ret, inv, rt| Completed {
+            proc: ProcId::new(p),
+            op,
+            ret,
+            invoked: inv,
+            returned: rt,
+        };
+        // Overlapping pushes, then two pops: any pop order matching some
+        // interleaving is fine…
+        let h = vec![
+            ev(0, StackOp::Push(1), StackRet::Pushed(true), 0, 5),
+            ev(1, StackOp::Push(2), StackRet::Pushed(true), 1, 6),
+            ev(0, StackOp::Pop, StackRet::Popped(Some(1)), 7, 8),
+            ev(1, StackOp::Pop, StackRet::Popped(Some(2)), 9, 10),
+        ];
+        assert!(is_linearizable(StackSpec::new(4), &h));
+        // …but popping a value twice is not.
+        let h = vec![
+            ev(0, StackOp::Push(1), StackRet::Pushed(true), 0, 1),
+            ev(0, StackOp::Pop, StackRet::Popped(Some(1)), 2, 3),
+            ev(1, StackOp::Pop, StackRet::Popped(Some(1)), 4, 5),
+        ];
+        assert!(!is_linearizable(StackSpec::new(4), &h));
+    }
+
+    #[test]
+    fn set_spec_semantics() {
+        let mut s = SetSpec::new();
+        assert_eq!(s.apply(p0(), &SetOp::Add(3)), SetRet(true));
+        assert_eq!(s.apply(p0(), &SetOp::Add(3)), SetRet(false));
+        assert_eq!(s.apply(p0(), &SetOp::Contains(3)), SetRet(true));
+        assert_eq!(s.apply(p0(), &SetOp::Remove(3)), SetRet(true));
+        assert_eq!(s.apply(p0(), &SetOp::Remove(3)), SetRet(false));
+        assert_eq!(s.apply(p0(), &SetOp::Contains(3)), SetRet(false));
+    }
+
+    #[test]
+    fn checker_works_on_queue_histories() {
+        let ev = |p: usize, op, ret, inv, rt| Completed {
+            proc: ProcId::new(p),
+            op,
+            ret,
+            invoked: inv,
+            returned: rt,
+        };
+        // FIFO violation: second-enqueued value dequeued first while the
+        // enqueues were strictly ordered.
+        let h = vec![
+            ev(0, QueueOp::Enqueue(1), QueueRet::Enqueued(true), 0, 1),
+            ev(0, QueueOp::Enqueue(2), QueueRet::Enqueued(true), 2, 3),
+            ev(1, QueueOp::Dequeue, QueueRet::Dequeued(Some(2)), 4, 5),
+        ];
+        assert!(!is_linearizable(QueueSpec::new(4), &h));
+        let mut ok = h;
+        ok[2].ret = QueueRet::Dequeued(Some(1));
+        assert!(is_linearizable(QueueSpec::new(4), &ok));
+    }
+}

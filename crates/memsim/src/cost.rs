@@ -1,0 +1,128 @@
+//! A simple per-instruction cycle-cost model.
+//!
+//! The paper's complexity claims are stated in *steps*; real 1997 machines
+//! priced those steps very differently (an R4000 `SC` costs far more than
+//! a cached load, and interconnect traffic dominates). [`CostModel`]
+//! assigns a weight to each simulated instruction so experiments can
+//! report machine-flavoured "simulated cycles" instead of raw step counts,
+//! and so the weights themselves can be varied to ask questions like
+//! Michael & Scott's (the paper's [11]): *how does the CAS/LL-SC cost
+//! ratio change which construction wins?*
+
+use crate::ProcStats;
+
+/// Cycle weights per simulated instruction.
+///
+/// ```
+/// use nbsp_memsim::{CostModel, ProcStats};
+///
+/// let stats = ProcStats {
+///     reads: 10,
+///     rll: 5,
+///     rsc_attempts: 5,
+///     ..ProcStats::default()
+/// };
+/// let cycles = CostModel::default().cycles(&stats);
+/// assert_eq!(cycles, 10 * 1 + 5 * 2 + 5 * 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of a plain load.
+    pub read: u64,
+    /// Cost of a plain store.
+    pub write: u64,
+    /// Cost of a CAS attempt (success or failure).
+    pub cas: u64,
+    /// Cost of an RLL.
+    pub rll: u64,
+    /// Cost of an RSC attempt (success or failure).
+    pub rsc: u64,
+}
+
+impl Default for CostModel {
+    /// A deliberately coarse 1990s-flavoured default: loads and stores one
+    /// cycle, reservation instructions two to three (they interact with
+    /// the cache-coherence machinery), CAS three (a read-modify-write bus
+    /// transaction).
+    fn default() -> Self {
+        CostModel {
+            read: 1,
+            write: 1,
+            cas: 3,
+            rll: 2,
+            rsc: 3,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model where every instruction costs one cycle (pure step counts —
+    /// the paper's own measure).
+    #[must_use]
+    pub const fn uniform() -> Self {
+        CostModel {
+            read: 1,
+            write: 1,
+            cas: 1,
+            rll: 1,
+            rsc: 1,
+        }
+    }
+
+    /// Total simulated cycles for a stats snapshot.
+    #[must_use]
+    pub fn cycles(&self, stats: &ProcStats) -> u64 {
+        stats.reads * self.read
+            + stats.writes * self.write
+            + stats.cas_attempts * self.cas
+            + stats.rll * self.rll
+            + stats.rsc_attempts * self.rsc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ProcStats {
+        ProcStats {
+            reads: 2,
+            writes: 3,
+            cas_attempts: 5,
+            rll: 7,
+            rsc_attempts: 11,
+            ..ProcStats::default()
+        }
+    }
+
+    #[test]
+    fn uniform_model_counts_steps() {
+        assert_eq!(
+            CostModel::uniform().cycles(&stats()),
+            stats().total_instructions()
+        );
+    }
+
+    #[test]
+    fn default_model_weights_instructions() {
+        let c = CostModel::default().cycles(&stats());
+        assert_eq!(c, 2 + 3 + 15 + 14 + 33);
+    }
+
+    #[test]
+    fn custom_model() {
+        let m = CostModel {
+            read: 1,
+            write: 2,
+            cas: 10,
+            rll: 1,
+            rsc: 1,
+        };
+        assert_eq!(m.cycles(&stats()), 2 + 6 + 50 + 7 + 11);
+    }
+
+    #[test]
+    fn zero_stats_cost_nothing() {
+        assert_eq!(CostModel::default().cycles(&ProcStats::default()), 0);
+    }
+}

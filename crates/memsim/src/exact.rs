@@ -1,0 +1,238 @@
+//! Exact-semantics oracle model of RLL/RSC.
+//!
+//! The production model in [`crate::Processor`] implements RSC as a
+//! compare-exchange on the value observed by RLL, which can succeed after an
+//! A→B→A sequence of writes where true hardware RSC would fail. Every
+//! algorithm in the paper defeats ABA with tags, so the difference is
+//! unobservable *for those algorithms* — but that is a claim worth testing
+//! rather than assuming.
+//!
+//! This module provides [`ExactWord`]: a word paired with a monotone version
+//! counter, updated under a (test-only) lock so that RSC fails on **any**
+//! intervening successful write, even one that restores the observed value.
+//! Differential tests run the same algorithm against both models and compare
+//! outcomes. The oracle is lock-based and therefore never used in benchmarks
+//! or claimed to be non-blocking.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use crate::ProcId;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Versioned {
+    version: u64,
+    value: u64,
+}
+
+/// A simulated memory word with true write-detection RSC semantics.
+///
+/// ```
+/// use nbsp_memsim::exact::{ExactProc, ExactWord};
+/// use nbsp_memsim::ProcId;
+///
+/// let w = ExactWord::new(7);
+/// let mut p = ExactProc::new(ProcId::new(0));
+/// let v = p.rll(&w);
+/// // Another "processor" writes the *same* value back:
+/// w.write(7);
+/// // True RSC still fails — the version changed.
+/// assert!(!p.rsc(&w, v + 1));
+/// assert_eq!(w.read(), 7);
+/// ```
+pub struct ExactWord {
+    cell: Mutex<Versioned>,
+}
+
+impl ExactWord {
+    /// Creates a word holding `value` at version 0.
+    #[must_use]
+    pub fn new(value: u64) -> Self {
+        ExactWord {
+            cell: Mutex::new(Versioned { version: 0, value }),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const ExactWord as usize
+    }
+
+    /// Reads the current value.
+    #[must_use]
+    pub fn read(&self) -> u64 {
+        self.cell.lock().value
+    }
+
+    /// Writes `value`, bumping the version (so outstanding reservations on
+    /// this word will fail their RSC even if `value` equals the old value).
+    pub fn write(&self, value: u64) {
+        let mut g = self.cell.lock();
+        g.version += 1;
+        g.value = value;
+    }
+
+    /// Atomic compare-and-swap on the value; bumps the version on success.
+    #[must_use]
+    pub fn cas(&self, old: u64, new: u64) -> bool {
+        let mut g = self.cell.lock();
+        if g.value == old {
+            g.version += 1;
+            g.value = new;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn snapshot(&self) -> Versioned {
+        *self.cell.lock()
+    }
+
+    fn store_if_version(&self, version: u64, new: u64) -> bool {
+        let mut g = self.cell.lock();
+        if g.version == version {
+            g.version += 1;
+            g.value = new;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Default for ExactWord {
+    fn default() -> Self {
+        ExactWord::new(0)
+    }
+}
+
+impl fmt::Debug for ExactWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.snapshot();
+        write!(f, "ExactWord(value = {:#x}, version = {})", v.value, v.version)
+    }
+}
+
+/// Per-processor state for the exact model: one reservation, like the
+/// hardware `LLBit`.
+#[derive(Debug)]
+pub struct ExactProc {
+    id: ProcId,
+    reservation: Option<(usize, u64)>, // (addr, version)
+}
+
+impl ExactProc {
+    /// Creates processor-private exact-model state.
+    #[must_use]
+    pub fn new(id: ProcId) -> Self {
+        ExactProc {
+            id,
+            reservation: None,
+        }
+    }
+
+    /// This processor's identifier.
+    #[must_use]
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Load-linked with exact semantics: records the word's version.
+    pub fn rll(&mut self, w: &ExactWord) -> u64 {
+        let snap = w.snapshot();
+        self.reservation = Some((w.addr(), snap.version));
+        snap.value
+    }
+
+    /// Store-conditional with exact semantics: succeeds iff **no** write of
+    /// any kind has hit the word since this processor's `rll`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outstanding reservation names a different word.
+    pub fn rsc(&mut self, w: &ExactWord, new: u64) -> bool {
+        let Some((addr, version)) = self.reservation.take() else {
+            return false;
+        };
+        assert_eq!(addr, w.addr(), "exact RSC on a different word than RLL");
+        w.store_if_version(version, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsc_succeeds_without_interference() {
+        let w = ExactWord::new(1);
+        let mut p = ExactProc::new(ProcId::new(0));
+        let v = p.rll(&w);
+        assert!(p.rsc(&w, v + 1));
+        assert_eq!(w.read(), 2);
+    }
+
+    #[test]
+    fn rsc_fails_on_aba() {
+        // The defining difference from the CAS-based model.
+        let w = ExactWord::new(1);
+        let mut p = ExactProc::new(ProcId::new(0));
+        let _ = p.rll(&w);
+        w.write(2);
+        w.write(1); // back to the observed value
+        assert!(!p.rsc(&w, 3));
+        assert_eq!(w.read(), 1);
+    }
+
+    #[test]
+    fn rsc_fails_on_same_value_rewrite() {
+        let w = ExactWord::new(5);
+        let mut p = ExactProc::new(ProcId::new(0));
+        let _ = p.rll(&w);
+        w.write(5);
+        assert!(!p.rsc(&w, 6));
+    }
+
+    #[test]
+    fn rsc_without_reservation_fails() {
+        let w = ExactWord::new(0);
+        let mut p = ExactProc::new(ProcId::new(0));
+        assert!(!p.rsc(&w, 1));
+    }
+
+    #[test]
+    fn reservation_is_consumed() {
+        let w = ExactWord::new(0);
+        let mut p = ExactProc::new(ProcId::new(0));
+        let v = p.rll(&w);
+        assert!(p.rsc(&w, v + 1));
+        assert!(!p.rsc(&w, v + 2)); // spent
+    }
+
+    #[test]
+    fn cas_bumps_version() {
+        let w = ExactWord::new(3);
+        let mut p = ExactProc::new(ProcId::new(0));
+        let _ = p.rll(&w);
+        assert!(w.cas(3, 4));
+        assert!(w.cas(4, 3)); // ABA via CAS
+        assert!(!p.rsc(&w, 9));
+    }
+
+    #[test]
+    fn failed_cas_does_not_bump_version() {
+        let w = ExactWord::new(3);
+        let mut p = ExactProc::new(ProcId::new(0));
+        let v = p.rll(&w);
+        assert!(!w.cas(99, 4));
+        assert!(p.rsc(&w, v + 1));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let w = ExactWord::new(255);
+        let s = format!("{w:?}");
+        assert!(s.contains("0xff"));
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Identifier of a simulated processor / process, in `0..N`.
+///
+/// The paper's algorithms are written "for process *p*" and index shared
+/// announce arrays by process identifier; `ProcId` makes that identifier an
+/// explicit type rather than a bare integer.
+///
+/// ```
+/// use nbsp_memsim::ProcId;
+/// let p = ProcId::new(3);
+/// assert_eq!(p.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(usize);
+
+impl ProcId {
+    /// Creates a process identifier from a raw index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        ProcId(index)
+    }
+
+    /// Returns the raw index in `0..N`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProcId({})", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<ProcId> for usize {
+    fn from(p: ProcId) -> usize {
+        p.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        for i in [0usize, 1, 7, 63, usize::MAX] {
+            assert_eq!(ProcId::new(i).index(), i);
+            assert_eq!(usize::from(ProcId::new(i)), i);
+        }
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let p = ProcId::new(2);
+        assert_eq!(format!("{p}"), "p2");
+        assert_eq!(format!("{p:?}"), "ProcId(2)");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcId::new(1) < ProcId::new(2));
+        assert_eq!(ProcId::new(5), ProcId::new(5));
+    }
+}

@@ -1,0 +1,153 @@
+/// Policy for injecting *spurious* RSC failures.
+///
+/// The paper (Section 1) lists, among the restrictions of hardware LL/SC,
+/// that "RSC may occasionally fail when the normal semantics of LL/SC dictate
+/// that it should succeed" — e.g. the MIPS R4000 clears its `LLBit` on any
+/// cache invalidation. The paper's wait-freedom results are conditional on
+/// *finitely many* spurious failures per operation, and its time bounds are
+/// measured "after the last spurious failure". This type lets experiments
+/// dial the adversary.
+///
+/// All modes are deterministic given the machine seed, so failing tests
+/// reproduce exactly.
+///
+/// ```
+/// use nbsp_memsim::{Machine, SimWord, SpuriousMode};
+///
+/// // An adversary that fails the first 3 RSCs of each processor, then relents:
+/// // the paper's "finitely many spurious failures" assumption made concrete.
+/// let m = Machine::builder(1)
+///     .spurious(SpuriousMode::Budget { per_proc: 3 })
+///     .build();
+/// let p = m.processor(0);
+/// let w = SimWord::new(0);
+/// let mut attempts = 0;
+/// loop {
+///     let v = p.rll(&w);
+///     attempts += 1;
+///     if p.rsc(&w, v + 1) {
+///         break;
+///     }
+/// }
+/// assert_eq!(attempts, 4); // 3 spurious failures, then success
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Default)]
+pub enum SpuriousMode {
+    /// RSC never fails spuriously (idealised hardware).
+    #[default]
+    Never,
+    /// Each RSC attempt fails spuriously with probability `p`
+    /// (deterministically seeded per processor). Models background
+    /// cache-invalidation traffic.
+    Probability {
+        /// Failure probability in `[0, 1)`.
+        p: f64,
+    },
+    /// The first `per_proc` RSC attempts of every processor fail spuriously;
+    /// all later attempts are honest. This is the strongest adversary under
+    /// which the paper's operations must still terminate.
+    Budget {
+        /// Number of initial RSC attempts to fail, per processor.
+        per_proc: u64,
+    },
+    /// Every `n`-th RSC attempt of a processor fails spuriously
+    /// (attempts are counted from 1; `n = 0` behaves like [`SpuriousMode::Never`]).
+    EveryNth {
+        /// Period of injected failures.
+        n: u64,
+    },
+}
+
+
+impl SpuriousMode {
+    /// Decides whether the `attempt`-th RSC (1-based, per processor) fails
+    /// spuriously. `random` is a uniformly distributed `u64` drawn from the
+    /// processor's seeded generator.
+    pub(crate) fn should_fail(self, attempt: u64, random: u64) -> bool {
+        match self {
+            SpuriousMode::Never => false,
+            SpuriousMode::Probability { p } => {
+                if p <= 0.0 {
+                    false
+                } else if p >= 1.0 {
+                    true
+                } else {
+                    // Map the u64 to [0,1): 53 bits of mantissa is plenty.
+                    let unit = (random >> 11) as f64 / (1u64 << 53) as f64;
+                    unit < p
+                }
+            }
+            SpuriousMode::Budget { per_proc } => attempt <= per_proc,
+            SpuriousMode::EveryNth { n } => n != 0 && attempt.is_multiple_of(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_never_fails() {
+        for a in 1..100 {
+            assert!(!SpuriousMode::Never.should_fail(a, a.wrapping_mul(0x9e37)));
+        }
+    }
+
+    #[test]
+    fn budget_fails_exactly_first_k() {
+        let m = SpuriousMode::Budget { per_proc: 5 };
+        for a in 1..=5 {
+            assert!(m.should_fail(a, 0));
+        }
+        for a in 6..50 {
+            assert!(!m.should_fail(a, 0));
+        }
+    }
+
+    #[test]
+    fn every_nth_periodic() {
+        let m = SpuriousMode::EveryNth { n: 3 };
+        let fails: Vec<bool> = (1..=9).map(|a| m.should_fail(a, 0)).collect();
+        assert_eq!(
+            fails,
+            [false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn every_zeroth_is_never() {
+        let m = SpuriousMode::EveryNth { n: 0 };
+        assert!((1..100).all(|a| !m.should_fail(a, a)));
+    }
+
+    #[test]
+    fn probability_extremes() {
+        assert!(!SpuriousMode::Probability { p: 0.0 }.should_fail(1, u64::MAX));
+        assert!(SpuriousMode::Probability { p: 1.0 }.should_fail(1, 0));
+    }
+
+    #[test]
+    fn probability_is_roughly_calibrated() {
+        // With a crude LCG as the random source, p = 0.25 should fail about a
+        // quarter of attempts.
+        let m = SpuriousMode::Probability { p: 0.25 };
+        let mut x: u64 = 0x853c49e6748fea9b;
+        let mut fails = 0;
+        let trials = 100_000;
+        for a in 0..trials {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if m.should_fail(a + 1, x) {
+                fails += 1;
+            }
+        }
+        let rate = fails as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn default_is_never() {
+        assert_eq!(SpuriousMode::default(), SpuriousMode::Never);
+    }
+}

@@ -1,0 +1,123 @@
+use std::ops::Add;
+
+/// Snapshot of one processor's instruction counts.
+///
+/// Experiments E1 and E4 (see `EXPERIMENTS.md`) use these to report retries
+/// per operation and the split between *spurious* RSC failures (injected by
+/// the [`SpuriousMode`](crate::SpuriousMode) adversary) and *conflict*
+/// failures (another processor really did write the word).
+///
+/// ```
+/// use nbsp_memsim::{Machine, SimWord};
+/// let m = Machine::builder(1).build();
+/// let p = m.processor(0);
+/// let w = SimWord::new(0);
+/// let v = p.rll(&w);
+/// assert!(p.rsc(&w, v + 1));
+/// let s = p.stats();
+/// assert_eq!(s.rll, 1);
+/// assert_eq!(s.rsc_success, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Plain word reads.
+    pub reads: u64,
+    /// Plain word writes.
+    pub writes: u64,
+    /// CAS attempts.
+    pub cas_attempts: u64,
+    /// CAS attempts that succeeded.
+    pub cas_success: u64,
+    /// RLL instructions executed.
+    pub rll: u64,
+    /// RSC instructions executed.
+    pub rsc_attempts: u64,
+    /// RSC instructions that succeeded.
+    pub rsc_success: u64,
+    /// RSC failures injected by the spurious-failure adversary.
+    pub rsc_spurious: u64,
+    /// RSC failures caused by a real intervening write.
+    pub rsc_conflict: u64,
+    /// Reservations invalidated by an intervening access from the *same*
+    /// processor (the paper's restriction #1 being exercised).
+    pub reservations_invalidated: u64,
+}
+
+impl ProcStats {
+    /// Total RSC failures of both kinds.
+    #[must_use]
+    pub fn rsc_failures(&self) -> u64 {
+        self.rsc_spurious + self.rsc_conflict
+    }
+
+    /// Total simulated memory instructions of any kind.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.reads + self.writes + self.cas_attempts + self.rll + self.rsc_attempts
+    }
+}
+
+impl Add for ProcStats {
+    type Output = ProcStats;
+
+    fn add(self, rhs: ProcStats) -> ProcStats {
+        ProcStats {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            cas_attempts: self.cas_attempts + rhs.cas_attempts,
+            cas_success: self.cas_success + rhs.cas_success,
+            rll: self.rll + rhs.rll,
+            rsc_attempts: self.rsc_attempts + rhs.rsc_attempts,
+            rsc_success: self.rsc_success + rhs.rsc_success,
+            rsc_spurious: self.rsc_spurious + rhs.rsc_spurious,
+            rsc_conflict: self.rsc_conflict + rhs.rsc_conflict,
+            reservations_invalidated: self.reservations_invalidated
+                + rhs.reservations_invalidated,
+        }
+    }
+}
+
+impl std::iter::Sum for ProcStats {
+    fn sum<I: Iterator<Item = ProcStats>>(iter: I) -> ProcStats {
+        iter.fold(ProcStats::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(k: u64) -> ProcStats {
+        ProcStats {
+            reads: k,
+            writes: 2 * k,
+            cas_attempts: 3 * k,
+            cas_success: k,
+            rll: 4 * k,
+            rsc_attempts: 4 * k,
+            rsc_success: 2 * k,
+            rsc_spurious: k,
+            rsc_conflict: k,
+            reservations_invalidated: k,
+        }
+    }
+
+    #[test]
+    fn add_is_fieldwise() {
+        let s = sample(1) + sample(2);
+        assert_eq!(s, sample(3));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: ProcStats = (1..=4).map(sample).sum();
+        assert_eq!(total, sample(10));
+    }
+
+    #[test]
+    fn derived_totals() {
+        let s = sample(2);
+        assert_eq!(s.rsc_failures(), 4);
+        assert_eq!(s.total_instructions(), 2 + 4 + 6 + 8 + 8);
+    }
+}

@@ -1,0 +1,198 @@
+//! Optional per-processor instruction tracing.
+//!
+//! Debugging a non-blocking algorithm usually means asking "what did this
+//! processor *actually* execute around the failure?". With tracing enabled
+//! (see [`MachineBuilder::trace_depth`](crate::MachineBuilder::trace_depth)),
+//! each processor keeps a ring buffer of its last simulated instructions —
+//! addresses, values, and RSC outcomes — retrievable with
+//! [`Processor::trace`](crate::Processor::trace).
+//!
+//! Tracing is per-processor private state (no synchronization) and is off
+//! by default.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Why an RSC failed (or that it succeeded).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RscOutcome {
+    /// The store landed.
+    Success,
+    /// Failed due to the injected spurious-failure adversary.
+    Spurious,
+    /// Failed because the word changed (or the reservation was
+    /// invalidated by an intervening access).
+    Conflict,
+}
+
+/// One traced instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A plain load and the value observed.
+    Read {
+        /// Value loaded.
+        value: u64,
+    },
+    /// A plain store.
+    Write {
+        /// Value stored.
+        value: u64,
+    },
+    /// A CAS attempt.
+    Cas {
+        /// Expected value.
+        old: u64,
+        /// Replacement value.
+        new: u64,
+        /// Whether it succeeded.
+        ok: bool,
+    },
+    /// An RLL and the value observed.
+    Rll {
+        /// Value loaded (and reserved against).
+        value: u64,
+    },
+    /// An RSC attempt.
+    Rsc {
+        /// Value the store attempted to install.
+        new: u64,
+        /// What happened.
+        outcome: RscOutcome,
+    },
+}
+
+/// A traced instruction with its per-processor sequence number and the
+/// address of the word it touched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Per-processor instruction sequence number (monotone).
+    pub seq: u64,
+    /// Address of the accessed word (the `SimWord`'s location).
+    pub addr: usize,
+    /// What was executed.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TraceKind::Read { value } => {
+                write!(f, "[{}] read  {:#x} -> {value:#x}", self.seq, self.addr)
+            }
+            TraceKind::Write { value } => {
+                write!(f, "[{}] write {:#x} := {value:#x}", self.seq, self.addr)
+            }
+            TraceKind::Cas { old, new, ok } => write!(
+                f,
+                "[{}] cas   {:#x} {old:#x} -> {new:#x} : {}",
+                self.seq,
+                self.addr,
+                if ok { "ok" } else { "failed" }
+            ),
+            TraceKind::Rll { value } => {
+                write!(f, "[{}] rll   {:#x} -> {value:#x}", self.seq, self.addr)
+            }
+            TraceKind::Rsc { new, outcome } => write!(
+                f,
+                "[{}] rsc   {:#x} := {new:#x} : {outcome:?}",
+                self.seq, self.addr
+            ),
+        }
+    }
+}
+
+/// A bounded ring of [`TraceEvent`]s.
+#[derive(Debug, Default)]
+pub(crate) struct TraceRing {
+    depth: usize,
+    next_seq: u64,
+    events: VecDeque<TraceEvent>,
+}
+
+impl TraceRing {
+    pub(crate) fn new(depth: usize) -> Self {
+        TraceRing {
+            depth,
+            next_seq: 0,
+            events: VecDeque::with_capacity(depth),
+        }
+    }
+
+    pub(crate) fn push(&mut self, addr: usize, kind: TraceKind) {
+        if self.depth == 0 {
+            return;
+        }
+        if self.events.len() == self.depth {
+            self.events.pop_front();
+        }
+        self.events.push_back(TraceEvent {
+            seq: self.next_seq,
+            addr,
+            kind,
+        });
+        self.next_seq += 1;
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_last_depth_events() {
+        let mut r = TraceRing::new(2);
+        for i in 0..5u64 {
+            r.push(0x10, TraceKind::Read { value: i });
+        }
+        let ev = r.snapshot();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].seq, 3);
+        assert_eq!(ev[1].seq, 4);
+        assert_eq!(ev[1].kind, TraceKind::Read { value: 4 });
+    }
+
+    #[test]
+    fn zero_depth_records_nothing() {
+        let mut r = TraceRing::new(0);
+        r.push(0x10, TraceKind::Write { value: 1 });
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn display_formats_each_kind() {
+        let cases = [
+            (TraceKind::Read { value: 5 }, "read"),
+            (TraceKind::Write { value: 5 }, "write"),
+            (
+                TraceKind::Cas {
+                    old: 1,
+                    new: 2,
+                    ok: true,
+                },
+                "cas",
+            ),
+            (TraceKind::Rll { value: 9 }, "rll"),
+            (
+                TraceKind::Rsc {
+                    new: 3,
+                    outcome: RscOutcome::Spurious,
+                },
+                "Spurious",
+            ),
+        ];
+        for (i, (kind, needle)) in cases.into_iter().enumerate() {
+            let e = TraceEvent {
+                seq: i as u64,
+                addr: 0xbeef,
+                kind,
+            };
+            let s = e.to_string();
+            assert!(s.contains(needle), "{s:?} missing {needle:?}");
+            assert!(s.contains("0xbeef"));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One 64-bit machine word of simulated shared memory.
+///
+/// A `SimWord` is just storage; *semantics* (reservations, spurious failures,
+/// instruction-set capabilities, instrumentation) are applied by the
+/// [`Processor`](crate::Processor) that accesses it. Words are identified by
+/// their address, exactly as on a real machine.
+///
+/// All accesses are sequentially consistent: the paper's correctness
+/// arguments assume a sequentially consistent memory model, and this crate
+/// does not attempt to weaken that.
+///
+/// ```
+/// use nbsp_memsim::{Machine, SimWord};
+/// let m = Machine::builder(1).build();
+/// let p = m.processor(0);
+/// let w = SimWord::new(42);
+/// assert_eq!(p.read(&w), 42);
+/// ```
+pub struct SimWord(AtomicU64);
+
+impl SimWord {
+    /// Creates a word holding `value`.
+    #[must_use]
+    pub const fn new(value: u64) -> Self {
+        SimWord(AtomicU64::new(value))
+    }
+
+    /// The address used for reservation identity.
+    pub(crate) fn addr(&self) -> usize {
+        self as *const SimWord as usize
+    }
+
+    pub(crate) fn load(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn store(&self, value: u64) {
+        self.0.store(value, Ordering::SeqCst);
+    }
+
+    pub(crate) fn compare_exchange(&self, old: u64, new: u64) -> bool {
+        self.0
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Reads the word without going through a [`Processor`](crate::Processor).
+    ///
+    /// This is intended for *sequential* inspection in tests and assertions
+    /// (e.g. after all worker threads have joined); it bypasses
+    /// instrumentation and reservation bookkeeping.
+    #[must_use]
+    pub fn peek(&self) -> u64 {
+        self.load()
+    }
+
+    /// Writes the word without going through a [`Processor`](crate::Processor).
+    ///
+    /// Like [`SimWord::peek`], for sequential test setup only.
+    pub fn poke(&self, value: u64) {
+        self.store(value);
+    }
+}
+
+impl Default for SimWord {
+    fn default() -> Self {
+        SimWord::new(0)
+    }
+}
+
+impl fmt::Debug for SimWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimWord({:#x})", self.load())
+    }
+}
+
+impl From<u64> for SimWord {
+    fn from(value: u64) -> Self {
+        SimWord::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_peek_poke() {
+        let w = SimWord::new(7);
+        assert_eq!(w.peek(), 7);
+        w.poke(9);
+        assert_eq!(w.peek(), 9);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(SimWord::default().peek(), 0);
+    }
+
+    #[test]
+    fn distinct_words_have_distinct_addrs() {
+        let a = SimWord::new(0);
+        let b = SimWord::new(0);
+        assert_ne!(a.addr(), b.addr());
+    }
+
+    #[test]
+    fn compare_exchange_basics() {
+        let w = SimWord::new(1);
+        assert!(w.compare_exchange(1, 2));
+        assert!(!w.compare_exchange(1, 3));
+        assert_eq!(w.peek(), 2);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", SimWord::new(255)), "SimWord(0xff)");
+    }
+}

@@ -1,0 +1,252 @@
+//! Shared node arena used by [`Stack`](crate::Stack) and
+//! [`Queue`](crate::Queue).
+//!
+//! The paper's constructions implement LL/VL/SC on machine *words*, so
+//! linked structures built on them store **indices** into a preallocated
+//! arena rather than raw pointers — the 1997-era idiom (pointers were a
+//! word; here an index is the value of an LL/SC variable). Freed nodes are
+//! recycled through an internal Treiber-style free list driven by the same
+//! LL/SC variable type as the client structure, which is safe *because*
+//! LL/SC has no ABA problem: a node can leave and re-enter the free list
+//! between a competitor's LL and SC, and the SC still fails as required.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nbsp_core::LlScVar;
+
+/// Errors from the capacity-bounded structures in this crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StructureError {
+    /// The arena has no free nodes left.
+    Full,
+    /// A value does not fit in the structure's element width.
+    ValueTooLarge {
+        /// The offending value.
+        value: u64,
+        /// Largest storable element.
+        max: u64,
+    },
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::Full => write!(f, "structure is at capacity"),
+            StructureError::ValueTooLarge { value, max } => {
+                write!(f, "value {value} exceeds the element maximum {max}")
+            }
+        }
+    }
+}
+
+impl StdError for StructureError {}
+
+/// A fixed-capacity arena of nodes, each with a data word and a next link,
+/// plus an LL/SC-driven free list.
+///
+/// Link encoding: `0` is null, `i + 1` refers to node `i` ("index plus
+/// one"), so a fresh LL/SC variable initialised to 0 is an empty list.
+pub(crate) struct Arena<V: LlScVar> {
+    data: Vec<AtomicU64>,
+    next: Vec<AtomicU64>,
+    /// Head of the free list (an LL/SC variable like any other).
+    free: V,
+}
+
+impl<V: LlScVar> fmt::Debug for Arena<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Arena")
+            .field("capacity", &self.data.len())
+            .finish()
+    }
+}
+
+impl<V: LlScVar> Arena<V> {
+    /// Creates an arena of `capacity` nodes, all initially free.
+    /// `make_var` constructs the free-list head; it will be initialised by
+    /// chaining all nodes, so the caller should pass a variable whose
+    /// initial value is ignored here (we set it via SC below — the head
+    /// must start at node 0).
+    ///
+    /// The caller guarantees `capacity + 1 <= make_var(_).max_val()`.
+    pub(crate) fn new(capacity: usize, free: V, ctx: &mut V::Ctx<'_>) -> Self {
+        let data = (0..capacity).map(|_| AtomicU64::new(0)).collect();
+        let next: Vec<AtomicU64> = (0..capacity)
+            .map(|i| {
+                // Chain node i -> i + 1; the last points at null.
+                let link = if i + 1 < capacity { (i + 2) as u64 } else { 0 };
+                AtomicU64::new(link)
+            })
+            .collect();
+        // Point the free head at node 0 (link value 1), or null when empty.
+        let initial = if capacity > 0 { 1 } else { 0 };
+        let mut keep = V::Keep::default();
+        loop {
+            let _ = free.ll(ctx, &mut keep);
+            if free.sc(ctx, &mut keep, initial) {
+                break;
+            }
+        }
+        Arena { data, next, free }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    pub(crate) fn data(&self, idx: usize) -> u64 {
+        self.data[idx].load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_data(&self, idx: usize, value: u64) {
+        self.data[idx].store(value, Ordering::SeqCst);
+    }
+
+    pub(crate) fn next(&self, idx: usize) -> u64 {
+        self.next[idx].load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_next(&self, idx: usize, link: u64) {
+        self.next[idx].store(link, Ordering::SeqCst);
+    }
+
+    /// Pops a node off the free list. Returns `None` when the arena is
+    /// exhausted.
+    pub(crate) fn alloc(&self, ctx: &mut V::Ctx<'_>) -> Option<usize> {
+        let mut keep = V::Keep::default();
+        loop {
+            let head = self.free.ll(ctx, &mut keep);
+            if head == 0 {
+                self.free.cl(ctx, &mut keep);
+                return None;
+            }
+            let idx = (head - 1) as usize;
+            let next = self.next(idx);
+            if self.free.sc(ctx, &mut keep, next) {
+                return Some(idx);
+            }
+        }
+    }
+
+    /// Returns a node to the free list.
+    pub(crate) fn dealloc(&self, ctx: &mut V::Ctx<'_>, idx: usize) {
+        let mut keep = V::Keep::default();
+        loop {
+            let head = self.free.ll(ctx, &mut keep);
+            self.set_next(idx, head);
+            // The write above is an access between LL and SC of *this*
+            // process — harmless for every construction here because the
+            // emulated LL/SC (unlike raw RLL/RSC) permits arbitrary work
+            // inside a sequence. That freedom is the paper's selling point.
+            if self.free.sc(ctx, &mut keep, (idx + 1) as u64) {
+                return;
+            }
+        }
+    }
+
+    /// Number of free nodes (O(capacity); tests only — the walk is not
+    /// atomic against concurrent alloc/dealloc).
+    #[cfg(test)]
+    pub(crate) fn free_count(&self, ctx: &mut V::Ctx<'_>) -> usize {
+        let mut n = 0;
+        let mut cur = self.free.read(ctx);
+        while cur != 0 {
+            n += 1;
+            cur = self.next((cur - 1) as usize);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbsp_core::{CasLlSc, Native, TagLayout};
+
+    fn native_arena(capacity: usize) -> Arena<CasLlSc<Native>> {
+        let head = CasLlSc::new_native(TagLayout::half(), 0).unwrap();
+        Arena::new(capacity, head, &mut Native)
+    }
+
+    #[test]
+    fn alloc_until_exhausted() {
+        let a = native_arena(3);
+        let mut ctx = Native;
+        let mut got = Vec::new();
+        while let Some(i) = a.alloc(&mut ctx) {
+            got.push(i);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(a.alloc(&mut ctx), None);
+    }
+
+    #[test]
+    fn dealloc_recycles() {
+        let a = native_arena(2);
+        let mut ctx = Native;
+        let i = a.alloc(&mut ctx).unwrap();
+        let j = a.alloc(&mut ctx).unwrap();
+        assert_eq!(a.alloc(&mut ctx), None);
+        a.dealloc(&mut ctx, i);
+        assert_eq!(a.alloc(&mut ctx), Some(i));
+        a.dealloc(&mut ctx, j);
+        a.dealloc(&mut ctx, i);
+        assert_eq!(a.free_count(&mut ctx), 2);
+    }
+
+    #[test]
+    fn zero_capacity_arena() {
+        let a = native_arena(0);
+        let mut ctx = Native;
+        assert_eq!(a.alloc(&mut ctx), None);
+        assert_eq!(a.capacity(), 0);
+    }
+
+    #[test]
+    fn data_and_next_round_trip() {
+        let a = native_arena(1);
+        a.set_data(0, 42);
+        a.set_next(0, 7);
+        assert_eq!(a.data(0), 42);
+        assert_eq!(a.next(0), 7);
+    }
+
+    #[test]
+    fn concurrent_alloc_dealloc_conserves_nodes() {
+        let a = native_arena(8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let a = &a;
+                s.spawn(move || {
+                    let mut ctx = Native;
+                    let mut held = Vec::new();
+                    for round in 0..5_000 {
+                        if round % 2 == 0 {
+                            if let Some(i) = a.alloc(&mut ctx) {
+                                held.push(i);
+                            }
+                        } else if let Some(i) = held.pop() {
+                            a.dealloc(&mut ctx, i);
+                        }
+                    }
+                    for i in held {
+                        a.dealloc(&mut ctx, i);
+                    }
+                });
+            }
+        });
+        let mut ctx = Native;
+        assert_eq!(a.free_count(&mut ctx), 8, "nodes were lost or duplicated");
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(StructureError::Full.to_string(), "structure is at capacity");
+        let e = StructureError::ValueTooLarge { value: 9, max: 3 };
+        assert!(e.to_string().contains("exceeds"));
+    }
+}

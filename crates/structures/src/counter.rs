@@ -1,0 +1,158 @@
+//! A wait-free-per-attempt fetch-and-add counter on LL/SC.
+//!
+//! The simplest member of the enabled-algorithm family: the classic LL/SC
+//! read-modify-write loop. Used pervasively in the test suite as the
+//! canonical exactness check (lost or duplicated increments would reveal an
+//! unsound SC), and in experiment E7 as the lightest-weight contention
+//! benchmark.
+
+use std::fmt;
+
+use nbsp_core::LlScVar;
+
+/// A shared counter over any [`LlScVar`], counting modulo the variable's
+/// value range.
+///
+/// ```
+/// use nbsp_core::{CasLlSc, Native, TagLayout};
+/// use nbsp_structures::Counter;
+///
+/// let counter = Counter::new(CasLlSc::new_native(TagLayout::half(), 0)?);
+/// let mut ctx = Native;
+/// assert_eq!(counter.fetch_add(&mut ctx, 5), 0);
+/// assert_eq!(counter.fetch_add(&mut ctx, 2), 5);
+/// assert_eq!(counter.get(&mut ctx), 7);
+/// # Ok::<(), nbsp_core::Error>(())
+/// ```
+pub struct Counter<V: LlScVar> {
+    var: V,
+}
+
+impl<V: LlScVar> fmt::Debug for Counter<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Counter").finish_non_exhaustive()
+    }
+}
+
+impl<V: LlScVar> Counter<V> {
+    /// Wraps an LL/SC variable as a counter (starting from the variable's
+    /// current value).
+    #[must_use]
+    pub fn new(var: V) -> Self {
+        Counter { var }
+    }
+
+    /// Atomically adds `delta` (modulo the value range) and returns the
+    /// previous value. Lock-free: an individual attempt only retries when
+    /// some other operation succeeded.
+    pub fn fetch_add(&self, ctx: &mut V::Ctx<'_>, delta: u64) -> u64 {
+        let modulus = self.var.max_val().wrapping_add(1); // 0 means 2^64
+        let mut keep = V::Keep::default();
+        loop {
+            let old = self.var.ll(ctx, &mut keep);
+            let new = if modulus == 0 {
+                old.wrapping_add(delta)
+            } else {
+                (old.wrapping_add(delta)) % modulus
+            };
+            if self.var.sc(ctx, &mut keep, new) {
+                return old;
+            }
+        }
+    }
+
+    /// Atomically adds one, returning the previous value.
+    pub fn increment(&self, ctx: &mut V::Ctx<'_>) -> u64 {
+        self.fetch_add(ctx, 1)
+    }
+
+    /// Reads the current value.
+    pub fn get(&self, ctx: &mut V::Ctx<'_>) -> u64 {
+        self.var.read(ctx)
+    }
+
+    /// Consumes the counter, returning the underlying variable.
+    #[must_use]
+    pub fn into_inner(self) -> V {
+        self.var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbsp_core::bounded::BoundedDomain;
+    use nbsp_core::lock_baseline::LockLlSc;
+    use nbsp_core::{CasLlSc, Native, TagLayout};
+    use nbsp_memsim::ProcId;
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let c = Counter::new(CasLlSc::new_native(TagLayout::half(), 10).unwrap());
+        let mut ctx = Native;
+        assert_eq!(c.fetch_add(&mut ctx, 0), 10);
+        assert_eq!(c.increment(&mut ctx), 10);
+        assert_eq!(c.get(&mut ctx), 11);
+    }
+
+    #[test]
+    fn wraps_modulo_value_range() {
+        let v = CasLlSc::new_native(TagLayout::new(60, 4).unwrap(), 14).unwrap();
+        let c = Counter::new(v);
+        let mut ctx = Native;
+        assert_eq!(c.fetch_add(&mut ctx, 3), 14);
+        assert_eq!(c.get(&mut ctx), 1); // (14 + 3) mod 16
+    }
+
+    #[test]
+    fn exactness_under_contention_native() {
+        let c = Counter::new(CasLlSc::new_native(TagLayout::half(), 0).unwrap());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = &c;
+                s.spawn(move || {
+                    let mut ctx = Native;
+                    for _ in 0..10_000 {
+                        c.increment(&mut ctx);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(&mut Native), 80_000);
+    }
+
+    #[test]
+    fn exactness_on_bounded_tags() {
+        let d = BoundedDomain::<Native>::new(4, 1).unwrap();
+        let c = Counter::new(d.var(0).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = &c;
+                let mut me = d.proc(t);
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        c.increment(&mut me);
+                    }
+                });
+            }
+        });
+        // peek needs no claimed proc:
+        let inner = c.into_inner();
+        assert_eq!(inner.peek(&Native), 20_000);
+    }
+
+    #[test]
+    fn works_on_lock_baseline() {
+        let c = Counter::new(LockLlSc::new(2, 100));
+        let mut ctx = ProcId::new(0);
+        assert_eq!(c.fetch_add(&mut ctx, 50), 100);
+        assert_eq!(c.get(&mut ctx), 150);
+    }
+
+    #[test]
+    fn into_inner_returns_variable() {
+        let c = Counter::new(CasLlSc::new_native(TagLayout::half(), 3).unwrap());
+        let v = c.into_inner();
+        assert_eq!(v.read(&Native), 3);
+    }
+}

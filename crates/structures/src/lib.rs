@@ -1,0 +1,48 @@
+//! # nbsp-structures — non-blocking algorithms enabled by the paper
+//!
+//! Moir's PODC '97 paper motivates its constructions by the gap they close:
+//! "several non-blocking algorithms developed recently (e.g. [2, 3, 4, 7,
+//! 10, 14]) are not directly applicable on current multiprocessors". This
+//! crate contains representative members of that family, written against
+//! the [`LlScVar`](nbsp_core::LlScVar) interface so each runs unchanged on
+//! *any* of the paper's constructions — Figure 4 on a CAS machine, Figure 5
+//! on an RLL/RSC machine, Figure 7 with bounded tags — and on the lock
+//! baseline for comparison (experiment E7):
+//!
+//! * [`Counter`] — LL/SC fetch-and-add.
+//! * [`Stack`] — Treiber-style stack; the LL/SC semantics make the classic
+//!   CAS ABA bug structurally impossible.
+//! * [`Queue`] — Michael–Scott-style FIFO queue, exercising *concurrent*
+//!   LL–SC sequences and `CL` (impossible on raw hardware LL/SC).
+//! * [`Set`] — a Harris-style sorted set with two-phase (logical, then
+//!   physical) deletion and traversal-time helping.
+//! * [`SnapshotRegister`] — a multi-word atomic register over Figure 6.
+//! * [`Universal`] — Herlihy's small-object universal construction \[7\].
+//! * [`stm`] — static software transactional memory in the spirit of
+//!   Shavit–Touitou \[14\], which Section 5 of the paper explicitly says its
+//!   results make implementable on existing systems.
+//! * [`stm_orec`] — the ownership-record STM skeleton *without* helping: a
+//!   blocking but disjoint-access-parallel baseline that isolates the
+//!   other axis of the STM design space (measured against [`stm`] in
+//!   experiment E7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod arena;
+mod counter;
+mod queue;
+mod register;
+mod set;
+mod stack;
+pub mod stm;
+pub mod stm_orec;
+mod universal;
+
+pub use arena::StructureError;
+pub use counter::Counter;
+pub use queue::Queue;
+pub use register::SnapshotRegister;
+pub use set::Set;
+pub use stack::Stack;
+pub use universal::Universal;

@@ -1,0 +1,443 @@
+//! A Michael–Scott-style lock-free FIFO queue on LL/SC.
+//!
+//! The original MS queue (PODC '96) uses CAS with *counted pointers* to
+//! survive ABA on recycled nodes. On LL/SC the counters disappear: every
+//! link mutation goes through an LL–SC sequence whose SC fails after any
+//! intervening store. The algorithm keeps its signature helping step — an
+//! enqueuer or dequeuer that finds the tail lagging swings it forward on
+//! behalf of the stalled thread — so the queue is lock-free.
+//!
+//! This structure is the crate's showcase for the paper's headline
+//! capability: each operation holds **several LL–SC sequences open at
+//! once** (on `tail`, on `head`, and on a node's `next` link), something a
+//! machine with a single `LLBit` can never do with raw RLL/RSC, and aborts
+//! sequences with `CL` when a snapshot turns out inconsistent. On the
+//! bounded-tag construction (Figure 7) it therefore needs a domain with
+//! `k ≥ 3`.
+
+use std::fmt;
+
+use crate::arena::StructureError;
+use nbsp_core::LlScVar;
+
+/// A bounded-capacity lock-free FIFO queue of `u64` values over any
+/// [`LlScVar`] implementation.
+///
+/// Construction takes a factory because the queue needs `capacity + 4`
+/// variables of the implementation (head, tail, free-list head, and one
+/// `next` link per node including the dummy).
+///
+/// ```
+/// use nbsp_core::{CasLlSc, Native, TagLayout};
+/// use nbsp_structures::Queue;
+///
+/// let q = Queue::new(
+///     8,
+///     || CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
+///     &mut Native,
+/// );
+/// let mut ctx = Native;
+/// q.enqueue(&mut ctx, 1)?;
+/// q.enqueue(&mut ctx, 2)?;
+/// assert_eq!(q.dequeue(&mut ctx), Some(1));
+/// assert_eq!(q.dequeue(&mut ctx), Some(2));
+/// assert_eq!(q.dequeue(&mut ctx), None);
+/// # Ok::<(), nbsp_structures::StructureError>(())
+/// ```
+pub struct Queue<V: LlScVar> {
+    head: V,
+    tail: V,
+    free: V,
+    next: Vec<V>,
+    data: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl<V: LlScVar> fmt::Debug for Queue<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Queue")
+            .field("capacity", &(self.next.len() - 1))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V: LlScVar> Queue<V> {
+    /// Creates an empty queue of at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 2` exceeds the variables' value range (links
+    /// are stored as index-plus-one; one extra node serves as the dummy).
+    #[must_use]
+    pub fn new(capacity: usize, mut make_var: impl FnMut() -> V, ctx: &mut V::Ctx<'_>) -> Self {
+        let nodes = capacity + 1; // one dummy always present
+        let head = make_var();
+        assert!(
+            (nodes as u64) < head.max_val(),
+            "capacity {capacity} too large for the variable's value range"
+        );
+        let tail = make_var();
+        let free = make_var();
+        let next: Vec<V> = (0..nodes).map(|_| make_var()).collect();
+        let data = (0..nodes)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect();
+        let q = Queue {
+            head,
+            tail,
+            free,
+            next,
+            data,
+        };
+        // Node 0 is the initial dummy; nodes 1.. form the free list.
+        q.force_store(ctx, &q.head, 1);
+        q.force_store(ctx, &q.tail, 1);
+        for i in 1..nodes {
+            let link = if i + 1 < nodes { (i + 2) as u64 } else { 0 };
+            q.force_store(ctx, &q.next[i], link);
+        }
+        q.force_store(ctx, &q.next[0], 0);
+        q.force_store(ctx, &q.free, if nodes > 1 { 2 } else { 0 });
+        q
+    }
+
+    /// Unconditional store to an LL/SC variable (retry loop; used for
+    /// initialisation and free-list link writes).
+    fn force_store(&self, ctx: &mut V::Ctx<'_>, var: &V, value: u64) {
+        let mut keep = V::Keep::default();
+        loop {
+            let _ = var.ll(ctx, &mut keep);
+            if var.sc(ctx, &mut keep, value) {
+                return;
+            }
+        }
+    }
+
+    /// Maximum number of elements.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.next.len() - 1
+    }
+
+    fn alloc(&self, ctx: &mut V::Ctx<'_>) -> Option<usize> {
+        let mut keep = V::Keep::default();
+        loop {
+            let f = self.free.ll(ctx, &mut keep);
+            if f == 0 {
+                self.free.cl(ctx, &mut keep);
+                return None;
+            }
+            let idx = (f - 1) as usize;
+            let nf = self.next[idx].read(ctx);
+            if self.free.sc(ctx, &mut keep, nf) {
+                return Some(idx);
+            }
+        }
+    }
+
+    fn dealloc(&self, ctx: &mut V::Ctx<'_>, idx: usize) {
+        let mut keep = V::Keep::default();
+        loop {
+            let f = self.free.ll(ctx, &mut keep);
+            self.force_store(ctx, &self.next[idx], f);
+            if self.free.sc(ctx, &mut keep, (idx + 1) as u64) {
+                return;
+            }
+        }
+    }
+
+    /// Appends `value` at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StructureError::Full`] when all nodes are in use.
+    pub fn enqueue(&self, ctx: &mut V::Ctx<'_>, value: u64) -> Result<(), StructureError> {
+        let idx = self.alloc(ctx).ok_or(StructureError::Full)?;
+        self.data[idx].store(value, std::sync::atomic::Ordering::SeqCst);
+        self.force_store(ctx, &self.next[idx], 0);
+        let link = (idx + 1) as u64;
+        loop {
+            let mut keep_tail = V::Keep::default();
+            let mut keep_next = V::Keep::default();
+            let t = self.tail.ll(ctx, &mut keep_tail);
+            let tidx = (t - 1) as usize;
+            let n = self.next[tidx].ll(ctx, &mut keep_next);
+            // Validate the snapshot: if the tail moved, `tidx`/`n` are
+            // stale — abort both sequences and retry. (This is Figure 1(a)
+            // made real: two concurrent LL–SC sequences plus a VL.)
+            if !self.tail.vl(ctx, &keep_tail) {
+                self.tail.cl(ctx, &mut keep_tail);
+                self.next[tidx].cl(ctx, &mut keep_next);
+                continue;
+            }
+            if n == 0 {
+                // Tail is the last node: try to link our node after it.
+                if self.next[tidx].sc(ctx, &mut keep_next, link) {
+                    // Linked. Swing the tail; failure means someone helped.
+                    let _ = self.tail.sc(ctx, &mut keep_tail, link);
+                    return Ok(());
+                }
+                self.tail.cl(ctx, &mut keep_tail);
+            } else {
+                // Tail lags behind: help swing it, then retry.
+                self.next[tidx].cl(ctx, &mut keep_next);
+                let _ = self.tail.sc(ctx, &mut keep_tail, n);
+            }
+        }
+    }
+
+    /// Removes and returns the oldest value, or `None` if the queue was
+    /// empty.
+    pub fn dequeue(&self, ctx: &mut V::Ctx<'_>) -> Option<u64> {
+        loop {
+            let mut keep_head = V::Keep::default();
+            let mut keep_tail = V::Keep::default();
+            let mut keep_next = V::Keep::default();
+            let h = self.head.ll(ctx, &mut keep_head);
+            let t = self.tail.ll(ctx, &mut keep_tail);
+            let hidx = (h - 1) as usize;
+            let n = self.next[hidx].ll(ctx, &mut keep_next);
+            if !self.head.vl(ctx, &keep_head) {
+                self.head.cl(ctx, &mut keep_head);
+                self.tail.cl(ctx, &mut keep_tail);
+                self.next[hidx].cl(ctx, &mut keep_next);
+                continue;
+            }
+            if h == t {
+                if n == 0 {
+                    // Empty (linearizes at the validated head read).
+                    self.head.cl(ctx, &mut keep_head);
+                    self.tail.cl(ctx, &mut keep_tail);
+                    self.next[hidx].cl(ctx, &mut keep_next);
+                    return None;
+                }
+                // Tail lags: help swing it, then retry.
+                self.next[hidx].cl(ctx, &mut keep_next);
+                self.head.cl(ctx, &mut keep_head);
+                let _ = self.tail.sc(ctx, &mut keep_tail, n);
+            } else {
+                self.tail.cl(ctx, &mut keep_tail);
+                if n == 0 {
+                    // Transient inconsistency (head advanced past us).
+                    self.head.cl(ctx, &mut keep_head);
+                    self.next[hidx].cl(ctx, &mut keep_next);
+                    continue;
+                }
+                // The value lives in the *successor* of the dummy.
+                let value = self.data[(n - 1) as usize].load(std::sync::atomic::Ordering::SeqCst);
+                self.next[hidx].cl(ctx, &mut keep_next);
+                if self.head.sc(ctx, &mut keep_head, n) {
+                    // The old dummy is ours to recycle.
+                    self.dealloc(ctx, hidx);
+                    return Some(value);
+                }
+            }
+        }
+    }
+
+    /// True iff the queue was empty at the reads (quiescent use only).
+    pub fn is_empty(&self, ctx: &mut V::Ctx<'_>) -> bool {
+        let h = self.head.read(ctx);
+        h == self.tail.read(ctx) && self.next[(h - 1) as usize].read(ctx) == 0
+    }
+
+    /// Number of elements (O(n) walk; **not** atomic against concurrent
+    /// mutation — intended for quiescent checks in tests).
+    pub fn len_quiescent(&self, ctx: &mut V::Ctx<'_>) -> usize {
+        let mut n = 0;
+        let h = self.head.read(ctx);
+        let mut cur = self.next[(h - 1) as usize].read(ctx);
+        while cur != 0 {
+            n += 1;
+            cur = self.next[(cur - 1) as usize].read(ctx);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbsp_core::bounded::BoundedDomain;
+    use nbsp_core::lock_baseline::LockLlSc;
+    use nbsp_core::{CasLlSc, Native, TagLayout};
+    use nbsp_memsim::ProcId;
+    use std::collections::HashSet;
+
+    fn native_queue(capacity: usize) -> Queue<CasLlSc<Native>> {
+        Queue::new(
+            capacity,
+            || CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
+            &mut Native,
+        )
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = native_queue(4);
+        let mut ctx = Native;
+        for v in [10, 20, 30] {
+            q.enqueue(&mut ctx, v).unwrap();
+        }
+        assert_eq!(q.len_quiescent(&mut ctx), 3);
+        assert_eq!(q.dequeue(&mut ctx), Some(10));
+        assert_eq!(q.dequeue(&mut ctx), Some(20));
+        assert_eq!(q.dequeue(&mut ctx), Some(30));
+        assert_eq!(q.dequeue(&mut ctx), None);
+        assert!(q.is_empty(&mut ctx));
+    }
+
+    #[test]
+    fn full_queue_reports_error() {
+        let q = native_queue(2);
+        let mut ctx = Native;
+        q.enqueue(&mut ctx, 1).unwrap();
+        q.enqueue(&mut ctx, 2).unwrap();
+        assert_eq!(q.enqueue(&mut ctx, 3), Err(StructureError::Full));
+        assert_eq!(q.dequeue(&mut ctx), Some(1));
+        q.enqueue(&mut ctx, 3).unwrap();
+        assert_eq!(q.dequeue(&mut ctx), Some(2));
+        assert_eq!(q.dequeue(&mut ctx), Some(3));
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue() {
+        let q = native_queue(3);
+        let mut ctx = Native;
+        for round in 0..100u64 {
+            q.enqueue(&mut ctx, round).unwrap();
+            q.enqueue(&mut ctx, round + 1000).unwrap();
+            assert_eq!(q.dequeue(&mut ctx), Some(round));
+            assert_eq!(q.dequeue(&mut ctx), Some(round + 1000));
+        }
+        assert!(q.is_empty(&mut ctx));
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let q = native_queue(0);
+        let mut ctx = Native;
+        assert_eq!(q.enqueue(&mut ctx, 1), Err(StructureError::Full));
+        assert_eq!(q.dequeue(&mut ctx), None);
+    }
+
+    #[test]
+    fn mpmc_conserves_values() {
+        let q = native_queue(64);
+        let threads = 4u64;
+        let per_thread = 5_000u64;
+        let popped: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut ctx = Native;
+                        let mut got = Vec::new();
+                        for i in 0..per_thread {
+                            let value = t * per_thread + i;
+                            loop {
+                                if q.enqueue(&mut ctx, value).is_ok() {
+                                    break;
+                                }
+                                if let Some(v) = q.dequeue(&mut ctx) {
+                                    got.push(v);
+                                }
+                            }
+                            if i % 3 == 0 {
+                                if let Some(v) = q.dequeue(&mut ctx) {
+                                    got.push(v);
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut seen: HashSet<u64> = HashSet::new();
+        for v in popped.into_iter().flatten() {
+            assert!(seen.insert(v), "value {v} dequeued twice");
+        }
+        let mut ctx = Native;
+        while let Some(v) = q.dequeue(&mut ctx) {
+            assert!(seen.insert(v), "value {v} dequeued twice");
+        }
+        assert_eq!(seen.len() as u64, threads * per_thread);
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        // FIFO per producer: a consumer must see each producer's values in
+        // increasing order.
+        let q = native_queue(32);
+        std::thread::scope(|scope| {
+            for t in 0..2u64 {
+                let q = &q;
+                scope.spawn(move || {
+                    let mut ctx = Native;
+                    for i in 0..3_000 {
+                        let v = (t << 32) | i;
+                        while q.enqueue(&mut ctx, v).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let q = &q;
+            scope.spawn(move || {
+                let mut ctx = Native;
+                let mut last = [None::<u64>; 2];
+                let mut taken = 0;
+                while taken < 6_000 {
+                    if let Some(v) = q.dequeue(&mut ctx) {
+                        let (producer, seq) = ((v >> 32) as usize, v & 0xFFFF_FFFF);
+                        if let Some(prev) = last[producer] {
+                            assert!(seq > prev, "producer {producer} reordered");
+                        }
+                        last[producer] = Some(seq);
+                        taken += 1;
+                    }
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn works_on_bounded_tags_with_k3() {
+        let d = BoundedDomain::<Native>::new(2, 4).unwrap();
+        let mut init = d.proc(0);
+        let q = Queue::new(8, || d.var(0).unwrap(), &mut init);
+        let mut me1 = d.proc(1);
+        std::thread::scope(|scope| {
+            let q = &q;
+            scope.spawn(move || {
+                for i in 0..2_000u64 {
+                    while q.enqueue(&mut init, i).is_err() {
+                        let _ = q.dequeue(&mut init);
+                    }
+                }
+            });
+            scope.spawn(move || {
+                let mut last = None;
+                for _ in 0..2_000u64 {
+                    if let Some(v) = q.dequeue(&mut me1) {
+                        if let Some(prev) = last {
+                            assert!(v > prev, "reordered");
+                        }
+                        last = Some(v);
+                    }
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn works_on_lock_baseline() {
+        let mut c0 = ProcId::new(0);
+        let q = Queue::new(4, || LockLlSc::new(2, 0), &mut c0);
+        q.enqueue(&mut c0, 5).unwrap();
+        q.enqueue(&mut c0, 6).unwrap();
+        assert_eq!(q.dequeue(&mut c0), Some(5));
+        assert_eq!(q.dequeue(&mut c0), Some(6));
+    }
+}

@@ -1,0 +1,216 @@
+//! A multi-word atomic register over the Figure-6 construction.
+//!
+//! Applications that need to read and write values larger than one machine
+//! word atomically (the paper's §3.3 motivation: "pointers or other large
+//! data items") get them directly from `WLL`/`SC`: a read retries `WLL`
+//! until it returns a consistent snapshot; a write retries `WLL` + `SC`.
+//! Both are lock-free — a retry happens only because some other write
+//! succeeded.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nbsp_core::wide::{WideDomain, WideKeep, WideVar};
+use nbsp_core::{CasFamily, CasMemory, Native, Result};
+use nbsp_memsim::ProcId;
+
+/// An atomic `W`-word register: reads see complete writes, never a mixture
+/// (single-variable transactional memory in the small).
+///
+/// ```
+/// use nbsp_core::wide::WideDomain;
+/// use nbsp_core::Native;
+/// use nbsp_structures::SnapshotRegister;
+/// use nbsp_memsim::ProcId;
+///
+/// let domain = WideDomain::<Native>::new(2, 4, 32)?;
+/// let reg = SnapshotRegister::new(&domain, &[1, 2, 3, 4])?;
+/// let mem = Native;
+/// reg.write(&mem, ProcId::new(0), &[5, 6, 7, 8]);
+/// assert_eq!(reg.read(&mem), vec![5, 6, 7, 8]);
+/// # Ok::<(), nbsp_core::Error>(())
+/// ```
+pub struct SnapshotRegister<F: CasFamily = Native> {
+    var: WideVar<F>,
+}
+
+impl<F: CasFamily> fmt::Debug for SnapshotRegister<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotRegister")
+            .field("w", &self.var.domain().w())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: CasFamily> SnapshotRegister<F> {
+    /// Creates a register in `domain` holding `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WideDomain::var`] errors (wrong width, oversized
+    /// values).
+    pub fn new(domain: &Arc<WideDomain<F>>, initial: &[u64]) -> Result<Self> {
+        Ok(SnapshotRegister {
+            var: domain.var(initial)?,
+        })
+    }
+
+    /// Width of the register in words.
+    #[must_use]
+    pub fn w(&self) -> usize {
+        self.var.domain().w()
+    }
+
+    /// Reads a consistent snapshot (lock-free retry of `WLL`).
+    #[must_use]
+    pub fn read<M: CasMemory<Family = F>>(&self, mem: &M) -> Vec<u64> {
+        self.var.read(mem)
+    }
+
+    /// Reads a consistent snapshot into `buf` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the register width.
+    pub fn read_into<M: CasMemory<Family = F>>(&self, mem: &M, buf: &mut [u64]) {
+        let mut keep = WideKeep::default();
+        while !self.var.wll(mem, &mut keep, buf).is_success() {}
+    }
+
+    /// Atomically replaces the whole register with `value` as process `p`
+    /// (lock-free retry of `WLL` + `SC`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` has the wrong width, a word exceeds the domain's
+    /// maximum, or `p` is outside the domain.
+    pub fn write<M: CasMemory<Family = F>>(&self, mem: &M, p: ProcId, value: &[u64]) {
+        let mut keep = WideKeep::default();
+        let mut scratch = vec![0u64; self.w()];
+        loop {
+            // An interfered WLL still records the header tag; its SC will
+            // fail and we retry, so no explicit branch is needed — but a
+            // successful WLL avoids a guaranteed-failing SC (the point of
+            // the *weak* LL).
+            if !self.var.wll(mem, &mut keep, &mut scratch).is_success() {
+                continue;
+            }
+            if self.var.sc(mem, p, &keep, value) {
+                return;
+            }
+        }
+    }
+
+    /// Atomically applies `f` to the register contents (retry loop, i.e. a
+    /// single-variable transaction).
+    pub fn update<M: CasMemory<Family = F>>(
+        &self,
+        mem: &M,
+        p: ProcId,
+        mut f: impl FnMut(&mut [u64]),
+    ) {
+        let mut keep = WideKeep::default();
+        let mut buf = vec![0u64; self.w()];
+        loop {
+            if !self.var.wll(mem, &mut keep, &mut buf).is_success() {
+                continue;
+            }
+            let mut new = buf.clone();
+            f(&mut new);
+            if self.var.sc(mem, p, &keep, &new) {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(n: usize, w: usize, initial: &[u64]) -> SnapshotRegister<Native> {
+        let d = WideDomain::<Native>::new(n, w, 24).unwrap();
+        SnapshotRegister::new(&d, initial).unwrap()
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let r = reg(2, 3, &[1, 2, 3]);
+        let mem = Native;
+        assert_eq!(r.read(&mem), vec![1, 2, 3]);
+        r.write(&mem, ProcId::new(1), &[4, 5, 6]);
+        assert_eq!(r.read(&mem), vec![4, 5, 6]);
+        let mut buf = [0u64; 3];
+        r.read_into(&mem, &mut buf);
+        assert_eq!(buf, [4, 5, 6]);
+    }
+
+    #[test]
+    fn update_applies_function() {
+        let r = reg(1, 2, &[10, 20]);
+        let mem = Native;
+        r.update(&mem, ProcId::new(0), |v| {
+            v[0] += 1;
+            v[1] += 2;
+        });
+        assert_eq!(r.read(&mem), vec![11, 22]);
+    }
+
+    #[test]
+    fn no_torn_reads_under_contention() {
+        // Writers keep the invariant word[1] = word[0] + 7; readers must
+        // never observe a violation.
+        let d = WideDomain::<Native>::new(4, 2, 24).unwrap();
+        let r = SnapshotRegister::new(&d, &[0, 7]).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let r = &r;
+                s.spawn(move || {
+                    let mem = Native;
+                    let p = ProcId::new(t);
+                    for i in 0..3_000u64 {
+                        let base = i * 3 + t as u64;
+                        r.write(&mem, p, &[base, base + 7]);
+                    }
+                });
+            }
+            let r = &r;
+            s.spawn(move || {
+                let mem = Native;
+                for _ in 0..9_000 {
+                    let v = r.read(&mem);
+                    assert_eq!(v[1], v[0] + 7, "torn read: {v:?}");
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn update_is_atomic_read_modify_write() {
+        // Concurrent increments through update must not lose any.
+        let d = WideDomain::<Native>::new(4, 2, 24).unwrap();
+        let r = SnapshotRegister::new(&d, &[0, 0]).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let r = &r;
+                s.spawn(move || {
+                    let mem = Native;
+                    let p = ProcId::new(t);
+                    for _ in 0..2_500 {
+                        r.update(&mem, p, |v| {
+                            v[0] += 1;
+                            v[1] += 1;
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(r.read(&Native), vec![10_000, 10_000]);
+    }
+
+    #[test]
+    fn rejects_bad_initial() {
+        let d = WideDomain::<Native>::new(1, 2, 24).unwrap();
+        assert!(SnapshotRegister::new(&d, &[0]).is_err());
+    }
+}

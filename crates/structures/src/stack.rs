@@ -1,0 +1,318 @@
+//! A Treiber-style lock-free stack on LL/SC.
+//!
+//! Treiber's stack is the textbook victim of the CAS **ABA problem**: a
+//! `pop` that reads head `A`, is delayed while others pop `A`, pop `B` and
+//! push `A` back, and then CASes `A → A.next` succeeds — corrupting the
+//! stack, because `A.next` is stale. With LL/VL/SC the bug is structurally
+//! impossible: the SC fails after *any* intervening successful SC on the
+//! head, value recurrence notwithstanding. This is the concrete payoff of
+//! the primitives the paper makes deployable (and why algorithms like
+//! [4, 7] assumed them in the first place).
+//!
+//! Nodes live in a fixed arena and are addressed by index; freed nodes are
+//! recycled immediately — no hazard pointers, no epochs — again *because*
+//! SC, not CAS, guards the head.
+
+use std::fmt;
+
+use crate::arena::{Arena, StructureError};
+use nbsp_core::LlScVar;
+
+/// A bounded-capacity lock-free LIFO stack of `u64` values over any
+/// [`LlScVar`] implementation.
+///
+/// Two variables of the same implementation are needed: one for the stack
+/// head and one for the internal free list.
+///
+/// ```
+/// use nbsp_core::{CasLlSc, Native, TagLayout};
+/// use nbsp_structures::Stack;
+///
+/// let make = || CasLlSc::new_native(TagLayout::half(), 0).unwrap();
+/// let stack = Stack::new(16, make(), make(), &mut Native);
+/// let mut ctx = Native;
+/// stack.push(&mut ctx, 1)?;
+/// stack.push(&mut ctx, 2)?;
+/// assert_eq!(stack.pop(&mut ctx), Some(2));
+/// assert_eq!(stack.pop(&mut ctx), Some(1));
+/// assert_eq!(stack.pop(&mut ctx), None);
+/// # Ok::<(), nbsp_structures::StructureError>(())
+/// ```
+pub struct Stack<V: LlScVar> {
+    head: V,
+    arena: Arena<V>,
+}
+
+impl<V: LlScVar> fmt::Debug for Stack<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stack")
+            .field("capacity", &self.arena.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V: LlScVar> Stack<V> {
+    /// Creates an empty stack of at most `capacity` elements. `head` and
+    /// `free_head` are fresh LL/SC variables (their initial values are
+    /// overwritten); `ctx` is the caller's per-thread context, used for the
+    /// initialising stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` exceeds the variables' value range (links
+    /// are stored as index-plus-one).
+    #[must_use]
+    pub fn new(capacity: usize, head: V, free_head: V, ctx: &mut V::Ctx<'_>) -> Self {
+        assert!(
+            (capacity as u64) < head.max_val(),
+            "capacity {capacity} too large for the variable's value range"
+        );
+        let arena = Arena::new(capacity, free_head, ctx);
+        // Reset the head to empty (0) whatever its initial value was.
+        let mut keep = V::Keep::default();
+        loop {
+            let _ = head.ll(ctx, &mut keep);
+            if head.sc(ctx, &mut keep, 0) {
+                break;
+            }
+        }
+        Stack { head, arena }
+    }
+
+    /// Maximum number of elements.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// Pushes `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StructureError::Full`] when the arena is exhausted.
+    pub fn push(&self, ctx: &mut V::Ctx<'_>, value: u64) -> Result<(), StructureError> {
+        let idx = self.arena.alloc(ctx).ok_or(StructureError::Full)?;
+        self.arena.set_data(idx, value);
+        let mut keep = V::Keep::default();
+        loop {
+            let head = self.head.ll(ctx, &mut keep);
+            self.arena.set_next(idx, head);
+            if self.head.sc(ctx, &mut keep, (idx + 1) as u64) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Pops the most recently pushed value, or `None` if the stack was
+    /// empty at the linearization point (the LL's read).
+    pub fn pop(&self, ctx: &mut V::Ctx<'_>) -> Option<u64> {
+        let mut keep = V::Keep::default();
+        loop {
+            let head = self.head.ll(ctx, &mut keep);
+            if head == 0 {
+                self.head.cl(ctx, &mut keep);
+                return None;
+            }
+            let idx = (head - 1) as usize;
+            // Reading the node between LL and SC is safe: if the node is
+            // popped and recycled concurrently, our SC fails (no ABA under
+            // LL/SC) and we retry with fresh reads.
+            let next = self.arena.next(idx);
+            let value = self.arena.data(idx);
+            if self.head.sc(ctx, &mut keep, next) {
+                self.arena.dealloc(ctx, idx);
+                return Some(value);
+            }
+        }
+    }
+
+    /// True iff the stack was empty at the read.
+    pub fn is_empty(&self, ctx: &mut V::Ctx<'_>) -> bool {
+        self.head.read(ctx) == 0
+    }
+
+    /// Number of elements (O(n) walk; **not** atomic against concurrent
+    /// mutation — intended for quiescent checks in tests).
+    pub fn len_quiescent(&self, ctx: &mut V::Ctx<'_>) -> usize {
+        let mut n = 0;
+        let mut cur = self.head.read(ctx);
+        while cur != 0 {
+            n += 1;
+            cur = self.arena.next((cur - 1) as usize);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbsp_core::bounded::BoundedDomain;
+    use nbsp_core::lock_baseline::LockLlSc;
+    use nbsp_core::{CasLlSc, Native, RllLlSc, TagLayout};
+    use nbsp_memsim::{InstructionSet, Machine, ProcId};
+    use std::collections::HashSet;
+
+    fn native_stack(capacity: usize) -> Stack<CasLlSc<Native>> {
+        let make = || CasLlSc::new_native(TagLayout::half(), 0).unwrap();
+        Stack::new(capacity, make(), make(), &mut Native)
+    }
+
+    #[test]
+    fn lifo_order() {
+        let s = native_stack(4);
+        let mut ctx = Native;
+        for v in [10, 20, 30] {
+            s.push(&mut ctx, v).unwrap();
+        }
+        assert_eq!(s.len_quiescent(&mut ctx), 3);
+        assert_eq!(s.pop(&mut ctx), Some(30));
+        assert_eq!(s.pop(&mut ctx), Some(20));
+        assert_eq!(s.pop(&mut ctx), Some(10));
+        assert_eq!(s.pop(&mut ctx), None);
+        assert!(s.is_empty(&mut ctx));
+    }
+
+    #[test]
+    fn full_stack_reports_error() {
+        let s = native_stack(2);
+        let mut ctx = Native;
+        s.push(&mut ctx, 1).unwrap();
+        s.push(&mut ctx, 2).unwrap();
+        assert_eq!(s.push(&mut ctx, 3), Err(StructureError::Full));
+        assert_eq!(s.pop(&mut ctx), Some(2));
+        s.push(&mut ctx, 3).unwrap(); // capacity is recycled
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = native_stack(0);
+        let mut ctx = Native;
+        assert_eq!(s.push(&mut ctx, 1), Err(StructureError::Full));
+        assert_eq!(s.pop(&mut ctx), None);
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_values_native() {
+        // Every pushed value must be popped (or remain) exactly once — a
+        // duplicate would be the ABA corruption LL/SC is supposed to
+        // prevent.
+        let threads = 4u64;
+        let per_thread = 5_000u64;
+        let s = native_stack(64);
+        let popped: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        let mut ctx = Native;
+                        let mut got = Vec::new();
+                        for i in 0..per_thread {
+                            let value = t * per_thread + i;
+                            loop {
+                                if s.push(&mut ctx, value).is_ok() {
+                                    break;
+                                }
+                                // Full: drain one and retry.
+                                if let Some(v) = s.pop(&mut ctx) {
+                                    got.push(v);
+                                }
+                            }
+                            if i % 3 == 0 {
+                                if let Some(v) = s.pop(&mut ctx) {
+                                    got.push(v);
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut seen: HashSet<u64> = HashSet::new();
+        for v in popped.into_iter().flatten() {
+            assert!(seen.insert(v), "value {v} popped twice");
+        }
+        // Drain the remainder and verify the complement.
+        let mut ctx = Native;
+        while let Some(v) = s.pop(&mut ctx) {
+            assert!(seen.insert(v), "value {v} popped twice");
+        }
+        assert_eq!(seen.len() as u64, threads * per_thread);
+    }
+
+    #[test]
+    fn works_on_rll_rsc_machine() {
+        let m = Machine::builder(3)
+            .instruction_set(InstructionSet::RllRscOnly)
+            .build();
+        let init = m.processor(2);
+        let make = || RllLlSc::new(TagLayout::half(), 0).unwrap();
+        let s = Stack::new(8, make(), make(), &mut (&init));
+        std::thread::scope(|scope| {
+            for id in 0..2 {
+                let s = &s;
+                let p = m.processor(id);
+                scope.spawn(move || {
+                    let mut ctx = &p;
+                    for i in 0..1_000u64 {
+                        while s.push(&mut ctx, i).is_err() {
+                            let _ = s.pop(&mut ctx);
+                        }
+                        if i % 2 == 0 {
+                            let _ = s.pop(&mut ctx);
+                        }
+                    }
+                });
+            }
+        });
+        let mut ctx = &init;
+        let len = s.len_quiescent(&mut ctx);
+        assert!(len <= 8);
+    }
+
+    #[test]
+    fn works_on_bounded_tags() {
+        let d = BoundedDomain::<Native>::new(2, 2).unwrap();
+        let make = || d.var(0).unwrap();
+        let mut init = d.proc(0);
+        let s = Stack::new(8, make(), make(), &mut init);
+        let mut me1 = d.proc(1);
+        std::thread::scope(|scope| {
+            let s = &s;
+            scope.spawn(move || {
+                for i in 0..2_000u64 {
+                    while s.push(&mut init, i).is_err() {
+                        let _ = s.pop(&mut init);
+                    }
+                }
+            });
+            scope.spawn(move || {
+                for _ in 0..2_000u64 {
+                    let _ = s.pop(&mut me1);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn works_on_lock_baseline() {
+        let s = Stack::new(
+            4,
+            LockLlSc::new(2, 0),
+            LockLlSc::new(2, 0),
+            &mut ProcId::new(0),
+        );
+        let mut ctx = ProcId::new(1);
+        s.push(&mut ctx, 9).unwrap();
+        assert_eq!(s.pop(&mut ctx), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn capacity_must_fit_value_range() {
+        let make = || CasLlSc::new_native(TagLayout::new(60, 4).unwrap(), 0).unwrap();
+        let _ = Stack::new(16, make(), make(), &mut Native);
+    }
+}

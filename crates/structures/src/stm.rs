@@ -1,0 +1,303 @@
+//! Static software transactional memory over the Figure-6 construction.
+//!
+//! Section 5 of the paper pushes back on Greenwald & Cheriton's dismissal
+//! of software transactional memory: "We have shown that STM can be
+//! implemented in existing systems". This module makes that sentence
+//! executable. It provides the *static transaction* interface of
+//! Shavit–Touitou \[14\] — a transaction reads and writes a pre-declared
+//! region of a transactional heap and either commits atomically or retries
+//! — implemented directly on the paper's own W-word WLL/VL/SC construction:
+//!
+//! * the transactional heap of `T` words is one [`WideVar`];
+//! * a transaction is a `WLL → compute → SC` retry loop (lock-free: a
+//!   retry implies some other transaction committed);
+//! * a read-only transaction is a single `WLL`.
+//!
+//! **Scope note (recorded in DESIGN.md):** Shavit–Touitou's
+//! ownership-record design is disjoint-access-parallel — transactions on
+//! disjoint cells don't contend. Routing all transactions through one wide
+//! variable gives up that property, which the paper itself concedes for its
+//! Figures 6 and 7 ("our other two implementations are not disjoint access
+//! parallel"). Θ(T)-per-transaction cost and the contention profile are
+//! measured, not hidden, in experiment E7.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nbsp_core::wide::{WideDomain, WideKeep, WideVar};
+use nbsp_core::{CasFamily, CasMemory, Native, Result};
+use nbsp_memsim::ProcId;
+
+/// Statistics from one [`Stm::transact`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxStats {
+    /// Attempts made (1 = committed first try).
+    pub attempts: u64,
+    /// WLLs that observed interference and were retried before the
+    /// transaction body even ran.
+    pub wll_interference: u64,
+}
+
+/// A transactional heap of `T` words supporting atomic multi-word
+/// transactions.
+///
+/// ```
+/// use nbsp_core::wide::WideDomain;
+/// use nbsp_core::Native;
+/// use nbsp_structures::stm::Stm;
+/// use nbsp_memsim::ProcId;
+///
+/// // A heap of 4 cells: two accounts and two audit counters.
+/// let domain = WideDomain::<Native>::new(2, 4, 32)?;
+/// let stm = Stm::new(&domain, &[100, 50, 0, 0])?;
+/// let mem = Native;
+///
+/// // Atomically move 30 from account 0 to account 1 and bump both audits.
+/// let (moved, _stats) = stm.transact(&mem, ProcId::new(0), |heap| {
+///     let amount = heap[0].min(30);
+///     heap[0] -= amount;
+///     heap[1] += amount;
+///     heap[2] += 1;
+///     heap[3] += 1;
+///     amount
+/// });
+/// assert_eq!(moved, 30);
+/// assert_eq!(stm.snapshot(&mem), vec![70, 80, 1, 1]);
+/// # Ok::<(), nbsp_core::Error>(())
+/// ```
+pub struct Stm<F: CasFamily = Native> {
+    heap: WideVar<F>,
+}
+
+impl<F: CasFamily> fmt::Debug for Stm<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stm")
+            .field("cells", &self.heap.domain().w())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: CasFamily> Stm<F> {
+    /// Creates a transactional heap in `domain` (whose `w` is the number of
+    /// cells) holding `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WideDomain::var`] errors (wrong width, oversized
+    /// values).
+    pub fn new(domain: &Arc<WideDomain<F>>, initial: &[u64]) -> Result<Self> {
+        Ok(Stm {
+            heap: domain.var(initial)?,
+        })
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.heap.domain().w()
+    }
+
+    /// Largest value a cell can hold.
+    #[must_use]
+    pub fn max_val(&self) -> u64 {
+        self.heap.domain().max_val()
+    }
+
+    /// Runs `body` as an atomic transaction as process `p`, retrying until
+    /// it commits. Returns the body's result from the committing attempt,
+    /// plus retry statistics.
+    ///
+    /// `body` receives the heap snapshot as a mutable slice; whatever it
+    /// leaves there is the committed state. It must be pure apart from that
+    /// slice: under contention it runs multiple times and only the winning
+    /// run's effects (and return value) survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body writes a value exceeding [`Stm::max_val`], or if
+    /// `p` is outside the domain.
+    pub fn transact<M, R>(
+        &self,
+        mem: &M,
+        p: ProcId,
+        mut body: impl FnMut(&mut [u64]) -> R,
+    ) -> (R, TxStats)
+    where
+        M: CasMemory<Family = F>,
+    {
+        let mut stats = TxStats::default();
+        let mut keep = WideKeep::default();
+        let mut buf = vec![0u64; self.cells()];
+        loop {
+            stats.attempts += 1;
+            if !self.heap.wll(mem, &mut keep, &mut buf).is_success() {
+                // A concurrent commit doomed this attempt before it began —
+                // the *weak* LL lets us skip the wasted computation.
+                stats.wll_interference += 1;
+                continue;
+            }
+            let result = body(&mut buf);
+            if self.heap.sc(mem, p, &keep, &buf) {
+                return (result, stats);
+            }
+        }
+    }
+
+    /// Runs `body` read-only and atomically (a single consistent snapshot;
+    /// lock-free retry on interference).
+    pub fn read<M, R>(&self, mem: &M, body: impl FnOnce(&[u64]) -> R) -> R
+    where
+        M: CasMemory<Family = F>,
+    {
+        body(&self.heap.read(mem))
+    }
+
+    /// A consistent snapshot of the whole heap.
+    #[must_use]
+    pub fn snapshot<M: CasMemory<Family = F>>(&self, mem: &M) -> Vec<u64> {
+        self.heap.read(mem)
+    }
+
+    /// Reads one cell from a consistent snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[must_use]
+    pub fn load<M: CasMemory<Family = F>>(&self, mem: &M, addr: usize) -> u64 {
+        self.snapshot(mem)[addr]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap(n_procs: usize, initial: &[u64]) -> Stm<Native> {
+        let d = WideDomain::<Native>::new(n_procs, initial.len(), 24).unwrap();
+        Stm::new(&d, initial).unwrap()
+    }
+
+    #[test]
+    fn transact_commits_body_effects() {
+        let stm = heap(1, &[1, 2, 3]);
+        let mem = Native;
+        let (sum, stats) = stm.transact(&mem, ProcId::new(0), |h| {
+            let s = h.iter().sum::<u64>();
+            h[0] = s;
+            s
+        });
+        assert_eq!(sum, 6);
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stm.snapshot(&mem), vec![6, 2, 3]);
+    }
+
+    #[test]
+    fn read_only_snapshot_is_consistent() {
+        let stm = heap(1, &[7, 7]);
+        let equal = stm.read(&Native, |h| h[0] == h[1]);
+        assert!(equal);
+        assert_eq!(stm.load(&Native, 1), 7);
+    }
+
+    #[test]
+    fn bank_transfer_conserves_total() {
+        // The canonical STM test: concurrent random transfers preserve the
+        // total balance, and no reader ever sees money in flight.
+        const ACCOUNTS: usize = 6;
+        const TOTAL: u64 = 600;
+        let initial = vec![TOTAL / ACCOUNTS as u64; ACCOUNTS];
+        let stm = heap(4, &initial);
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let stm = &stm;
+                s.spawn(move || {
+                    let mem = Native;
+                    let p = ProcId::new(t);
+                    let mut x = 0x243f6a88u64 ^ (t as u64);
+                    for _ in 0..4_000 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let from = (x >> 33) as usize % ACCOUNTS;
+                        let to = (x >> 13) as usize % ACCOUNTS;
+                        let amt = x % 10;
+                        stm.transact(&mem, p, |h| {
+                            let amt = amt.min(h[from]);
+                            h[from] -= amt;
+                            if from != to {
+                                h[to] += amt;
+                            } else {
+                                h[from] += amt;
+                            }
+                        });
+                    }
+                });
+            }
+            let stm = &stm;
+            s.spawn(move || {
+                let mem = Native;
+                for _ in 0..4_000 {
+                    let total: u64 = stm.read(&mem, |h| h.iter().sum());
+                    assert_eq!(total, TOTAL, "money created or destroyed in flight");
+                }
+            });
+        });
+        let total: u64 = stm.snapshot(&Native).iter().sum();
+        assert_eq!(total, TOTAL);
+    }
+
+    #[test]
+    fn body_reruns_are_discarded() {
+        let stm = heap(2, &[0, 0]);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let stm = &stm;
+                s.spawn(move || {
+                    let mem = Native;
+                    let p = ProcId::new(t);
+                    for _ in 0..5_000 {
+                        stm.transact(&mem, p, |h| {
+                            h[0] += 1;
+                            h[1] += 1;
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.snapshot(&Native), vec![10_000, 10_000]);
+    }
+
+    #[test]
+    fn stats_count_retries_under_contention() {
+        let stm = heap(2, &[0]);
+        let total_attempts: u64 = std::thread::scope(|s| {
+            (0..2)
+                .map(|t| {
+                    let stm = &stm;
+                    s.spawn(move || {
+                        let mem = Native;
+                        let p = ProcId::new(t);
+                        let mut attempts = 0;
+                        for _ in 0..3_000 {
+                            let (_, st) = stm.transact(&mem, p, |h| h[0] += 1);
+                            attempts += st.attempts;
+                        }
+                        attempts
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert!(total_attempts >= 6_000, "at least one attempt per tx");
+        assert_eq!(stm.snapshot(&Native), vec![6_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_write_panics() {
+        let stm = heap(1, &[0]);
+        let max = stm.max_val();
+        let _ = stm.transact(&Native, ProcId::new(0), |h| h[0] = max + 1);
+    }
+}

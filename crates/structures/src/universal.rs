@@ -1,0 +1,210 @@
+//! Herlihy-style universal construction for small objects.
+//!
+//! Herlihy's methodology [7 in the paper's bibliography] turns *any*
+//! sequential object into a lock-free linearizable one: read the state,
+//! compute the new state locally, and install it with an ABA-safe
+//! conditional store. For objects whose state fits one machine word, LL/SC
+//! is exactly that conditional store — which is why [7] is on the paper's
+//! list of algorithms stranded by the lack of real LL/VL/SC hardware.
+//!
+//! [`Universal`] wraps an [`LlScVar`] and applies arbitrary pure
+//! transition functions atomically. Operations are lock-free: an attempt
+//! only retries because another operation succeeded.
+
+use std::fmt;
+
+use nbsp_core::LlScVar;
+
+/// A lock-free linearizable object whose state is one word, driven by pure
+/// transition functions.
+///
+/// ```
+/// use nbsp_core::{CasLlSc, Native, TagLayout};
+/// use nbsp_structures::Universal;
+///
+/// // A saturating stopwatch: state is (minutes << 6 | seconds).
+/// let obj = Universal::new(CasLlSc::new_native(TagLayout::half(), 0)?);
+/// let mut ctx = Native;
+/// let tick = |s: u64| {
+///     let (m, sec) = (s >> 6, s & 63);
+///     if sec == 59 { (m + 1) << 6 } else { s + 1 }
+/// };
+/// for _ in 0..61 {
+///     obj.apply(&mut ctx, tick);
+/// }
+/// assert_eq!(obj.state(&mut ctx) >> 6, 1);   // one minute
+/// assert_eq!(obj.state(&mut ctx) & 63, 1);   // one second
+/// # Ok::<(), nbsp_core::Error>(())
+/// ```
+pub struct Universal<V: LlScVar> {
+    state: V,
+}
+
+impl<V: LlScVar> fmt::Debug for Universal<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Universal").finish_non_exhaustive()
+    }
+}
+
+impl<V: LlScVar> Universal<V> {
+    /// Wraps a variable as the object's state word.
+    #[must_use]
+    pub fn new(state: V) -> Self {
+        Universal { state }
+    }
+
+    /// Atomically replaces the state `s` with `f(s)`, returning
+    /// `(old, new)`. `f` must be pure: it may run several times under
+    /// contention, and only the winning run's result is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` produces a value exceeding the variable's range.
+    pub fn apply(&self, ctx: &mut V::Ctx<'_>, mut f: impl FnMut(u64) -> u64) -> (u64, u64) {
+        let mut keep = V::Keep::default();
+        loop {
+            let old = self.state.ll(ctx, &mut keep);
+            let new = f(old);
+            if self.state.sc(ctx, &mut keep, new) {
+                return (old, new);
+            }
+        }
+    }
+
+    /// Atomically applies `f` only while `guard` holds; returns
+    /// `Ok((old, new))` or `Err(state)` with the state that failed the
+    /// guard (linearized at the LL).
+    pub fn apply_if(
+        &self,
+        ctx: &mut V::Ctx<'_>,
+        guard: impl Fn(u64) -> bool,
+        mut f: impl FnMut(u64) -> u64,
+    ) -> Result<(u64, u64), u64> {
+        let mut keep = V::Keep::default();
+        loop {
+            let old = self.state.ll(ctx, &mut keep);
+            if !guard(old) {
+                self.state.cl(ctx, &mut keep);
+                return Err(old);
+            }
+            let new = f(old);
+            if self.state.sc(ctx, &mut keep, new) {
+                return Ok((old, new));
+            }
+        }
+    }
+
+    /// Reads the current state.
+    pub fn state(&self, ctx: &mut V::Ctx<'_>) -> u64 {
+        self.state.read(ctx)
+    }
+
+    /// Consumes the object, returning the underlying state variable.
+    #[must_use]
+    pub fn into_inner(self) -> V {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbsp_core::bounded::BoundedDomain;
+    use nbsp_core::{CasLlSc, Native, TagLayout};
+
+    fn obj(initial: u64) -> Universal<CasLlSc<Native>> {
+        Universal::new(CasLlSc::new_native(TagLayout::half(), initial).unwrap())
+    }
+
+    #[test]
+    fn apply_returns_old_and_new() {
+        let o = obj(10);
+        let mut ctx = Native;
+        assert_eq!(o.apply(&mut ctx, |s| s * 2), (10, 20));
+        assert_eq!(o.state(&mut ctx), 20);
+    }
+
+    #[test]
+    fn apply_if_respects_guard() {
+        let o = obj(5);
+        let mut ctx = Native;
+        assert_eq!(o.apply_if(&mut ctx, |s| s > 3, |s| s - 1), Ok((5, 4)));
+        assert_eq!(o.apply_if(&mut ctx, |s| s > 100, |s| s - 1), Err(4));
+        assert_eq!(o.state(&mut ctx), 4);
+    }
+
+    #[test]
+    fn bank_account_never_overdraws() {
+        // Classic guard scenario: concurrent withdrawals of 3 from a
+        // balance of 100 — exactly 33 must succeed.
+        let o = obj(100);
+        let successes: u64 = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let o = &o;
+                    s.spawn(move || {
+                        let mut ctx = Native;
+                        let mut n = 0;
+                        for _ in 0..50 {
+                            if o.apply_if(&mut ctx, |b| b >= 3, |b| b - 3).is_ok() {
+                                n += 1;
+                            }
+                        }
+                        n
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(successes, 33);
+        assert_eq!(o.state(&mut Native), 1);
+    }
+
+    #[test]
+    fn state_machine_on_bounded_tags() {
+        let d = BoundedDomain::<Native>::new(2, 1).unwrap();
+        let o = Universal::new(d.var(0).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let o = &o;
+                let mut me = d.proc(t);
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        o.apply(&mut me, |s| s + 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(o.into_inner().peek(&Native), 20_000);
+    }
+
+    #[test]
+    fn transition_function_may_run_multiple_times_but_applies_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let o = obj(0);
+        let calls = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let o = &o;
+                let calls = &calls;
+                s.spawn(move || {
+                    let mut ctx = Native;
+                    for _ in 0..2_000 {
+                        o.apply(&mut ctx, |v| {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            v + 1
+                        });
+                    }
+                });
+            }
+        });
+        let mut ctx = Native;
+        assert_eq!(o.state(&mut ctx), 8_000, "exactly one application each");
+        assert!(
+            calls.load(Ordering::Relaxed) >= 8_000,
+            "retries re-run the function"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 1, executable: concurrent LL–SC sequences vs. restricted RLL/RSC.
+//!
+//! The paper's Figure 1(a) shows a process with two LL–SC sequences in
+//! flight at once — LL(X), work on Z, LL(Y), VL(X), SC(Y), SC(X) — and
+//! observes that hardware with a single reservation per processor (MIPS
+//! R4000, Alpha, PowerPC) cannot run it. This example demonstrates:
+//!
+//! 1. on the raw RLL/RSC machine, the second RLL silently destroys the
+//!    first reservation, so the program *cannot* be written that way;
+//! 2. the same program runs correctly on the paper's Figure-5 construction
+//!    over the very same machine.
+//!
+//! ```text
+//! cargo run --example concurrent_sequences
+//! ```
+
+use nbsp::core::{Keep, RllLlSc, TagLayout};
+use nbsp::memsim::{InstructionSet, Machine, SimWord};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A machine like the MIPS R4000: RLL/RSC, no CAS, one LLBit.
+    let machine = Machine::builder(1)
+        .instruction_set(InstructionSet::RllRscOnly)
+        .build();
+    let p = machine.processor(0);
+
+    // ---------------------------------------------------------------
+    // Attempt 1: Figure 1(a) with raw RLL/RSC. Doomed.
+    // ---------------------------------------------------------------
+    println!("--- raw RLL/RSC on a single-LLBit machine ---");
+    let x = SimWord::new(10);
+    let y = SimWord::new(20);
+    let z = SimWord::new(0);
+
+    let vx = p.rll(&x); // RLL(X)
+    p.write(&z, 1); //     touch Z — already invalidates the reservation!
+    let vy = p.rll(&y); // RLL(Y) — and this claims the single LLBit anyway
+    let sy = p.rsc(&y, vy + 1); // RSC(Y) works: the reservation names Y…
+    println!("RSC(Y) succeeded: {sy}");
+    // …but there is no reservation left for X. On real hardware the SC
+    // simply fails; the program cannot express two sequences at once.
+    assert!(!p.has_reservation());
+    println!("reservation for X after RSC(Y): gone (single LLBit)");
+    let _ = vx;
+
+    // ---------------------------------------------------------------
+    // Attempt 2: the same program over Figure 5 (emulated LL/VL/SC),
+    // still running on nothing but RLL/RSC.
+    // ---------------------------------------------------------------
+    println!("\n--- Figure-5 LL/VL/SC emulated over the same machine ---");
+    let layout = TagLayout::half();
+    let ex = RllLlSc::new(layout, 10)?;
+    let ey = RllLlSc::new(layout, 20)?;
+    let ez = SimWord::new(0);
+
+    let mut keep_x = Keep::default();
+    let mut keep_y = Keep::default();
+
+    let vx = ex.ll(&p, &mut keep_x); //  LL(X)
+    p.write(&ez, p.read(&ez) + 1); //    read & write Z freely
+    let vy = ey.ll(&p, &mut keep_y); //  LL(Y) — second sequence, no problem
+    assert!(ex.vl(&p, &keep_x)); //      VL(X)
+    assert!(ey.sc(&p, &keep_y, vy + 1)); // SC(Y)
+    assert!(ex.sc(&p, &keep_x, vx + 1)); // SC(X)
+
+    println!(
+        "X: 10 -> {}, Y: 20 -> {} — both sequences committed",
+        ex.read(&p),
+        ey.read(&p)
+    );
+    assert_eq!((ex.read(&p), ey.read(&p)), (11, 21));
+
+    let stats = p.stats();
+    println!(
+        "\nsimulated instruction counts: {} RLL, {} RSC ({} failed), {} reads, {} writes",
+        stats.rll,
+        stats.rsc_attempts,
+        stats.rsc_failures(),
+        stats.reads,
+        stats.writes,
+    );
+    println!("ok: Figure 1(a) runs on single-LLBit hardware via Figure 5");
+    Ok(())
+}

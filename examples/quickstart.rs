@@ -1,0 +1,76 @@
+//! Quickstart: LL/VL/SC on a machine that only has CAS.
+//!
+//! This is the paper's Figure-4 construction in its natural habitat: your
+//! CPU provides compare-and-swap (`AtomicU64::compare_exchange`), your
+//! algorithm wants Load-Linked / Validate / Store-Conditional with
+//! concurrent sequences. Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use nbsp::core::{CasLlSc, Keep, Native, TagLayout};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 64-bit word split into a 32-bit tag and a 32-bit value. The tag is
+    // what makes SC fail after *any* intervening store — even one that
+    // restores the old value (no ABA).
+    let layout = TagLayout::half();
+    println!(
+        "layout: {} tag bits / {} value bits (tag wraps after {} SCs)",
+        layout.tag_bits(),
+        layout.val_bits(),
+        layout.max_tag() + 1,
+    );
+
+    let counter = CasLlSc::new_native(layout, 0)?;
+    let mem = Native;
+
+    // --- The basic LL ... VL ... SC cycle --------------------------------
+    let mut keep = Keep::default();
+    let value = counter.ll(&mem, &mut keep);
+    assert!(counter.vl(&mem, &keep), "nobody interfered yet");
+    assert!(counter.sc(&mem, &keep, value + 1));
+    println!("single-threaded LL/SC: 0 -> {}", counter.read(&mem));
+
+    // --- A stale sequence fails, exactly as the semantics demand --------
+    let mut stale = Keep::default();
+    let _ = counter.ll(&mem, &mut stale);
+    let mut fresh = Keep::default();
+    let v = counter.ll(&mem, &mut fresh);
+    assert!(counter.sc(&mem, &fresh, v + 1)); // interferes with `stale`
+    assert!(!counter.vl(&mem, &stale), "VL detects the interference");
+    assert!(!counter.sc(&mem, &stale, 999), "SC refuses the stale keep");
+
+    // --- Contended increments are exact ----------------------------------
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+    let before = counter.read(&mem);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let counter = &counter;
+            s.spawn(move || {
+                let mem = Native;
+                for _ in 0..PER_THREAD {
+                    let mut keep = Keep::default();
+                    loop {
+                        let v = counter.ll(&mem, &mut keep);
+                        if counter.sc(&mem, &keep, v + 1) {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let after = counter.read(&mem);
+    println!(
+        "{THREADS} threads x {PER_THREAD} increments: {before} -> {after} \
+         (expected {})",
+        before + THREADS as u64 * PER_THREAD
+    );
+    assert_eq!(after, before + THREADS as u64 * PER_THREAD);
+
+    println!("ok: no increment was lost — every SC linearized correctly");
+    Ok(())
+}

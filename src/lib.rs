@@ -1,0 +1,46 @@
+//! # nbsp — Practical Implementations of Non-Blocking Synchronization Primitives
+//!
+//! A from-scratch Rust reproduction of Mark Moir, *Practical
+//! Implementations of Non-Blocking Synchronization Primitives*, PODC 1997.
+//!
+//! The paper closes the gap between the LL/VL/SC and CAS primitives that
+//! published non-blocking algorithms assume and the weaker instructions
+//! real multiprocessors provide. This workspace implements every
+//! construction in the paper, the simulated hardware substrate they are
+//! specified against, the algorithms they re-enable, and the test and
+//! benchmark machinery that validates the paper's claims. See `DESIGN.md`
+//! for the full inventory and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! name.
+//!
+//! ```
+//! use nbsp::core::{CasLlSc, Keep, Native, TagLayout};
+//!
+//! let v = CasLlSc::new_native(TagLayout::half(), 0)?;
+//! let mut keep = Keep::default();
+//! let x = v.ll(&Native, &mut keep);
+//! assert!(v.sc(&Native, &keep, x + 1));
+//! assert_eq!(v.read(&Native), 1);
+//! # Ok::<(), nbsp::core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The simulated shared-memory multiprocessor (RLL/RSC, CAS, spurious
+/// failures, instruction accounting). Re-export of `nbsp-memsim`.
+pub use nbsp_memsim as memsim;
+
+/// The paper's constructions (Figures 3–7), baselines and ablations.
+/// Re-export of `nbsp-core`.
+pub use nbsp_core as core;
+
+/// Non-blocking data structures built on the primitives. Re-export of
+/// `nbsp-structures`.
+pub use nbsp_structures as structures;
+
+/// History recording and linearizability checking. Re-export of
+/// `nbsp-linearize`.
+pub use nbsp_linearize as linearize;

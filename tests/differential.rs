@@ -1,0 +1,209 @@
+//! Differential testing: every implementation must agree, operation by
+//! operation, with the Figure-2 specification on deterministic sequential
+//! interleavings of multiple processes.
+//!
+//! Sequential execution makes outcomes deterministic, so unlike the
+//! linearizability tests (which accept any legal order) this test demands
+//! *exact* equality on thousands of proptest-generated multi-process
+//! programs — a much finer sieve for off-by-one tag handling, stale keeps,
+//! or slot bookkeeping errors.
+
+use proptest::prelude::*;
+
+use nbsp::core::bounded::BoundedDomain;
+use nbsp::core::keep_search::{KeepRegistry, PerVarKeepVar, RegistryKeepVar};
+use nbsp::core::lock_baseline::LockLlSc;
+use nbsp::core::wide::{WideDomain, WideKeep};
+use nbsp::core::{CasLlSc, LlScVar, Native, RllLlSc, TagLayout};
+use nbsp::linearize::{LlScSpec, Op, Ret, SeqSpec};
+use nbsp::memsim::{InstructionSet, Machine, ProcId, SpuriousMode};
+
+const N: usize = 3;
+const MAX_VAL: u64 = 15; // small so values collide and ABA patterns arise
+
+#[derive(Clone, Debug)]
+enum PlanOp {
+    Ll,
+    Vl,
+    Sc(u64),
+    Read,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Vec<(usize, PlanOp)>> {
+    proptest::collection::vec(
+        (0..N, 0u8..4, 0..=MAX_VAL).prop_map(|(p, kind, v)| {
+            let op = match kind {
+                0 => PlanOp::Ll,
+                1 => PlanOp::Vl,
+                2 => PlanOp::Sc(v),
+                _ => PlanOp::Read,
+            };
+            (p, op)
+        }),
+        0..120,
+    )
+}
+
+/// Applies the plan to `var` (through its generic interface) and to the
+/// spec, asserting equal outcomes at every step.
+fn run_differential<V: LlScVar>(var: &V, ctxs: &mut [&mut V::Ctx<'_>], plan: &[(usize, PlanOp)]) {
+    let mut spec = LlScSpec::new(N, 0);
+    let mut keeps: Vec<V::Keep> = (0..N).map(|_| V::Keep::default()).collect();
+    for (step, (p, op)) in plan.iter().enumerate() {
+        let proc = ProcId::new(*p);
+        let (got, want) = match op {
+            PlanOp::Ll => (
+                Ret::Value(var.ll(ctxs[*p], &mut keeps[*p])),
+                spec.apply(proc, &Op::Ll),
+            ),
+            PlanOp::Vl => (
+                Ret::Bool(var.vl(ctxs[*p], &keeps[*p])),
+                spec.apply(proc, &Op::Vl),
+            ),
+            PlanOp::Sc(v) => (
+                Ret::Bool(var.sc(ctxs[*p], &mut keeps[*p], *v)),
+                spec.apply(proc, &Op::Sc(*v)),
+            ),
+            PlanOp::Read => (
+                Ret::Value(var.read(ctxs[*p])),
+                spec.apply(proc, &Op::Read),
+            ),
+        };
+        assert_eq!(got, want, "step {step}: {op:?} by p{p} diverged from Figure 2");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn figure4_native_matches_spec(plan in plan_strategy()) {
+        let var = CasLlSc::new_native(TagLayout::new(60, 4).unwrap(), 0).unwrap();
+        let mut c0 = Native;
+        let mut c1 = Native;
+        let mut c2 = Native;
+        run_differential(&var, &mut [&mut c0, &mut c1, &mut c2], &plan);
+    }
+
+    #[test]
+    fn figure5_matches_spec_even_with_spurious_failures(plan in plan_strategy()) {
+        let m = Machine::builder(N)
+            .instruction_set(InstructionSet::RllRscOnly)
+            .spurious(SpuriousMode::EveryNth { n: 3 })
+            .build();
+        let var = RllLlSc::new(TagLayout::new(60, 4).unwrap(), 0).unwrap();
+        let procs = m.processors();
+        let mut c0: &nbsp::memsim::Processor = &procs[0];
+        let mut c1: &nbsp::memsim::Processor = &procs[1];
+        let mut c2: &nbsp::memsim::Processor = &procs[2];
+        run_differential(&var, &mut [&mut c0, &mut c1, &mut c2], &plan);
+    }
+
+    #[test]
+    fn figure7_bounded_matches_spec(plan in plan_strategy()) {
+        let d = BoundedDomain::<Native>::new(N, 2).unwrap();
+        let var = d.var(0).unwrap();
+        let mut c0 = d.proc(0);
+        let mut c1 = d.proc(1);
+        let mut c2 = d.proc(2);
+        run_differential(&var, &mut [&mut c0, &mut c1, &mut c2], &plan);
+    }
+
+    #[test]
+    fn lock_baseline_matches_spec(plan in plan_strategy()) {
+        let var = LockLlSc::new(N, 0);
+        let mut c0 = ProcId::new(0);
+        let mut c1 = ProcId::new(1);
+        let mut c2 = ProcId::new(2);
+        run_differential(&var, &mut [&mut c0, &mut c1, &mut c2], &plan);
+    }
+
+    #[test]
+    fn per_var_keep_ablation_matches_spec(plan in plan_strategy()) {
+        let var = PerVarKeepVar::new(N, TagLayout::new(60, 4).unwrap(), 0).unwrap();
+        let mut c0 = ProcId::new(0);
+        let mut c1 = ProcId::new(1);
+        let mut c2 = ProcId::new(2);
+        run_differential(&var, &mut [&mut c0, &mut c1, &mut c2], &plan);
+    }
+
+    #[test]
+    fn registry_keep_ablation_matches_spec(plan in plan_strategy()) {
+        let r = KeepRegistry::new();
+        let var = RegistryKeepVar::new(&r, N, TagLayout::new(60, 4).unwrap(), 0).unwrap();
+        let mut c0 = ProcId::new(0);
+        let mut c1 = ProcId::new(1);
+        let mut c2 = ProcId::new(2);
+        run_differential(&var, &mut [&mut c0, &mut c1, &mut c2], &plan);
+    }
+
+    /// Figure 6 (wide) against a hand-rolled W-word Figure-2 spec.
+    #[test]
+    fn figure6_wide_matches_multiword_spec(plan in plan_strategy()) {
+        const W: usize = 3;
+        let d = WideDomain::<Native>::new(N, W, 32).unwrap();
+        let var = d.var(&[0; W]).unwrap();
+        let mem = Native;
+
+        // Spec state: W-word value + per-process valid bits. The paper
+        // leaves VL/SC undefined before a process's first LL, and the
+        // `WideKeep` type (unlike the Option-style generic keeps) cannot
+        // express "no sequence", so such ops are skipped.
+        let mut vals = [0u64; W];
+        let mut valid = [false; N];
+        let mut lled = [false; N];
+        let mut keeps: Vec<WideKeep> = (0..N).map(|_| WideKeep::default()).collect();
+
+        for (p, op) in &plan {
+            let proc = ProcId::new(*p);
+            if !lled[*p] && !matches!(op, PlanOp::Ll | PlanOp::Read) {
+                continue;
+            }
+            match op {
+                PlanOp::Ll => {
+                    lled[*p] = true;
+                    let mut buf = [0u64; W];
+                    let out = var.wll(&mem, &mut keeps[*p], &mut buf);
+                    prop_assert!(out.is_success(), "sequential WLL cannot be interfered with");
+                    prop_assert_eq!(buf, vals);
+                    valid[*p] = true;
+                }
+                PlanOp::Vl => {
+                    prop_assert_eq!(var.vl(&mem, &keeps[*p]), valid[*p]);
+                }
+                PlanOp::Sc(v) => {
+                    let newval = [*v, v + 1, v + 2];
+                    let got = var.sc(&mem, proc, &keeps[*p], &newval);
+                    prop_assert_eq!(got, valid[*p]);
+                    if valid[*p] {
+                        vals = newval;
+                        valid = [false; N];
+                    }
+                }
+                PlanOp::Read => {
+                    prop_assert_eq!(var.read(&mem), vals.to_vec());
+                }
+            }
+        }
+    }
+}
+
+/// The VL-before-any-LL edge case, which the spec defines as false, across
+/// all implementations at once.
+#[test]
+fn vl_before_ll_is_false_everywhere() {
+    let cas = CasLlSc::new_native(TagLayout::half(), 0).unwrap();
+    assert!(!LlScVar::vl(
+        &cas,
+        &mut Native,
+        &<CasLlSc<Native> as LlScVar>::Keep::default()
+    ));
+
+    let lock = LockLlSc::new(1, 0);
+    assert!(!LlScVar::vl(&lock, &mut ProcId::new(0), &false));
+
+    let d = BoundedDomain::<Native>::new(1, 1).unwrap();
+    let b = d.var(0).unwrap();
+    let mut me = d.proc(0);
+    assert!(!LlScVar::vl(&b, &mut me, &None));
+}

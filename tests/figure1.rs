@@ -1,0 +1,104 @@
+//! Figure 1 as a test: the program with two concurrent LL–SC sequences
+//! cannot run on raw RLL/RSC but runs on every emulated LL/VL/SC.
+
+use nbsp::core::bounded::BoundedDomain;
+use nbsp::core::{CasLlSc, Keep, Native, RllLlSc, TagLayout};
+use nbsp::memsim::{AccessBetween, InstructionSet, Machine, SimWord};
+
+/// Runs Figure 1(a) — LL(X); read/write Z; LL(Y); VL(X); SC(Y); SC(X) —
+/// generically, asserting every step behaves as the paper's semantics
+/// demand.
+macro_rules! figure_1a {
+    ($x:expr, $y:expr, $ll:expr, $vl:expr, $sc:expr, $touch_z:expr) => {{
+        let mut keep_x = Keep::default();
+        let mut keep_y = Keep::default();
+        let vx = $ll(&$x, &mut keep_x);
+        $touch_z();
+        let vy = $ll(&$y, &mut keep_y);
+        assert!($vl(&$x, &keep_x), "VL(X) must hold");
+        assert!($sc(&$y, &keep_y, vy + 1), "SC(Y) must succeed");
+        assert!($sc(&$x, &keep_x, vx + 1), "SC(X) must succeed");
+    }};
+}
+
+#[test]
+fn raw_rll_rsc_cannot_express_figure_1a() {
+    // One reservation per processor: after RLL(X), RLL(Y), only the Y
+    // reservation exists; and merely touching Z already kills it.
+    let m = Machine::builder(1)
+        .instruction_set(InstructionSet::RllRscOnly)
+        .build();
+    let p = m.processor(0);
+    let x = SimWord::new(10);
+    let y = SimWord::new(20);
+    let z = SimWord::new(0);
+
+    let vx = p.rll(&x);
+    p.write(&z, 1); // restriction #1: reservation invalidated
+    assert!(!p.has_reservation());
+    let vy = p.rll(&y); // claims the single LLBit for Y
+    assert!(p.rsc(&y, vy + 1));
+    // No reservation remains for X — the SC(X) of Figure 1(a) is
+    // inexpressible (an RSC here would panic: reservation names no word).
+    assert!(!p.has_reservation());
+    let _ = vx;
+}
+
+#[test]
+fn figure_1a_runs_on_figure_5_over_the_same_machine() {
+    let m = Machine::builder(1)
+        .instruction_set(InstructionSet::RllRscOnly)
+        // Strict mode: prove the construction never violates restriction #1.
+        .access_between(AccessBetween::Panic)
+        .build();
+    let p = m.processor(0);
+    let x = RllLlSc::new(TagLayout::half(), 10).unwrap();
+    let y = RllLlSc::new(TagLayout::half(), 20).unwrap();
+    let z = SimWord::new(0);
+
+    figure_1a!(
+        x,
+        y,
+        |v: &RllLlSc, k: &mut Keep| v.ll(&p, k),
+        |v: &RllLlSc, k: &Keep| v.vl(&p, k),
+        |v: &RllLlSc, k: &Keep, val: u64| v.sc(&p, k, val),
+        || p.write(&z, p.read(&z) + 1)
+    );
+    assert_eq!((x.read(&p), y.read(&p)), (11, 21));
+}
+
+#[test]
+fn figure_1a_runs_on_figure_4_over_native_cas() {
+    let x = CasLlSc::new_native(TagLayout::half(), 10).unwrap();
+    let y = CasLlSc::new_native(TagLayout::half(), 20).unwrap();
+    let mem = Native;
+    figure_1a!(
+        x,
+        y,
+        |v: &CasLlSc, k: &mut Keep| v.ll(&mem, k),
+        |v: &CasLlSc, k: &Keep| v.vl(&mem, k),
+        |v: &CasLlSc, k: &Keep, val: u64| v.sc(&mem, k, val),
+        || ()
+    );
+    assert_eq!((x.read(&mem), y.read(&mem)), (11, 21));
+}
+
+#[test]
+fn figure_1a_runs_on_figure_7_bounded() {
+    // k = 2 concurrent sequences per process is exactly what Figure 1(a)
+    // needs.
+    let d = BoundedDomain::<Native>::new(2, 2).unwrap();
+    let x = d.var(10).unwrap();
+    let y = d.var(20).unwrap();
+    let mut me = d.proc(0);
+    let mem = Native;
+
+    let (vx, keep_x) = x.ll(&mem, &mut me);
+    let (vy, keep_y) = y.ll(&mem, &mut me);
+    assert!(x.vl(&mem, &me, &keep_x));
+    assert!(y.sc(&mem, &mut me, keep_y, vy + 1));
+    assert!(x.sc(&mem, &mut me, keep_x, vx + 1));
+    assert_eq!(x.peek(&mem), 11);
+    assert_eq!(y.peek(&mem), 21);
+    assert_eq!(me.free_slots(), 2);
+}

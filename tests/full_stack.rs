@@ -1,0 +1,164 @@
+//! End-to-end tests of the full construction stacks under adversarial
+//! conditions: every layer of the paper composed, on the weakest machine,
+//! with spurious failures injected and the strict no-access-between-RLL-RSC
+//! check armed.
+
+use nbsp::core::bounded::BoundedDomain;
+use nbsp::core::wide::{WideDomain, WideKeep};
+use nbsp::core::{CasLlSc, EmuCas, EmuFamily, Keep, TagLayout};
+use nbsp::memsim::{AccessBetween, InstructionSet, Machine, ProcId, SpuriousMode};
+use nbsp::structures::Counter;
+
+/// The weakest machine the paper targets: RLL/RSC only, spurious failures,
+/// strict enforcement of restriction #1 (any violation panics the test).
+fn hostile_machine(n: usize, seed: u64) -> Machine {
+    Machine::builder(n)
+        .instruction_set(InstructionSet::RllRscOnly)
+        .access_between(AccessBetween::Panic)
+        .spurious(SpuriousMode::Probability { p: 0.2 })
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn figure4_over_figure3_survives_hostile_machine() {
+    // LL/VL/SC from CAS from RLL/RSC: the full §3 stack, 4 threads, 20%
+    // spurious failure rate, strict windows. Counter exactness proves both
+    // layers linearize.
+    let m = hostile_machine(4, 7);
+    let var =
+        CasLlSc::<EmuFamily<32>>::new(TagLayout::for_width(16, 16, 32).unwrap(), 0).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let p = m.processor(t);
+            let var = &var;
+            s.spawn(move || {
+                let mem = EmuCas::<32>::new(&p);
+                for _ in 0..1_500 {
+                    let mut keep = Keep::default();
+                    loop {
+                        let v = var.ll(&mem, &mut keep);
+                        if var.sc(&mem, &keep, (v + 1) & 0xFFFF) {
+                            break;
+                        }
+                    }
+                }
+                // Spurious failures really were injected:
+                assert!(p.stats().rsc_spurious > 0);
+            });
+        }
+    });
+    let check = hostile_machine(1, 8);
+    let p = check.processor(0);
+    assert_eq!(var.read(&EmuCas::<32>::new(&p)), 6_000);
+}
+
+#[test]
+fn figure6_over_figure3_survives_hostile_machine() {
+    let m = hostile_machine(3, 21);
+    let reader = m.processor(2);
+    let d = WideDomain::<EmuFamily<16>>::new(3, 4, 16).unwrap();
+    let var = d.var(&[0, 1, 2, 3]).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let p = m.processor(t);
+            let var = &var;
+            s.spawn(move || {
+                let mem = EmuCas::<16>::new(&p);
+                let pid = ProcId::new(t);
+                for _ in 0..400 {
+                    let mut keep = WideKeep::default();
+                    let mut buf = [0u64; 4];
+                    if var.wll(&mem, &mut keep, &mut buf).is_success() {
+                        // Invariant: consecutive stripe.
+                        assert_eq!(buf[1], buf[0] + 1, "torn wide read");
+                        assert_eq!(buf[3], buf[2] + 1, "torn wide read");
+                        let b = buf[0] + 4;
+                        let _ = var.sc(&mem, pid, &keep, &[b, b + 1, b + 2, b + 3]);
+                    }
+                }
+            });
+        }
+    });
+    let fin = var.read(&EmuCas::<16>::new(&reader));
+    assert_eq!(fin[1], fin[0] + 1);
+    assert_eq!(fin[3], fin[2] + 1);
+}
+
+#[test]
+fn figure7_over_figure3_survives_hostile_machine() {
+    let m = hostile_machine(2, 99);
+    let d = BoundedDomain::<EmuFamily<16>>::new(2, 1).unwrap();
+    let var = d.var(0).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let p = m.processor(t);
+            let mut me = d.proc(t);
+            let var = &var;
+            s.spawn(move || {
+                let mem = EmuCas::<16>::new(&p);
+                for _ in 0..1_000 {
+                    loop {
+                        let (v, keep) = var.ll(&mem, &mut me);
+                        if var.sc(&mem, &mut me, keep, v + 1) {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let check = hostile_machine(1, 100);
+    let p = check.processor(0);
+    assert_eq!(var.peek(&EmuCas::<16>::new(&p)), 2_000);
+}
+
+#[test]
+fn structures_run_on_the_full_stack() {
+    // A Counter over Figure 4 over Figure 3 over hostile RLL/RSC.
+    let m = hostile_machine(2, 5);
+    let var =
+        CasLlSc::<EmuFamily<32>>::new(TagLayout::for_width(16, 16, 32).unwrap(), 0).unwrap();
+    let counter = Counter::new(var);
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let p = m.processor(t);
+            let counter = &counter;
+            s.spawn(move || {
+                let mut mem = EmuCas::<32>::new(&p);
+                for _ in 0..1_000 {
+                    counter.increment(&mut mem);
+                }
+            });
+        }
+    });
+    let check = hostile_machine(1, 6);
+    let p = check.processor(0);
+    let mut mem = EmuCas::<32>::new(&p);
+    assert_eq!(counter.get(&mut mem), 2_000);
+}
+
+#[test]
+fn uncontended_ops_use_constantly_many_instructions() {
+    // Theorem 1's constant-time claim, instruction-counted: with no
+    // contention and no spurious failures, each emulated CAS must cost the
+    // same small number of simulated instructions regardless of history
+    // length.
+    let m = Machine::builder(1)
+        .instruction_set(InstructionSet::RllRscOnly)
+        .build();
+    let p = m.processor(0);
+    let var = nbsp::core::EmuCasWord::new(TagLayout::half(), 0).unwrap();
+    let mut per_op = Vec::new();
+    for i in 0..100 {
+        let before = p.stats().total_instructions();
+        assert!(var.cas(&p, i, i + 1));
+        per_op.push(p.stats().total_instructions() - before);
+    }
+    assert!(
+        per_op.windows(2).all(|w| w[0] == w[1]),
+        "per-op instruction count must be constant: {per_op:?}"
+    );
+    // Figure 3's success path: 1 read + 1 RLL + 1 RSC.
+    assert_eq!(per_op[0], 3);
+}

@@ -1,0 +1,265 @@
+//! Linearizability of every LL/VL/SC implementation under randomized
+//! concurrent schedules, checked against the Figure-2 specification.
+//!
+//! This is the executable stand-in for the paper's deferred hand proofs:
+//! for each construction we record real multi-threaded histories (3
+//! processes × 4 operations, hundreds of seeds) and run the Wing & Gong
+//! checker. A deliberately broken construction — SC by value comparison
+//! without a tag, i.e. the ABA bug the paper's tags exist to prevent — is
+//! shown to *fail* the same check, so a pass is meaningful.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nbsp::core::bounded::BoundedDomain;
+use nbsp::core::lock_baseline::LockLlSc;
+use nbsp::core::{CasLlSc, LlScVar, Native, RllLlSc, TagLayout};
+use nbsp::linearize::{history, is_linearizable, Completed, HistoryClock, LlScSpec, Op, Recorder, Ret};
+use nbsp::memsim::{InstructionSet, Machine, ProcId, SpuriousMode};
+
+const THREADS: usize = 3;
+const OPS_PER_THREAD: usize = 4;
+const SEEDS: u64 = 120;
+
+/// Deterministic op plan from a seed: values are small so collisions (and
+/// would-be ABA) are frequent.
+fn plan(seed: u64, t: usize) -> Vec<Op> {
+    let mut x = seed
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(t as u64);
+    (0..OPS_PER_THREAD)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            match (x >> 60) % 4 {
+                0 => Op::Ll,
+                1 => Op::Vl,
+                2 => Op::Sc(x >> 32 & 0x3),
+                _ => Op::Read,
+            }
+        })
+        .collect()
+}
+
+/// Executes an op plan against `var` through its generic interface,
+/// recording each operation.
+fn drive<V: LlScVar>(var: &V, ctx: &mut V::Ctx<'_>, rec: &mut Recorder, ops: &[Op]) {
+    let mut keep = V::Keep::default();
+    for op in ops {
+        match *op {
+            Op::Ll => {
+                let _ = rec.record(Op::Ll, || Ret::Value(var.ll(ctx, &mut keep)));
+            }
+            Op::Vl => {
+                let _ = rec.record(Op::Vl, || Ret::Bool(var.vl(ctx, &keep)));
+            }
+            Op::Sc(v) => {
+                let _ = rec.record(Op::Sc(v), || Ret::Bool(var.sc(ctx, &mut keep, v)));
+            }
+            Op::Read => {
+                let _ = rec.record(Op::Read, || Ret::Value(var.read(ctx)));
+            }
+            Op::Cas { .. } => unreachable!("plan() never emits CAS"),
+        }
+    }
+    var.cl(ctx, &mut keep); // release bounded slots etc.
+}
+
+fn check(h: &[Completed], label: &str, seed: u64) {
+    assert!(
+        is_linearizable(LlScSpec::new(THREADS, 0), h),
+        "{label}: seed {seed} produced a non-linearizable history:\n{h:#?}"
+    );
+}
+
+#[test]
+fn figure4_native_is_linearizable() {
+    for seed in 0..SEEDS {
+        let var = CasLlSc::new_native(TagLayout::new(60, 4).unwrap(), 0).unwrap();
+        let clock = HistoryClock::new();
+        let logs: Vec<Vec<Completed>> = std::thread::scope(|s| {
+            (0..THREADS)
+                .map(|t| {
+                    let var = &var;
+                    let mut rec = clock.recorder(ProcId::new(t));
+                    let ops = plan(seed, t);
+                    s.spawn(move || {
+                        drive(var, &mut Native, &mut rec, &ops);
+                        rec.into_events()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        check(&history::merge(logs), "CasLlSc<Native>", seed);
+    }
+}
+
+#[test]
+fn lock_baseline_is_linearizable() {
+    for seed in 0..SEEDS {
+        let var = LockLlSc::new(THREADS, 0);
+        let clock = HistoryClock::new();
+        let logs: Vec<Vec<Completed>> = std::thread::scope(|s| {
+            (0..THREADS)
+                .map(|t| {
+                    let var = &var;
+                    let mut rec = clock.recorder(ProcId::new(t));
+                    let ops = plan(seed, t);
+                    s.spawn(move || {
+                        let mut ctx = ProcId::new(t);
+                        drive(var, &mut ctx, &mut rec, &ops);
+                        rec.into_events()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        check(&history::merge(logs), "LockLlSc", seed);
+    }
+}
+
+#[test]
+fn figure5_on_rll_rsc_machine_is_linearizable() {
+    for seed in 0..SEEDS / 3 {
+        let m = Machine::builder(THREADS)
+            .instruction_set(InstructionSet::RllRscOnly)
+            .spurious(SpuriousMode::EveryNth { n: 7 })
+            .seed(seed)
+            .build();
+        let var = RllLlSc::new(TagLayout::new(60, 4).unwrap(), 0).unwrap();
+        let clock = HistoryClock::new();
+        let logs: Vec<Vec<Completed>> = std::thread::scope(|s| {
+            (0..THREADS)
+                .map(|t| {
+                    let var = &var;
+                    let p = m.processor(t);
+                    let mut rec = clock.recorder(ProcId::new(t));
+                    let ops = plan(seed, t);
+                    s.spawn(move || {
+                        let mut ctx: &nbsp::memsim::Processor = &p;
+                        drive(var, &mut ctx, &mut rec, &ops);
+                        rec.into_events()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        check(&history::merge(logs), "RllLlSc", seed);
+    }
+}
+
+#[test]
+fn figure7_bounded_is_linearizable() {
+    for seed in 0..SEEDS / 3 {
+        let d = BoundedDomain::<Native>::new(THREADS, 2).unwrap();
+        let var = d.var(0).unwrap();
+        let clock = HistoryClock::new();
+        let logs: Vec<Vec<Completed>> = std::thread::scope(|s| {
+            (0..THREADS)
+                .map(|t| {
+                    let var = &var;
+                    let mut me = d.proc(t);
+                    let mut rec = clock.recorder(ProcId::new(t));
+                    let ops = plan(seed, t);
+                    s.spawn(move || {
+                        drive(var, &mut me, &mut rec, &ops);
+                        rec.into_events()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        check(&history::merge(logs), "BoundedVar", seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Negative control: a tagless implementation must FAIL the checker.
+// ---------------------------------------------------------------------------
+
+/// LL/SC "implemented" as value-compare CAS — the ABA-unsound shortcut the
+/// paper's tags exist to rule out.
+#[derive(Debug)]
+struct BrokenLlSc(AtomicU64);
+
+impl LlScVar for BrokenLlSc {
+    type Keep = Option<u64>;
+    type Ctx<'a> = ();
+
+    fn ll(&self, _ctx: &mut (), keep: &mut Option<u64>) -> u64 {
+        let v = self.0.load(Ordering::SeqCst);
+        *keep = Some(v);
+        v
+    }
+
+    fn vl(&self, _ctx: &mut (), keep: &Option<u64>) -> bool {
+        keep.is_some_and(|k| self.0.load(Ordering::SeqCst) == k)
+    }
+
+    fn sc(&self, _ctx: &mut (), keep: &mut Option<u64>, new: u64) -> bool {
+        keep.take().is_some_and(|k| {
+            self.0
+                .compare_exchange(k, new, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        })
+    }
+
+    fn cl(&self, _ctx: &mut (), keep: &mut Option<u64>) {
+        *keep = None;
+    }
+
+    fn read(&self, _ctx: &mut ()) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    fn max_val(&self) -> u64 {
+        u64::MAX
+    }
+}
+
+/// Runs the canonical ABA interleaving sequentially and returns the
+/// recorded history: p0 LLs 0; p1 drives the value 0 → 7 → 0 with two
+/// complete LL/SC pairs; p0 then attempts SC(5).
+fn aba_history<V: LlScVar>(var: &V, c0: &mut V::Ctx<'_>, c1: &mut V::Ctx<'_>) -> Vec<Completed> {
+    let clock = HistoryClock::new();
+    let mut r0 = clock.recorder(ProcId::new(0));
+    let mut r1 = clock.recorder(ProcId::new(1));
+    let mut k0 = V::Keep::default();
+    let mut k1 = V::Keep::default();
+    let _ = r0.record(Op::Ll, || Ret::Value(var.ll(c0, &mut k0)));
+    for target in [7u64, 0] {
+        let _ = r1.record(Op::Ll, || Ret::Value(var.ll(c1, &mut k1)));
+        let _ = r1.record(Op::Sc(target), || Ret::Bool(var.sc(c1, &mut k1, target)));
+    }
+    let _ = r0.record(Op::Sc(5), || Ret::Bool(var.sc(c0, &mut k0, 5)));
+    history::merge([r0.into_events(), r1.into_events()])
+}
+
+#[test]
+fn tagless_implementation_fails_the_checker() {
+    let broken = BrokenLlSc(AtomicU64::new(0));
+    let h = aba_history(&broken, &mut (), &mut ());
+    // The broken SC succeeded…
+    assert_eq!(h.last().unwrap().ret, Ret::Bool(true));
+    // …and the checker rejects the resulting history.
+    assert!(
+        !is_linearizable(LlScSpec::new(2, 0), &h),
+        "the checker must reject the ABA history"
+    );
+
+    // The honest Figure-4 implementation, driven identically, fails the
+    // final SC and passes the checker.
+    let honest = CasLlSc::new_native(TagLayout::half(), 0).unwrap();
+    let h = aba_history(&honest, &mut Native, &mut Native);
+    assert_eq!(h.last().unwrap().ret, Ret::Bool(false));
+    assert!(is_linearizable(LlScSpec::new(2, 0), &h));
+}

@@ -1,0 +1,94 @@
+//! Sequential differential tests: each structure, driven through the
+//! Figure-4 construction, must agree step-for-step with the obvious
+//! std-library model on thousands of proptest-generated programs.
+//! (The linearizability tests accept any legal concurrent order; these
+//! demand exact sequential equality — a finer sieve for off-by-one link
+//! bugs, lost marks, or capacity accounting.)
+
+use std::collections::{BTreeSet, VecDeque};
+
+use proptest::prelude::*;
+
+use nbsp::core::{CasLlSc, Native, TagLayout};
+use nbsp::structures::{Queue, Set, Stack};
+
+fn nat() -> CasLlSc<Native> {
+    CasLlSc::new_native(TagLayout::half(), 0).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn stack_matches_vec_model(
+        capacity in 0usize..8,
+        ops in proptest::collection::vec((0u8..2, 0u64..100), 0..200),
+    ) {
+        let stack = Stack::new(capacity, nat(), nat(), &mut Native);
+        let mut model: Vec<u64> = Vec::new();
+        let mut ctx = Native;
+        for (kind, v) in ops {
+            if kind == 0 {
+                let got = stack.push(&mut ctx, v).is_ok();
+                let want = model.len() < capacity;
+                prop_assert_eq!(got, want, "push({}) full-state mismatch", v);
+                if want {
+                    model.push(v);
+                }
+            } else {
+                prop_assert_eq!(stack.pop(&mut ctx), model.pop());
+            }
+        }
+        prop_assert_eq!(stack.len_quiescent(&mut ctx), model.len());
+    }
+
+    #[test]
+    fn queue_matches_vecdeque_model(
+        capacity in 0usize..8,
+        ops in proptest::collection::vec((0u8..2, 0u64..100), 0..200),
+    ) {
+        let queue = Queue::new(capacity, nat, &mut Native);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut ctx = Native;
+        for (kind, v) in ops {
+            if kind == 0 {
+                let got = queue.enqueue(&mut ctx, v).is_ok();
+                let want = model.len() < capacity;
+                prop_assert_eq!(got, want, "enqueue({}) full-state mismatch", v);
+                if want {
+                    model.push_back(v);
+                }
+            } else {
+                prop_assert_eq!(queue.dequeue(&mut ctx), model.pop_front());
+            }
+        }
+        prop_assert_eq!(queue.len_quiescent(&mut ctx), model.len());
+    }
+
+    #[test]
+    fn set_matches_btreeset_model(
+        ops in proptest::collection::vec((0u8..3, 0u64..12), 0..150),
+    ) {
+        // Lifetime capacity sized so adds never hit Full.
+        let set = Set::new(512, nat, &mut Native);
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        let mut ctx = Native;
+        for (kind, k) in ops {
+            match kind {
+                0 => prop_assert_eq!(
+                    set.add(&mut ctx, k).unwrap(),
+                    model.insert(k),
+                    "add({})", k
+                ),
+                1 => prop_assert_eq!(set.remove(&mut ctx, k), model.remove(&k), "remove({})", k),
+                _ => prop_assert_eq!(
+                    set.contains(&mut ctx, k),
+                    model.contains(&k),
+                    "contains({})", k
+                ),
+            }
+        }
+        let live: Vec<u64> = model.iter().copied().collect();
+        prop_assert_eq!(set.to_vec_quiescent(&mut ctx), live);
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end linearizability of the data structures built on the
+//! emulated primitives — closing the paper's transitive claim: the
+//! LL/VL/SC emulations are linearizable, the algorithms over them were
+//! proven against LL/VL/SC, so the structures should be linearizable too.
+//! We don't take transitivity on faith; we check recorded histories of the
+//! *structures* directly.
+
+use nbsp::core::{CasLlSc, Native, TagLayout};
+use nbsp::linearize::{
+    history, is_linearizable, Completed, HistoryClock, QueueOp, QueueRet, QueueSpec, SetOp,
+    SetRet, SetSpec, StackOp, StackRet, StackSpec,
+};
+use nbsp::memsim::ProcId;
+use nbsp::structures::{Queue, Set, Stack};
+
+const THREADS: usize = 3;
+const OPS_PER_THREAD: usize = 4;
+const SEEDS: u64 = 100;
+const CAPACITY: usize = 3; // small, so Full outcomes appear in histories
+
+fn nat() -> CasLlSc<Native> {
+    CasLlSc::new_native(TagLayout::half(), 0).unwrap()
+}
+
+fn rng_stream(seed: u64, t: usize) -> impl FnMut() -> u64 {
+    let mut x = seed
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(t as u64 + 1);
+    move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    }
+}
+
+#[test]
+fn stack_histories_are_linearizable() {
+    for seed in 0..SEEDS {
+        let stack = Stack::new(CAPACITY, nat(), nat(), &mut Native);
+        let clock = HistoryClock::new();
+        let logs: Vec<Vec<Completed<StackOp, StackRet>>> = std::thread::scope(|s| {
+            (0..THREADS)
+                .map(|t| {
+                    let stack = &stack;
+                    let mut rec = clock.recorder_for::<StackOp, StackRet>(ProcId::new(t));
+                    let mut rng = rng_stream(seed, t);
+                    s.spawn(move || {
+                        for i in 0..OPS_PER_THREAD {
+                            if rng().is_multiple_of(2) {
+                                // Unique values so double-pops are visible.
+                                let v = (t * OPS_PER_THREAD + i) as u64 + 1;
+                                let _ = rec.record(StackOp::Push(v), || {
+                                    StackRet::Pushed(stack.push(&mut Native, v).is_ok())
+                                });
+                            } else {
+                                let _ = rec.record(StackOp::Pop, || {
+                                    StackRet::Popped(stack.pop(&mut Native))
+                                });
+                            }
+                        }
+                        rec.into_events()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let h = history::merge(logs);
+        assert!(
+            is_linearizable(StackSpec::new(CAPACITY), &h),
+            "stack seed {seed}: non-linearizable history:\n{h:#?}"
+        );
+    }
+}
+
+#[test]
+fn queue_histories_are_linearizable() {
+    for seed in 0..SEEDS {
+        let queue = Queue::new(CAPACITY, nat, &mut Native);
+        let clock = HistoryClock::new();
+        let logs: Vec<Vec<Completed<QueueOp, QueueRet>>> = std::thread::scope(|s| {
+            (0..THREADS)
+                .map(|t| {
+                    let queue = &queue;
+                    let mut rec = clock.recorder_for::<QueueOp, QueueRet>(ProcId::new(t));
+                    let mut rng = rng_stream(seed, t);
+                    s.spawn(move || {
+                        for i in 0..OPS_PER_THREAD {
+                            if rng().is_multiple_of(2) {
+                                let v = (t * OPS_PER_THREAD + i) as u64 + 1;
+                                let _ = rec.record(QueueOp::Enqueue(v), || {
+                                    QueueRet::Enqueued(queue.enqueue(&mut Native, v).is_ok())
+                                });
+                            } else {
+                                let _ = rec.record(QueueOp::Dequeue, || {
+                                    QueueRet::Dequeued(queue.dequeue(&mut Native))
+                                });
+                            }
+                        }
+                        rec.into_events()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let h = history::merge(logs);
+        assert!(
+            is_linearizable(QueueSpec::new(CAPACITY), &h),
+            "queue seed {seed}: non-linearizable history:\n{h:#?}"
+        );
+    }
+}
+
+#[test]
+fn set_histories_are_linearizable() {
+    for seed in 0..SEEDS {
+        // Plenty of lifetime capacity so Add never returns Full (the
+        // sequential SetSpec has no capacity notion).
+        let set = Set::new(64, nat, &mut Native);
+        let clock = HistoryClock::new();
+        let logs: Vec<Vec<Completed<SetOp, SetRet>>> = std::thread::scope(|s| {
+            (0..THREADS)
+                .map(|t| {
+                    let set = &set;
+                    let mut rec = clock.recorder_for::<SetOp, SetRet>(ProcId::new(t));
+                    let mut rng = rng_stream(seed, t);
+                    s.spawn(move || {
+                        for _ in 0..OPS_PER_THREAD {
+                            let r = rng();
+                            let key = (r >> 8) % 3; // tiny key space: max conflict
+                            match r % 3 {
+                                0 => {
+                                    let _ = rec.record(SetOp::Add(key), || {
+                                        SetRet(set.add(&mut Native, key).unwrap())
+                                    });
+                                }
+                                1 => {
+                                    let _ = rec.record(SetOp::Remove(key), || {
+                                        SetRet(set.remove(&mut Native, key))
+                                    });
+                                }
+                                _ => {
+                                    let _ = rec.record(SetOp::Contains(key), || {
+                                        SetRet(set.contains(&mut Native, key))
+                                    });
+                                }
+                            }
+                        }
+                        rec.into_events()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let h = history::merge(logs);
+        assert!(
+            is_linearizable(SetSpec::new(), &h),
+            "set seed {seed}: non-linearizable history:\n{h:#?}"
+        );
+    }
+}
