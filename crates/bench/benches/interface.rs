@@ -1,35 +1,43 @@
-//! Criterion bench for E8: keep-pointer interface vs the keep-search
-//! alternatives (§3.2's space–time tradeoff).
+//! Bench for E8: keep-pointer interface vs the keep-search alternatives
+//! (§3.2's space–time tradeoff). Plain harness, no external framework.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use nbsp_bench::measure::ns_per_op;
+use nbsp_bench::report::fmt_ns;
 use nbsp_core::keep_search::{KeepRegistry, PerVarKeepVar, RegistryKeepVar};
 use nbsp_core::{CasLlSc, Keep, Native, TagLayout};
 use nbsp_memsim::ProcId;
 
-fn bench_interface(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interface");
-    g.sample_size(20);
+const ITERS: u64 = 200_000;
+const RUNS: usize = 5;
+
+fn report(name: &str, ns: f64) {
+    println!("interface/{name:<24} {}", fmt_ns(ns));
+}
+
+fn main() {
     let layout = TagLayout::half();
 
     let keep_ptr = CasLlSc::new_native(layout, 0).unwrap();
-    g.bench_function("keep_pointer_cycle", |b| {
-        b.iter(|| {
+    report(
+        "keep_pointer_cycle",
+        ns_per_op(ITERS, RUNS, || {
             let mut keep = Keep::default();
             let v = keep_ptr.ll(&Native, &mut keep);
-            black_box(keep_ptr.sc(&Native, &keep, v.wrapping_add(1) & 0xFFFF))
-        })
-    });
+            black_box(keep_ptr.sc(&Native, &keep, v.wrapping_add(1) & 0xFFFF));
+        }),
+    );
 
     let keep_array = PerVarKeepVar::new(16, layout, 0).unwrap();
-    g.bench_function("keep_array_cycle", |b| {
-        let p = ProcId::new(0);
-        b.iter(|| {
+    let p = ProcId::new(0);
+    report(
+        "keep_array_cycle",
+        ns_per_op(ITERS, RUNS, || {
             let v = keep_array.ll(p);
-            black_box(keep_array.sc(p, v.wrapping_add(1) & 0xFFFF))
-        })
-    });
+            black_box(keep_array.sc(p, v.wrapping_add(1) & 0xFFFF));
+        }),
+    );
 
     // Registry with background lookup pressure: 1024 live sequences.
     let registry = KeepRegistry::new();
@@ -40,16 +48,11 @@ fn bench_interface(c: &mut Criterion) {
         let _ = o.ll(ProcId::new(i % 16));
     }
     let reg_var = RegistryKeepVar::new(&registry, 16, layout, 0).unwrap();
-    g.bench_function("registry_cycle_1024_live", |b| {
-        let p = ProcId::new(0);
-        b.iter(|| {
+    report(
+        "registry_cycle_1024_live",
+        ns_per_op(ITERS, RUNS, || {
             let v = reg_var.ll(p);
-            black_box(reg_var.sc(p, v.wrapping_add(1) & 0xFFFF))
-        })
-    });
-
-    g.finish();
+            black_box(reg_var.sc(p, v.wrapping_add(1) & 0xFFFF));
+        }),
+    );
 }
-
-criterion_group!(benches, bench_interface);
-criterion_main!(benches);

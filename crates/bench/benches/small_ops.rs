@@ -1,53 +1,69 @@
-//! Criterion bench for E1: per-operation latency of each small-variable
-//! LL/VL/SC implementation and the emulated CAS, uncontended.
+//! Bench for E1: per-operation latency of each small-variable LL/VL/SC
+//! implementation and the emulated CAS, uncontended.
+//!
+//! Plain harness (`harness = false`, no external bench framework so the
+//! workspace builds offline): median-of-runs via `measure::ns_per_op`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use nbsp_bench::measure::ns_per_op;
+use nbsp_bench::report::fmt_ns;
 use nbsp_core::bounded::BoundedDomain;
 use nbsp_core::lock_baseline::LockLlSc;
 use nbsp_core::{CasLlSc, EmuCasWord, Keep, Native, RllLlSc, TagLayout};
 use nbsp_memsim::{InstructionSet, Machine, ProcId};
 
-fn bench_small_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("small_ops");
-    g.sample_size(20);
+const ITERS: u64 = 200_000;
+const RUNS: usize = 5;
 
+fn report(name: &str, ns: f64) {
+    println!("small_ops/{name:<24} {}", fmt_ns(ns));
+}
+
+fn main() {
     // Figure 4 on native CAS: the headline configuration.
     let fig4 = CasLlSc::new_native(TagLayout::half(), 0).unwrap();
-    g.bench_function("fig4_ll_sc_cycle", |b| {
-        b.iter(|| {
+    report(
+        "fig4_ll_sc_cycle",
+        ns_per_op(ITERS, RUNS, || {
             let mut keep = Keep::default();
             let v = fig4.ll(&Native, &mut keep);
-            black_box(fig4.sc(&Native, &keep, v.wrapping_add(1) & 0xFFFF_FFFF))
-        })
-    });
-    g.bench_function("fig4_vl", |b| {
+            black_box(fig4.sc(&Native, &keep, v.wrapping_add(1) & 0xFFFF_FFFF));
+        }),
+    );
+    {
         let mut keep = Keep::default();
         let _ = fig4.ll(&Native, &mut keep);
-        b.iter(|| black_box(fig4.vl(&Native, &keep)))
-    });
+        report(
+            "fig4_vl",
+            ns_per_op(ITERS, RUNS, || {
+                black_box(fig4.vl(&Native, &keep));
+            }),
+        );
+    }
 
     // Figure 7 bounded tags.
     let d = BoundedDomain::<Native>::new(16, 2).unwrap();
     let fig7 = d.var(0).unwrap();
     let mut me = d.proc(0);
-    g.bench_function("fig7_ll_sc_cycle", |b| {
-        b.iter(|| {
+    report(
+        "fig7_ll_sc_cycle",
+        ns_per_op(ITERS, RUNS, || {
             let (v, keep) = fig7.ll(&Native, &mut me);
-            black_box(fig7.sc(&Native, &mut me, keep, v.wrapping_add(1) & 0xFF))
-        })
-    });
+            black_box(fig7.sc(&Native, &mut me, keep, v.wrapping_add(1) & 0xFF));
+        }),
+    );
 
     // Figure 2 lock baseline.
     let lock = LockLlSc::new(16, 0);
-    g.bench_function("lock_ll_sc_cycle", |b| {
-        let p = ProcId::new(0);
-        b.iter(|| {
+    let p = ProcId::new(0);
+    report(
+        "lock_ll_sc_cycle",
+        ns_per_op(ITERS, RUNS, || {
             let v = lock.ll(p);
-            black_box(lock.sc(p, v.wrapping_add(1)))
-        })
-    });
+            black_box(lock.sc(p, v.wrapping_add(1)));
+        }),
+    );
 
     // Figure 3 emulated CAS and Figure 5, on the simulated machine
     // (includes simulation bookkeeping — compare amongst themselves, not
@@ -57,23 +73,20 @@ fn bench_small_ops(c: &mut Criterion) {
         .build();
     let p = m.processor(0);
     let fig3 = EmuCasWord::new(TagLayout::half(), 0).unwrap();
-    g.bench_function("fig3_emulated_cas_sim", |b| {
-        b.iter(|| {
+    report(
+        "fig3_emulated_cas_sim",
+        ns_per_op(ITERS, RUNS, || {
             let v = fig3.read(&p);
-            black_box(fig3.cas(&p, v, v.wrapping_add(1) & 0xFFFF_FFFF))
-        })
-    });
+            black_box(fig3.cas(&p, v, v.wrapping_add(1) & 0xFFFF_FFFF));
+        }),
+    );
     let fig5 = RllLlSc::new(TagLayout::half(), 0).unwrap();
-    g.bench_function("fig5_ll_sc_cycle_sim", |b| {
-        b.iter(|| {
+    report(
+        "fig5_ll_sc_cycle_sim",
+        ns_per_op(ITERS, RUNS, || {
             let mut keep = Keep::default();
             let v = fig5.ll(&p, &mut keep);
-            black_box(fig5.sc(&p, &keep, v.wrapping_add(1) & 0xFFFF_FFFF))
-        })
-    });
-
-    g.finish();
+            black_box(fig5.sc(&p, &keep, v.wrapping_add(1) & 0xFFFF_FFFF));
+        }),
+    );
 }
-
-criterion_group!(benches, bench_small_ops);
-criterion_main!(benches);

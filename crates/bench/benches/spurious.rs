@@ -1,16 +1,18 @@
-//! Criterion bench for E4: Figure-5 SC cost as the spurious-failure
-//! probability rises (retries are the paper's "finitely many failures"
-//! cost made visible).
+//! Bench for E4: Figure-5 SC cost as the spurious-failure probability
+//! rises (retries are the paper's "finitely many failures" cost made
+//! visible). Plain harness, no external framework.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use nbsp_bench::measure::ns_per_op;
+use nbsp_bench::report::fmt_ns;
 use nbsp_core::{Keep, RllLlSc, TagLayout};
 use nbsp_memsim::{InstructionSet, Machine, SpuriousMode};
 
-fn bench_spurious(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spurious");
-    g.sample_size(20);
+const ITERS: u64 = 100_000;
+const RUNS: usize = 5;
+
+fn main() {
     for p_fail in [0.0f64, 0.1, 0.5, 0.9] {
         let m = Machine::builder(1)
             .instruction_set(InstructionSet::RllRscOnly)
@@ -18,20 +20,11 @@ fn bench_spurious(c: &mut Criterion) {
             .build();
         let proc = m.processor(0);
         let var = RllLlSc::new(TagLayout::half(), 0).unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("fig5_sc_under_p", format!("{p_fail:.1}")),
-            &p_fail,
-            |b, _| {
-                b.iter(|| {
-                    let mut keep = Keep::default();
-                    let v = var.ll(&proc, &mut keep);
-                    black_box(var.sc(&proc, &keep, v.wrapping_add(1) & 0xFFFF_FFFF))
-                })
-            },
-        );
+        let ns = ns_per_op(ITERS, RUNS, || {
+            let mut keep = Keep::default();
+            let v = var.ll(&proc, &mut keep);
+            black_box(var.sc(&proc, &keep, v.wrapping_add(1) & 0xFFFF_FFFF));
+        });
+        println!("spurious/fig5_sc_under_p/{p_fail:.1}     {}", fmt_ns(ns));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_spurious);
-criterion_main!(benches);

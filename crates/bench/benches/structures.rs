@@ -1,10 +1,11 @@
-//! Criterion bench for E7: the re-enabled data structures on Figure 4 vs
-//! the lock baseline, single-threaded latency (throughput under threads is
-//! in `exp_enabled_algorithms`).
+//! Bench for E7: the re-enabled data structures on Figure 4 vs the lock
+//! baseline, single-threaded latency (throughput under threads is in
+//! `exp_enabled_algorithms` / `exp_contention`). Plain harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use nbsp_bench::measure::ns_per_op;
+use nbsp_bench::report::fmt_ns;
 use nbsp_core::lock_baseline::LockLlSc;
 use nbsp_core::wide::WideDomain;
 use nbsp_core::{CasLlSc, Native, TagLayout};
@@ -12,61 +13,72 @@ use nbsp_memsim::ProcId;
 use nbsp_structures::stm::Stm;
 use nbsp_structures::{Counter, Queue, Stack, Universal};
 
+const ITERS: u64 = 200_000;
+const RUNS: usize = 5;
+
 fn nat() -> CasLlSc<Native> {
     CasLlSc::new_native(TagLayout::half(), 0).unwrap()
 }
 
-fn bench_structures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("structures");
-    g.sample_size(20);
+fn report(name: &str, ns: f64) {
+    println!("structures/{name:<24} {}", fmt_ns(ns));
+}
 
+fn main() {
     let counter = Counter::new(nat());
-    g.bench_function("counter_increment_fig4", |b| {
-        b.iter(|| black_box(counter.increment(&mut Native)))
-    });
+    report(
+        "counter_increment_fig4",
+        ns_per_op(ITERS, RUNS, || {
+            black_box(counter.increment(&mut Native));
+        }),
+    );
     let counter_lock = Counter::new(LockLlSc::new(2, 0));
-    g.bench_function("counter_increment_lock", |b| {
-        let mut ctx = ProcId::new(0);
-        b.iter(|| black_box(counter_lock.increment(&mut ctx)))
-    });
+    let mut ctx = ProcId::new(0);
+    report(
+        "counter_increment_lock",
+        ns_per_op(ITERS, RUNS, || {
+            black_box(counter_lock.increment(&mut ctx));
+        }),
+    );
 
     let stack = Stack::new(64, nat(), nat(), &mut Native);
-    g.bench_function("stack_push_pop_fig4", |b| {
-        b.iter(|| {
+    report(
+        "stack_push_pop_fig4",
+        ns_per_op(ITERS, RUNS, || {
             stack.push(&mut Native, 1).unwrap();
-            black_box(stack.pop(&mut Native))
-        })
-    });
+            black_box(stack.pop(&mut Native));
+        }),
+    );
 
     let queue = Queue::new(64, nat, &mut Native);
-    g.bench_function("queue_enq_deq_fig4", |b| {
-        b.iter(|| {
+    report(
+        "queue_enq_deq_fig4",
+        ns_per_op(ITERS, RUNS, || {
             queue.enqueue(&mut Native, 1).unwrap();
-            black_box(queue.dequeue(&mut Native))
-        })
-    });
+            black_box(queue.dequeue(&mut Native));
+        }),
+    );
 
     let universal = Universal::new(nat());
-    g.bench_function("universal_apply_fig4", |b| {
-        b.iter(|| black_box(universal.apply(&mut Native, |s| s.wrapping_add(3) & 0xFFFF)))
-    });
+    report(
+        "universal_apply_fig4",
+        ns_per_op(ITERS, RUNS, || {
+            black_box(universal.apply(&mut Native, |s| s.wrapping_add(3) & 0xFFFF));
+        }),
+    );
 
     let domain = WideDomain::<Native>::new(2, 8, 32).unwrap();
     let stm = Stm::new(&domain, &[100; 8]).unwrap();
-    g.bench_function("stm_transfer_fig6", |b| {
-        let p = ProcId::new(0);
-        b.iter(|| {
+    let p = ProcId::new(0);
+    report(
+        "stm_transfer_fig6",
+        ns_per_op(ITERS, RUNS, || {
             black_box(stm.transact(&Native, p, |h| {
                 let amt = h[0].min(1);
                 h[0] -= amt;
                 h[1] += amt;
                 h.swap(0, 1);
-            }))
-        })
-    });
-
-    g.finish();
+            }));
+        }),
+    );
 }
-
-criterion_group!(benches, bench_structures);
-criterion_main!(benches);

@@ -1,49 +1,45 @@
-//! Criterion bench for E2: Θ(W) WLL/SC and Θ(1) VL across widths.
+//! Bench for E2: Θ(W) WLL/SC and Θ(1) VL across widths. Plain harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use nbsp_bench::measure::ns_per_op;
+use nbsp_bench::report::fmt_ns;
 use nbsp_core::wide::{WideDomain, WideKeep};
 use nbsp_core::Native;
 use nbsp_memsim::ProcId;
 
-fn bench_wide(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wide_ops");
-    g.sample_size(20);
+const ITERS: u64 = 50_000;
+const RUNS: usize = 5;
+
+fn main() {
     for w in [1usize, 4, 16, 64] {
         let domain = WideDomain::<Native>::new(4, w, 32).unwrap();
         let var = domain.var(&vec![0u64; w]).unwrap();
         let mem = Native;
         let mut buf = vec![0u64; w];
-        g.throughput(Throughput::Elements(w as u64));
 
-        g.bench_with_input(BenchmarkId::new("wll", w), &w, |b, _| {
-            b.iter(|| {
-                let mut keep = WideKeep::default();
-                black_box(var.wll(&mem, &mut keep, &mut buf).is_success())
-            })
+        let ns = ns_per_op(ITERS, RUNS, || {
+            let mut keep = WideKeep::default();
+            black_box(var.wll(&mem, &mut keep, &mut buf).is_success());
         });
+        println!("wide_ops/wll/{w:<3}    {}", fmt_ns(ns));
 
         let newval = vec![1u64; w];
-        g.bench_with_input(BenchmarkId::new("wll_sc", w), &w, |b, _| {
-            b.iter(|| {
-                let mut keep = WideKeep::default();
-                let _ = var.wll(&mem, &mut keep, &mut buf);
-                black_box(var.sc(&mem, ProcId::new(0), &keep, &newval))
-            })
+        let ns = ns_per_op(ITERS, RUNS, || {
+            let mut keep = WideKeep::default();
+            let _ = var.wll(&mem, &mut keep, &mut buf);
+            black_box(var.sc(&mem, ProcId::new(0), &keep, &newval));
         });
+        println!("wide_ops/wll_sc/{w:<3} {}", fmt_ns(ns));
 
         let vl_keep = {
             let mut k = WideKeep::default();
             let _ = var.wll(&mem, &mut k, &mut buf);
             k
         };
-        g.bench_with_input(BenchmarkId::new("vl", w), &w, |b, _| {
-            b.iter(|| black_box(var.vl(&mem, &vl_keep)))
+        let ns = ns_per_op(ITERS, RUNS, || {
+            black_box(var.vl(&mem, &vl_keep));
         });
+        println!("wide_ops/vl/{w:<3}     {}", fmt_ns(ns));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_wide);
-criterion_main!(benches);

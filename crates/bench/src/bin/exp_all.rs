@@ -2,19 +2,29 @@
 //! E6 is `examples/concurrent_sequences.rs` / `tests/figure1.rs`; the
 //! model-checking certificates are the separate `exp_modelcheck` binary).
 //!
-//! Run with `--quick` for a fast smoke pass.
-use nbsp_bench::experiments::*;
+//! Run with `--quick` for a fast smoke pass. Failures are attributed per
+//! experiment module and the process exits nonzero if any module failed.
+use std::process::ExitCode;
 
-fn main() {
+use nbsp_bench::experiments::*;
+use nbsp_bench::runner::run_all;
+
+fn main() -> ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
     let (big, mid) = if quick { (5_000, 2_000) } else { (200_000, 100_000) };
-    println!("{}\n", e1_time::run(big));
-    println!("{}\n", e2_wide::run(mid));
-    println!("{}\n", e3_space::run(e3_space::SpaceConfig::default()));
-    println!("{}\n", e4_spurious::run(mid));
-    println!("{}\n", e5_wraparound::run(big));
-    println!("{}\n", e7_structures::run(big));
-    println!("{}\n", e8_interface::run(big));
-    println!("{}\n", e9_bounded::run(if quick { 20_000 } else { 500_000 }));
-    println!("{}\n", e10_disjoint::run(2_000));
+    let e9_iters = if quick { 20_000 } else { 500_000 };
+    run_all(vec![
+        ("e1_time", Box::new(move || e1_time::run(big).to_string())),
+        ("e2_wide", Box::new(move || e2_wide::run(mid).to_string())),
+        (
+            "e3_space",
+            Box::new(|| e3_space::run(e3_space::SpaceConfig::default()).to_string()),
+        ),
+        ("e4_spurious", Box::new(move || e4_spurious::run(mid).to_string())),
+        ("e5_wraparound", Box::new(move || e5_wraparound::run(big).to_string())),
+        ("e7_structures", Box::new(move || e7_structures::run(big).to_string())),
+        ("e8_interface", Box::new(move || e8_interface::run(big).to_string())),
+        ("e9_bounded", Box::new(move || e9_bounded::run(e9_iters).to_string())),
+        ("e10_disjoint", Box::new(|| e10_disjoint::run(2_000).to_string())),
+    ])
 }

@@ -1,4 +1,6 @@
 //! E9: bounded-tag safety audit. See `EXPERIMENTS.md`.
-fn main() {
-    println!("{}", nbsp_bench::experiments::e9_bounded::run(500_000));
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    nbsp_bench::runner::run_experiment("e9_bounded", || nbsp_bench::experiments::e9_bounded::run(500_000).to_string())
 }

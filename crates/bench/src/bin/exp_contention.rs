@@ -1,0 +1,511 @@
+//! Contention sweep: threads x structure x {padding, ordering, backoff}.
+//!
+//! The library now ships cache-line padding on per-process slots, weak
+//! (acquire/release) orderings in the `Native` provider, and bounded
+//! exponential backoff in every structure retry loop. This harness measures
+//! what each of those three knobs buys under real multi-threaded contention
+//! by sweeping all eight combinations over the Figure-4-backed structures:
+//!
+//! * **padding** — each LL/SC variable on its own 128-byte line
+//!   ([`CachePadded`]) vs. packed contiguously so neighbouring links false
+//!   share;
+//! * **ordering** — the shipped acquire/release [`Native`] provider vs. the
+//!   [`NativeSeqCst`] ablation that forces every operation to `SeqCst`
+//!   (the pre-optimization behaviour);
+//! * **backoff** — structure retry loops back off after a failed SC
+//!   ([`backoff::set_enabled`]) vs. hammering the line immediately.
+//!
+//! A fourth workload drives [`OrecStm`], whose phase-1 orec acquisition is
+//! a spin lock: there the backoff axis decides whether a waiter burns its
+//! whole scheduler quantum spinning on an orec held by a preempted owner
+//! (the classic oversubscription pathology) or yields it back. On machines
+//! with fewer cores than threads this is the dominant effect; on big
+//! machines the padding and ordering axes take over. Every cell is the
+//! median of several runs, because a single oversubscribed run is mostly
+//! scheduler noise.
+//!
+//! No criterion, no external deps: plain `std::thread` workers through
+//! `measure::throughput`. Results go to stdout as a markdown table and to
+//! `BENCH_contention.json` so future PRs have a perf trajectory to regress
+//! against. The run exits nonzero if, at >= 4 threads, the fully hardened
+//! configuration (padded + acqrel + backoff) fails to beat the seed
+//! configuration (unpadded + SeqCst + no backoff) on the geometric-mean
+//! speedup across workloads — the PR's acceptance criterion.
+
+use std::fs;
+use std::process::ExitCode;
+
+use nbsp_bench::measure::throughput;
+use nbsp_bench::report::{fmt_ops, Report, Table};
+use nbsp_core::{backoff, CachePadded, CasLlSc, Keep, LlScVar, Native, NativeSeqCst, TagLayout};
+use nbsp_memsim::ProcId;
+use nbsp_structures::stm_orec::OrecStm;
+use nbsp_structures::{Counter, Queue, Stack};
+
+// ---------------------------------------------------------------------------
+// Sweep axes as bench-local LL/SC variable types.
+//
+// `CasLlSc`'s inherent operations are generic over any `CasMemory` of the
+// `Native` family, so the ordering axis is just a choice of context value
+// (`&Native` = acquire/release, `&NativeSeqCst` = fully ordered) and the
+// padding axis is a `CachePadded` box around the same variable. Each of the
+// four combinations gets an `LlScVar` impl so the structures are reused
+// unchanged.
+// ---------------------------------------------------------------------------
+
+fn base_var() -> CasLlSc<Native> {
+    CasLlSc::new_native(TagLayout::half(), 0).unwrap()
+}
+
+macro_rules! bench_llsc_impl {
+    ($name:ident, $ctx:ty, $ctx_val:expr) => {
+        impl LlScVar for $name {
+            type Keep = Option<Keep>;
+            type Ctx<'a> = $ctx;
+
+            fn ll(&self, _ctx: &mut $ctx, keep: &mut Option<Keep>) -> u64 {
+                let k = keep.get_or_insert_with(Keep::default);
+                CasLlSc::ll(&self.0, &$ctx_val, k)
+            }
+
+            fn vl(&self, _ctx: &mut $ctx, keep: &Option<Keep>) -> bool {
+                keep.as_ref()
+                    .is_some_and(|k| CasLlSc::vl(&self.0, &$ctx_val, k))
+            }
+
+            fn sc(&self, _ctx: &mut $ctx, keep: &mut Option<Keep>, new: u64) -> bool {
+                keep.take()
+                    .is_some_and(|k| CasLlSc::sc(&self.0, &$ctx_val, &k, new))
+            }
+
+            fn cl(&self, _ctx: &mut $ctx, keep: &mut Option<Keep>) {
+                *keep = None;
+            }
+
+            fn read(&self, _ctx: &mut $ctx) -> u64 {
+                CasLlSc::read(&self.0, &$ctx_val)
+            }
+
+            fn max_val(&self) -> u64 {
+                self.0.layout().max_val()
+            }
+        }
+    };
+}
+
+/// Unpadded + SeqCst: the seed configuration this PR optimized away.
+struct SeqCstVar(CasLlSc<Native>);
+bench_llsc_impl!(SeqCstVar, NativeSeqCst, NativeSeqCst);
+
+/// Padded + acquire/release: the fully hardened configuration.
+struct PaddedVar(CachePadded<CasLlSc<Native>>);
+bench_llsc_impl!(PaddedVar, Native, Native);
+
+/// Padded + SeqCst: isolates the layout win from the ordering win.
+struct PaddedSeqCstVar(CachePadded<CasLlSc<Native>>);
+bench_llsc_impl!(PaddedSeqCstVar, NativeSeqCst, NativeSeqCst);
+
+/// The factory + context glue each measurement needs, per variable type.
+/// (`CasLlSc<Native>` itself covers the unpadded + acqrel corner.)
+trait BenchVar: LlScVar<Keep = Option<Keep>> + Send + Sync + 'static
+where
+    for<'a> Self: LlScVar<Ctx<'a> = Self::BenchCtx>,
+{
+    type BenchCtx: Send + 'static;
+    const PADDED: bool;
+    const ORDERING: &'static str;
+
+    fn make() -> Self;
+    fn ctx() -> Self::BenchCtx;
+}
+
+impl BenchVar for CasLlSc<Native> {
+    type BenchCtx = Native;
+    const PADDED: bool = false;
+    const ORDERING: &'static str = "acqrel";
+
+    fn make() -> Self {
+        base_var()
+    }
+
+    fn ctx() -> Native {
+        Native
+    }
+}
+
+impl BenchVar for SeqCstVar {
+    type BenchCtx = NativeSeqCst;
+    const PADDED: bool = false;
+    const ORDERING: &'static str = "seqcst";
+
+    fn make() -> Self {
+        SeqCstVar(base_var())
+    }
+
+    fn ctx() -> NativeSeqCst {
+        NativeSeqCst
+    }
+}
+
+impl BenchVar for PaddedVar {
+    type BenchCtx = Native;
+    const PADDED: bool = true;
+    const ORDERING: &'static str = "acqrel";
+
+    fn make() -> Self {
+        PaddedVar(CachePadded::new(base_var()))
+    }
+
+    fn ctx() -> Native {
+        Native
+    }
+}
+
+impl BenchVar for PaddedSeqCstVar {
+    type BenchCtx = NativeSeqCst;
+    const PADDED: bool = true;
+    const ORDERING: &'static str = "seqcst";
+
+    fn make() -> Self {
+        PaddedSeqCstVar(CachePadded::new(base_var()))
+    }
+
+    fn ctx() -> NativeSeqCst {
+        NativeSeqCst
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workloads.
+// ---------------------------------------------------------------------------
+
+/// Shared-counter increment: the worst case — every operation contends on
+/// one variable, so layout cannot help but ordering and backoff can.
+fn counter_tput<V>(threads: usize, per_thread: u64) -> f64
+where
+    V: BenchVar,
+    for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
+{
+    let counter = Counter::new(V::make());
+    throughput(threads, per_thread, |_tid| {
+        let counter = &counter;
+        let mut ctx = V::ctx();
+        move || {
+            counter.increment(&mut ctx);
+        }
+    })
+}
+
+/// Treiber-style push/pop pairs. The stack's head and free-list head live
+/// in adjacent variables, so the padding axis separates their cache lines.
+fn stack_tput<V>(threads: usize, per_thread: u64) -> f64
+where
+    V: BenchVar,
+    for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
+{
+    let mut setup = V::ctx();
+    let stack = Stack::new(2 * threads + 8, V::make(), V::make(), &mut setup);
+    throughput(threads, per_thread, |tid| {
+        let stack = &stack;
+        let mut ctx = V::ctx();
+        let v = tid as u64;
+        move || {
+            let _ = stack.push(&mut ctx, v);
+            let _ = stack.pop(&mut ctx);
+        }
+    })
+}
+
+/// Michael–Scott-style enqueue/dequeue pairs over the Figure-4 link array;
+/// the padding axis decides whether neighbouring links false share.
+fn queue_tput<V>(threads: usize, per_thread: u64) -> f64
+where
+    V: BenchVar,
+    for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
+{
+    let mut setup = V::ctx();
+    let queue = Queue::new(2 * threads + 8, V::make, &mut setup);
+    throughput(threads, per_thread, |tid| {
+        let queue = &queue;
+        let mut ctx = V::ctx();
+        let v = tid as u64;
+        move || {
+            let _ = queue.enqueue(&mut ctx, v);
+            let _ = queue.dequeue(&mut ctx);
+        }
+    })
+}
+
+/// Fully overlapping two-cell transactions on the ownership-record STM.
+/// The orec acquisition spin is where backoff matters most: with more
+/// threads than cores, a disabled backoff burns whole scheduler quanta
+/// spinning on an orec whose owner is descheduled.
+fn stm_tput(threads: usize, per_thread: u64) -> f64 {
+    let stm = OrecStm::new(&[0; 4]);
+    throughput(threads, per_thread, |tid| {
+        let stm = &stm;
+        let p = ProcId::new(tid);
+        move || {
+            stm.transact(p, &[0, 1], |vals| {
+                vals[0] += 1;
+                vals[1] += 1;
+            });
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sweep driver.
+// ---------------------------------------------------------------------------
+
+struct Row {
+    structure: &'static str,
+    threads: usize,
+    padded: bool,
+    ordering: &'static str,
+    backoff: bool,
+    ops_per_sec: f64,
+}
+
+/// Median over `runs` repetitions — a single oversubscribed run is mostly
+/// scheduler noise.
+fn median_tput(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut samples: Vec<f64> = (0..runs).map(|_| f()).collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+type Workload = fn(usize, u64) -> f64;
+
+fn sweep_var<V>(threads_list: &[usize], per_thread: u64, runs: usize, rows: &mut Vec<Row>)
+where
+    V: BenchVar,
+    for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
+{
+    let workloads: [(&'static str, Workload); 3] = [
+        ("counter", counter_tput::<V>),
+        ("stack", stack_tput::<V>),
+        ("queue", queue_tput::<V>),
+    ];
+    for &use_backoff in &[false, true] {
+        backoff::set_enabled(use_backoff);
+        for &(structure, work) in &workloads {
+            for &threads in threads_list {
+                let ops = median_tput(runs, || work(threads, per_thread));
+                eprintln!(
+                    "[exp_contention] {structure} t={threads} padded={} ordering={} backoff={use_backoff}: {}",
+                    V::PADDED,
+                    V::ORDERING,
+                    fmt_ops(ops),
+                );
+                rows.push(Row {
+                    structure,
+                    threads,
+                    padded: V::PADDED,
+                    ordering: V::ORDERING,
+                    backoff: use_backoff,
+                    ops_per_sec: ops,
+                });
+            }
+        }
+    }
+    backoff::set_enabled(true); // library default
+}
+
+/// The STM workload only has the backoff axis (its orecs are raw atomics,
+/// not swappable LL/SC variables); padding/ordering are recorded as the
+/// library defaults so the JSON stays uniform.
+fn sweep_stm(threads_list: &[usize], per_thread: u64, runs: usize, rows: &mut Vec<Row>) {
+    for &use_backoff in &[false, true] {
+        backoff::set_enabled(use_backoff);
+        for &threads in threads_list {
+            let ops = median_tput(runs, || stm_tput(threads, per_thread));
+            eprintln!(
+                "[exp_contention] stm_orec t={threads} backoff={use_backoff}: {}",
+                fmt_ops(ops),
+            );
+            rows.push(Row {
+                structure: "stm_orec",
+                threads,
+                padded: true,
+                ordering: "acqrel",
+                backoff: use_backoff,
+                ops_per_sec: ops,
+            });
+        }
+    }
+    backoff::set_enabled(true);
+}
+
+fn to_json(rows: &[Row], threads_list: &[usize], per_thread: u64, runs: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"contention\",\n");
+    s.push_str(&format!("  \"per_thread_iters\": {per_thread},\n"));
+    s.push_str(&format!("  \"median_of_runs\": {runs},\n"));
+    s.push_str(&format!(
+        "  \"threads\": [{}],\n",
+        threads_list
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"structure\": \"{}\", \"threads\": {}, \"padded\": {}, \"ordering\": \"{}\", \"backoff\": {}, \"ops_per_sec\": {:.1}}}{}\n",
+            r.structure,
+            r.threads,
+            r.padded,
+            r.ordering,
+            r.backoff,
+            r.ops_per_sec,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn find(rows: &[Row], structure: &str, t: usize, padded: bool, ordering: &str, b: bool) -> f64 {
+    rows.iter()
+        .find(|r| {
+            r.structure == structure
+                && r.threads == t
+                && r.padded == padded
+                && r.ordering == ordering
+                && r.backoff == b
+        })
+        .map(|r| r.ops_per_sec)
+        .unwrap_or(f64::NAN)
+}
+
+/// Per-workload hardened/seed speedups at `t`. The LL/SC structures
+/// compare all three knobs; the STM compares the backoff knob (its only
+/// axis).
+fn speedups(rows: &[Row], t: usize) -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+    for structure in ["counter", "stack", "queue"] {
+        let seed = find(rows, structure, t, false, "seqcst", false);
+        let hardened = find(rows, structure, t, true, "acqrel", true);
+        out.push((structure, hardened / seed));
+    }
+    let seed = find(rows, "stm_orec", t, true, "acqrel", false);
+    let hardened = find(rows, "stm_orec", t, true, "acqrel", true);
+    out.push(("stm_orec", hardened / seed));
+    out
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads_list: &[usize] = &[1, 2, 4, 8];
+    // Each thread's work must span many scheduler quanta (several ms at
+    // least), otherwise on an oversubscribed host the threads simply run
+    // to completion back-to-back and never actually contend.
+    let (per_thread, stm_per_thread, runs): (u64, u64, usize) =
+        if quick { (5_000, 2_000, 2) } else { (300_000, 100_000, 5) };
+
+    let mut rows = Vec::new();
+    sweep_var::<SeqCstVar>(threads_list, per_thread, runs, &mut rows);
+    sweep_var::<CasLlSc<Native>>(threads_list, per_thread, runs, &mut rows);
+    sweep_var::<PaddedSeqCstVar>(threads_list, per_thread, runs, &mut rows);
+    sweep_var::<PaddedVar>(threads_list, per_thread, runs, &mut rows);
+    sweep_stm(threads_list, stm_per_thread, runs, &mut rows);
+
+    // Markdown report: one table per structure, one row per thread count,
+    // seed configuration vs. hardened configuration plus the single-knob
+    // ablations at the hardened ordering.
+    let mut report = Report::new();
+    report.heading("Contention sweep");
+    report.para(&format!(
+        "{per_thread} ops/thread (STM: {stm_per_thread}), median of {runs} runs; \
+         seed = unpadded + SeqCst + no backoff; hardened = padded + acqrel + backoff. \
+         Host CPUs: {}.",
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+    ));
+    for structure in ["counter", "stack", "queue"] {
+        let mut table = Table::new([
+            "threads",
+            "seed",
+            "hardened",
+            "speedup",
+            "padded only",
+            "acqrel only",
+            "backoff only",
+        ]);
+        for &t in threads_list {
+            let seed = find(&rows, structure, t, false, "seqcst", false);
+            let hardened = find(&rows, structure, t, true, "acqrel", true);
+            table.row([
+                t.to_string(),
+                fmt_ops(seed),
+                fmt_ops(hardened),
+                format!("{:.2}x", hardened / seed),
+                fmt_ops(find(&rows, structure, t, true, "seqcst", false)),
+                fmt_ops(find(&rows, structure, t, false, "acqrel", false)),
+                fmt_ops(find(&rows, structure, t, false, "seqcst", true)),
+            ]);
+        }
+        report.heading(structure);
+        report.table(&table);
+    }
+    let mut table = Table::new(["threads", "no backoff", "backoff", "speedup"]);
+    for &t in threads_list {
+        let seed = find(&rows, "stm_orec", t, true, "acqrel", false);
+        let hardened = find(&rows, "stm_orec", t, true, "acqrel", true);
+        table.row([
+            t.to_string(),
+            fmt_ops(seed),
+            fmt_ops(hardened),
+            format!("{:.2}x", hardened / seed),
+        ]);
+    }
+    report.heading("stm_orec (orec spin-acquire: backoff axis only)");
+    report.table(&table);
+    print!("{}", report.to_markdown());
+
+    let json = to_json(&rows, threads_list, per_thread, runs);
+    if let Err(e) = fs::write("BENCH_contention.json", &json) {
+        eprintln!("[exp_contention] FAILED to write BENCH_contention.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[exp_contention] wrote BENCH_contention.json ({} rows)",
+        rows.len()
+    );
+
+    // Acceptance gate: at every thread count >= 4 the hardened
+    // configuration must beat the seed configuration on the geometric mean
+    // of per-workload speedups (the standard aggregate for a suite — a sum
+    // would let whichever workload has the biggest absolute ops/s swamp
+    // the rest).
+    let mut ok = true;
+    for &t in threads_list.iter().filter(|&&t| t >= 4) {
+        let per = speedups(&rows, t);
+        let g = geomean(&per.iter().map(|&(_, s)| s).collect::<Vec<_>>());
+        let detail = per
+            .iter()
+            .map(|(name, s)| format!("{name} {s:.2}x"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let verdict = if g > 1.0 { "ok" } else { "REGRESSION" };
+        eprintln!("[exp_contention] t={t}: geomean speedup {g:.2}x ({detail}) {verdict}");
+        // Quick mode is a smoke run: its iteration counts are too small to
+        // span scheduler quanta, so the comparison is noise-level and only
+        // the full sweep enforces the gate.
+        if !quick {
+            ok &= g > 1.0;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[exp_contention] FAILED: hardened config lost to the seed config");
+        ExitCode::FAILURE
+    }
+}

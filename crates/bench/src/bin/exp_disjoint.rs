@@ -1,4 +1,6 @@
 //! E10: disjoint-access parallelism. See `EXPERIMENTS.md`.
-fn main() {
-    println!("{}", nbsp_bench::experiments::e10_disjoint::run(2_000));
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    nbsp_bench::runner::run_experiment("e10_disjoint", || nbsp_bench::experiments::e10_disjoint::run(2_000).to_string())
 }

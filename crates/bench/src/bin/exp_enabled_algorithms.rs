@@ -1,4 +1,6 @@
 //! E7: re-enabled non-blocking algorithms. See `EXPERIMENTS.md`.
-fn main() {
-    println!("{}", nbsp_bench::experiments::e7_structures::run(200_000));
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    nbsp_bench::runner::run_experiment("e7_structures", || nbsp_bench::experiments::e7_structures::run(200_000).to_string())
 }

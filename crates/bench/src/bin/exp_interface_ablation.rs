@@ -1,4 +1,6 @@
 //! E8: the keep-pointer interface ablation. See `EXPERIMENTS.md`.
-fn main() {
-    println!("{}", nbsp_bench::experiments::e8_interface::run(200_000));
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    nbsp_bench::runner::run_experiment("e8_interface", || nbsp_bench::experiments::e8_interface::run(200_000).to_string())
 }

@@ -1,5 +1,6 @@
 //! E3: space overhead vs number of variables. See `EXPERIMENTS.md`.
-use nbsp_bench::experiments::e3_space::{run, SpaceConfig};
-fn main() {
-    println!("{}", run(SpaceConfig::default()));
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    nbsp_bench::runner::run_experiment("e3_space", || nbsp_bench::experiments::e3_space::run(nbsp_bench::experiments::e3_space::SpaceConfig::default()).to_string())
 }

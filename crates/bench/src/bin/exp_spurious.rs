@@ -1,4 +1,6 @@
 //! E4: spurious-failure resilience. See `EXPERIMENTS.md`.
-fn main() {
-    println!("{}", nbsp_bench::experiments::e4_spurious::run(100_000));
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    nbsp_bench::runner::run_experiment("e4_spurious", || nbsp_bench::experiments::e4_spurious::run(100_000).to_string())
 }

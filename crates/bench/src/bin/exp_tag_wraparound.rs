@@ -1,4 +1,6 @@
 //! E5: tag width vs wraparound horizon. See `EXPERIMENTS.md`.
-fn main() {
-    println!("{}", nbsp_bench::experiments::e5_wraparound::run(200_000));
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    nbsp_bench::runner::run_experiment("e5_wraparound", || nbsp_bench::experiments::e5_wraparound::run(200_000).to_string())
 }

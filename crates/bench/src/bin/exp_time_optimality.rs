@@ -1,4 +1,6 @@
 //! E1: constant-time operations (Theorems 1–3). See `EXPERIMENTS.md`.
-fn main() {
-    println!("{}", nbsp_bench::experiments::e1_time::run(200_000));
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    nbsp_bench::runner::run_experiment("e1_time", || nbsp_bench::experiments::e1_time::run(200_000).to_string())
 }

@@ -1,4 +1,6 @@
 //! E2: Θ(W) WLL/SC, Θ(1) VL (Theorem 4). See `EXPERIMENTS.md`.
-fn main() {
-    println!("{}", nbsp_bench::experiments::e2_wide::run(100_000));
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    nbsp_bench::runner::run_experiment("e2_wide", || nbsp_bench::experiments::e2_wide::run(100_000).to_string())
 }

@@ -15,7 +15,7 @@ use nbsp_memsim::ProcId;
 use nbsp_structures::stm::Stm;
 use nbsp_structures::stm_orec::OrecStm;
 use nbsp_structures::{Counter, Queue, Set, Stack};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::measure::throughput;
 use crate::report::{fmt_ops, Report, Table};
@@ -189,7 +189,7 @@ fn stm_rows(iters: u64, t: &mut Table) {
                     x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
                     let from = (x >> 33) as usize % CELLS;
                     let to = (x >> 13) as usize % CELLS;
-                    let mut h = heap.lock();
+                    let mut h = heap.lock().unwrap();
                     let amt = h[from].min(1);
                     h[from] -= amt;
                     h[to] += amt;

@@ -16,3 +16,4 @@
 pub mod experiments;
 pub mod measure;
 pub mod report;
+pub mod runner;

@@ -1,0 +1,98 @@
+//! Shared entry-point scaffolding for the `exp_*` binaries.
+//!
+//! Every experiment binary announces which experiment module it is about
+//! to run, catches panics from the experiment body, and exits nonzero on
+//! failure — so when `exp_all` (or CI) fails, the log attributes the
+//! failure to a specific module instead of dying mid-stream.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic payload>")
+}
+
+/// Runs one experiment body, labelled by its `experiments::` module name.
+///
+/// Prints `running experiments::<module>` up front (to stderr, so report
+/// output stays clean for redirection), then the rendered report on
+/// success. On panic it prints the failure — attributed to the module —
+/// and returns a failing exit code.
+#[must_use]
+pub fn run_experiment(module: &str, f: impl FnOnce() -> String) -> ExitCode {
+    eprintln!("[nbsp-bench] running experiments::{module} ...");
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(report) => {
+            println!("{report}");
+            eprintln!("[nbsp-bench] experiments::{module}: ok");
+            ExitCode::SUCCESS
+        }
+        Err(payload) => {
+            eprintln!(
+                "[nbsp-bench] experiments::{module}: FAILED — {}",
+                panic_message(payload.as_ref())
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A labelled experiment body, as `exp_all` collects them.
+pub type Experiment<'a> = (&'a str, Box<dyn FnOnce() -> String>);
+
+/// Runs a sequence of labelled experiment bodies (for `exp_all`),
+/// continuing past failures and reporting every failed module at the end.
+#[must_use]
+pub fn run_all(experiments: Vec<Experiment<'_>>) -> ExitCode {
+    let mut failed: Vec<String> = Vec::new();
+    for (module, f) in experiments {
+        eprintln!("[nbsp-bench] running experiments::{module} ...");
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(report) => println!("{report}\n"),
+            Err(payload) => {
+                eprintln!(
+                    "[nbsp-bench] experiments::{module}: FAILED — {}",
+                    panic_message(payload.as_ref())
+                );
+                failed.push(module.to_string());
+            }
+        }
+    }
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[nbsp-bench] failed experiments: {}", failed.join(", "));
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_body_succeeds() {
+        let code = run_experiment("test_ok", || "report".to_string());
+        assert_eq!(code, ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn panicking_body_fails() {
+        let code = run_experiment("test_panic", || panic!("boom"));
+        assert_eq!(code, ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn run_all_reports_every_failure() {
+        let code = run_all(vec![
+            ("a", Box::new(|| "ok".to_string()) as Box<dyn FnOnce() -> String>),
+            ("b", Box::new(|| panic!("boom"))),
+        ]);
+        assert_eq!(code, ExitCode::FAILURE);
+    }
+}

@@ -1,0 +1,152 @@
+//! Bounded exponential backoff for SC/CAS retry loops.
+//!
+//! The paper's constructions are lock-free: an SC retry implies some other
+//! process's SC succeeded. That guarantee says nothing about *throughput*,
+//! though — N processes re-reading and re-CASing one line immediately after
+//! losing a race turn the cache line into a hot potato and waste the
+//! winner's bandwidth too. Classic contention studies (Anderson 1990;
+//! Herlihy's small-object protocol evaluations) show bounded exponential
+//! backoff restoring most of the lost throughput.
+//!
+//! [`Backoff`] implements the standard discipline: spin with
+//! [`std::hint::spin_loop`] for an exponentially growing bounded count,
+//! then switch to [`std::thread::yield_now`]. It never sleeps, so a
+//! backed-off process remains schedulable and **lock-freedom is
+//! preserved** — backoff only runs *after* a failed SC/CAS, i.e. after
+//! some other operation already completed, and only delays the loser by a
+//! bounded amount. Wait-free operations in this workspace (e.g. a
+//! successful-path SC) never invoke it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Upper bound on the spin exponent: at most `1 << SPIN_LIMIT` spin-loop
+/// hints per step before switching to `yield_now`. The bound keeps the
+/// worst-case delay constant (≈ a few hundred ns of spinning), which is
+/// what lets the lock-freedom argument go through unchanged.
+const SPIN_LIMIT: u32 = 6;
+
+/// Process-wide switch consulted by [`Backoff::new`]. Default: enabled.
+/// The contention benchmark flips this to measure the backoff axis without
+/// threading a policy parameter through every structure constructor.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables backoff process-wide for [`Backoff`] values created
+/// *after* the call. Intended for benchmarks and ablation experiments —
+/// leave it enabled in production use.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether newly created [`Backoff`] values will actually back off.
+#[must_use]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Per-retry-loop exponential backoff state. Create one before the loop,
+/// call [`Backoff::spin`] after each failed SC/CAS.
+///
+/// ```
+/// use nbsp_core::{Backoff, CasLlSc, Keep, Native, TagLayout};
+///
+/// let v = CasLlSc::new_native(TagLayout::half(), 0)?;
+/// let mem = Native;
+/// let mut backoff = Backoff::new();
+/// loop {
+///     let mut keep = Keep::default();
+///     let x = v.ll(&mem, &mut keep);
+///     if v.sc(&mem, &keep, x + 1) {
+///         break;
+///     }
+///     backoff.spin(); // a competitor committed; get off its cache line
+/// }
+/// # Ok::<(), nbsp_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    step: u32,
+    enabled: bool,
+}
+
+impl Backoff {
+    /// Fresh state (no delay accumulated). Honours [`set_enabled`].
+    #[must_use]
+    pub fn new() -> Self {
+        Backoff {
+            step: 0,
+            enabled: is_enabled(),
+        }
+    }
+
+    /// Backs off once: `2^step` spin-loop hints while `step` is below the
+    /// bound, a `yield_now` beyond it. Call after a failed SC/CAS.
+    pub fn spin(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Resets the exponent (call after a success if the state is reused
+    /// across operations).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// True once spinning has saturated and further [`Backoff::spin`] calls
+    /// yield the CPU instead.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        self.step > SPIN_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_after_bounded_spins() {
+        let mut b = Backoff::new();
+        assert!(!b.is_saturated());
+        for _ in 0..=SPIN_LIMIT {
+            b.spin();
+        }
+        assert!(b.is_saturated());
+        b.spin(); // yields; must not panic or spin forever
+        assert!(b.is_saturated());
+        b.reset();
+        assert!(!b.is_saturated());
+    }
+
+    #[test]
+    fn disabled_backoff_is_a_noop() {
+        set_enabled(false);
+        let mut b = Backoff::new();
+        for _ in 0..100 {
+            b.spin();
+        }
+        assert!(!b.is_saturated(), "disabled backoff must not accumulate");
+        set_enabled(true);
+        assert!(is_enabled());
+    }
+
+    #[test]
+    fn default_is_enabled() {
+        let b = Backoff::default();
+        assert!(b.enabled || !is_enabled());
+    }
+}

@@ -34,7 +34,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use nbsp_memsim::ProcId;
+use nbsp_memsim::{CachePadded, ProcId};
 
 use crate::layout::{bits_for_count, low_mask};
 use crate::{CasFamily, CasMemory, Error, Native, Result, TagQueue};
@@ -119,8 +119,12 @@ pub struct BoundedDomain<F: CasFamily = Native> {
     n: usize,
     k: usize,
     layout: BoundedLayout,
-    announce: Vec<F::Cell>,
-    claimed: Vec<AtomicBool>,
+    /// `A[p][s]` lives at `announce[p * k + s]`; padded because process `p`
+    /// stores its slot on every LL while every *other* process's SC scans
+    /// the array round-robin — the classic writer-vs-scanner false-sharing
+    /// pattern.
+    announce: Vec<CachePadded<F::Cell>>,
+    claimed: Vec<CachePadded<AtomicBool>>,
     _family: PhantomData<fn() -> F>,
 }
 
@@ -150,8 +154,12 @@ impl<F: CasFamily> BoundedDomain<F> {
             n,
             k,
             layout,
-            announce: (0..n * k).map(|_| F::make_cell(0)).collect(),
-            claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            announce: (0..n * k)
+                .map(|_| CachePadded::new(F::make_cell(0)))
+                .collect(),
+            claimed: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
             _family: PhantomData,
         }))
     }
@@ -226,7 +234,9 @@ impl<F: CasFamily> BoundedDomain<F> {
         Ok(BoundedVar {
             domain: Arc::clone(self),
             word: F::make_cell(self.layout.pack(0, 0, 0, initial)),
-            last: (0..self.n).map(|_| F::make_cell(0)).collect(),
+            last: (0..self.n)
+                .map(|_| CachePadded::new(F::make_cell(0)))
+                .collect(),
         })
     }
 
@@ -312,7 +322,10 @@ pub struct BoundedKeep {
 pub struct BoundedVar<F: CasFamily = Native> {
     domain: Arc<BoundedDomain<F>>,
     word: F::Cell,
-    last: Vec<F::Cell>,
+    /// `last[p]` is read and written only by process `p` (lines 13–14), so
+    /// no ordering matters — but un-padded, neighbouring processes'
+    /// counters would share lines and their SC hot paths would false-share.
+    last: Vec<CachePadded<F::Cell>>,
 }
 
 impl<F: CasFamily> BoundedVar<F> {
@@ -359,8 +372,19 @@ impl<F: CasFamily> BoundedVar<F> {
                 me.p, me.domain.k
             )
         }); // line 1
+        // Line 2: fully ordered, like every load/store in the LL/scan
+        // feedback path — see the line-3 comment below.
         let old = mem.load(&self.word); // line 2
+        // Line 3: the announce store stays **fully ordered** (`store`, not
+        // `store_release`). Figure 7's feedback argument is a *timing*
+        // argument across processes: an announced word must become visible
+        // to every other process's round-robin scan of `A` within one scan
+        // revolution, so announce stores and scan reads must embed in one
+        // total order — which per-location release/acquire does not give.
         mem.store(me.domain.announce_cell(me.p, slot), old); // line 3
+        // Line 4: full-ordered re-read of the word, for the same reason —
+        // it must be ordered after this process's own announce store in
+        // the global order the feedback argument counts in.
         let fail = mem.load(&self.word) != old; // line 4
         (me.domain.layout.val(old), BoundedKeep { slot, fail }) // line 5
     }
@@ -376,8 +400,13 @@ impl<F: CasFamily> BoundedVar<F> {
         keep: &BoundedKeep,
     ) -> bool {
         self.check_domain(me);
+        // Word read: acquire suffices (single-cell coherence decides the
+        // comparison). Announce read: this process's own slot — only `p`
+        // ever writes `A[p][slot]`, so program order alone makes the read
+        // exact, and the weakest ordering is already correct.
         !keep.fail
-            && mem.load(&self.word) == mem.load(me.domain.announce_cell(me.p, keep.slot))
+            && mem.load_acquire(&self.word)
+                == mem.load_acquire(me.domain.announce_cell(me.p, keep.slot))
     }
 
     /// Figure 7's `SC` (lines 8–15): finishes the sequence, attempting to
@@ -409,6 +438,10 @@ impl<F: CasFamily> BoundedVar<F> {
         let nk = me.domain.n * me.domain.k;
         // Line 10: read one announce entry and retire its tag to the back
         // of the queue, so an in-flight sequence's tag is never re-issued.
+        // Fully ordered (`load`, not `load_acquire`): this is the scan side
+        // of the feedback mechanism — see the LL line-3 comment. Relaxing
+        // the scan would let it return values stale enough to break the
+        // tag-reuse bound.
         let observed = layout.tag(mem.load(&me.domain.announce[me.j]));
         debug_assert!((observed as usize) < 2 * nk + 1);
         me.q.move_to_back(observed);
@@ -416,13 +449,19 @@ impl<F: CasFamily> BoundedVar<F> {
         me.j = (me.j + 1) % nk;
         // Line 12: choose the least-recently-seen tag.
         let t = me.q.rotate();
-        // Lines 13–14: next per-(process, variable) counter.
-        let cnt = (mem.load(&self.last[me.p.index()]) + 1) % (nk as u64 + 1);
-        mem.store(&self.last[me.p.index()], cnt);
+        // Lines 13–14: next per-(process, variable) counter. `last[p]` is
+        // touched only by process `p`, so any ordering is exact; the
+        // acquire/release pair is just the weakest interface available.
+        let cnt = (mem.load_acquire(&self.last[me.p.index()]) + 1) % (nk as u64 + 1);
+        mem.store_release(&self.last[me.p.index()], cnt);
         // Line 15: install (t, cnt, p, newval) iff the word still equals
-        // what this sequence's LL announced.
-        let old = mem.load(me.domain.announce_cell(me.p, keep.slot));
-        mem.cas(
+        // what this sequence's LL announced. The `old` fetch reads this
+        // process's own announce slot (exact by program order). The CAS is
+        // acquire-release: success is the linearization point and the
+        // release publication of `newval`; whether it succeeds is decided
+        // by the word's coherence order alone.
+        let old = mem.load_acquire(me.domain.announce_cell(me.p, keep.slot));
+        mem.cas_acqrel(
             &self.word,
             old,
             layout.pack(t, cnt, me.p.index(), newval),
@@ -443,14 +482,14 @@ impl<F: CasFamily> BoundedVar<F> {
     /// a read-only operation needs no announce entry.)
     #[must_use]
     pub fn peek<M: CasMemory<Family = F>>(&self, mem: &M) -> u64 {
-        self.domain.layout.val(mem.load(&self.word))
+        self.domain.layout.val(mem.load_acquire(&self.word))
     }
 
     /// The word's current (tag, cnt, pid) triple, for audits and
     /// experiment E9.
     #[must_use]
     pub fn current_stamp<M: CasMemory<Family = F>>(&self, mem: &M) -> (u64, u64, usize) {
-        let w = mem.load(&self.word);
+        let w = mem.load_acquire(&self.word);
         let l = self.domain.layout;
         (l.tag(w), l.cnt(w), l.pid(w))
     }
@@ -689,57 +728,53 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use nbsp_memsim::rng::SplitMix64;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
-
-            /// Every (n, k, value) combination that the layout accepts
-            /// must round-trip all four fields exactly.
-            #[test]
-            fn layout_round_trips(
-                n in 1usize..512,
-                k in 1usize..8,
-                tag_raw in 0u64..1 << 20,
-                cnt_raw in 0u64..1 << 20,
-                pid_raw in 0usize..512,
-                val_raw in 0u64..1 << 30,
-            ) {
+        /// Every (n, k, value) combination that the layout accepts must
+        /// round-trip all four fields exactly. (Deterministic seeded cases.)
+        #[test]
+        fn layout_round_trips() {
+            let mut rng = SplitMix64::new(0xb0d0_0001);
+            for _ in 0..256 {
+                let n = 1 + rng.next_index(511);
+                let k = 1 + rng.next_index(7);
                 let Ok(l) = BoundedLayout::new(n, k, 64) else {
-                    return Ok(()); // too big for the word; fine
+                    continue; // too big for the word; fine
                 };
                 let nk = (n * k) as u64;
-                let tag = tag_raw % (2 * nk + 1);
-                let cnt = cnt_raw % (nk + 1);
-                let pid = pid_raw % n;
-                let val = val_raw & l.max_val();
+                let tag = rng.next_below(2 * nk + 1);
+                let cnt = rng.next_below(nk + 1);
+                let pid = rng.next_index(n);
+                let val = rng.next_u64() & l.max_val();
                 let w = l.pack(tag, cnt, pid, val);
-                prop_assert_eq!(l.tag(w), tag);
-                prop_assert_eq!(l.cnt(w), cnt);
-                prop_assert_eq!(l.pid(w), pid);
-                prop_assert_eq!(l.val(w), val);
+                assert_eq!(l.tag(w), tag);
+                assert_eq!(l.cnt(w), cnt);
+                assert_eq!(l.pid(w), pid);
+                assert_eq!(l.val(w), val);
             }
+        }
 
-            /// Sequential LL;SC programs over random (n, k) keep the
-            /// variable's value consistent with a plain register.
-            #[test]
-            fn sequential_ops_match_register_model(
-                n in 1usize..6,
-                k in 1usize..4,
-                writes in proptest::collection::vec(0u64..64, 0..60),
-            ) {
+        /// Sequential LL;SC programs over random (n, k) keep the variable's
+        /// value consistent with a plain register.
+        #[test]
+        fn sequential_ops_match_register_model() {
+            let mut rng = SplitMix64::new(0xb0d0_0002);
+            for case in 0..64 {
+                let n = 1 + rng.next_index(5);
+                let k = 1 + rng.next_index(3);
                 let d = BoundedDomain::<Native>::new(n, k).unwrap();
                 let v = d.var(0).unwrap();
                 let mut me = d.proc(0);
                 let mut model = 0u64;
-                for w in writes {
+                for _ in 0..rng.next_index(60) {
+                    let w = rng.next_below(64);
                     let (read, keep) = v.ll(&Native, &mut me);
-                    prop_assert_eq!(read, model);
-                    prop_assert!(v.sc(&Native, &mut me, keep, w));
+                    assert_eq!(read, model, "case {case}");
+                    assert!(v.sc(&Native, &mut me, keep, w));
                     model = w;
                 }
-                prop_assert_eq!(v.peek(&Native), model);
-                prop_assert_eq!(me.free_slots(), k);
+                assert_eq!(v.peek(&Native), model, "case {case}");
+                assert_eq!(me.free_slots(), k);
             }
         }
     }

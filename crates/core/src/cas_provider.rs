@@ -77,6 +77,53 @@ pub trait CasMemory {
     ///
     /// Panics if `new` needs more than `Family::VALUE_BITS` bits.
     fn cas(&self, cell: &CellOf<Self>, old: u64, new: u64) -> bool;
+
+    // ----- per-operation orderings ------------------------------------
+    //
+    // The constructions in this workspace never need the *global* total
+    // order that `SeqCst` buys; each one's linearization argument rests on
+    // (a) coherence of a single cell and (b) release/acquire publication
+    // chains (announce row → header swing → helping read). The methods
+    // below let a memory expose exactly that: an implementation for real
+    // hardware overrides them with acquire/release atomics, while
+    // simulated or emulated memories — whose "atomics" are already
+    // synchronized by other means — keep the defaults, which simply
+    // delegate to the fully-ordered operations above.
+
+    /// Atomically reads the cell with *acquire* ordering: everything the
+    /// writer that produced the observed value did before its release
+    /// write/CAS is visible after this load.
+    ///
+    /// Defaults to [`CasMemory::load`].
+    fn load_acquire(&self, cell: &CellOf<Self>) -> u64 {
+        self.load(cell)
+    }
+
+    /// Atomically writes the cell with *release* ordering: all prior
+    /// writes by this thread are visible to any thread that
+    /// acquire-reads the stored value.
+    ///
+    /// Defaults to [`CasMemory::store`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` needs more than `Family::VALUE_BITS` bits.
+    fn store_release(&self, cell: &CellOf<Self>, value: u64) {
+        self.store(cell, value);
+    }
+
+    /// CAS with *acquire-release* ordering: a success is a release write
+    /// (publishing this thread's prior writes) and an acquire read; a
+    /// failure is an acquire read of the current value.
+    ///
+    /// Defaults to [`CasMemory::cas`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` needs more than `Family::VALUE_BITS` bits.
+    fn cas_acqrel(&self, cell: &CellOf<Self>, old: u64, new: u64) -> bool {
+        self.cas(cell, old, new)
+    }
 }
 
 /// [`CasFamily`] and [`CasMemory`] backed by the host's native `AtomicU64` —
@@ -117,6 +164,57 @@ impl CasMemory for Native {
         cell.compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
     }
+
+    fn load_acquire(&self, cell: &AtomicU64) -> u64 {
+        cell.load(Ordering::Acquire)
+    }
+
+    fn store_release(&self, cell: &AtomicU64, value: u64) {
+        cell.store(value, Ordering::Release);
+    }
+
+    fn cas_acqrel(&self, cell: &AtomicU64, old: u64, new: u64) -> bool {
+        cell.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+/// A [`CasMemory`] over [`Native`] cells that executes **every** operation
+/// — including the acquire/release variants — with `SeqCst`, reproducing
+/// the pre-optimization behaviour of this crate.
+///
+/// Exists for the contention ablation (`exp_contention`): running the same
+/// construction through [`Native`] and `NativeSeqCst` isolates what the
+/// per-operation orderings are worth. Not recommended outside benchmarks;
+/// the relaxed orderings are argued correct at each call site.
+///
+/// ```
+/// use nbsp_core::{CasFamily, CasMemory, Native, NativeSeqCst};
+/// let cell = Native::make_cell(5);
+/// let mem = NativeSeqCst;
+/// assert!(mem.cas_acqrel(&cell, 5, 6)); // SeqCst under the hood
+/// assert_eq!(mem.load_acquire(&cell), 6);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NativeSeqCst;
+
+impl CasMemory for NativeSeqCst {
+    type Family = Native;
+
+    fn load(&self, cell: &AtomicU64) -> u64 {
+        cell.load(Ordering::SeqCst)
+    }
+
+    fn store(&self, cell: &AtomicU64, value: u64) {
+        cell.store(value, Ordering::SeqCst);
+    }
+
+    fn cas(&self, cell: &AtomicU64, old: u64, new: u64) -> bool {
+        cell.compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+    // load_acquire / store_release / cas_acqrel inherit the defaults, which
+    // delegate to the SeqCst operations above — the whole point.
 }
 
 /// Storage family for simulated CAS machines: cells are [`SimWord`]s.

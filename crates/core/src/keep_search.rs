@@ -23,11 +23,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
-use parking_lot::RwLock;
-
-use nbsp_memsim::ProcId;
+use nbsp_memsim::{CachePadded, ProcId};
 
 use crate::{Error, Result, TagLayout};
 
@@ -51,7 +49,11 @@ use crate::{Error, Result, TagLayout};
 #[derive(Debug)]
 pub struct PerVarKeepVar {
     cell: AtomicU64,
-    keeps: Vec<AtomicU64>,
+    /// `keeps[p]` is written by `p`'s LL and read by `p`'s VL/SC — never by
+    /// another process. Padded so that the per-process slots (which each
+    /// process hits on every operation) do not false-share; this is
+    /// exactly the per-process-slot pattern the announce arrays fix too.
+    keeps: Vec<CachePadded<AtomicU64>>,
     layout: TagLayout,
 }
 
@@ -71,7 +73,9 @@ impl PerVarKeepVar {
         let word = layout.pack(0, initial)?;
         Ok(PerVarKeepVar {
             cell: AtomicU64::new(word),
-            keeps: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            keeps: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             layout,
         })
     }
@@ -90,8 +94,10 @@ impl PerVarKeepVar {
     /// Panics if `p` is out of range.
     #[must_use]
     pub fn ll(&self, p: ProcId) -> u64 {
-        let w = self.cell.load(Ordering::SeqCst);
-        self.keeps[p.index()].store(w, Ordering::SeqCst);
+        // Acquire on the shared cell (pairs with the release CAS in `sc`);
+        // the keep slot is process-private, so Relaxed is exact there.
+        let w = self.cell.load(Ordering::Acquire);
+        self.keeps[p.index()].store(w, Ordering::Relaxed);
         self.layout.val(w)
     }
 
@@ -102,7 +108,8 @@ impl PerVarKeepVar {
     /// Panics if `p` is out of range.
     #[must_use]
     pub fn vl(&self, p: ProcId) -> bool {
-        self.keeps[p.index()].load(Ordering::SeqCst) == self.cell.load(Ordering::SeqCst)
+        // Single-cell coherence decides the comparison; see CasLlSc::vl.
+        self.keeps[p.index()].load(Ordering::Relaxed) == self.cell.load(Ordering::Acquire)
     }
 
     /// SC against the stored keep for `p`.
@@ -117,19 +124,21 @@ impl PerVarKeepVar {
             "value {new} exceeds layout maximum {}",
             self.layout.max_val()
         );
-        let keep = self.keeps[p.index()].load(Ordering::SeqCst);
+        let keep = self.keeps[p.index()].load(Ordering::Relaxed);
         let neww = self
             .layout
             .pack_unchecked(self.layout.tag_succ(self.layout.tag(keep)), new);
+        // AcqRel: success is the release publication point (same argument
+        // as CasLlSc::sc); failure only needs the acquire read.
         self.cell
-            .compare_exchange(keep, neww, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(keep, neww, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
 
     /// Reads the current value.
     #[must_use]
     pub fn read(&self) -> u64 {
-        self.layout.val(self.cell.load(Ordering::SeqCst))
+        self.layout.val(self.cell.load(Ordering::Acquire))
     }
 }
 
@@ -150,13 +159,13 @@ impl KeepRegistry {
     /// Number of live (process, variable) associations (for space audits).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.map.read().unwrap().len()
     }
 
     /// True iff no associations are stored.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.map.read().unwrap().is_empty()
     }
 }
 
@@ -213,10 +222,11 @@ impl RegistryKeepVar {
     /// LL: records the observed word in the registry under (p, var).
     #[must_use]
     pub fn ll(&self, p: ProcId) -> u64 {
-        let w = self.cell.load(Ordering::SeqCst);
+        let w = self.cell.load(Ordering::Acquire);
         self.registry
             .map
             .write()
+            .unwrap()
             .insert((p.index(), self.id), w);
         self.layout.val(w)
     }
@@ -232,9 +242,10 @@ impl RegistryKeepVar {
             .registry
             .map
             .read()
+            .unwrap()
             .get(&(p.index(), self.id))
             .expect("VL without a preceding LL");
-        keep == self.cell.load(Ordering::SeqCst)
+        keep == self.cell.load(Ordering::Acquire)
     }
 
     /// SC via registry lookup; removes the association.
@@ -254,20 +265,21 @@ impl RegistryKeepVar {
             .registry
             .map
             .write()
+            .unwrap()
             .remove(&(p.index(), self.id))
             .expect("SC without a preceding LL");
         let neww = self
             .layout
             .pack_unchecked(self.layout.tag_succ(self.layout.tag(keep)), new);
         self.cell
-            .compare_exchange(keep, neww, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(keep, neww, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
 
     /// Reads the current value.
     #[must_use]
     pub fn read(&self) -> u64 {
-        self.layout.val(self.cell.load(Ordering::SeqCst))
+        self.layout.val(self.cell.load(Ordering::Acquire))
     }
 }
 

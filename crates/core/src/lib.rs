@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod backoff;
 pub mod bounded;
 mod cas_from_rll;
 mod cas_provider;
@@ -57,11 +58,17 @@ mod ops;
 mod tag_queue;
 pub mod wide;
 
+pub use backoff::Backoff;
 pub use cas_from_rll::{EmuCas, EmuCasWord, EmuFamily};
-pub use cas_provider::{CasFamily, CasMemory, CellOf, Native, SimCas, SimFamily};
+pub use cas_provider::{CasFamily, CasMemory, CellOf, Native, NativeSeqCst, SimCas, SimFamily};
 pub use error::{Error, Result};
 pub use layout::TagLayout;
 pub use llsc_from_cas::{CasLlSc, Keep};
 pub use llsc_from_rll::RllLlSc;
 pub use ops::LlScVar;
 pub use tag_queue::TagQueue;
+
+// Re-exported so users of the constructions can pad their own per-process
+// slots the same way the announce arrays are padded. (Defined in
+// `nbsp-memsim` — the layering base — because the simulator needs it too.)
+pub use nbsp_memsim::CachePadded;

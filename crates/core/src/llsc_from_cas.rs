@@ -99,20 +99,42 @@ impl<F: CasFamily> CasLlSc<F> {
 
     /// Figure 4's `LL(addr, keep)`: copies the word into `keep` and returns
     /// the value field. Linearizes at the read.
+    ///
+    /// **Ordering — acquire.** The whole construction lives in one cell, so
+    /// linearizability needs only that cell's coherence order, which every
+    /// ordering provides. Acquire (not relaxed) is still required so that,
+    /// when a caller publishes side data before its release-SC (e.g. a
+    /// stack node written before the head swing), the LL that observes the
+    /// SC's word also observes that data. Nothing in any construction's
+    /// proof appeals to a *total* order over distinct variables, so
+    /// `SeqCst` buys nothing here.
     pub fn ll<M: CasMemory<Family = F>>(&self, mem: &M, keep: &mut Keep) -> u64 {
-        keep.0 = mem.load(&self.cell);
+        keep.0 = mem.load_acquire(&self.cell);
         self.layout.val(keep.0)
     }
 
     /// Figure 4's `VL(addr, keep)`: true iff no successful SC hit the
     /// variable since the LL that wrote `keep`. Linearizes at the read.
+    ///
+    /// **Ordering — acquire.** VL compares against the same single cell the
+    /// LL read; coherence alone decides the boolean. Acquire keeps the
+    /// read-side publication guarantee symmetric with [`CasLlSc::ll`].
     #[must_use]
     pub fn vl<M: CasMemory<Family = F>>(&self, mem: &M, keep: &Keep) -> bool {
-        keep.0 == mem.load(&self.cell)
+        keep.0 == mem.load_acquire(&self.cell)
     }
 
     /// Figure 4's `SC(addr, keep, new)`: one CAS from the kept word to
     /// `(keep.tag ⊕ 1, new)`. Linearizes at the CAS.
+    ///
+    /// **Ordering — acquire-release.** A successful SC is the release half
+    /// of the publication chain whose acquire half is [`CasLlSc::ll`]: it
+    /// orders the caller's preceding writes before the new tagged word.
+    /// Whether the CAS succeeds is decided by the cell's coherence order —
+    /// exactly one CAS can take the cell from `keep.0` to a successor tag —
+    /// so strengthening to `SeqCst` cannot change any outcome, only add a
+    /// fence. On failure an acquire read of the current word suffices
+    /// (the value is discarded).
     ///
     /// # Panics
     ///
@@ -127,20 +149,22 @@ impl<F: CasFamily> CasLlSc<F> {
         let newword = self
             .layout
             .pack_unchecked(self.layout.tag_succ(self.layout.tag(keep.0)), new);
-        mem.cas(&self.cell, keep.0, newword)
+        mem.cas_acqrel(&self.cell, keep.0, newword)
     }
 
     /// Reads the current value (not part of the paper's interface, but an
     /// LL whose keep is discarded; linearizes at the read).
+    ///
+    /// **Ordering — acquire**, same argument as [`CasLlSc::ll`].
     #[must_use]
     pub fn read<M: CasMemory<Family = F>>(&self, mem: &M) -> u64 {
-        self.layout.val(mem.load(&self.cell))
+        self.layout.val(mem.load_acquire(&self.cell))
     }
 
     /// The tag currently stored (for tests and wraparound experiments).
     #[must_use]
     pub fn current_tag<M: CasMemory<Family = F>>(&self, mem: &M) -> u64 {
-        self.layout.tag(mem.load(&self.cell))
+        self.layout.tag(mem.load_acquire(&self.cell))
     }
 }
 

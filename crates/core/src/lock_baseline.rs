@@ -16,7 +16,7 @@
 //! SC fails **only** when a successful SC intervened (per-process `valid`
 //! bits), values occupy a full 64-bit word, and there is no tag to wrap.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use nbsp_memsim::ProcId;
 
@@ -70,7 +70,7 @@ impl LockLlSc {
     /// Number of processes.
     #[must_use]
     pub fn n(&self) -> usize {
-        self.state.lock().valid.len()
+        self.state.lock().unwrap().valid.len()
     }
 
     fn check(&self, p: ProcId, len: usize) {
@@ -87,7 +87,7 @@ impl LockLlSc {
     /// Panics if `p` is out of range.
     #[must_use]
     pub fn ll(&self, p: ProcId) -> u64 {
-        let mut g = self.state.lock();
+        let mut g = self.state.lock().unwrap();
         self.check(p, g.valid.len());
         g.valid[p.index()] = true;
         g.value
@@ -100,7 +100,7 @@ impl LockLlSc {
     /// Panics if `p` is out of range.
     #[must_use]
     pub fn vl(&self, p: ProcId) -> bool {
-        let g = self.state.lock();
+        let g = self.state.lock().unwrap();
         self.check(p, g.valid.len());
         g.valid[p.index()]
     }
@@ -113,7 +113,7 @@ impl LockLlSc {
     /// Panics if `p` is out of range.
     #[must_use]
     pub fn sc(&self, p: ProcId, v: u64) -> bool {
-        let mut g = self.state.lock();
+        let mut g = self.state.lock().unwrap();
         self.check(p, g.valid.len());
         if g.valid[p.index()] {
             g.value = v;
@@ -129,7 +129,7 @@ impl LockLlSc {
     /// reservations (only SC does); the two specifications are independent.
     #[must_use]
     pub fn cas(&self, old: u64, new: u64) -> bool {
-        let mut g = self.state.lock();
+        let mut g = self.state.lock().unwrap();
         if g.value == old {
             g.value = new;
             true
@@ -141,7 +141,7 @@ impl LockLlSc {
     /// Reads the current value atomically.
     #[must_use]
     pub fn read(&self) -> u64 {
-        self.state.lock().value
+        self.state.lock().unwrap().value
     }
 }
 

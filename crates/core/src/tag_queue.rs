@@ -148,7 +148,7 @@ impl TagQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use nbsp_memsim::rng::SplitMix64;
     use std::collections::VecDeque;
 
     #[test]
@@ -247,39 +247,45 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn matches_vecdeque_model(
-            universe in 1usize..40,
-            ops in proptest::collection::vec((0u8..2, 0u64..40), 0..200),
-        ) {
+    // Deterministic randomized differential tests (seeded SplitMix64, so
+    // failures reproduce exactly; no registry dependency needed).
+    #[test]
+    fn matches_vecdeque_model() {
+        let mut rng = SplitMix64::new(0x7a67_0001);
+        for case in 0..200 {
+            let universe = 1 + rng.next_index(39);
             let mut q = TagQueue::new(universe);
             let mut m = Model::new(universe);
-            for (kind, raw) in ops {
-                match kind {
-                    0 => prop_assert_eq!(q.rotate(), m.rotate()),
-                    _ => {
-                        let tag = raw % universe as u64;
-                        q.move_to_back(tag);
-                        m.move_to_back(tag);
-                    }
+            let ops = rng.next_index(200);
+            for step in 0..ops {
+                if rng.next_index(2) == 0 {
+                    assert_eq!(q.rotate(), m.rotate(), "case {case} step {step}");
+                } else {
+                    let tag = rng.next_below(universe as u64);
+                    q.move_to_back(tag);
+                    m.move_to_back(tag);
                 }
-                prop_assert_eq!(q.to_vec(), m.0.iter().copied().collect::<Vec<_>>());
+                assert_eq!(
+                    q.to_vec(),
+                    m.0.iter().copied().collect::<Vec<_>>(),
+                    "case {case} step {step}"
+                );
             }
         }
+    }
 
-        #[test]
-        fn position_is_consistent_with_to_vec(
-            universe in 1usize..20,
-            moves in proptest::collection::vec(0u64..20, 0..50),
-        ) {
+    #[test]
+    fn position_is_consistent_with_to_vec() {
+        let mut rng = SplitMix64::new(0x7a67_0002);
+        for _ in 0..100 {
+            let universe = 1 + rng.next_index(19);
             let mut q = TagQueue::new(universe);
-            for t in moves {
-                q.move_to_back(t % universe as u64);
+            for _ in 0..rng.next_index(50) {
+                q.move_to_back(rng.next_below(universe as u64));
             }
             let v = q.to_vec();
             for (i, &t) in v.iter().enumerate() {
-                prop_assert_eq!(q.position(t), i);
+                assert_eq!(q.position(t), i);
             }
         }
     }

@@ -16,7 +16,7 @@
 
 use std::fmt;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::ProcId;
 
@@ -61,13 +61,13 @@ impl ExactWord {
     /// Reads the current value.
     #[must_use]
     pub fn read(&self) -> u64 {
-        self.cell.lock().value
+        self.cell.lock().unwrap().value
     }
 
     /// Writes `value`, bumping the version (so outstanding reservations on
     /// this word will fail their RSC even if `value` equals the old value).
     pub fn write(&self, value: u64) {
-        let mut g = self.cell.lock();
+        let mut g = self.cell.lock().unwrap();
         g.version += 1;
         g.value = value;
     }
@@ -75,7 +75,7 @@ impl ExactWord {
     /// Atomic compare-and-swap on the value; bumps the version on success.
     #[must_use]
     pub fn cas(&self, old: u64, new: u64) -> bool {
-        let mut g = self.cell.lock();
+        let mut g = self.cell.lock().unwrap();
         if g.value == old {
             g.version += 1;
             g.value = new;
@@ -86,11 +86,11 @@ impl ExactWord {
     }
 
     fn snapshot(&self) -> Versioned {
-        *self.cell.lock()
+        *self.cell.lock().unwrap()
     }
 
     fn store_if_version(&self, version: u64, new: u64) -> bool {
-        let mut g = self.cell.lock();
+        let mut g = self.cell.lock().unwrap();
         if g.version == version {
             g.version += 1;
             g.value = new;

@@ -54,7 +54,9 @@
 mod cost;
 pub mod exact;
 mod machine;
+mod pad;
 mod proc_id;
+pub mod rng;
 mod spurious;
 mod stats;
 mod trace;
@@ -62,6 +64,7 @@ mod word;
 
 pub use cost::CostModel;
 pub use machine::{AccessBetween, InstructionSet, Machine, MachineBuilder, Processor};
+pub use pad::CachePadded;
 pub use proc_id::ProcId;
 pub use spurious::SpuriousMode;
 pub use stats::ProcStats;

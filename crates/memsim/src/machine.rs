@@ -3,11 +3,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
-
+use crate::rng::SplitMix64;
 use crate::trace::{TraceEvent, TraceKind, TraceRing};
-use crate::{ProcId, ProcStats, RscOutcome, SimWord, SpuriousMode};
+use crate::{CachePadded, ProcId, ProcStats, RscOutcome, SimWord, SpuriousMode};
 
 /// Which strong synchronization instructions the simulated machine provides.
 ///
@@ -64,7 +62,10 @@ struct MachineInner {
     access_between: AccessBetween,
     seed: u64,
     trace_depth: usize,
-    claimed: Vec<AtomicBool>,
+    /// One claim flag per processor; padded because unrelated threads claim
+    /// their processors concurrently at startup and should not ping-pong a
+    /// shared line while doing so.
+    claimed: Vec<CachePadded<AtomicBool>>,
 }
 
 /// A simulated shared-memory multiprocessor with `n` processors.
@@ -168,7 +169,9 @@ impl MachineBuilder {
                 access_between: self.access_between,
                 seed: self.seed,
                 trace_depth: self.trace_depth,
-                claimed: (0..self.n).map(|_| AtomicBool::new(false)).collect(),
+                claimed: (0..self.n)
+                    .map(|_| CachePadded::new(AtomicBool::new(false)))
+                    .collect(),
             }),
         }
     }
@@ -231,7 +234,7 @@ impl Machine {
             inner: Arc::clone(&self.inner),
             reservation: Cell::new(None),
             rsc_counter: Cell::new(0),
-            rng: RefCell::new(SmallRng::seed_from_u64(
+            rng: RefCell::new(SplitMix64::new(
                 self.inner.seed ^ (id as u64).wrapping_mul(0x9e3779b97f4a7c15),
             )),
             stats: Cell::new(ProcStats::default()),
@@ -273,6 +276,11 @@ struct Reservation {
 /// [`InstructionSet::CasOnly`] machine. Algorithms built on this crate are
 /// thereby *checked*, not merely claimed, to use only the instructions the
 /// target machine provides.
+// Aligned to a full (prefetch-paired) cache line: a `Processor` carries the
+// per-proc stats and reservation that the owning thread mutates on every
+// simulated instruction, so two processors boxed side by side (e.g. in the
+// `Vec` from [`Machine::processors`]) must not share a line.
+#[repr(align(128))]
 pub struct Processor {
     id: ProcId,
     trace: RefCell<TraceRing>,
@@ -280,7 +288,7 @@ pub struct Processor {
     reservation: Cell<Option<Reservation>>,
     /// Total RSC attempts, used to index the spurious-failure schedule.
     rsc_counter: Cell<u64>,
-    rng: RefCell<SmallRng>,
+    rng: RefCell<SplitMix64>,
     stats: Cell<ProcStats>,
 }
 

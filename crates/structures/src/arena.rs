@@ -14,7 +14,7 @@ use std::error::Error as StdError;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use nbsp_core::LlScVar;
+use nbsp_core::{Backoff, LlScVar};
 
 /// Errors from the capacity-bounded structures in this crate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,6 +117,7 @@ impl<V: LlScVar> Arena<V> {
     /// exhausted.
     pub(crate) fn alloc(&self, ctx: &mut V::Ctx<'_>) -> Option<usize> {
         let mut keep = V::Keep::default();
+        let mut backoff = Backoff::new();
         loop {
             let head = self.free.ll(ctx, &mut keep);
             if head == 0 {
@@ -128,12 +129,14 @@ impl<V: LlScVar> Arena<V> {
             if self.free.sc(ctx, &mut keep, next) {
                 return Some(idx);
             }
+            backoff.spin();
         }
     }
 
     /// Returns a node to the free list.
     pub(crate) fn dealloc(&self, ctx: &mut V::Ctx<'_>, idx: usize) {
         let mut keep = V::Keep::default();
+        let mut backoff = Backoff::new();
         loop {
             let head = self.free.ll(ctx, &mut keep);
             self.set_next(idx, head);
@@ -144,6 +147,7 @@ impl<V: LlScVar> Arena<V> {
             if self.free.sc(ctx, &mut keep, (idx + 1) as u64) {
                 return;
             }
+            backoff.spin();
         }
     }
 

@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use nbsp_core::LlScVar;
+use nbsp_core::{Backoff, LlScVar};
 
 /// A shared counter over any [`LlScVar`], counting modulo the variable's
 /// value range.
@@ -44,10 +44,12 @@ impl<V: LlScVar> Counter<V> {
 
     /// Atomically adds `delta` (modulo the value range) and returns the
     /// previous value. Lock-free: an individual attempt only retries when
-    /// some other operation succeeded.
+    /// some other operation succeeded, and a failed attempt backs off
+    /// before re-reading so the winner keeps the cache line.
     pub fn fetch_add(&self, ctx: &mut V::Ctx<'_>, delta: u64) -> u64 {
         let modulus = self.var.max_val().wrapping_add(1); // 0 means 2^64
         let mut keep = V::Keep::default();
+        let mut backoff = Backoff::new();
         loop {
             let old = self.var.ll(ctx, &mut keep);
             let new = if modulus == 0 {
@@ -58,6 +60,7 @@ impl<V: LlScVar> Counter<V> {
             if self.var.sc(ctx, &mut keep, new) {
                 return old;
             }
+            backoff.spin();
         }
     }
 

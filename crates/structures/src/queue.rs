@@ -18,7 +18,7 @@
 use std::fmt;
 
 use crate::arena::StructureError;
-use nbsp_core::LlScVar;
+use nbsp_core::{Backoff, LlScVar};
 
 /// A bounded-capacity lock-free FIFO queue of `u64` values over any
 /// [`LlScVar`] implementation.
@@ -120,6 +120,7 @@ impl<V: LlScVar> Queue<V> {
 
     fn alloc(&self, ctx: &mut V::Ctx<'_>) -> Option<usize> {
         let mut keep = V::Keep::default();
+        let mut backoff = Backoff::new();
         loop {
             let f = self.free.ll(ctx, &mut keep);
             if f == 0 {
@@ -131,17 +132,20 @@ impl<V: LlScVar> Queue<V> {
             if self.free.sc(ctx, &mut keep, nf) {
                 return Some(idx);
             }
+            backoff.spin();
         }
     }
 
     fn dealloc(&self, ctx: &mut V::Ctx<'_>, idx: usize) {
         let mut keep = V::Keep::default();
+        let mut backoff = Backoff::new();
         loop {
             let f = self.free.ll(ctx, &mut keep);
             self.force_store(ctx, &self.next[idx], f);
             if self.free.sc(ctx, &mut keep, (idx + 1) as u64) {
                 return;
             }
+            backoff.spin();
         }
     }
 
@@ -155,6 +159,7 @@ impl<V: LlScVar> Queue<V> {
         self.data[idx].store(value, std::sync::atomic::Ordering::SeqCst);
         self.force_store(ctx, &self.next[idx], 0);
         let link = (idx + 1) as u64;
+        let mut backoff = Backoff::new();
         loop {
             let mut keep_tail = V::Keep::default();
             let mut keep_next = V::Keep::default();
@@ -167,6 +172,7 @@ impl<V: LlScVar> Queue<V> {
             if !self.tail.vl(ctx, &keep_tail) {
                 self.tail.cl(ctx, &mut keep_tail);
                 self.next[tidx].cl(ctx, &mut keep_next);
+                backoff.spin();
                 continue;
             }
             if n == 0 {
@@ -177,6 +183,9 @@ impl<V: LlScVar> Queue<V> {
                     return Ok(());
                 }
                 self.tail.cl(ctx, &mut keep_tail);
+                // Our link SC lost to a competing enqueue: back off before
+                // re-reading the (certainly changed) tail.
+                backoff.spin();
             } else {
                 // Tail lags behind: help swing it, then retry.
                 self.next[tidx].cl(ctx, &mut keep_next);
@@ -188,6 +197,7 @@ impl<V: LlScVar> Queue<V> {
     /// Removes and returns the oldest value, or `None` if the queue was
     /// empty.
     pub fn dequeue(&self, ctx: &mut V::Ctx<'_>) -> Option<u64> {
+        let mut backoff = Backoff::new();
         loop {
             let mut keep_head = V::Keep::default();
             let mut keep_tail = V::Keep::default();
@@ -200,6 +210,7 @@ impl<V: LlScVar> Queue<V> {
                 self.head.cl(ctx, &mut keep_head);
                 self.tail.cl(ctx, &mut keep_tail);
                 self.next[hidx].cl(ctx, &mut keep_next);
+                backoff.spin();
                 continue;
             }
             if h == t {
@@ -230,6 +241,8 @@ impl<V: LlScVar> Queue<V> {
                     self.dealloc(ctx, hidx);
                     return Some(value);
                 }
+                // A competing dequeue advanced the head first.
+                backoff.spin();
             }
         }
     }

@@ -11,7 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use nbsp_core::wide::{WideDomain, WideKeep, WideVar};
-use nbsp_core::{CasFamily, CasMemory, Native, Result};
+use nbsp_core::{Backoff, CasFamily, CasMemory, Native, Result};
 use nbsp_memsim::ProcId;
 
 /// An atomic `W`-word register: reads see complete writes, never a mixture
@@ -74,7 +74,10 @@ impl<F: CasFamily> SnapshotRegister<F> {
     /// Panics if `buf.len()` differs from the register width.
     pub fn read_into<M: CasMemory<Family = F>>(&self, mem: &M, buf: &mut [u64]) {
         let mut keep = WideKeep::default();
-        while !self.var.wll(mem, &mut keep, buf).is_success() {}
+        let mut backoff = Backoff::new();
+        while !self.var.wll(mem, &mut keep, buf).is_success() {
+            backoff.spin();
+        }
     }
 
     /// Atomically replaces the whole register with `value` as process `p`
@@ -87,17 +90,20 @@ impl<F: CasFamily> SnapshotRegister<F> {
     pub fn write<M: CasMemory<Family = F>>(&self, mem: &M, p: ProcId, value: &[u64]) {
         let mut keep = WideKeep::default();
         let mut scratch = vec![0u64; self.w()];
+        let mut backoff = Backoff::new();
         loop {
             // An interfered WLL still records the header tag; its SC will
             // fail and we retry, so no explicit branch is needed — but a
             // successful WLL avoids a guaranteed-failing SC (the point of
             // the *weak* LL).
             if !self.var.wll(mem, &mut keep, &mut scratch).is_success() {
+                backoff.spin();
                 continue;
             }
             if self.var.sc(mem, p, &keep, value) {
                 return;
             }
+            backoff.spin();
         }
     }
 
@@ -111,8 +117,10 @@ impl<F: CasFamily> SnapshotRegister<F> {
     ) {
         let mut keep = WideKeep::default();
         let mut buf = vec![0u64; self.w()];
+        let mut backoff = Backoff::new();
         loop {
             if !self.var.wll(mem, &mut keep, &mut buf).is_success() {
+                backoff.spin();
                 continue;
             }
             let mut new = buf.clone();
@@ -120,6 +128,7 @@ impl<F: CasFamily> SnapshotRegister<F> {
             if self.var.sc(mem, p, &keep, &new) {
                 return;
             }
+            backoff.spin();
         }
     }
 }

@@ -19,7 +19,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::arena::StructureError;
-use nbsp_core::LlScVar;
+use nbsp_core::{Backoff, LlScVar};
 
 /// Link encoding: bit 0 is the deletion mark of the node *containing* the
 /// link; the remaining bits are (index + 1) of the successor, 0 = end.
@@ -126,11 +126,13 @@ impl<V: LlScVar> Set<V> {
     /// `node.key >= key` (or 0 at end of list). Physically unlinks marked
     /// nodes it passes (the helping step).
     fn search(&self, ctx: &mut V::Ctx<'_>, key: u64) -> (u64, u64) {
+        let mut backoff = Backoff::new();
         'restart: loop {
             let mut prev = 0u64; // address of the head link
             let mut keep = V::Keep::default();
             let mut prev_link = self.link_var(prev).ll(ctx, &mut keep);
             if link_marked(prev_link) && prev != 0 {
+                backoff.spin();
                 continue 'restart; // prev itself got deleted; restart
             }
             loop {
@@ -149,6 +151,7 @@ impl<V: LlScVar> Set<V> {
                         link(link_target(curr_link), false),
                     );
                     if !unlinked {
+                        backoff.spin();
                         continue 'restart;
                     }
                     // Re-arm the sequence on prev and continue from there.
@@ -166,6 +169,7 @@ impl<V: LlScVar> Set<V> {
                 prev_link = self.link_var(prev).ll(ctx, &mut keep);
                 if link_marked(prev_link) {
                     self.link_var(prev).cl(ctx, &mut keep);
+                    backoff.spin();
                     continue 'restart;
                 }
             }
@@ -179,6 +183,7 @@ impl<V: LlScVar> Set<V> {
     /// Returns [`StructureError::Full`] when the lifetime insert budget is
     /// exhausted.
     pub fn add(&self, ctx: &mut V::Ctx<'_>, key: u64) -> Result<bool, StructureError> {
+        let mut backoff = Backoff::new();
         loop {
             let (prev, curr) = self.search(ctx, key);
             if curr != 0 && self.keys[(curr - 1) as usize].load(Ordering::SeqCst) == key {
@@ -205,12 +210,14 @@ impl<V: LlScVar> Set<V> {
             }
             self.link_var(prev).cl(ctx, &mut keep);
             // Window moved: the freshly allocated node is abandoned (the
-            // price of no-reclamation) and we retry.
+            // price of no-reclamation) and we retry after backing off.
+            backoff.spin();
         }
     }
 
     /// Removes `key`. Returns `false` if it was not present.
     pub fn remove(&self, ctx: &mut V::Ctx<'_>, key: u64) -> bool {
+        let mut backoff = Backoff::new();
         loop {
             let (prev, curr) = self.search(ctx, key);
             if curr == 0 || self.keys[(curr - 1) as usize].load(Ordering::SeqCst) != key {
@@ -228,6 +235,7 @@ impl<V: LlScVar> Set<V> {
                 .next[curr_idx]
                 .sc(ctx, &mut keep, link(link_target(curr_link), true))
             {
+                backoff.spin();
                 continue;
             }
             // Physical unlink, best effort (search() helps if we fail).
@@ -276,11 +284,14 @@ impl<V: LlScVar> Set<V> {
     /// priority queue. Lock-free: a retry means another thread extracted
     /// the key first.
     pub fn extract_min(&self, ctx: &mut V::Ctx<'_>) -> Option<u64> {
+        let mut backoff = Backoff::new();
         loop {
             let k = self.first(ctx)?;
             if self.remove(ctx, k) {
                 return Some(k);
             }
+            // Another thread extracted this minimum first.
+            backoff.spin();
         }
     }
 

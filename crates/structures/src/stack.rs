@@ -16,7 +16,7 @@
 use std::fmt;
 
 use crate::arena::{Arena, StructureError};
-use nbsp_core::LlScVar;
+use nbsp_core::{Backoff, LlScVar};
 
 /// A bounded-capacity lock-free LIFO stack of `u64` values over any
 /// [`LlScVar`] implementation.
@@ -94,12 +94,14 @@ impl<V: LlScVar> Stack<V> {
         let idx = self.arena.alloc(ctx).ok_or(StructureError::Full)?;
         self.arena.set_data(idx, value);
         let mut keep = V::Keep::default();
+        let mut backoff = Backoff::new();
         loop {
             let head = self.head.ll(ctx, &mut keep);
             self.arena.set_next(idx, head);
             if self.head.sc(ctx, &mut keep, (idx + 1) as u64) {
                 return Ok(());
             }
+            backoff.spin();
         }
     }
 
@@ -107,6 +109,7 @@ impl<V: LlScVar> Stack<V> {
     /// empty at the linearization point (the LL's read).
     pub fn pop(&self, ctx: &mut V::Ctx<'_>) -> Option<u64> {
         let mut keep = V::Keep::default();
+        let mut backoff = Backoff::new();
         loop {
             let head = self.head.ll(ctx, &mut keep);
             if head == 0 {
@@ -123,6 +126,7 @@ impl<V: LlScVar> Stack<V> {
                 self.arena.dealloc(ctx, idx);
                 return Some(value);
             }
+            backoff.spin();
         }
     }
 

@@ -25,7 +25,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use nbsp_core::wide::{WideDomain, WideKeep, WideVar};
-use nbsp_core::{CasFamily, CasMemory, Native, Result};
+use nbsp_core::{Backoff, CasFamily, CasMemory, Native, Result};
 use nbsp_memsim::ProcId;
 
 /// Statistics from one [`Stm::transact`] call.
@@ -128,18 +128,21 @@ impl<F: CasFamily> Stm<F> {
         let mut stats = TxStats::default();
         let mut keep = WideKeep::default();
         let mut buf = vec![0u64; self.cells()];
+        let mut backoff = Backoff::new();
         loop {
             stats.attempts += 1;
             if !self.heap.wll(mem, &mut keep, &mut buf).is_success() {
                 // A concurrent commit doomed this attempt before it began —
                 // the *weak* LL lets us skip the wasted computation.
                 stats.wll_interference += 1;
+                backoff.spin();
                 continue;
             }
             let result = body(&mut buf);
             if self.heap.sc(mem, p, &keep, &buf) {
                 return (result, stats);
             }
+            backoff.spin();
         }
     }
 

@@ -21,6 +21,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use nbsp_core::Backoff;
 use nbsp_memsim::ProcId;
 
 /// A transactional heap with per-cell ownership records and static
@@ -97,13 +98,16 @@ impl OrecStm {
             assert!(max < self.cells.len(), "cell {max} out of range");
         }
         let me = p.index() as u64 + 1;
-        // Phase 1: acquire ownership records in address order.
+        // Phase 1: acquire ownership records in address order. The spin
+        // is a lock acquisition, so backoff here (unlike in the lock-free
+        // loops) bounds how hard waiters hammer the owner's cache line.
         for &a in footprint {
+            let mut backoff = Backoff::new();
             while self.orecs[a]
-                .compare_exchange(0, me, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(0, me, Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
             {
-                std::hint::spin_loop();
+                backoff.spin();
             }
         }
         // Owned: read, apply, write.

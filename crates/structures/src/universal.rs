@@ -13,7 +13,7 @@
 
 use std::fmt;
 
-use nbsp_core::LlScVar;
+use nbsp_core::{Backoff, LlScVar};
 
 /// A lock-free linearizable object whose state is one word, driven by pure
 /// transition functions.
@@ -62,12 +62,14 @@ impl<V: LlScVar> Universal<V> {
     /// Panics if `f` produces a value exceeding the variable's range.
     pub fn apply(&self, ctx: &mut V::Ctx<'_>, mut f: impl FnMut(u64) -> u64) -> (u64, u64) {
         let mut keep = V::Keep::default();
+        let mut backoff = Backoff::new();
         loop {
             let old = self.state.ll(ctx, &mut keep);
             let new = f(old);
             if self.state.sc(ctx, &mut keep, new) {
                 return (old, new);
             }
+            backoff.spin();
         }
     }
 
@@ -81,6 +83,7 @@ impl<V: LlScVar> Universal<V> {
         mut f: impl FnMut(u64) -> u64,
     ) -> Result<(u64, u64), u64> {
         let mut keep = V::Keep::default();
+        let mut backoff = Backoff::new();
         loop {
             let old = self.state.ll(ctx, &mut keep);
             if !guard(old) {
@@ -91,6 +94,7 @@ impl<V: LlScVar> Universal<V> {
             if self.state.sc(ctx, &mut keep, new) {
                 return Ok((old, new));
             }
+            backoff.spin();
         }
     }
 

@@ -12,11 +12,14 @@
 //! * Figure 3 run against the exact oracle and against the production
 //!   model produces identical outcomes on randomized multi-process
 //!   programs, because the tag discipline removes every divergent case.
+//!
+//! Programs come from a seeded [`SplitMix64`], so failures reproduce
+//! exactly without any test-framework dependency.
 
 use nbsp::core::TagLayout;
 use nbsp::memsim::exact::{ExactProc, ExactWord};
+use nbsp::memsim::rng::SplitMix64;
 use nbsp::memsim::{InstructionSet, Machine, ProcId, SimWord};
-use proptest::prelude::*;
 
 #[test]
 fn raw_models_diverge_on_value_aba() {
@@ -68,16 +71,16 @@ fn fig3_cas_exact(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Sequential multi-process CAS programs: Figure 3 on the production
-    /// model and on the exact oracle must agree operation-for-operation —
-    /// i.e. the tag discipline makes the weaker RSC model indistinguishable.
-    #[test]
-    fn figure3_is_model_independent(
-        ops in proptest::collection::vec((0usize..3, 0u64..4, 0u64..4), 0..150)
-    ) {
+/// Sequential multi-process CAS programs: Figure 3 on the production
+/// model and on the exact oracle must agree operation-for-operation —
+/// i.e. the tag discipline makes the weaker RSC model indistinguishable.
+#[test]
+fn figure3_is_model_independent() {
+    let mut rng = SplitMix64::new(0xe4ac_0001);
+    for case in 0..200 {
+        let ops: Vec<(usize, u64, u64)> = (0..rng.next_index(150))
+            .map(|_| (rng.next_index(3), rng.next_below(4), rng.next_below(4)))
+            .collect();
         let layout = TagLayout::new(60, 4).unwrap();
 
         // Production model (CAS-based RSC).
@@ -95,25 +98,26 @@ proptest! {
         for (step, (p, old, new)) in ops.iter().enumerate() {
             let got = prod.cas(&procs[*p], *old, *new);
             let want = fig3_cas_exact(&exact_word, &mut exact_procs[*p], layout, *old, *new);
-            prop_assert_eq!(
+            assert_eq!(
                 got, want,
-                "step {}: CAS({}, {}) diverged between RSC models", step, old, new
+                "case {case} step {step}: CAS({old}, {new}) diverged between RSC models"
             );
             // Values must stay in lock-step too.
-            prop_assert_eq!(
-                prod.read(&procs[*p]),
-                layout.val(exact_word.read())
-            );
+            assert_eq!(prod.read(&procs[*p]), layout.val(exact_word.read()));
         }
     }
+}
 
-    /// Same agreement under a deterministic spurious-failure schedule on
-    /// the production side only (spurious failures may add retries but
-    /// never change outcomes).
-    #[test]
-    fn figure3_outcomes_are_spurious_failure_invariant(
-        ops in proptest::collection::vec((0u64..4, 0u64..4), 0..100)
-    ) {
+/// Same agreement under a deterministic spurious-failure schedule on
+/// the production side only (spurious failures may add retries but
+/// never change outcomes).
+#[test]
+fn figure3_outcomes_are_spurious_failure_invariant() {
+    let mut rng = SplitMix64::new(0xe4ac_0002);
+    for _ in 0..100 {
+        let ops: Vec<(u64, u64)> = (0..rng.next_index(100))
+            .map(|_| (rng.next_below(4), rng.next_below(4)))
+            .collect();
         let layout = TagLayout::new(60, 4).unwrap();
         let quiet = Machine::builder(1)
             .instruction_set(InstructionSet::RllRscOnly)
@@ -127,8 +131,8 @@ proptest! {
         let a = nbsp::core::EmuCasWord::new(layout, 0).unwrap();
         let b = nbsp::core::EmuCasWord::new(layout, 0).unwrap();
         for (old, new) in ops {
-            prop_assert_eq!(a.cas(&pq, old, new), b.cas(&pn, old, new));
-            prop_assert_eq!(a.read(&pq), b.read(&pn));
+            assert_eq!(a.cas(&pq, old, new), b.cas(&pn, old, new));
+            assert_eq!(a.read(&pq), b.read(&pn));
         }
         // And the noisy run really did absorb spurious failures.
         // (Not asserted per-case: some value sequences never reach the

@@ -1,29 +1,29 @@
 //! Sequential differential tests: each structure, driven through the
 //! Figure-4 construction, must agree step-for-step with the obvious
-//! std-library model on thousands of proptest-generated programs.
+//! std-library model on thousands of randomized programs.
 //! (The linearizability tests accept any legal concurrent order; these
 //! demand exact sequential equality — a finer sieve for off-by-one link
-//! bugs, lost marks, or capacity accounting.)
+//! bugs, lost marks, or capacity accounting.) Programs come from a seeded
+//! [`SplitMix64`], so failures reproduce exactly.
 
 use std::collections::{BTreeSet, VecDeque};
 
-use proptest::prelude::*;
-
 use nbsp::core::{CasLlSc, Native, TagLayout};
+use nbsp::memsim::rng::SplitMix64;
 use nbsp::structures::{Queue, Set, Stack};
 
 fn nat() -> CasLlSc<Native> {
     CasLlSc::new_native(TagLayout::half(), 0).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn stack_matches_vec_model(
-        capacity in 0usize..8,
-        ops in proptest::collection::vec((0u8..2, 0u64..100), 0..200),
-    ) {
+#[test]
+fn stack_matches_vec_model() {
+    let mut rng = SplitMix64::new(0x57ac_0001);
+    for case in 0..200 {
+        let capacity = rng.next_index(8);
+        let ops: Vec<(u8, u64)> = (0..rng.next_index(200))
+            .map(|_| (rng.next_index(2) as u8, rng.next_below(100)))
+            .collect();
         let stack = Stack::new(capacity, nat(), nat(), &mut Native);
         let mut model: Vec<u64> = Vec::new();
         let mut ctx = Native;
@@ -31,22 +31,26 @@ proptest! {
             if kind == 0 {
                 let got = stack.push(&mut ctx, v).is_ok();
                 let want = model.len() < capacity;
-                prop_assert_eq!(got, want, "push({}) full-state mismatch", v);
+                assert_eq!(got, want, "case {case}: push({v}) full-state mismatch");
                 if want {
                     model.push(v);
                 }
             } else {
-                prop_assert_eq!(stack.pop(&mut ctx), model.pop());
+                assert_eq!(stack.pop(&mut ctx), model.pop(), "case {case}");
             }
         }
-        prop_assert_eq!(stack.len_quiescent(&mut ctx), model.len());
+        assert_eq!(stack.len_quiescent(&mut ctx), model.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn queue_matches_vecdeque_model(
-        capacity in 0usize..8,
-        ops in proptest::collection::vec((0u8..2, 0u64..100), 0..200),
-    ) {
+#[test]
+fn queue_matches_vecdeque_model() {
+    let mut rng = SplitMix64::new(0x57ac_0002);
+    for case in 0..200 {
+        let capacity = rng.next_index(8);
+        let ops: Vec<(u8, u64)> = (0..rng.next_index(200))
+            .map(|_| (rng.next_index(2) as u8, rng.next_below(100)))
+            .collect();
         let queue = Queue::new(capacity, nat, &mut Native);
         let mut model: VecDeque<u64> = VecDeque::new();
         let mut ctx = Native;
@@ -54,41 +58,49 @@ proptest! {
             if kind == 0 {
                 let got = queue.enqueue(&mut ctx, v).is_ok();
                 let want = model.len() < capacity;
-                prop_assert_eq!(got, want, "enqueue({}) full-state mismatch", v);
+                assert_eq!(got, want, "case {case}: enqueue({v}) full-state mismatch");
                 if want {
                     model.push_back(v);
                 }
             } else {
-                prop_assert_eq!(queue.dequeue(&mut ctx), model.pop_front());
+                assert_eq!(queue.dequeue(&mut ctx), model.pop_front(), "case {case}");
             }
         }
-        prop_assert_eq!(queue.len_quiescent(&mut ctx), model.len());
+        assert_eq!(queue.len_quiescent(&mut ctx), model.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn set_matches_btreeset_model(
-        ops in proptest::collection::vec((0u8..3, 0u64..12), 0..150),
-    ) {
+#[test]
+fn set_matches_btreeset_model() {
+    let mut rng = SplitMix64::new(0x57ac_0003);
+    for case in 0..200 {
+        let ops: Vec<(u8, u64)> = (0..rng.next_index(150))
+            .map(|_| (rng.next_index(3) as u8, rng.next_below(12)))
+            .collect();
         // Lifetime capacity sized so adds never hit Full.
         let set = Set::new(512, nat, &mut Native);
         let mut model: BTreeSet<u64> = BTreeSet::new();
         let mut ctx = Native;
         for (kind, k) in ops {
             match kind {
-                0 => prop_assert_eq!(
+                0 => assert_eq!(
                     set.add(&mut ctx, k).unwrap(),
                     model.insert(k),
-                    "add({})", k
+                    "case {case}: add({k})"
                 ),
-                1 => prop_assert_eq!(set.remove(&mut ctx, k), model.remove(&k), "remove({})", k),
-                _ => prop_assert_eq!(
+                1 => assert_eq!(
+                    set.remove(&mut ctx, k),
+                    model.remove(&k),
+                    "case {case}: remove({k})"
+                ),
+                _ => assert_eq!(
                     set.contains(&mut ctx, k),
                     model.contains(&k),
-                    "contains({})", k
+                    "case {case}: contains({k})"
                 ),
             }
         }
         let live: Vec<u64> = model.iter().copied().collect();
-        prop_assert_eq!(set.to_vec_quiescent(&mut ctx), live);
+        assert_eq!(set.to_vec_quiescent(&mut ctx), live, "case {case}");
     }
 }
