@@ -36,11 +36,12 @@ use std::fs;
 use std::process::ExitCode;
 
 use nbsp_bench::measure::throughput;
-use nbsp_bench::report::{fmt_ops, Report, Table};
+use nbsp_bench::report::{event_table, fmt_ops, Report, Table};
 use nbsp_core::{backoff, CachePadded, CasLlSc, Keep, LlScVar, Native, NativeSeqCst, TagLayout};
 use nbsp_memsim::ProcId;
 use nbsp_structures::stm_orec::OrecStm;
 use nbsp_structures::{Counter, Queue, Stack};
+use nbsp_telemetry::{racy_totals, Event, Hist, EVENT_COUNT};
 
 // ---------------------------------------------------------------------------
 // Sweep axes as bench-local LL/SC variable types.
@@ -277,8 +278,31 @@ fn median_tput(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
 
 type Workload = fn(usize, u64) -> f64;
 
-fn sweep_var<V>(threads_list: &[usize], per_thread: u64, runs: usize, rows: &mut Vec<Row>)
-where
+/// Per-cell telemetry deltas, printed in `--quick` mode so a smoke run
+/// shows *why* a cell is slow (SC failure rate, help traffic, backoff
+/// escalation) instead of just that it is. Runs of the full sweep keep
+/// stderr compact and rely on the run-level JSON block instead.
+fn print_cell_events(quick: bool, before: &[u64; EVENT_COUNT], total_ops: u64) {
+    if !quick || !nbsp_telemetry::enabled() {
+        return;
+    }
+    let after = racy_totals();
+    let mut delta = [0u64; EVENT_COUNT];
+    for i in 0..EVENT_COUNT {
+        delta[i] = after[i] - before[i];
+    }
+    for line in event_table(&delta, Some(total_ops)).to_markdown().lines() {
+        eprintln!("[exp_contention]     {line}");
+    }
+}
+
+fn sweep_var<V>(
+    threads_list: &[usize],
+    per_thread: u64,
+    runs: usize,
+    quick: bool,
+    rows: &mut Vec<Row>,
+) where
     V: BenchVar,
     for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
 {
@@ -291,6 +315,7 @@ where
         backoff::set_enabled(use_backoff);
         for &(structure, work) in &workloads {
             for &threads in threads_list {
+                let before = racy_totals();
                 let ops = median_tput(runs, || work(threads, per_thread));
                 eprintln!(
                     "[exp_contention] {structure} t={threads} padded={} ordering={} backoff={use_backoff}: {}",
@@ -298,6 +323,7 @@ where
                     V::ORDERING,
                     fmt_ops(ops),
                 );
+                print_cell_events(quick, &before, runs as u64 * threads as u64 * per_thread);
                 rows.push(Row {
                     structure,
                     threads,
@@ -315,15 +341,23 @@ where
 /// The STM workload only has the backoff axis (its orecs are raw atomics,
 /// not swappable LL/SC variables); padding/ordering are recorded as the
 /// library defaults so the JSON stays uniform.
-fn sweep_stm(threads_list: &[usize], per_thread: u64, runs: usize, rows: &mut Vec<Row>) {
+fn sweep_stm(
+    threads_list: &[usize],
+    per_thread: u64,
+    runs: usize,
+    quick: bool,
+    rows: &mut Vec<Row>,
+) {
     for &use_backoff in &[false, true] {
         backoff::set_enabled(use_backoff);
         for &threads in threads_list {
+            let before = racy_totals();
             let ops = median_tput(runs, || stm_tput(threads, per_thread));
             eprintln!(
                 "[exp_contention] stm_orec t={threads} backoff={use_backoff}: {}",
                 fmt_ops(ops),
             );
+            print_cell_events(quick, &before, runs as u64 * threads as u64 * per_thread);
             rows.push(Row {
                 structure: "stm_orec",
                 threads,
@@ -337,9 +371,46 @@ fn sweep_stm(threads_list: &[usize], per_thread: u64, runs: usize, rows: &mut Ve
     backoff::set_enabled(true);
 }
 
+/// End-of-run telemetry block for the JSON artifact: whole-process racy
+/// totals (exact here — every worker has joined, so the matrix is
+/// quiescent) plus the two log2 histograms. When the `telemetry` feature
+/// is compiled out the block records only `"enabled": false`, so schema
+/// consumers can distinguish "no events" from "not instrumented".
+fn telemetry_json(indent: &str) -> String {
+    if !nbsp_telemetry::enabled() {
+        return format!("{indent}\"telemetry\": {{\"enabled\": false}}");
+    }
+    let totals = racy_totals();
+    let events = Event::ALL
+        .iter()
+        .map(|e| format!("\"{}\": {}", e.name(), totals[e.index()]))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let hists = [Hist::Retries, Hist::BackoffDepth]
+        .iter()
+        .map(|h| {
+            let buckets = nbsp_telemetry::histogram(*h)
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{indent}    \"{}\": [{buckets}]", h.name())
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{indent}\"telemetry\": {{\n\
+         {indent}  \"enabled\": true,\n\
+         {indent}  \"events\": {{{events}}},\n\
+         {indent}  \"histograms\": {{\n{hists}\n{indent}  }}\n\
+         {indent}}}"
+    )
+}
+
 fn to_json(rows: &[Row], threads_list: &[usize], per_thread: u64, runs: usize) -> String {
     let mut s = String::new();
     s.push_str("{\n");
+    s.push_str("  \"schema_version\": 2,\n");
     s.push_str("  \"experiment\": \"contention\",\n");
     s.push_str(&format!("  \"per_thread_iters\": {per_thread},\n"));
     s.push_str(&format!("  \"median_of_runs\": {runs},\n"));
@@ -364,7 +435,9 @@ fn to_json(rows: &[Row], threads_list: &[usize], per_thread: u64, runs: usize) -
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&telemetry_json("  "));
+    s.push_str("\n}\n");
     s
 }
 
@@ -411,11 +484,11 @@ fn main() -> ExitCode {
         if quick { (5_000, 2_000, 2) } else { (300_000, 100_000, 5) };
 
     let mut rows = Vec::new();
-    sweep_var::<SeqCstVar>(threads_list, per_thread, runs, &mut rows);
-    sweep_var::<CasLlSc<Native>>(threads_list, per_thread, runs, &mut rows);
-    sweep_var::<PaddedSeqCstVar>(threads_list, per_thread, runs, &mut rows);
-    sweep_var::<PaddedVar>(threads_list, per_thread, runs, &mut rows);
-    sweep_stm(threads_list, stm_per_thread, runs, &mut rows);
+    sweep_var::<SeqCstVar>(threads_list, per_thread, runs, quick, &mut rows);
+    sweep_var::<CasLlSc<Native>>(threads_list, per_thread, runs, quick, &mut rows);
+    sweep_var::<PaddedSeqCstVar>(threads_list, per_thread, runs, quick, &mut rows);
+    sweep_var::<PaddedVar>(threads_list, per_thread, runs, quick, &mut rows);
+    sweep_stm(threads_list, stm_per_thread, runs, quick, &mut rows);
 
     // Markdown report: one table per structure, one row per thread count,
     // seed configuration vs. hardened configuration plus the single-knob

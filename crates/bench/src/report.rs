@@ -107,6 +107,41 @@ impl Table {
     }
 }
 
+/// Renders the non-zero entries of a per-event totals vector (indexed by
+/// [`nbsp_telemetry::Event`]) as a table, with a per-operation column when
+/// `ops` is known. Shared by the E11 report and `exp_contention`'s
+/// per-cell `--quick` output.
+#[must_use]
+pub fn event_table(totals: &[u64; nbsp_telemetry::EVENT_COUNT], ops: Option<u64>) -> Table {
+    let mut t = if ops.is_some() {
+        Table::new(vec!["event", "count", "per op"])
+    } else {
+        Table::new(vec!["event", "count"])
+    };
+    for e in nbsp_telemetry::Event::ALL {
+        let n = totals[e.index()];
+        if n == 0 {
+            continue;
+        }
+        match ops {
+            Some(ops) if ops > 0 => {
+                t.row([
+                    e.name().to_string(),
+                    n.to_string(),
+                    format!("{:.3}", n as f64 / ops as f64),
+                ]);
+            }
+            Some(_) => {
+                t.row([e.name().to_string(), n.to_string(), "-".to_string()]);
+            }
+            None => {
+                t.row([e.name().to_string(), n.to_string()]);
+            }
+        }
+    }
+    t
+}
+
 /// Formats a nanosecond quantity compactly.
 #[must_use]
 pub fn fmt_ns(ns: f64) -> String {

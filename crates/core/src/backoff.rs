@@ -19,6 +19,8 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use nbsp_telemetry::{observe, record, Event, Hist};
+
 /// Upper bound on the spin exponent: at most `1 << SPIN_LIMIT` spin-loop
 /// hints per step before switching to `yield_now`. The bound keeps the
 /// worst-case delay constant (≈ a few hundred ns of spinning), which is
@@ -85,11 +87,19 @@ impl Backoff {
             return;
         }
         if self.step <= SPIN_LIMIT {
+            record(Event::BackoffSpin);
+            observe(Hist::BackoffDepth, 1u64 << self.step);
             for _ in 0..(1u32 << self.step) {
                 std::hint::spin_loop();
             }
             self.step += 1;
+            if self.is_saturated() {
+                // Crossing into the yield-only regime is the interesting
+                // moment: it marks sustained contention on one variable.
+                record(Event::BackoffSaturated);
+            }
         } else {
+            record(Event::BackoffYield);
             std::thread::yield_now();
         }
     }

@@ -386,6 +386,9 @@ impl<F: CasFamily> BoundedVar<F> {
         // it must be ordered after this process's own announce store in
         // the global order the feedback argument counts in.
         let fail = mem.load(&self.word) != old; // line 4
+        if fail {
+            nbsp_telemetry::record(nbsp_telemetry::Event::LlRestart);
+        }
         (me.domain.layout.val(old), BoundedKeep { slot, fail }) // line 5
     }
 
@@ -433,6 +436,7 @@ impl<F: CasFamily> BoundedVar<F> {
         );
         me.slots.push(keep.slot); // line 8
         if keep.fail {
+            nbsp_telemetry::record(nbsp_telemetry::Event::ScFail);
             return false; // line 9
         }
         let nk = me.domain.n * me.domain.k;
@@ -449,6 +453,7 @@ impl<F: CasFamily> BoundedVar<F> {
         me.j = (me.j + 1) % nk;
         // Line 12: choose the least-recently-seen tag.
         let t = me.q.rotate();
+        nbsp_telemetry::record(nbsp_telemetry::Event::TagAlloc);
         // Lines 13–14: next per-(process, variable) counter. `last[p]` is
         // touched only by process `p`, so any ordering is exact; the
         // acquire/release pair is just the weakest interface available.
@@ -461,11 +466,17 @@ impl<F: CasFamily> BoundedVar<F> {
         // release publication of `newval`; whether it succeeds is decided
         // by the word's coherence order alone.
         let old = mem.load_acquire(me.domain.announce_cell(me.p, keep.slot));
-        mem.cas_acqrel(
+        let ok = mem.cas_acqrel(
             &self.word,
             old,
             layout.pack(t, cnt, me.p.index(), newval),
-        )
+        );
+        nbsp_telemetry::record(if ok {
+            nbsp_telemetry::Event::ScSuccess
+        } else {
+            nbsp_telemetry::Event::ScFail
+        });
+        ok
     }
 
     /// Reads the current value via a full LL (consuming and releasing a

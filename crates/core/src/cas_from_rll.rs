@@ -117,6 +117,9 @@ impl EmuCasWord {
             if proc.rsc(&self.cell, newword) {
                 return true;
             }
+            // Recorded only after the RSC returns, outside the RLL→RSC
+            // no-access window that strict mode polices.
+            nbsp_telemetry::record(nbsp_telemetry::Event::LlRestart);
         }
     }
 }
@@ -214,6 +217,7 @@ impl<const TAG_BITS: u32> CasMemory for EmuCas<'_, TAG_BITS> {
             if self.proc.rsc(cell, new) {
                 return;
             }
+            nbsp_telemetry::record(nbsp_telemetry::Event::LlRestart);
         }
     }
 
@@ -238,6 +242,7 @@ impl<const TAG_BITS: u32> CasMemory for EmuCas<'_, TAG_BITS> {
             if self.proc.rsc(cell, newword) {
                 return true;
             }
+            nbsp_telemetry::record(nbsp_telemetry::Event::LlRestart);
         }
     }
 }

@@ -95,6 +95,7 @@ pub trait CasMemory {
     /// write/CAS is visible after this load.
     ///
     /// Defaults to [`CasMemory::load`].
+    #[inline]
     fn load_acquire(&self, cell: &CellOf<Self>) -> u64 {
         self.load(cell)
     }
@@ -108,6 +109,7 @@ pub trait CasMemory {
     /// # Panics
     ///
     /// Panics if `value` needs more than `Family::VALUE_BITS` bits.
+    #[inline]
     fn store_release(&self, cell: &CellOf<Self>, value: u64) {
         self.store(cell, value);
     }
@@ -121,6 +123,7 @@ pub trait CasMemory {
     /// # Panics
     ///
     /// Panics if `new` needs more than `Family::VALUE_BITS` bits.
+    #[inline]
     fn cas_acqrel(&self, cell: &CellOf<Self>, old: u64, new: u64) -> bool {
         self.cas(cell, old, new)
     }
@@ -144,6 +147,7 @@ impl CasFamily for Native {
     type Cell = AtomicU64;
     const VALUE_BITS: u32 = 64;
 
+    #[inline]
     fn make_cell(value: u64) -> AtomicU64 {
         AtomicU64::new(value)
     }
@@ -152,27 +156,33 @@ impl CasFamily for Native {
 impl CasMemory for Native {
     type Family = Native;
 
+    #[inline]
     fn load(&self, cell: &AtomicU64) -> u64 {
         cell.load(Ordering::SeqCst)
     }
 
+    #[inline]
     fn store(&self, cell: &AtomicU64, value: u64) {
         cell.store(value, Ordering::SeqCst);
     }
 
+    #[inline]
     fn cas(&self, cell: &AtomicU64, old: u64, new: u64) -> bool {
         cell.compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
     }
 
+    #[inline]
     fn load_acquire(&self, cell: &AtomicU64) -> u64 {
         cell.load(Ordering::Acquire)
     }
 
+    #[inline]
     fn store_release(&self, cell: &AtomicU64, value: u64) {
         cell.store(value, Ordering::Release);
     }
 
+    #[inline]
     fn cas_acqrel(&self, cell: &AtomicU64, old: u64, new: u64) -> bool {
         cell.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
@@ -201,14 +211,17 @@ pub struct NativeSeqCst;
 impl CasMemory for NativeSeqCst {
     type Family = Native;
 
+    #[inline]
     fn load(&self, cell: &AtomicU64) -> u64 {
         cell.load(Ordering::SeqCst)
     }
 
+    #[inline]
     fn store(&self, cell: &AtomicU64, value: u64) {
         cell.store(value, Ordering::SeqCst);
     }
 
+    #[inline]
     fn cas(&self, cell: &AtomicU64, old: u64, new: u64) -> bool {
         cell.compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
@@ -225,6 +238,7 @@ impl CasFamily for SimFamily {
     type Cell = SimWord;
     const VALUE_BITS: u32 = 64;
 
+    #[inline]
     fn make_cell(value: u64) -> SimWord {
         SimWord::new(value)
     }
@@ -271,14 +285,17 @@ impl<'a> SimCas<'a> {
 impl CasMemory for SimCas<'_> {
     type Family = SimFamily;
 
+    #[inline]
     fn load(&self, cell: &SimWord) -> u64 {
         self.proc.read(cell)
     }
 
+    #[inline]
     fn store(&self, cell: &SimWord, value: u64) {
         self.proc.write(cell, value);
     }
 
+    #[inline]
     fn cas(&self, cell: &SimWord, old: u64, new: u64) -> bool {
         self.proc.cas(cell, old, new)
     }

@@ -97,30 +97,35 @@ impl TagLayout {
     }
 
     /// Number of tag bits.
+    #[inline]
     #[must_use]
     pub fn tag_bits(self) -> u32 {
         self.tag_bits
     }
 
     /// Number of value bits.
+    #[inline]
     #[must_use]
     pub fn val_bits(self) -> u32 {
         self.val_bits
     }
 
     /// Total bits used by the layout.
+    #[inline]
     #[must_use]
     pub fn total_bits(self) -> u32 {
         self.tag_bits + self.val_bits
     }
 
     /// Largest storable value.
+    #[inline]
     #[must_use]
     pub fn max_val(self) -> u64 {
         low_mask(self.val_bits)
     }
 
     /// Largest tag; tags live in `0..=max_tag` and wrap modularly.
+    #[inline]
     #[must_use]
     pub fn max_tag(self) -> u64 {
         low_mask(self.tag_bits)
@@ -128,6 +133,7 @@ impl TagLayout {
 
     /// Number of distinct tags (`max_tag + 1`), saturating at `u64::MAX`
     /// for 64-bit tags.
+    #[inline]
     #[must_use]
     pub fn tag_count(self) -> u64 {
         self.max_tag().saturating_add(1)
@@ -156,6 +162,7 @@ impl TagLayout {
     /// # Panics
     ///
     /// Panics in debug builds if `val` does not fit.
+    #[inline]
     #[must_use]
     pub(crate) fn pack_unchecked(self, tag: u64, val: u64) -> u64 {
         debug_assert!(val <= self.max_val(), "value {val} exceeds layout");
@@ -163,24 +170,28 @@ impl TagLayout {
     }
 
     /// Extracts the tag field.
+    #[inline]
     #[must_use]
     pub fn tag(self, word: u64) -> u64 {
         (word >> self.val_bits) & self.max_tag()
     }
 
     /// Extracts the value field.
+    #[inline]
     #[must_use]
     pub fn val(self, word: u64) -> u64 {
         word & self.max_val()
     }
 
     /// The paper's `tag ⊕ 1`: increment modulo the tag range.
+    #[inline]
     #[must_use]
     pub fn tag_succ(self, tag: u64) -> u64 {
         tag.wrapping_add(1) & self.max_tag()
     }
 
     /// The paper's `tag ⊖ 1`: decrement modulo the tag range.
+    #[inline]
     #[must_use]
     pub fn tag_pred(self, tag: u64) -> u64 {
         tag.wrapping_sub(1) & self.max_tag()
@@ -188,6 +199,7 @@ impl TagLayout {
 
     /// Replaces a word's tag with its successor, keeping the value —
     /// the shape of every successful store in the paper.
+    #[inline]
     #[must_use]
     pub fn bump_tag(self, word: u64) -> u64 {
         self.pack_unchecked(self.tag_succ(self.tag(word)), self.val(word))

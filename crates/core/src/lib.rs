@@ -56,6 +56,7 @@ mod llsc_from_rll;
 pub mod lock_baseline;
 mod ops;
 mod tag_queue;
+pub mod telemetry;
 pub mod wide;
 
 pub use backoff::Backoff;
@@ -67,6 +68,7 @@ pub use llsc_from_cas::{CasLlSc, Keep};
 pub use llsc_from_rll::RllLlSc;
 pub use ops::LlScVar;
 pub use tag_queue::TagQueue;
+pub use telemetry::WideTotals;
 
 // Re-exported so users of the constructions can pad their own per-process
 // slots the same way the announce arrays are padded. (Defined in

@@ -92,6 +92,7 @@ impl<F: CasFamily> CasLlSc<F> {
     }
 
     /// The variable's tag/value layout.
+    #[inline]
     #[must_use]
     pub fn layout(&self) -> TagLayout {
         self.layout
@@ -108,6 +109,7 @@ impl<F: CasFamily> CasLlSc<F> {
     /// SC's word also observes that data. Nothing in any construction's
     /// proof appeals to a *total* order over distinct variables, so
     /// `SeqCst` buys nothing here.
+    #[inline]
     pub fn ll<M: CasMemory<Family = F>>(&self, mem: &M, keep: &mut Keep) -> u64 {
         keep.0 = mem.load_acquire(&self.cell);
         self.layout.val(keep.0)
@@ -119,6 +121,7 @@ impl<F: CasFamily> CasLlSc<F> {
     /// **Ordering — acquire.** VL compares against the same single cell the
     /// LL read; coherence alone decides the boolean. Acquire keeps the
     /// read-side publication guarantee symmetric with [`CasLlSc::ll`].
+    #[inline]
     #[must_use]
     pub fn vl<M: CasMemory<Family = F>>(&self, mem: &M, keep: &Keep) -> bool {
         keep.0 == mem.load_acquire(&self.cell)
@@ -139,6 +142,7 @@ impl<F: CasFamily> CasLlSc<F> {
     /// # Panics
     ///
     /// Panics if `new` does not fit the layout's value field.
+    #[inline]
     #[must_use]
     pub fn sc<M: CasMemory<Family = F>>(&self, mem: &M, keep: &Keep, new: u64) -> bool {
         assert!(
@@ -149,19 +153,27 @@ impl<F: CasFamily> CasLlSc<F> {
         let newword = self
             .layout
             .pack_unchecked(self.layout.tag_succ(self.layout.tag(keep.0)), new);
-        mem.cas_acqrel(&self.cell, keep.0, newword)
+        let ok = mem.cas_acqrel(&self.cell, keep.0, newword);
+        nbsp_telemetry::record(if ok {
+            nbsp_telemetry::Event::ScSuccess
+        } else {
+            nbsp_telemetry::Event::ScFail
+        });
+        ok
     }
 
     /// Reads the current value (not part of the paper's interface, but an
     /// LL whose keep is discarded; linearizes at the read).
     ///
     /// **Ordering — acquire**, same argument as [`CasLlSc::ll`].
+    #[inline]
     #[must_use]
     pub fn read<M: CasMemory<Family = F>>(&self, mem: &M) -> u64 {
         self.layout.val(mem.load_acquire(&self.cell))
     }
 
     /// The tag currently stored (for tests and wraparound experiments).
+    #[inline]
     #[must_use]
     pub fn current_tag<M: CasMemory<Family = F>>(&self, mem: &M) -> u64 {
         self.layout.tag(mem.load_acquire(&self.cell))

@@ -26,6 +26,7 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use nbsp_memsim::{CachePadded, ProcId};
+use nbsp_telemetry::{record, Event};
 
 use crate::layout::bits_for_count;
 use crate::{CasFamily, CasMemory, Error, Native, Result, TagLayout};
@@ -245,6 +246,7 @@ impl<F: CasFamily> WideVar<F> {
         &self,
         mem: &M,
         hdr: u64,
+        owner: bool,
         mut save: Option<&mut [u64]>,
     ) -> std::result::Result<(), ProcId> {
         let d = &*self.domain;
@@ -266,10 +268,16 @@ impl<F: CasFamily> WideVar<F> {
                 // Line 5: install it; a lost race means someone else did.
                 // Release on success so later readers of the segment (line
                 // 2 above, in another process) inherit the chain.
-                let _ = mem.cas_acqrel(&self.data[i], y, z);
+                if mem.cas_acqrel(&self.data[i], y, z) && !owner {
+                    record(Event::HelpGiven);
+                }
                 // Line 6: either way the segment now holds `z`'s contents
                 // (unless the header moved on, which line 7 detects).
                 y = z;
+            } else if owner && d.seg.tag(y) == tag {
+                // Our own line-20 copy found the segment already current:
+                // a reader completed (part of) our SC on our behalf.
+                record(Event::HelpReceived);
             }
             // Line 7: abort if a newer SC has been installed. Acquire, so
             // a successor SC's announce row is visible if we go around
@@ -312,9 +320,12 @@ impl<F: CasFamily> WideVar<F> {
         // to the Copy below (the helping edge).
         let x = mem.load_acquire(&self.hdr);
         keep.tag = self.domain.hdr_tag(x); // line 11
-        match self.copy(mem, x, Some(retval)) {
+        match self.copy(mem, x, false, Some(retval)) {
             Ok(()) => WllOutcome::Success,
-            Err(pid) => WllOutcome::InterferedBy(pid),
+            Err(pid) => {
+                record(Event::LlRestart);
+                WllOutcome::InterferedBy(pid)
+            }
         }
     }
 
@@ -365,6 +376,7 @@ impl<F: CasFamily> WideVar<F> {
         // Acquire (coherence decides the tag comparison; see `vl`).
         let oldhdr = mem.load_acquire(&self.hdr);
         if d.hdr_tag(oldhdr) != keep.tag {
+            record(Event::ScFail);
             return false;
         }
         // Lines 16–17: announce the value so others can help copy it.
@@ -381,12 +393,14 @@ impl<F: CasFamily> WideVar<F> {
         // the winning header.
         let newhdr = d.pack_hdr(d.seg.tag_succ(d.hdr_tag(oldhdr)), p.index());
         if !mem.cas_acqrel(&self.hdr, oldhdr, newhdr) {
+            record(Event::ScFail);
             return false;
         }
+        record(Event::ScSuccess);
         // Line 20: copy our own value out of A[p] so A[p] can be reused by
         // our next SC; ignore interference (a later SC's WLL already
         // guaranteed our segments were complete before it could succeed).
-        let _ = self.copy(mem, newhdr, None);
+        let _ = self.copy(mem, newhdr, true, None);
         true // line 21
     }
 

@@ -491,6 +491,7 @@ impl Processor {
 
         let random = self.rng.borrow_mut().next_u64();
         if self.inner.spurious.should_fail(attempt, random) {
+            nbsp_telemetry::record(nbsp_telemetry::Event::RscSpurious);
             self.bump(|s| {
                 s.rsc_attempts += 1;
                 s.rsc_spurious += 1;

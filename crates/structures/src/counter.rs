@@ -46,11 +46,14 @@ impl<V: LlScVar> Counter<V> {
     /// previous value. Lock-free: an individual attempt only retries when
     /// some other operation succeeded, and a failed attempt backs off
     /// before re-reading so the winner keeps the cache line.
+    #[inline]
     pub fn fetch_add(&self, ctx: &mut V::Ctx<'_>, delta: u64) -> u64 {
         let modulus = self.var.max_val().wrapping_add(1); // 0 means 2^64
         let mut keep = V::Keep::default();
         let mut backoff = Backoff::new();
+        let mut attempts = 0u64;
         loop {
+            attempts += 1;
             let old = self.var.ll(ctx, &mut keep);
             let new = if modulus == 0 {
                 old.wrapping_add(delta)
@@ -58,6 +61,7 @@ impl<V: LlScVar> Counter<V> {
                 (old.wrapping_add(delta)) % modulus
             };
             if self.var.sc(ctx, &mut keep, new) {
+                nbsp_telemetry::observe(nbsp_telemetry::Hist::Retries, attempts);
                 return old;
             }
             backoff.spin();
@@ -65,6 +69,7 @@ impl<V: LlScVar> Counter<V> {
     }
 
     /// Atomically adds one, returning the previous value.
+    #[inline]
     pub fn increment(&self, ctx: &mut V::Ctx<'_>) -> u64 {
         self.fetch_add(ctx, 1)
     }

@@ -160,7 +160,9 @@ impl<V: LlScVar> Queue<V> {
         self.force_store(ctx, &self.next[idx], 0);
         let link = (idx + 1) as u64;
         let mut backoff = Backoff::new();
+        let mut attempts = 0u64;
         loop {
+            attempts += 1;
             let mut keep_tail = V::Keep::default();
             let mut keep_next = V::Keep::default();
             let t = self.tail.ll(ctx, &mut keep_tail);
@@ -180,6 +182,7 @@ impl<V: LlScVar> Queue<V> {
                 if self.next[tidx].sc(ctx, &mut keep_next, link) {
                     // Linked. Swing the tail; failure means someone helped.
                     let _ = self.tail.sc(ctx, &mut keep_tail, link);
+                    nbsp_telemetry::observe(nbsp_telemetry::Hist::Retries, attempts);
                     return Ok(());
                 }
                 self.tail.cl(ctx, &mut keep_tail);
@@ -198,7 +201,9 @@ impl<V: LlScVar> Queue<V> {
     /// empty.
     pub fn dequeue(&self, ctx: &mut V::Ctx<'_>) -> Option<u64> {
         let mut backoff = Backoff::new();
+        let mut attempts = 0u64;
         loop {
+            attempts += 1;
             let mut keep_head = V::Keep::default();
             let mut keep_tail = V::Keep::default();
             let mut keep_next = V::Keep::default();
@@ -237,6 +242,7 @@ impl<V: LlScVar> Queue<V> {
                 let value = self.data[(n - 1) as usize].load(std::sync::atomic::Ordering::SeqCst);
                 self.next[hidx].cl(ctx, &mut keep_next);
                 if self.head.sc(ctx, &mut keep_head, n) {
+                    nbsp_telemetry::observe(nbsp_telemetry::Hist::Retries, attempts);
                     // The old dummy is ours to recycle.
                     self.dealloc(ctx, hidx);
                     return Some(value);

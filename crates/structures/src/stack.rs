@@ -95,10 +95,13 @@ impl<V: LlScVar> Stack<V> {
         self.arena.set_data(idx, value);
         let mut keep = V::Keep::default();
         let mut backoff = Backoff::new();
+        let mut attempts = 0u64;
         loop {
+            attempts += 1;
             let head = self.head.ll(ctx, &mut keep);
             self.arena.set_next(idx, head);
             if self.head.sc(ctx, &mut keep, (idx + 1) as u64) {
+                nbsp_telemetry::observe(nbsp_telemetry::Hist::Retries, attempts);
                 return Ok(());
             }
             backoff.spin();
@@ -110,7 +113,9 @@ impl<V: LlScVar> Stack<V> {
     pub fn pop(&self, ctx: &mut V::Ctx<'_>) -> Option<u64> {
         let mut keep = V::Keep::default();
         let mut backoff = Backoff::new();
+        let mut attempts = 0u64;
         loop {
+            attempts += 1;
             let head = self.head.ll(ctx, &mut keep);
             if head == 0 {
                 self.head.cl(ctx, &mut keep);
@@ -123,6 +128,7 @@ impl<V: LlScVar> Stack<V> {
             let next = self.arena.next(idx);
             let value = self.arena.data(idx);
             if self.head.sc(ctx, &mut keep, next) {
+                nbsp_telemetry::observe(nbsp_telemetry::Hist::Retries, attempts);
                 self.arena.dealloc(ctx, idx);
                 return Some(value);
             }

@@ -140,6 +140,7 @@ impl<F: CasFamily> Stm<F> {
             }
             let result = body(&mut buf);
             if self.heap.sc(mem, p, &keep, &buf) {
+                nbsp_telemetry::observe(nbsp_telemetry::Hist::Retries, stats.attempts);
                 return (result, stats);
             }
             backoff.spin();

@@ -101,15 +101,20 @@ impl OrecStm {
         // Phase 1: acquire ownership records in address order. The spin
         // is a lock acquisition, so backoff here (unlike in the lock-free
         // loops) bounds how hard waiters hammer the owner's cache line.
+        let mut attempts = 1u64;
         for &a in footprint {
             let mut backoff = Backoff::new();
             while self.orecs[a]
                 .compare_exchange(0, me, Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
             {
+                attempts += 1;
                 backoff.spin();
             }
         }
+        // Count each lost orec acquisition as one retry, so the lock-based
+        // STM shares a retries-per-op scale with the non-blocking one.
+        nbsp_telemetry::observe(nbsp_telemetry::Hist::Retries, attempts);
         // Owned: read, apply, write.
         let mut vals: Vec<u64> = footprint
             .iter()

@@ -1,0 +1,141 @@
+//! The wait-free counter matrix: one cache-padded row of relaxed
+//! `AtomicU64`s per process (thread slot), one column per [`Event`].
+//!
+//! The paper's constructions give each process a private announce slot so
+//! that the hot path never contends; the counter matrix copies that shape.
+//! A `record` is a thread-local slot lookup plus one `fetch_add(1,
+//! Relaxed)` on the recording thread's own row — wait-free, no CAS, no
+//! loop, and (rows being 128-byte aligned) no false sharing between
+//! recording threads.
+//!
+//! Rows are *single-writer*: only the owning thread adds to its row, so a
+//! thread reading its own row sees exact values (the property
+//! [`crate::snapshot::Flusher`] relies on), while cross-row readers get
+//! the racy-but-monotonic view [`racy_totals`] documents.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::event::{Event, EVENT_COUNT};
+
+/// Number of per-process rows in the counter matrix. Threads beyond this
+/// share rows round-robin: totals stay exact (the adds are atomic), but
+/// shared rows can false-share and break the single-writer guarantee that
+/// [`crate::snapshot::Flusher`] needs — keep concurrent recording threads
+/// at or below this bound for consistent snapshots.
+pub const MAX_SLOTS: usize = 64;
+
+/// One process's event counters, padded to (a pair of) cache lines so
+/// neighbouring recorders never invalidate each other.
+#[repr(align(128))]
+struct Row {
+    counts: [AtomicU64; EVENT_COUNT],
+}
+
+impl Row {
+    const fn new() -> Self {
+        Row {
+            counts: [const { AtomicU64::new(0) }; EVENT_COUNT],
+        }
+    }
+}
+
+static MATRIX: [Row; MAX_SLOTS] = [const { Row::new() }; MAX_SLOTS];
+
+/// Cursor for slot claiming; wraps modulo [`MAX_SLOTS`].
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's row index in the counter matrix, claimed on first
+/// use. Also used as the process id a consistent-snapshot publisher hands
+/// to the Figure-6 SC.
+#[must_use]
+pub fn thread_slot() -> usize {
+    SLOT.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let claimed = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % MAX_SLOTS;
+            s.set(claimed);
+            claimed
+        }
+    })
+}
+
+/// The wait-free hot path behind [`crate::record`]: bump the calling
+/// thread's own slot. Relaxed is enough — counters carry no payload to
+/// publish, and every reader is specified as racy or goes through an
+/// [`crate::snapshot::AtomicTotals`] publication instead.
+#[inline]
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+pub(crate) fn add(event: Event, n: u64) {
+    MATRIX[thread_slot()].counts[event.index()].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Exact snapshot of one row. Exact only for the row owner (single
+/// writer); for other rows it is a racy read like [`racy_totals`].
+#[must_use]
+pub fn slot_counts(slot: usize) -> [u64; EVENT_COUNT] {
+    let mut out = [0u64; EVENT_COUNT];
+    for (i, c) in MATRIX[slot].counts.iter().enumerate() {
+        out[i] = c.load(Ordering::Relaxed);
+    }
+    out
+}
+
+/// The **racy** snapshot reader: sums every row with relaxed loads while
+/// writers keep running.
+///
+/// Guarantees: per-event sums are monotonic across successive calls (each
+/// slot is re-read no earlier than last time). NOT guaranteed: mutual
+/// consistency *between* events — a reader can observe `sc_success`
+/// without the `tag_alloc` recorded just before it, i.e. a **torn**
+/// cross-event state. Experiment E11 counts exactly these tears against
+/// the Figure-6-backed consistent reader.
+#[must_use]
+pub fn racy_totals() -> [u64; EVENT_COUNT] {
+    let mut out = [0u64; EVENT_COUNT];
+    for row in &MATRIX {
+        for (i, c) in row.counts.iter().enumerate() {
+            out[i] += c.load(Ordering::Relaxed);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_slot_is_stable_within_a_thread() {
+        assert_eq!(thread_slot(), thread_slot());
+        assert!(thread_slot() < MAX_SLOTS);
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_slots() {
+        let mine = thread_slot();
+        let theirs = std::thread::spawn(thread_slot).join().unwrap();
+        assert_ne!(mine, theirs);
+    }
+
+    #[test]
+    fn add_is_visible_in_own_row_and_in_totals() {
+        // Uses TagAlloc: nothing else in this test binary records it, so
+        // the deltas are exact even with tests running in parallel.
+        let slot = thread_slot();
+        let before_row = slot_counts(slot)[Event::TagAlloc.index()];
+        let before_total = racy_totals()[Event::TagAlloc.index()];
+        for _ in 0..5 {
+            add(Event::TagAlloc, 1);
+        }
+        add(Event::TagAlloc, 2);
+        assert_eq!(slot_counts(slot)[Event::TagAlloc.index()], before_row + 7);
+        assert!(racy_totals()[Event::TagAlloc.index()] >= before_total + 7);
+    }
+}

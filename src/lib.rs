@@ -29,6 +29,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Wait-free event counters, histograms, and snapshot interfaces.
+/// Re-export of `nbsp-telemetry`.
+pub use nbsp_telemetry as telemetry;
+
 /// The simulated shared-memory multiprocessor (RLL/RSC, CAS, spurious
 /// failures, instruction accounting). Re-export of `nbsp-memsim`.
 pub use nbsp_memsim as memsim;
