@@ -1,4 +1,4 @@
-//! Regenerates every experiment table in `EXPERIMENTS.md` (E1–E5, E7–E11;
+//! Regenerates every experiment table in `EXPERIMENTS.md` (E1–E5, E7–E12;
 //! E6 is `examples/concurrent_sequences.rs` / `tests/figure1.rs`; the
 //! model-checking certificates are the separate `exp_modelcheck` binary).
 //!
@@ -32,6 +32,10 @@ fn main() -> ExitCode {
         (
             "e11_telemetry",
             Box::new(move || e11_telemetry::run(mid, false).to_string()),
+        ),
+        (
+            "e12_serve",
+            Box::new(move || e12_serve::run(if quick { 20_000 } else { 200_000 }).to_string()),
         ),
     ])
 }

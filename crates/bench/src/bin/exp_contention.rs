@@ -25,7 +25,13 @@
 //! scheduler noise.
 //!
 //! No criterion, no external deps: plain `std::thread` workers through
-//! `measure::throughput`. Results go to stdout as a markdown table and to
+//! `measure::throughput_sessions`. Every telemetry number this binary
+//! reports flows through the Figure-6 path: each worker session owns a
+//! [`Flusher`]/[`HistFlusher`] pair and publishes its per-thread deltas
+//! into a run-level [`WideTotals`]/[`WideHists`] sink, and the JSON
+//! telemetry block and per-cell event tables read those sinks with a
+//! single WLL each — never `racy_totals`, whose cross-event tearing E11
+//! demonstrates. Results go to stdout as a markdown table and to
 //! `BENCH_contention.json` so future PRs have a perf trajectory to regress
 //! against. The run exits nonzero if, at >= 4 threads, the fully hardened
 //! configuration (padded + acqrel + backoff) fails to beat the seed
@@ -35,13 +41,16 @@
 use std::fs;
 use std::process::ExitCode;
 
-use nbsp_bench::measure::throughput;
+use nbsp_bench::measure::throughput_sessions;
 use nbsp_bench::report::{event_table, fmt_ops, Report, Table};
-use nbsp_core::{backoff, CachePadded, CasLlSc, Keep, LlScVar, Native, NativeSeqCst, TagLayout};
+use nbsp_core::{
+    backoff, CachePadded, CasLlSc, Keep, LlScVar, Native, NativeSeqCst, TagLayout, WideHists,
+    WideTotals,
+};
 use nbsp_memsim::ProcId;
 use nbsp_structures::stm_orec::OrecStm;
 use nbsp_structures::{Counter, Queue, Stack};
-use nbsp_telemetry::{racy_totals, Event, Hist, EVENT_COUNT};
+use nbsp_telemetry::{AtomicHists, AtomicTotals, Event, Flusher, Hist, HistFlusher, EVENT_COUNT};
 
 // ---------------------------------------------------------------------------
 // Sweep axes as bench-local LL/SC variable types.
@@ -177,82 +186,173 @@ impl BenchVar for PaddedSeqCstVar {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry plumbing: per-thread flushers into Figure-6 sinks.
+// ---------------------------------------------------------------------------
+
+/// Worker ops between telemetry flushes: frequent enough that mid-run
+/// reads stay fresh, rare enough that the WLL/SC flush loop is off the
+/// hot path.
+const FLUSH_EVERY: u64 = 8192;
+
+/// The run-level consistent sinks every thread flushes into and every
+/// report line reads from (each read is one WLL).
+struct Sinks {
+    events: WideTotals,
+    hists: WideHists,
+}
+
+impl Sinks {
+    fn new() -> Self {
+        Sinks {
+            events: WideTotals::with_all_slots().expect("events sink"),
+            hists: WideHists::with_all_slots().expect("hists sink"),
+        }
+    }
+}
+
+/// A thread's event + histogram flusher pair. Created on the thread that
+/// records (the types are `!Send`), flushed together so cross-event and
+/// cross-histogram invariants land in the sinks at the same boundaries.
+struct FlushPair {
+    events: Flusher,
+    hists: HistFlusher,
+}
+
+impl FlushPair {
+    fn new() -> Self {
+        FlushPair {
+            events: Flusher::new(),
+            hists: HistFlusher::new(),
+        }
+    }
+
+    fn flush(&mut self, sinks: &Sinks) {
+        self.events.flush(&sinks.events);
+        self.hists.flush(&sinks.hists);
+    }
+
+    /// Discard counts foreign threads left on this thread's (wrapped)
+    /// slot — see [`Flusher::resync`]. The main thread calls this after
+    /// every worker window: the sweep spawns thousands of short-lived
+    /// workers, so slots reuse and a worker can land on the main thread's
+    /// row. That worker flushes its own deltas; without the resync the
+    /// main thread's next flush would publish the same counts again.
+    fn resync(&mut self) {
+        self.events.resync();
+        self.hists.resync();
+    }
+}
+
+/// A worker-session loop body: run `iters` ops through `op`, flushing
+/// telemetry every [`FLUSH_EVERY`] ops and once at exit.
+fn session_loop(iters: u64, sinks: &Sinks, mut op: impl FnMut()) {
+    let mut flush = FlushPair::new();
+    for i in 1..=iters {
+        op();
+        if i % FLUSH_EVERY == 0 {
+            flush.flush(sinks);
+        }
+    }
+    flush.flush(sinks);
+}
+
+// ---------------------------------------------------------------------------
 // Workloads.
 // ---------------------------------------------------------------------------
 
 /// Shared-counter increment: the worst case — every operation contends on
 /// one variable, so layout cannot help but ordering and backoff can.
-fn counter_tput<V>(threads: usize, per_thread: u64) -> f64
+fn counter_tput<V>(threads: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64
 where
     V: BenchVar,
     for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
 {
     let counter = Counter::new(V::make());
-    throughput(threads, per_thread, |_tid| {
+    main.flush(sinks); // publish setup events before workers can share our slot
+    let tput = throughput_sessions(threads, per_thread, |_tid| {
         let counter = &counter;
         let mut ctx = V::ctx();
-        move || {
-            counter.increment(&mut ctx);
+        move |iters: u64| {
+            session_loop(iters, sinks, || {
+                counter.increment(&mut ctx);
+            });
         }
-    })
+    });
+    main.resync();
+    tput
 }
 
 /// Treiber-style push/pop pairs. The stack's head and free-list head live
 /// in adjacent variables, so the padding axis separates their cache lines.
-fn stack_tput<V>(threads: usize, per_thread: u64) -> f64
+fn stack_tput<V>(threads: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64
 where
     V: BenchVar,
     for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
 {
     let mut setup = V::ctx();
     let stack = Stack::new(2 * threads + 8, V::make(), V::make(), &mut setup);
-    throughput(threads, per_thread, |tid| {
+    main.flush(sinks);
+    let tput = throughput_sessions(threads, per_thread, |tid| {
         let stack = &stack;
         let mut ctx = V::ctx();
         let v = tid as u64;
-        move || {
-            let _ = stack.push(&mut ctx, v);
-            let _ = stack.pop(&mut ctx);
+        move |iters: u64| {
+            session_loop(iters, sinks, || {
+                let _ = stack.push(&mut ctx, v);
+                let _ = stack.pop(&mut ctx);
+            });
         }
-    })
+    });
+    main.resync();
+    tput
 }
 
 /// Michael–Scott-style enqueue/dequeue pairs over the Figure-4 link array;
 /// the padding axis decides whether neighbouring links false share.
-fn queue_tput<V>(threads: usize, per_thread: u64) -> f64
+fn queue_tput<V>(threads: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64
 where
     V: BenchVar,
     for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
 {
     let mut setup = V::ctx();
     let queue = Queue::new(2 * threads + 8, V::make, &mut setup);
-    throughput(threads, per_thread, |tid| {
+    main.flush(sinks);
+    let tput = throughput_sessions(threads, per_thread, |tid| {
         let queue = &queue;
         let mut ctx = V::ctx();
         let v = tid as u64;
-        move || {
-            let _ = queue.enqueue(&mut ctx, v);
-            let _ = queue.dequeue(&mut ctx);
+        move |iters: u64| {
+            session_loop(iters, sinks, || {
+                let _ = queue.enqueue(&mut ctx, v);
+                let _ = queue.dequeue(&mut ctx);
+            });
         }
-    })
+    });
+    main.resync();
+    tput
 }
 
 /// Fully overlapping two-cell transactions on the ownership-record STM.
 /// The orec acquisition spin is where backoff matters most: with more
 /// threads than cores, a disabled backoff burns whole scheduler quanta
 /// spinning on an orec whose owner is descheduled.
-fn stm_tput(threads: usize, per_thread: u64) -> f64 {
+fn stm_tput(threads: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64 {
     let stm = OrecStm::new(&[0; 4]);
-    throughput(threads, per_thread, |tid| {
+    main.flush(sinks);
+    let tput = throughput_sessions(threads, per_thread, |tid| {
         let stm = &stm;
         let p = ProcId::new(tid);
-        move || {
-            stm.transact(p, &[0, 1], |vals| {
-                vals[0] += 1;
-                vals[1] += 1;
+        move |iters: u64| {
+            session_loop(iters, sinks, || {
+                stm.transact(p, &[0, 1], |vals| {
+                    vals[0] += 1;
+                    vals[1] += 1;
+                });
             });
         }
-    })
+    });
+    main.resync();
+    tput
 }
 
 // ---------------------------------------------------------------------------
@@ -276,17 +376,19 @@ fn median_tput(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
     samples[samples.len() / 2]
 }
 
-type Workload = fn(usize, u64) -> f64;
+type Workload = fn(usize, u64, &Sinks, &mut FlushPair) -> f64;
 
 /// Per-cell telemetry deltas, printed in `--quick` mode so a smoke run
 /// shows *why* a cell is slow (SC failure rate, help traffic, backoff
 /// escalation) instead of just that it is. Runs of the full sweep keep
-/// stderr compact and rely on the run-level JSON block instead.
-fn print_cell_events(quick: bool, before: &[u64; EVENT_COUNT], total_ops: u64) {
+/// stderr compact and rely on the run-level JSON block instead. Both
+/// endpoints of the delta are single-WLL snapshots of the run's
+/// [`WideTotals`] sink, so the printed deltas cannot tear across events.
+fn print_cell_events(quick: bool, before: &[u64; EVENT_COUNT], sinks: &Sinks, total_ops: u64) {
     if !quick || !nbsp_telemetry::enabled() {
         return;
     }
-    let after = racy_totals();
+    let after = sinks.events.totals();
     let mut delta = [0u64; EVENT_COUNT];
     for i in 0..EVENT_COUNT {
         delta[i] = after[i] - before[i];
@@ -301,6 +403,8 @@ fn sweep_var<V>(
     per_thread: u64,
     runs: usize,
     quick: bool,
+    sinks: &Sinks,
+    main: &mut FlushPair,
     rows: &mut Vec<Row>,
 ) where
     V: BenchVar,
@@ -315,15 +419,15 @@ fn sweep_var<V>(
         backoff::set_enabled(use_backoff);
         for &(structure, work) in &workloads {
             for &threads in threads_list {
-                let before = racy_totals();
-                let ops = median_tput(runs, || work(threads, per_thread));
+                let before = sinks.events.totals();
+                let ops = median_tput(runs, || work(threads, per_thread, sinks, main));
                 eprintln!(
                     "[exp_contention] {structure} t={threads} padded={} ordering={} backoff={use_backoff}: {}",
                     V::PADDED,
                     V::ORDERING,
                     fmt_ops(ops),
                 );
-                print_cell_events(quick, &before, runs as u64 * threads as u64 * per_thread);
+                print_cell_events(quick, &before, sinks, runs as u64 * threads as u64 * per_thread);
                 rows.push(Row {
                     structure,
                     threads,
@@ -346,18 +450,20 @@ fn sweep_stm(
     per_thread: u64,
     runs: usize,
     quick: bool,
+    sinks: &Sinks,
+    main: &mut FlushPair,
     rows: &mut Vec<Row>,
 ) {
     for &use_backoff in &[false, true] {
         backoff::set_enabled(use_backoff);
         for &threads in threads_list {
-            let before = racy_totals();
-            let ops = median_tput(runs, || stm_tput(threads, per_thread));
+            let before = sinks.events.totals();
+            let ops = median_tput(runs, || stm_tput(threads, per_thread, sinks, main));
             eprintln!(
                 "[exp_contention] stm_orec t={threads} backoff={use_backoff}: {}",
                 fmt_ops(ops),
             );
-            print_cell_events(quick, &before, runs as u64 * threads as u64 * per_thread);
+            print_cell_events(quick, &before, sinks, runs as u64 * threads as u64 * per_thread);
             rows.push(Row {
                 structure: "stm_orec",
                 threads,
@@ -371,25 +477,27 @@ fn sweep_stm(
     backoff::set_enabled(true);
 }
 
-/// End-of-run telemetry block for the JSON artifact: whole-process racy
-/// totals (exact here — every worker has joined, so the matrix is
-/// quiescent) plus the two log2 histograms. When the `telemetry` feature
-/// is compiled out the block records only `"enabled": false`, so schema
-/// consumers can distinguish "no events" from "not instrumented".
-fn telemetry_json(indent: &str) -> String {
+/// End-of-run telemetry block for the JSON artifact: per-event totals and
+/// the two log2 histograms, each read from its Figure-6 sink with a
+/// single WLL — the whole block is built from two atomic snapshots, never
+/// from racy cross-row sums. When the `telemetry` feature is compiled out
+/// the block records only `"enabled": false`, so schema consumers can
+/// distinguish "no events" from "not instrumented".
+fn telemetry_json(indent: &str, sinks: &Sinks) -> String {
     if !nbsp_telemetry::enabled() {
         return format!("{indent}\"telemetry\": {{\"enabled\": false}}");
     }
-    let totals = racy_totals();
+    let totals = sinks.events.totals();
     let events = Event::ALL
         .iter()
         .map(|e| format!("\"{}\": {}", e.name(), totals[e.index()]))
         .collect::<Vec<_>>()
         .join(", ");
-    let hists = [Hist::Retries, Hist::BackoffDepth]
+    let hist_totals = sinks.hists.totals();
+    let hists = Hist::ALL
         .iter()
         .map(|h| {
-            let buckets = nbsp_telemetry::histogram(*h)
+            let buckets = hist_totals[*h as usize]
                 .iter()
                 .map(|b| b.to_string())
                 .collect::<Vec<_>>()
@@ -407,7 +515,7 @@ fn telemetry_json(indent: &str) -> String {
     )
 }
 
-fn to_json(rows: &[Row], threads_list: &[usize], per_thread: u64, runs: usize) -> String {
+fn to_json(rows: &[Row], threads_list: &[usize], per_thread: u64, runs: usize, sinks: &Sinks) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema_version\": 2,\n");
@@ -436,7 +544,7 @@ fn to_json(rows: &[Row], threads_list: &[usize], per_thread: u64, runs: usize) -
         ));
     }
     s.push_str("  ],\n");
-    s.push_str(&telemetry_json("  "));
+    s.push_str(&telemetry_json("  ", sinks));
     s.push_str("\n}\n");
     s
 }
@@ -483,12 +591,19 @@ fn main() -> ExitCode {
     let (per_thread, stm_per_thread, runs): (u64, u64, usize) =
         if quick { (5_000, 2_000, 2) } else { (300_000, 100_000, 5) };
 
+    let sinks = Sinks::new();
+    // The main thread's own flusher pair: it records setup events
+    // (structure construction does LL/SC work) and must publish them
+    // exactly once; `resync` after each worker window keeps wrapped
+    // worker slots from being double-published (see FlushPair::resync).
+    let mut main_flush = FlushPair::new();
+
     let mut rows = Vec::new();
-    sweep_var::<SeqCstVar>(threads_list, per_thread, runs, quick, &mut rows);
-    sweep_var::<CasLlSc<Native>>(threads_list, per_thread, runs, quick, &mut rows);
-    sweep_var::<PaddedSeqCstVar>(threads_list, per_thread, runs, quick, &mut rows);
-    sweep_var::<PaddedVar>(threads_list, per_thread, runs, quick, &mut rows);
-    sweep_stm(threads_list, stm_per_thread, runs, quick, &mut rows);
+    sweep_var::<SeqCstVar>(threads_list, per_thread, runs, quick, &sinks, &mut main_flush, &mut rows);
+    sweep_var::<CasLlSc<Native>>(threads_list, per_thread, runs, quick, &sinks, &mut main_flush, &mut rows);
+    sweep_var::<PaddedSeqCstVar>(threads_list, per_thread, runs, quick, &sinks, &mut main_flush, &mut rows);
+    sweep_var::<PaddedVar>(threads_list, per_thread, runs, quick, &sinks, &mut main_flush, &mut rows);
+    sweep_stm(threads_list, stm_per_thread, runs, quick, &sinks, &mut main_flush, &mut rows);
 
     // Markdown report: one table per structure, one row per thread count,
     // seed configuration vs. hardened configuration plus the single-knob
@@ -542,7 +657,7 @@ fn main() -> ExitCode {
     report.table(&table);
     print!("{}", report.to_markdown());
 
-    let json = to_json(&rows, threads_list, per_thread, runs);
+    let json = to_json(&rows, threads_list, per_thread, runs, &sinks);
     if let Err(e) = fs::write("BENCH_contention.json", &json) {
         eprintln!("[exp_contention] FAILED to write BENCH_contention.json: {e}");
         return ExitCode::FAILURE;

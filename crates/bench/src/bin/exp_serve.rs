@@ -1,0 +1,14 @@
+//! Regenerates E12: the open-loop serving sweep (arrival rate × structure
+//! × admission on/off) with sojourn percentiles against intended arrivals.
+//! Writes `BENCH_serve.json`. Run with `--quick` for a fast smoke pass
+//! (the determinism-based gates are enforced either way).
+use std::process::ExitCode;
+
+use nbsp_bench::experiments::e12_serve;
+use nbsp_bench::runner::run_experiment;
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let requests = if quick { 20_000 } else { 200_000 };
+    run_experiment("e12_serve", move || e12_serve::run(requests).to_string())
+}

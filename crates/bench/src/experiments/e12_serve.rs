@@ -1,0 +1,348 @@
+//! **E12 — open-loop serving: latency percentiles and wait-free admission
+//! control.**
+//!
+//! Every other experiment drives the structures in a *closed loop*, which
+//! can only measure throughput. This one serves seeded open-loop traffic
+//! through `nbsp-serve` and reports what the paper's primitives look like
+//! from the outside of a system built on them: sojourn-time percentiles
+//! measured against **intended** arrival stamps (no coordinated
+//! omission), with and without the single-LL/SC-word token-bucket
+//! admission controller.
+//!
+//! The sweep is arrival rate × structure × admission on/off at a fixed
+//! virtual capacity (`WORKERS` virtual servers × 1/`SERVICE_MEAN_NS`
+//! each). The headline claims the gate enforces:
+//!
+//! * **Open-loop accounting works** — at an offered load above capacity
+//!   with admission off, the backlog must appear as latency (p99 ≫ the
+//!   in-capacity p99), not as silently dropped arrival pressure.
+//! * **Admission caps the tail** — at the highest offered rate, turning
+//!   the token bucket on must yield a *lower* p99 than the same cell with
+//!   admission off, for every structure. Sojourns are computed on a
+//!   virtual clock from the seed, so this comparison is deterministic and
+//!   is enforced in quick runs too.
+//!
+//! A supplementary ON/OFF-burst section shows the admission controller
+//! absorbing a flash crowd whose *mean* rate is at capacity.
+//!
+//! All per-cell counters come from single-WLL [`CellSnapshot`]s and the
+//! run-level telemetry block from the Figure-6
+//! [`WideTotals`](nbsp_core::WideTotals)/[`WideHists`](nbsp_core::WideHists)
+//! sinks — no racy sums anywhere on the reporting path. The run writes
+//! `BENCH_serve.json` for trend tracking.
+
+use nbsp_serve::{
+    run_cell, AdmissionConfig, ArrivalProcess, CellConfig, CellResult, ServeSinks, Workload,
+};
+use nbsp_telemetry::{AtomicHists, AtomicTotals, Event, Hist};
+
+use crate::report::{fmt_ns, fmt_ops, Report, Table};
+
+/// Seed for every cell (the cell configs differ, so streams do too).
+const SEED: u64 = 0x5e12_5e12;
+
+/// Real worker threads per cell; also the virtual server count.
+const WORKERS: usize = 4;
+
+/// Mean virtual service demand per request. With [`WORKERS`] servers the
+/// virtual capacity is `WORKERS * 1e9 / SERVICE_MEAN_NS` = 4M req/s.
+const SERVICE_MEAN_NS: f64 = 1_000.0;
+
+/// Offered-load points as a fraction of virtual capacity: comfortably
+/// under, near saturation, and 20% over.
+const RHO: [f64; 3] = [0.5, 0.9, 1.2];
+
+/// Token-bucket sustained rate as a fraction of capacity: sheds the
+/// overload while leaving headroom for the burst to drain.
+const ADMIT_RHO: f64 = 0.85;
+
+/// Token-bucket depth: the burst absorbed without shedding.
+const ADMIT_BURST: u64 = 256;
+
+/// Virtual capacity in requests per second.
+fn capacity_per_sec() -> f64 {
+    WORKERS as f64 * 1e9 / SERVICE_MEAN_NS
+}
+
+fn admission() -> AdmissionConfig {
+    AdmissionConfig {
+        rate_per_sec: ADMIT_RHO * capacity_per_sec(),
+        burst: ADMIT_BURST,
+    }
+}
+
+/// One sweep cell's identity + outcome, as serialized into the JSON.
+struct CellRow {
+    process: &'static str,
+    rate_per_sec: f64,
+    structure: &'static str,
+    admission: bool,
+    result: CellResult,
+}
+
+fn run_one(
+    process: ArrivalProcess,
+    workload: Workload,
+    requests: u64,
+    admit: bool,
+    sinks: &ServeSinks,
+) -> CellRow {
+    let cfg = CellConfig {
+        seed: SEED,
+        process,
+        workload,
+        workers: WORKERS,
+        requests,
+        service_mean_ns: SERVICE_MEAN_NS,
+        admission: admit.then(admission),
+        ring_capacity: 1024,
+    };
+    let result = run_cell(&cfg, Some(sinks));
+    eprintln!(
+        "[e12_serve] {} rate={} {} admission={}: p50={} p99={} shed={}/{}",
+        process.name(),
+        fmt_ops(process.mean_rate_per_sec()),
+        workload.name(),
+        if admit { "on" } else { "off" },
+        fmt_ns(result.p50_ns as f64),
+        fmt_ns(result.p99_ns as f64),
+        result.snapshot.shed,
+        result.snapshot.generated(),
+    );
+    CellRow {
+        process: process.name(),
+        rate_per_sec: process.mean_rate_per_sec(),
+        structure: workload.name(),
+        admission: admit,
+        result,
+    }
+}
+
+/// Run-level telemetry block read from the Figure-6 sinks (one WLL per
+/// sink). `"enabled": false` when the feature is compiled out.
+fn telemetry_json(indent: &str, sinks: &ServeSinks) -> String {
+    if !nbsp_telemetry::enabled() {
+        return format!("{indent}\"telemetry\": {{\"enabled\": false}}");
+    }
+    let totals = sinks.events.totals();
+    let events = Event::ALL
+        .iter()
+        .map(|e| format!("\"{}\": {}", e.name(), totals[e.index()]))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let hist_totals = sinks.hists.totals();
+    let hists = Hist::ALL
+        .iter()
+        .map(|h| {
+            let buckets = hist_totals[*h as usize]
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{indent}    \"{}\": [{buckets}]", h.name())
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{indent}\"telemetry\": {{\n\
+         {indent}  \"enabled\": true,\n\
+         {indent}  \"events\": {{{events}}},\n\
+         {indent}  \"histograms\": {{\n{hists}\n{indent}  }}\n\
+         {indent}}}"
+    )
+}
+
+fn to_json(rows: &[CellRow], requests: u64, sinks: &ServeSinks) -> String {
+    let adm = admission();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str("  \"experiment\": \"serve\",\n");
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    s.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    s.push_str(&format!("  \"requests_per_cell\": {requests},\n"));
+    s.push_str(&format!("  \"service_mean_ns\": {SERVICE_MEAN_NS},\n"));
+    s.push_str(&format!(
+        "  \"admission\": {{\"rate_per_sec\": {:.1}, \"burst\": {}}},\n",
+        adm.rate_per_sec, adm.burst
+    ));
+    s.push_str("  \"latency_reference\": \"intended_arrival\",\n");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let snap = &r.result.snapshot;
+        s.push_str(&format!(
+            "    {{\"process\": \"{}\", \"rate_per_sec\": {:.1}, \"structure\": \"{}\", \
+             \"admission\": {}, \"generated\": {}, \"admitted\": {}, \"shed\": {}, \
+             \"completed\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}}}{}\n",
+            r.process,
+            r.rate_per_sec,
+            r.structure,
+            r.admission,
+            snap.generated(),
+            snap.admitted,
+            snap.shed,
+            snap.completed,
+            r.result.p50_ns,
+            r.result.p95_ns,
+            r.result.p99_ns,
+            r.result.p999_ns,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&telemetry_json("  ", sinks));
+    s.push_str("\n}\n");
+    s
+}
+
+fn find<'a>(rows: &'a [CellRow], structure: &str, rate: f64, admission: bool) -> &'a CellRow {
+    rows.iter()
+        .find(|r| {
+            r.structure == structure
+                && r.admission == admission
+                && (r.rate_per_sec - rate).abs() < 1.0
+                && r.process == "poisson"
+        })
+        .expect("sweep cell missing")
+}
+
+/// Runs the E12 sweep with `requests` generated per cell, writes
+/// `BENCH_serve.json`, and returns the report.
+///
+/// # Panics
+///
+/// Panics (failing the experiment) if the open-loop overload signature or
+/// the admission p99 gate does not hold, or if the JSON cannot be
+/// written.
+pub fn run(requests: u64) -> Report {
+    let sinks = ServeSinks::new().expect("telemetry sinks");
+    let mut rows: Vec<CellRow> = Vec::new();
+    for workload in Workload::ALL {
+        for rho in RHO {
+            let process = ArrivalProcess::Poisson {
+                rate_per_sec: rho * capacity_per_sec(),
+            };
+            for admit in [false, true] {
+                rows.push(run_one(process, workload, requests, admit, &sinks));
+            }
+        }
+    }
+    // Flash crowd: 2x-capacity ON bursts, 50/50 duty cycle, so the mean
+    // offered rate sits exactly at capacity but arrivals come in slabs.
+    let onoff = ArrivalProcess::OnOff {
+        on_rate_per_sec: 2.0 * capacity_per_sec(),
+        on_mean_ns: 50_000.0,
+        off_mean_ns: 50_000.0,
+    };
+    for admit in [false, true] {
+        rows.push(run_one(onoff, Workload::Counter, requests, admit, &sinks));
+    }
+
+    let json = to_json(&rows, requests, &sinks);
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    eprintln!("[e12_serve] wrote BENCH_serve.json ({} cells)", rows.len());
+
+    let cap = capacity_per_sec();
+    let top_rate = RHO[2] * cap;
+    let mut report = Report::new();
+    report.heading("E12 — open-loop serving with wait-free admission control");
+    report.para(&format!(
+        "{requests} requests/cell against {WORKERS} virtual servers of mean {SERVICE_MEAN_NS:.0} ns \
+         (capacity {}); sojourn percentiles vs **intended** arrival stamps on the seeded virtual \
+         clock (seed `{SEED:#x}`, byte-identical across runs). Admission: single-word token bucket \
+         at {:.0}% of capacity, burst {ADMIT_BURST}.",
+        fmt_ops(cap),
+        ADMIT_RHO * 100.0,
+    ));
+    report.para(
+        "Latency columns repeat across structures *by construction*: sojourns come from the \
+         deterministic virtual queue model, which depends only on the seed. The structures \
+         differ in what the real worker threads execute against — each cell drives genuine \
+         multi-thread contention on its structure, which is what the telemetry block records.",
+    );
+
+    for workload in Workload::ALL {
+        let structure = workload.name();
+        let mut table = Table::new([
+            "offered/capacity",
+            "adm off p50",
+            "adm off p99",
+            "adm on p50",
+            "adm on p99",
+            "shed",
+        ]);
+        for rho in RHO {
+            let rate = rho * cap;
+            let off = find(&rows, structure, rate, false);
+            let on = find(&rows, structure, rate, true);
+            let shed_pct =
+                100.0 * on.result.snapshot.shed as f64 / on.result.snapshot.generated() as f64;
+            table.row([
+                format!("{rho:.1}"),
+                fmt_ns(off.result.p50_ns as f64),
+                fmt_ns(off.result.p99_ns as f64),
+                fmt_ns(on.result.p50_ns as f64),
+                fmt_ns(on.result.p99_ns as f64),
+                format!("{shed_pct:.1}%"),
+            ]);
+        }
+        report.heading(structure);
+        report.table(&table);
+    }
+
+    let mut table = Table::new(["admission", "p50", "p99", "p99.9", "shed"]);
+    for admit in [false, true] {
+        let r = rows
+            .iter()
+            .find(|r| r.process == "onoff" && r.admission == admit)
+            .unwrap();
+        table.row([
+            if admit { "on" } else { "off" }.to_string(),
+            fmt_ns(r.result.p50_ns as f64),
+            fmt_ns(r.result.p99_ns as f64),
+            fmt_ns(r.result.p999_ns as f64),
+            format!(
+                "{:.1}%",
+                100.0 * r.result.snapshot.shed as f64 / r.result.snapshot.generated() as f64
+            ),
+        ]);
+    }
+    report.heading("flash crowd (ON/OFF at mean = capacity, counter)");
+    report.table(&table);
+
+    // Gates. Both comparisons are functions of the seed alone (virtual
+    // time), so they are enforced in quick runs too.
+    for workload in Workload::ALL {
+        let structure = workload.name();
+        let under = find(&rows, structure, RHO[0] * cap, false);
+        let over_off = find(&rows, structure, top_rate, false);
+        let over_on = find(&rows, structure, top_rate, true);
+        assert!(
+            over_off.result.p99_ns > under.result.p99_ns,
+            "{structure}: overload p99 {} must exceed underload p99 {} — open-loop accounting \
+             failed to charge the backlog as latency",
+            over_off.result.p99_ns,
+            under.result.p99_ns,
+        );
+        assert!(
+            over_on.result.p99_ns < over_off.result.p99_ns,
+            "{structure}: admission-on p99 {} must beat admission-off p99 {} at {:.1}x capacity",
+            over_on.result.p99_ns,
+            over_off.result.p99_ns,
+            RHO[2],
+        );
+        assert!(
+            over_on.result.snapshot.shed > 0,
+            "{structure}: admission at {:.1}x capacity must shed",
+            RHO[2],
+        );
+    }
+    report.para(&format!(
+        "Gate: at {:.1}x capacity every structure's admission-on p99 beats admission-off, and \
+         overload p99 exceeds underload p99 (the backlog is charged as latency, not dropped \
+         from the arrival record). All enforced; see `BENCH_serve.json`.",
+        RHO[2],
+    ));
+    report
+}

@@ -12,12 +12,14 @@
 //! | [`e9_bounded`] | E9 | bounded tags are never prematurely reused |
 //! | [`e10_disjoint`] | E10 | Figures 3/4/5 are disjoint-access parallel; 6/7 are not but contention stays moderate |
 //! | [`e11_telemetry`] | E11 | telemetry is free when disabled; Figure-6 snapshots never tear, racy ones do |
+//! | [`e12_serve`] | E12 | open-loop serving: latency percentiles vs intended arrivals; single-word token-bucket admission caps the tail |
 //!
 //! (E6 — Figure 1 — is `examples/concurrent_sequences.rs` and
 //! `tests/figure1.rs`.)
 
 pub mod e10_disjoint;
 pub mod e11_telemetry;
+pub mod e12_serve;
 pub mod e1_time;
 pub mod e2_wide;
 pub mod e3_space;

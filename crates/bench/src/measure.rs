@@ -53,6 +53,36 @@ where
     (threads as u64 * per_thread) as f64 / secs
 }
 
+/// Total throughput (ops/sec) of `threads` concurrent workers where each
+/// worker *session* owns its whole loop: `make_session(thread)` builds a
+/// closure that is handed its iteration count and runs it to completion
+/// on the worker thread.
+///
+/// Use this instead of [`throughput`] when the worker needs per-thread
+/// state that must live on the worker thread itself — e.g. a
+/// `nbsp_telemetry::Flusher`, which is `!Send` and must be created,
+/// flushed periodically, and final-flushed by the thread whose counter
+/// row it mirrors.
+pub fn throughput_sessions<S>(
+    threads: usize,
+    per_thread: u64,
+    mut make_session: impl FnMut(usize) -> S,
+) -> f64
+where
+    S: FnOnce(u64) + Send,
+{
+    assert!(threads > 0 && per_thread > 0);
+    let sessions: Vec<S> = (0..threads).map(&mut make_session).collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for session in sessions {
+            s.spawn(move || session(per_thread));
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (threads as u64 * per_thread) as f64 / secs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +108,22 @@ mod tests {
         });
         assert!(t > 0.0);
         // No warmup pass in throughput(): exactly threads * per_thread ops.
+        assert_eq!(x.load(Ordering::Relaxed), 40_000);
+    }
+
+    #[test]
+    fn throughput_sessions_runs_each_session_once_with_the_count() {
+        let x = AtomicU64::new(0);
+        let t = throughput_sessions(4, 10_000, |_| {
+            let x = &x;
+            move |iters: u64| {
+                // The session owns its loop (and could flush mid-way).
+                for _ in 0..iters {
+                    x.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert!(t > 0.0);
         assert_eq!(x.load(Ordering::Relaxed), 40_000);
     }
 }

@@ -7,6 +7,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// Extracts a printable message from a panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
@@ -49,24 +50,42 @@ pub type Experiment<'a> = (&'a str, Box<dyn FnOnce() -> String>);
 /// continuing past failures and reporting every failed module at the end.
 #[must_use]
 pub fn run_all(experiments: Vec<Experiment<'_>>) -> ExitCode {
-    let mut failed: Vec<String> = Vec::new();
+    let mut timings: Vec<(String, f64, bool)> = Vec::new();
     for (module, f) in experiments {
         eprintln!("[nbsp-bench] running experiments::{module} ...");
-        match catch_unwind(AssertUnwindSafe(f)) {
-            Ok(report) => println!("{report}\n"),
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(f));
+        let secs = start.elapsed().as_secs_f64();
+        match outcome {
+            Ok(report) => {
+                println!("{report}\n");
+                eprintln!("[nbsp-bench] experiments::{module}: ok ({secs:.1}s)");
+                timings.push((module.to_string(), secs, true));
+            }
             Err(payload) => {
                 eprintln!(
-                    "[nbsp-bench] experiments::{module}: FAILED — {}",
+                    "[nbsp-bench] experiments::{module}: FAILED after {secs:.1}s — {}",
                     panic_message(payload.as_ref())
                 );
-                failed.push(module.to_string());
+                timings.push((module.to_string(), secs, false));
             }
         }
     }
+    let failed: Vec<&str> = timings
+        .iter()
+        .filter(|(_, _, ok)| !ok)
+        .map(|(m, _, _)| m.as_str())
+        .collect();
     if failed.is_empty() {
         ExitCode::SUCCESS
     } else {
+        // Attribute wall time per module so a hung-then-killed or slow
+        // experiment is identifiable from the failure summary alone.
         eprintln!("[nbsp-bench] failed experiments: {}", failed.join(", "));
+        for (module, secs, ok) in &timings {
+            let status = if *ok { "ok" } else { "FAILED" };
+            eprintln!("[nbsp-bench]   {module}: {status} ({secs:.1}s)");
+        }
         ExitCode::FAILURE
     }
 }

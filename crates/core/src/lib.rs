@@ -68,7 +68,7 @@ pub use llsc_from_cas::{CasLlSc, Keep};
 pub use llsc_from_rll::RllLlSc;
 pub use ops::LlScVar;
 pub use tag_queue::TagQueue;
-pub use telemetry::WideTotals;
+pub use telemetry::{WideHists, WideTotals};
 
 // Re-exported so users of the constructions can pad their own per-process
 // slots the same way the announce arrays are padded. (Defined in

@@ -22,7 +22,9 @@
 use std::sync::Arc;
 
 use nbsp_memsim::ProcId;
-use nbsp_telemetry::{AtomicTotals, EVENT_COUNT, MAX_SLOTS};
+use nbsp_telemetry::{
+    AtomicHists, AtomicTotals, HistState, EVENT_COUNT, HIST_BUCKETS, HIST_COUNT, MAX_SLOTS,
+};
 
 use crate::wide::{WideDomain, WideKeep, WideVar};
 use crate::{Native, Result};
@@ -119,10 +121,106 @@ impl AtomicTotals for WideTotals {
     }
 }
 
+/// Width of the [`WideHists`] variable: every bucket of every histogram
+/// flattened into one Figure-6 variable, so a full histogram snapshot is
+/// a single WLL.
+const HIST_WORDS: usize = HIST_COUNT * HIST_BUCKETS;
+
+/// Aggregated histogram buckets stored in one Figure-6 wide variable —
+/// [`WideTotals`]' counterpart for the log2 histograms.
+///
+/// The `HIST_COUNT * HIST_BUCKETS` buckets are flattened row-major into a
+/// `W = 32`-word [`WideVar`], so [`WideHists::totals`] returns, in one
+/// WLL, a state the aggregate actually held: no bucket from one flush
+/// mixed with buckets from another, and cross-histogram invariants (e.g.
+/// "one backoff-depth observation per recorded retry burst") hold exactly
+/// as they did at some flush boundary.
+#[derive(Debug)]
+pub struct WideHists {
+    var: WideVar<Native>,
+}
+
+impl WideHists {
+    /// Creates a zeroed sink able to serve `max_procs` concurrently
+    /// flushing threads (see [`WideTotals::new`] for the slot-to-pid
+    /// mapping caveat).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::Error::InvalidDomain`] for `max_procs == 0`.
+    pub fn new(max_procs: usize) -> Result<Self> {
+        let domain = WideDomain::<Native>::new(max_procs, HIST_WORDS, TAG_BITS)?;
+        let var = domain.var(&[0u64; HIST_WORDS])?;
+        Ok(WideHists { var })
+    }
+
+    /// A sink sized for every possible telemetry slot ([`MAX_SLOTS`]), so
+    /// any mix of flushing threads is safe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`WideHists::new`] (none in
+    /// practice for this fixed size).
+    pub fn with_all_slots() -> Result<Self> {
+        Self::new(MAX_SLOTS)
+    }
+}
+
+impl AtomicHists for WideHists {
+    /// WLL → add → SC, retried until the SC lands (see
+    /// [`WideTotals::add`]).
+    fn add(&self, slot: usize, delta: &HistState) {
+        let mem = Native;
+        let pid = ProcId::new(slot % self.var.domain().n());
+        let mut keep = WideKeep::default();
+        let mut buf = [0u64; HIST_WORDS];
+        loop {
+            if !self.var.wll(&mem, &mut keep, &mut buf).is_success() {
+                continue;
+            }
+            let mut new = [0u64; HIST_WORDS];
+            for (h, row) in delta.iter().enumerate() {
+                for (b, d) in row.iter().enumerate() {
+                    let i = h * HIST_BUCKETS + b;
+                    new[i] = (buf[i] + d).min(MAX_TOTAL);
+                }
+            }
+            if self.var.sc(&mem, pid, &keep, &new) {
+                return;
+            }
+        }
+    }
+
+    /// One WLL (retried on interference): all buckets of all histograms
+    /// from the same linearization point (Theorem 4).
+    fn totals(&self) -> HistState {
+        let v = self.var.read(&Native);
+        let mut out = [[0u64; HIST_BUCKETS]; HIST_COUNT];
+        for h in 0..HIST_COUNT {
+            out[h].copy_from_slice(&v[h * HIST_BUCKETS..(h + 1) * HIST_BUCKETS]);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nbsp_telemetry::Event;
+
+    #[test]
+    fn hist_add_accumulates_and_totals_snapshot() {
+        let t = WideHists::new(2).unwrap();
+        let mut d = [[0u64; HIST_BUCKETS]; HIST_COUNT];
+        d[0][3] = 5;
+        d[1][7] = 2;
+        t.add(0, &d);
+        t.add(1, &d);
+        let got = t.totals();
+        assert_eq!(got[0][3], 10);
+        assert_eq!(got[1][7], 4);
+        assert_eq!(got[0][0], 0);
+    }
 
     #[test]
     fn add_accumulates_and_totals_snapshot() {

@@ -1,0 +1,61 @@
+//! # nbsp-serve — an open-loop request-serving subsystem
+//!
+//! Every other workload in this workspace is a *closed loop*: worker
+//! threads spin on a structure as fast as they can, so the only number
+//! that comes out is throughput, and queueing delay is invisible — a
+//! worker that stalls simply issues its next request later, silently
+//! editing the arrival process (the *coordinated omission* artifact).
+//! This crate is the north-star "serves heavy traffic" workload done
+//! properly, as an **open-loop** harness:
+//!
+//! 1. **Load generation** ([`loadgen`]) — a SplitMix64-seeded arrival
+//!    process (Poisson or bursty ON/OFF) on a **virtual-time clock**.
+//!    Every request carries its *intended* arrival time; latency is
+//!    always measured against that, never against when the system got
+//!    around to it, so a backed-up run reports its real queueing delay.
+//! 2. **Dispatch** ([`ring`]) — a bounded single-producer multi-consumer
+//!    ring whose cursors are the crate's own Figure-4 LL/SC variables:
+//!    the producer's push is wait-free (single writer, its SC cannot
+//!    lose), a consumer's claim is one LL–SC on the head cursor
+//!    (lock-free: a failed SC means another consumer claimed a request).
+//! 3. **Admission control** ([`admission`]) — a token bucket whose whole
+//!    state, `(tokens, refill stamp)`, is packed into **one** LL/SC word
+//!    so an admit/shed decision is a single LL–SC sequence. Outcomes are
+//!    recorded via `nbsp-telemetry` (`serve_admit` / `serve_shed`).
+//! 4. **Metrics** ([`metrics`]) — log2 sojourn-time histograms plus
+//!    admission counters, aggregated per *cell* in one Figure-6
+//!    [`WideVar`](nbsp_core::wide::WideVar): workers publish local deltas
+//!    with WLL → add → SC, and every reported block is read with a
+//!    **single WLL** — the Theorem-4 consistent path, no racy sums.
+//!
+//! [`service`] glues the layers into [`service::run_cell`], which the
+//! `exp_serve` experiment sweeps over arrival rate × structure ×
+//! admission on/off to produce `BENCH_serve.json`.
+//!
+//! ## Why timing is virtual
+//!
+//! Completion times come from a deterministic virtual `N`-server queue
+//! model (each admitted request occupies the earliest-free virtual
+//! worker for its seeded service demand), while the request's *work* is
+//! really executed by real threads against the real non-blocking
+//! structures. The split buys both halves of what the experiment needs:
+//! the real execution exercises the LL/SC stack under genuine
+//! multi-thread contention (feeding real telemetry), and the virtual
+//! clock makes latency percentiles **reproducible** — the same seed
+//! yields byte-identical per-cell counters on any host, which is what
+//! lets CI gate on them. See DESIGN.md §9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod admission;
+pub mod loadgen;
+pub mod metrics;
+pub mod ring;
+pub mod service;
+
+pub use admission::{AdmissionConfig, TokenBucket};
+pub use loadgen::{ArrivalProcess, LoadGen, Request};
+pub use metrics::{percentile_ns, CellFlusher, CellSink, CellSnapshot, SOJOURN_BUCKETS};
+pub use ring::SpmcRing;
+pub use service::{run_cell, CellConfig, CellResult, ServeSinks, Workload};

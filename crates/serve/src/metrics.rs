@@ -1,0 +1,328 @@
+//! Per-cell serving metrics behind one Figure-6 wide variable.
+//!
+//! A serving cell reports a block of numbers that must be mutually
+//! consistent — sojourn-time histogram buckets, admitted/shed/completed
+//! counts — and the repo's rule (ISSUE 3) is that *no reported block may
+//! come from a racy sum*. So the cell's aggregate state is one
+//! [`WideVar`] of [`CELL_WORDS`] words: [`SOJOURN_BUCKETS`] log2 latency
+//! buckets followed by the three counters. Producers and workers
+//! accumulate privately in a [`CellFlusher`] and publish deltas with a
+//! WLL → add → SC loop; [`CellSink::snapshot`] reads the whole block with
+//! a **single WLL**, so by Theorem 4 every snapshot is a state the cell
+//! actually passed through — `admitted + shed` can never be caught
+//! mid-update, and the histogram total can never disagree with the count
+//! of sojourns recorded at a flush boundary.
+//!
+//! Latency is bucketed in log2 *virtual nanoseconds*: sojourn
+//! distributions under overload are heavy-tailed, and the tail — not the
+//! mean — is what the p99/p999 columns of `BENCH_serve.json` exist to
+//! show. Percentiles ([`percentile_ns`]) are resolved to a bucket's upper
+//! edge, a deterministic pure function of the bucket counts (which a
+//! seeded run makes byte-identical across hosts).
+
+use nbsp_core::wide::{WideDomain, WideKeep, WideVar};
+use nbsp_core::{Native, Result};
+use nbsp_memsim::ProcId;
+
+/// Number of log2 sojourn-time buckets. Bucket 0 holds 0 ns, bucket
+/// `b >= 1` holds `[2^(b-1), 2^b)` ns, and the last bucket absorbs
+/// everything from 2^30 ns (~1.07 virtual seconds) up.
+pub const SOJOURN_BUCKETS: usize = 32;
+
+/// Words per cell block: the histogram plus three counters.
+pub const CELL_WORDS: usize = SOJOURN_BUCKETS + 3;
+
+const W_ADMITTED: usize = SOJOURN_BUCKETS;
+const W_SHED: usize = SOJOURN_BUCKETS + 1;
+const W_COMPLETED: usize = SOJOURN_BUCKETS + 2;
+
+/// 16 tag bits leave 48-bit counts — ample for any run.
+const TAG_BITS: u32 = 16;
+
+/// The log2 bucket a sojourn time falls into.
+#[must_use]
+pub fn sojourn_bucket(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((64 - ns.leading_zeros()) as usize).min(SOJOURN_BUCKETS - 1)
+    }
+}
+
+/// Upper edge of bucket `b` in nanoseconds (the value [`percentile_ns`]
+/// reports for a rank landing in `b`; the open-ended last bucket reports
+/// its lower edge's double, as a "at least this" saturation marker).
+#[must_use]
+pub fn bucket_upper_ns(b: usize) -> u64 {
+    assert!(b < SOJOURN_BUCKETS);
+    if b == 0 {
+        0
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// The `q`-quantile (`0 < q <= 1`) of a bucketed sojourn distribution,
+/// resolved to the containing bucket's upper edge. Returns 0 for an empty
+/// histogram.
+#[must_use]
+pub fn percentile_ns(buckets: &[u64; SOJOURN_BUCKETS], q: f64) -> u64 {
+    assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // ceil(q * total) in integer arithmetic would overflow for huge
+    // totals; the float form is exact for any count a run can produce.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (b, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return bucket_upper_ns(b);
+        }
+    }
+    bucket_upper_ns(SOJOURN_BUCKETS - 1)
+}
+
+/// One consistent reading of a cell's aggregate block (decoded from a
+/// single-WLL snapshot of the wide variable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellSnapshot {
+    /// Log2 histogram of sojourn time (completion − intended arrival).
+    pub sojourn_ns: [u64; SOJOURN_BUCKETS],
+    /// Requests the admission controller let through (all requests, when
+    /// a cell runs without admission control).
+    pub admitted: u64,
+    /// Requests shed at their intended arrival time.
+    pub shed: u64,
+    /// Requests whose real structure operation finished on a worker.
+    pub completed: u64,
+}
+
+impl CellSnapshot {
+    /// Total requests generated: every request is either admitted or
+    /// shed, and this invariant holds in *every* snapshot because both
+    /// counters arrive through atomic whole-delta flushes.
+    #[must_use]
+    pub fn generated(&self) -> u64 {
+        self.admitted + self.shed
+    }
+
+    /// Observations currently in the sojourn histogram.
+    #[must_use]
+    pub fn sojourns(&self) -> u64 {
+        self.sojourn_ns.iter().sum()
+    }
+
+    /// The `q`-quantile of the sojourn distribution (bucket upper edge).
+    #[must_use]
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        percentile_ns(&self.sojourn_ns, q)
+    }
+}
+
+/// The cell's aggregate block: a [`CELL_WORDS`]-word Figure-6 variable.
+#[derive(Debug)]
+pub struct CellSink {
+    var: WideVar<Native>,
+}
+
+impl CellSink {
+    /// Creates a zeroed sink for up to `max_procs` concurrently flushing
+    /// threads (each must flush under a distinct slot in
+    /// `0..max_procs`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`nbsp_core::Error::InvalidDomain`] for
+    /// `max_procs == 0`.
+    pub fn new(max_procs: usize) -> Result<Self> {
+        let domain = WideDomain::<Native>::new(max_procs, CELL_WORDS, TAG_BITS)?;
+        let var = domain.var(&[0u64; CELL_WORDS])?;
+        Ok(CellSink { var })
+    }
+
+    /// Atomically folds a flat delta into the block, as flushing slot
+    /// `slot`. WLL → add → SC, retried until the SC lands (lock-free: a
+    /// retry implies another flush succeeded).
+    fn add(&self, slot: usize, delta: &[u64; CELL_WORDS]) {
+        let mem = Native;
+        let pid = ProcId::new(slot % self.var.domain().n());
+        let mut keep = WideKeep::default();
+        let mut buf = [0u64; CELL_WORDS];
+        let max = self.var.domain().max_val();
+        loop {
+            if !self.var.wll(&mem, &mut keep, &mut buf).is_success() {
+                continue;
+            }
+            let mut new = [0u64; CELL_WORDS];
+            for i in 0..CELL_WORDS {
+                // Saturate rather than wrap into the tag bits (unreachable
+                // at 48 bits per word in any real run).
+                new[i] = (buf[i] + delta[i]).min(max);
+            }
+            if self.var.sc(&mem, pid, &keep, &new) {
+                return;
+            }
+        }
+    }
+
+    /// One consistent reading of the block: a **single WLL** (retried on
+    /// interference), so all [`CELL_WORDS`] words are from the same
+    /// linearization point (Theorem 4).
+    #[must_use]
+    pub fn snapshot(&self) -> CellSnapshot {
+        let v = self.var.read(&Native);
+        let mut sojourn_ns = [0u64; SOJOURN_BUCKETS];
+        sojourn_ns.copy_from_slice(&v[..SOJOURN_BUCKETS]);
+        CellSnapshot {
+            sojourn_ns,
+            admitted: v[W_ADMITTED],
+            shed: v[W_SHED],
+            completed: v[W_COMPLETED],
+        }
+    }
+}
+
+/// Private accumulation for one producing/working thread, flushed into a
+/// [`CellSink`] in whole-delta units.
+///
+/// Unlike `nbsp_telemetry::Flusher` this does not diff a shared matrix
+/// row — the counts live in the struct itself — so it is immune to
+/// telemetry-slot sharing and its flushes are exactly the values this
+/// thread recorded, which is what makes seeded runs byte-identical.
+#[derive(Debug)]
+pub struct CellFlusher {
+    local: [u64; CELL_WORDS],
+    slot: usize,
+}
+
+impl CellFlusher {
+    /// A zeroed flusher publishing under `slot` (must be unique among the
+    /// cell's concurrently flushing threads and below the sink's
+    /// `max_procs`).
+    #[must_use]
+    pub fn new(slot: usize) -> Self {
+        CellFlusher {
+            local: [0; CELL_WORDS],
+            slot,
+        }
+    }
+
+    /// Records one admitted request.
+    pub fn record_admit(&mut self) {
+        self.local[W_ADMITTED] += 1;
+    }
+
+    /// Records one shed request.
+    pub fn record_shed(&mut self) {
+        self.local[W_SHED] += 1;
+    }
+
+    /// Records `n` completed structure operations.
+    pub fn record_completed(&mut self, n: u64) {
+        self.local[W_COMPLETED] += n;
+    }
+
+    /// Records one sojourn-time observation.
+    pub fn record_sojourn(&mut self, ns: u64) {
+        self.local[sojourn_bucket(ns)] += 1;
+    }
+
+    /// Publishes the accumulated delta as one atomic update and zeroes
+    /// the local state. Returns `true` if there was anything to publish.
+    pub fn flush(&mut self, sink: &CellSink) -> bool {
+        if self.local.iter().all(|&v| v == 0) {
+            return false;
+        }
+        sink.add(self.slot, &self.local);
+        self.local = [0; CELL_WORDS];
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(sojourn_bucket(0), 0);
+        assert_eq!(sojourn_bucket(1), 1);
+        assert_eq!(sojourn_bucket(2), 2);
+        assert_eq!(sojourn_bucket(3), 2);
+        assert_eq!(sojourn_bucket(1024), 11);
+        assert_eq!(sojourn_bucket(u64::MAX), SOJOURN_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_walk_the_cumulative_distribution() {
+        let mut b = [0u64; SOJOURN_BUCKETS];
+        b[3] = 50; // 4..8 ns
+        b[10] = 49; // 512..1024 ns
+        b[20] = 1; // ~0.5..1 ms
+        assert_eq!(percentile_ns(&b, 0.5), bucket_upper_ns(3));
+        assert_eq!(percentile_ns(&b, 0.95), bucket_upper_ns(10));
+        assert_eq!(percentile_ns(&b, 0.999), bucket_upper_ns(20));
+        assert_eq!(percentile_ns(&b, 1.0), bucket_upper_ns(20));
+        assert_eq!(percentile_ns(&[0; SOJOURN_BUCKETS], 0.99), 0);
+    }
+
+    #[test]
+    fn flush_publishes_whole_deltas_and_snapshot_decodes() {
+        let sink = CellSink::new(2).unwrap();
+        let mut f = CellFlusher::new(0);
+        assert!(!f.flush(&sink), "nothing recorded yet");
+        f.record_admit();
+        f.record_admit();
+        f.record_shed();
+        f.record_sojourn(700);
+        f.record_completed(2);
+        assert!(f.flush(&sink));
+        assert!(!f.flush(&sink), "already published");
+        let s = sink.snapshot();
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.generated(), 3);
+        assert_eq!(s.sojourns(), 1);
+        assert_eq!(s.sojourn_ns[sojourn_bucket(700)], 1);
+    }
+
+    #[test]
+    fn concurrent_flushes_never_tear_the_admit_shed_invariant() {
+        // Each flush carries admitted + shed == 2; any snapshot must see
+        // generated() a multiple of 2 and the histogram total equal to
+        // the admitted count.
+        let sink = CellSink::new(4).unwrap();
+        std::thread::scope(|s| {
+            for slot in 0..3 {
+                s.spawn({
+                    let sink = &sink;
+                    move || {
+                        let mut f = CellFlusher::new(slot);
+                        for i in 0..2_000u64 {
+                            f.record_admit();
+                            f.record_sojourn(i % 4096);
+                            f.record_shed();
+                            f.flush(sink);
+                        }
+                    }
+                });
+            }
+            let sink = &sink;
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    let snap = sink.snapshot();
+                    assert_eq!(snap.generated() % 2, 0, "torn admit/shed pair");
+                    assert_eq!(snap.sojourns(), snap.admitted, "torn histogram");
+                }
+            });
+        });
+        let end = sink.snapshot();
+        assert_eq!(end.admitted, 6_000);
+        assert_eq!(end.shed, 6_000);
+        assert_eq!(end.sojourns(), 6_000);
+    }
+}

@@ -1,0 +1,259 @@
+//! A bounded single-producer multi-consumer dispatch ring whose cursors
+//! are Figure-4 LL/SC variables.
+//!
+//! The load generator is one thread (arrivals are a single ordered
+//! stream), so the ring needs exactly SPMC: one producer appending at the
+//! tail, N workers competing to claim the head. Both cursors are
+//! [`CasLlSc`] variables — the crate dispatches its served traffic through
+//! the same primitive it benchmarks:
+//!
+//! * **push** is *wait-free*: the producer is the only writer of the tail,
+//!   so its tag never moves between its LL and its SC and the SC cannot
+//!   fail — one LL, two slot stores, one SC, no loop;
+//! * **pop** is *lock-free*: a consumer LLs the head, reads the slot, and
+//!   SCs `head + 1`; a failed SC means another consumer's SC landed, i.e.
+//!   the system as a whole made progress.
+//!
+//! ## Why reading the slot before the SC is safe
+//!
+//! A consumer reads the two slot words *between* its LL and SC on the
+//! head (the paper's validate-after-read idiom). The producer overwrites
+//! slot `h % cap` only once the tail reaches `h + cap`, and it bounds the
+//! tail by a head value it observed — so overwriting that slot requires
+//! the head to have advanced past `h` first. Any head advance bumps the
+//! head's tag and makes the reader's SC fail, discarding the possibly
+//! torn read. A *successful* SC therefore proves the head was untouched
+//! for the whole read, which in turn proves the producer never came
+//! within `cap` of the claimed slot: both words belong to one request.
+//!
+//! Cursors only grow (indices are taken modulo the capacity), and the
+//! half-word [`TagLayout`] leaves 32 value bits — `SpmcRing::push` asserts
+//! the cursor stays in range, bounding a ring's lifetime at ~4.3 billion
+//! requests, far beyond any experiment cell.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use nbsp_core::{Backoff, CachePadded, CasLlSc, Keep, Native, TagLayout};
+use nbsp_telemetry::{observe, Hist};
+
+use crate::loadgen::Request;
+
+/// The bounded SPMC dispatch ring. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct SpmcRing {
+    /// Claim cursor (total requests popped); multi-consumer LL/SC.
+    head: CachePadded<CasLlSc<Native>>,
+    /// Publish cursor (total requests pushed); single-writer LL/SC.
+    tail: CachePadded<CasLlSc<Native>>,
+    /// Slot payloads, indexed by `cursor % capacity`. Plain atomics —
+    /// the cursor protocol above is what makes the pairs consistent.
+    arrivals: Box<[AtomicU64]>,
+    services: Box<[AtomicU64]>,
+    /// Enforces the single-producer contract at runtime.
+    producer_claimed: AtomicBool,
+}
+
+/// The unique producer handle of a ring (see [`SpmcRing::producer`]).
+/// Holding it is what makes `push`'s SC unable to fail; the type is
+/// deliberately neither `Clone` nor constructible elsewhere.
+#[derive(Debug)]
+pub struct Producer<'a> {
+    ring: &'a SpmcRing,
+}
+
+impl SpmcRing {
+    /// Creates an empty ring with room for `capacity` in-flight requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let layout = TagLayout::half();
+        SpmcRing {
+            head: CachePadded::new(CasLlSc::new_native(layout, 0).unwrap()),
+            tail: CachePadded::new(CasLlSc::new_native(layout, 0).unwrap()),
+            arrivals: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            services: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            producer_claimed: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of requests the ring can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Claims the ring's unique producer handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called a second time: the wait-freedom of `push` rests on
+    /// the tail having exactly one writer.
+    #[must_use]
+    pub fn producer(&self) -> Producer<'_> {
+        assert!(
+            !self.producer_claimed.swap(true, Ordering::Relaxed),
+            "SpmcRing::producer may only be claimed once"
+        );
+        Producer { ring: self }
+    }
+
+    /// Requests currently in flight (racy estimate: the two cursors are
+    /// read independently).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let t = self.tail.read(&Native);
+        let h = self.head.read(&Native);
+        t.saturating_sub(h) as usize
+    }
+
+    /// Whether the ring was empty at the time of the (racy) reads.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Claims and returns the request at the head, or `None` if the ring
+    /// was observed empty. Lock-free: retries only when another consumer's
+    /// SC claimed the head first.
+    pub fn try_pop(&self) -> Option<Request> {
+        let mem = Native;
+        let mut keep = Keep::default();
+        let mut backoff = Backoff::new();
+        let mut attempts = 0u64;
+        loop {
+            attempts += 1;
+            let h = self.head.ll(&mem, &mut keep);
+            // Acquire read: synchronizes with the producer's releasing SC,
+            // so the slot stores made before that SC are visible below.
+            let t = self.tail.read(&mem);
+            if h == t {
+                return None;
+            }
+            let i = (h as usize) % self.capacity();
+            let arrival_ns = self.arrivals[i].load(Ordering::Relaxed);
+            let service_ns = self.services[i].load(Ordering::Relaxed);
+            if self.head.sc(&mem, &keep, h + 1) {
+                // SC success validates the read pair (module docs).
+                observe(Hist::Retries, attempts);
+                return Some(Request {
+                    arrival_ns,
+                    service_ns,
+                });
+            }
+            backoff.spin();
+        }
+    }
+}
+
+impl Producer<'_> {
+    /// Appends `r` if the ring has room; `false` (without side effects) if
+    /// it was full. Wait-free: one LL, one head read, one SC that cannot
+    /// fail.
+    pub fn try_push(&mut self, r: Request) -> bool {
+        let ring = self.ring;
+        let mem = Native;
+        let mut keep = Keep::default();
+        let t = ring.tail.ll(&mem, &mut keep);
+        let h = ring.head.read(&mem);
+        // A stale (small) h only makes this check conservative.
+        if t - h >= ring.capacity() as u64 {
+            return false;
+        }
+        assert!(
+            t < ring.tail.layout().max_val(),
+            "ring cursor exhausted its 32 value bits"
+        );
+        let i = (t as usize) % ring.capacity();
+        ring.arrivals[i].store(r.arrival_ns, Ordering::Relaxed);
+        ring.services[i].store(r.service_ns, Ordering::Relaxed);
+        // Releasing SC publishes the slot stores above. Sole tail writer:
+        // the tag cannot have moved since the LL.
+        let landed = ring.tail.sc(&mem, &keep, t + 1);
+        debug_assert!(landed, "single-writer SC on the tail cannot fail");
+        landed
+    }
+
+    /// Appends `r`, spinning (with bounded backoff) while the ring is
+    /// full. Open-loop semantics are unharmed: a stall here is producer
+    /// real time, while latency is charged from the request's *intended*
+    /// arrival stamp.
+    pub fn push(&mut self, r: Request) {
+        let mut backoff = Backoff::new();
+        while !self.try_push(r) {
+            backoff.spin();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn req(n: u64) -> Request {
+        Request {
+            arrival_ns: n,
+            service_ns: 10 * n,
+        }
+    }
+
+    #[test]
+    fn fifo_single_thread() {
+        let ring = SpmcRing::new(4);
+        let mut p = ring.producer();
+        assert!(ring.try_pop().is_none());
+        for n in 0..4 {
+            assert!(p.try_push(req(n)));
+        }
+        assert!(!p.try_push(req(9)), "full at capacity");
+        for n in 0..4 {
+            assert_eq!(ring.try_pop(), Some(req(n)));
+        }
+        assert!(ring.try_pop().is_none());
+        // Wrapped reuse keeps FIFO order.
+        assert!(p.try_push(req(7)));
+        assert_eq!(ring.try_pop(), Some(req(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed once")]
+    fn second_producer_claim_panics() {
+        let ring = SpmcRing::new(2);
+        let _a = ring.producer();
+        let _b = ring.producer();
+    }
+
+    #[test]
+    fn every_request_consumed_exactly_once() {
+        let ring = SpmcRing::new(64);
+        const N: u64 = 20_000;
+        const CONSUMERS: usize = 4;
+        let popped = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..CONSUMERS {
+                s.spawn(|| {
+                    while popped.load(Ordering::Relaxed) < N {
+                        if let Some(r) = ring.try_pop() {
+                            sum.fetch_add(r.arrival_ns, Ordering::Relaxed);
+                            popped.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            let mut p = ring.producer();
+            for n in 1..=N {
+                p.push(req(n));
+            }
+        });
+        assert_eq!(popped.load(Ordering::Relaxed), N);
+        // Each value claimed exactly once <=> the sum is exact.
+        assert_eq!(sum.load(Ordering::Relaxed), N * (N + 1) / 2);
+    }
+}

@@ -1,0 +1,441 @@
+//! The glue: one serving *cell* = load generator + admission + dispatch
+//! ring + real workers + consistent metrics.
+//!
+//! [`run_cell`] executes one experiment cell. The calling thread is the
+//! open-loop client: it draws requests from the seeded [`LoadGen`],
+//! decides admission at each request's **intended** arrival time, assigns
+//! admitted requests to a deterministic FCFS virtual `N`-server queue
+//! (which yields the sojourn time = virtual completion − intended
+//! arrival), and pushes them into the [`SpmcRing`]. Worker threads claim
+//! requests from the ring and execute the *real* structure operation —
+//! counter increment, stack or queue push/pop pair, STM transfer — so the
+//! LL/SC stack underneath sees genuine multi-thread contention and its
+//! telemetry is real.
+//!
+//! ## Why completion times are virtual
+//!
+//! The split — real execution, virtual clock — buys both halves of what
+//! the experiment needs. Real threads racing on the real structures
+//! exercise every help path and SC retry loop (and feed `nbsp-telemetry`
+//! through per-worker flushers). The virtual queue model makes the
+//! *latency numbers* a pure function of the seed: same seed ⇒ identical
+//! admit/shed decisions ⇒ identical server assignments ⇒ byte-identical
+//! histogram buckets, on any host, which is what lets tests and CI gate
+//! on them. A wall-clock sojourn measurement would instead report the
+//! host's scheduler.
+//!
+//! All metrics flow through [`CellFlusher`]s into the cell's single
+//! Figure-6 [`CellSink`]; the returned [`CellSnapshot`] is one WLL.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use nbsp_core::{Backoff, CasLlSc, Native, TagLayout, WideHists, WideTotals};
+use nbsp_memsim::ProcId;
+use nbsp_structures::stm_orec::OrecStm;
+use nbsp_structures::{Counter, Queue, Stack};
+use nbsp_telemetry::{Flusher, HistFlusher};
+
+use crate::admission::{AdmissionConfig, TokenBucket};
+use crate::loadgen::{ArrivalProcess, LoadGen};
+use crate::metrics::{CellFlusher, CellSink, CellSnapshot};
+use crate::ring::SpmcRing;
+
+/// Operations between metric/telemetry flushes. Small enough that
+/// mid-run snapshots stay fresh, large enough that the WLL/SC flush loop
+/// stays off the hot path.
+const FLUSH_EVERY: u32 = 1024;
+
+/// Which structure a cell's workers drive (one real operation per
+/// admitted request).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Shared-counter increment (maximum-contention single variable).
+    Counter,
+    /// Treiber-style stack push/pop pair.
+    Stack,
+    /// Michael–Scott-style queue enqueue/dequeue pair.
+    Queue,
+    /// Two-cell transfer transaction on the ownership-record STM.
+    Stm,
+}
+
+impl Workload {
+    /// Every workload, in report order.
+    pub const ALL: [Workload; 4] = [
+        Workload::Counter,
+        Workload::Stack,
+        Workload::Queue,
+        Workload::Stm,
+    ];
+
+    /// Stable name for reports and the JSON schema.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Counter => "counter",
+            Workload::Stack => "stack",
+            Workload::Queue => "queue",
+            Workload::Stm => "stm_orec",
+        }
+    }
+}
+
+/// Everything one cell needs; a pure value, so sweeps can clone and vary.
+#[derive(Clone, Debug)]
+pub struct CellConfig {
+    /// Seed for the whole cell (arrivals and service demands).
+    pub seed: u64,
+    /// Arrival process (also fixes the offered rate).
+    pub process: ArrivalProcess,
+    /// Structure under service.
+    pub workload: Workload,
+    /// Real worker threads; also the virtual server count `N`.
+    pub workers: usize,
+    /// Requests to generate (admitted + shed).
+    pub requests: u64,
+    /// Mean virtual service demand per request, in nanoseconds.
+    pub service_mean_ns: f64,
+    /// Token-bucket admission, or `None` to admit everything.
+    pub admission: Option<AdmissionConfig>,
+    /// Dispatch ring capacity.
+    pub ring_capacity: usize,
+}
+
+/// A finished cell: the consistent snapshot plus the headline sojourn
+/// percentiles (bucket upper edges, virtual nanoseconds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellResult {
+    /// The cell's final single-WLL metrics snapshot.
+    pub snapshot: CellSnapshot,
+    /// Median sojourn time.
+    pub p50_ns: u64,
+    /// 95th percentile sojourn time.
+    pub p95_ns: u64,
+    /// 99th percentile sojourn time.
+    pub p99_ns: u64,
+    /// 99.9th percentile sojourn time.
+    pub p999_ns: u64,
+}
+
+/// Run-level consistent telemetry sinks: per-event totals and histogram
+/// buckets, each one Figure-6 variable, shared by every cell of a sweep.
+/// Workers flush into them; the report reads each with a single WLL.
+#[derive(Debug)]
+pub struct ServeSinks {
+    /// Aggregated event totals (`WideVar` of `EVENT_COUNT` words).
+    pub events: WideTotals,
+    /// Aggregated histogram buckets (`WideVar` of all buckets).
+    pub hists: WideHists,
+}
+
+impl ServeSinks {
+    /// Sinks sized for every possible telemetry slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wide-variable construction errors (none in practice).
+    pub fn new() -> nbsp_core::Result<Self> {
+        Ok(ServeSinks {
+            events: WideTotals::with_all_slots()?,
+            hists: WideHists::with_all_slots()?,
+        })
+    }
+}
+
+/// Runs one cell to completion and returns its consistent result.
+///
+/// When `sinks` is provided, the producer and every worker also flush
+/// their `nbsp-telemetry` rows into it (periodically and at exit), so the
+/// caller can publish a run-level telemetry block read via the WLL path.
+///
+/// # Panics
+///
+/// Panics on a zero `workers`/`requests`/`ring_capacity`, or if the
+/// final snapshot violates `completed == admitted` (every admitted
+/// request is executed exactly once).
+#[must_use]
+pub fn run_cell(cfg: &CellConfig, sinks: Option<&ServeSinks>) -> CellResult {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(
+        cfg.workers < nbsp_telemetry::MAX_SLOTS,
+        "more workers than telemetry slots: two workers would share a slot"
+    );
+    assert!(cfg.requests > 0, "need at least one request");
+    let sink = CellSink::new(cfg.workers + 1).unwrap();
+
+    match cfg.workload {
+        Workload::Counter => {
+            let c = Counter::new(CasLlSc::new_native(TagLayout::half(), 0).unwrap());
+            drive(cfg, &sink, sinks, |_slot| {
+                let c = &c;
+                let mut ctx = Native;
+                move || {
+                    c.increment(&mut ctx);
+                }
+            });
+        }
+        Workload::Stack => {
+            let mut setup = Native;
+            let st = Stack::new(
+                2 * cfg.workers + 8,
+                CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
+                CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
+                &mut setup,
+            );
+            drive(cfg, &sink, sinks, |slot| {
+                let st = &st;
+                let mut ctx = Native;
+                let v = slot as u64;
+                move || {
+                    let _ = st.push(&mut ctx, v);
+                    let _ = st.pop(&mut ctx);
+                }
+            });
+        }
+        Workload::Queue => {
+            let mut setup = Native;
+            let q = Queue::new(
+                2 * cfg.workers + 8,
+                || CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
+                &mut setup,
+            );
+            drive(cfg, &sink, sinks, |slot| {
+                let q = &q;
+                let mut ctx = Native;
+                let v = slot as u64;
+                move || {
+                    let _ = q.enqueue(&mut ctx, v);
+                    let _ = q.dequeue(&mut ctx);
+                }
+            });
+        }
+        Workload::Stm => {
+            let stm = OrecStm::new(&[0; 4]);
+            drive(cfg, &sink, sinks, |slot| {
+                let stm = &stm;
+                let p = ProcId::new(slot);
+                move || {
+                    stm.transact(p, &[0, 1], |vals| {
+                        vals[0] += 1;
+                        vals[1] += 1;
+                    });
+                }
+            });
+        }
+    }
+
+    let snapshot = sink.snapshot();
+    assert_eq!(
+        snapshot.completed, snapshot.admitted,
+        "every admitted request must be executed exactly once"
+    );
+    CellResult {
+        snapshot,
+        p50_ns: snapshot.percentile_ns(0.50),
+        p95_ns: snapshot.percentile_ns(0.95),
+        p99_ns: snapshot.percentile_ns(0.99),
+        p999_ns: snapshot.percentile_ns(0.999),
+    }
+}
+
+/// Spawns the workers, runs the producer inline, joins.
+fn drive<F>(
+    cfg: &CellConfig,
+    sink: &CellSink,
+    sinks: Option<&ServeSinks>,
+    mut make_op: impl FnMut(usize) -> F,
+) where
+    F: FnMut() + Send,
+{
+    let ring = SpmcRing::new(cfg.ring_capacity);
+    let bucket = cfg.admission.map(TokenBucket::from_config);
+    let done = AtomicBool::new(false);
+    let ops: Vec<F> = (0..cfg.workers).map(&mut make_op).collect();
+    // Telemetry slots wrap modulo the registry size, so across a long
+    // sweep a worker can land on the producer's slot. Two live flushers
+    // mirroring one row double-publish it; a worker that collides
+    // therefore skips telemetry flushing and lets the producer's
+    // mirror-diff publish that row's whole delta exactly once.
+    let producer_slot = nbsp_telemetry::thread_slot();
+    std::thread::scope(|s| {
+        for (slot, op) in ops.into_iter().enumerate() {
+            let ring = &ring;
+            let done = &done;
+            s.spawn(move || worker_loop(ring, done, sink, slot, producer_slot, sinks, op));
+        }
+        produce(cfg, &ring, bucket.as_ref(), sink, sinks);
+        done.store(true, Ordering::Release);
+    });
+}
+
+/// The open-loop client: generation, admission, the virtual queue model,
+/// and dispatch. Runs on the calling thread (publishing under the cell's
+/// last flusher slot).
+fn produce(
+    cfg: &CellConfig,
+    ring: &SpmcRing,
+    bucket: Option<&TokenBucket>,
+    sink: &CellSink,
+    sinks: Option<&ServeSinks>,
+) {
+    let mut gen = LoadGen::new(cfg.seed, cfg.process, cfg.service_mean_ns);
+    let mut producer = ring.producer();
+    let mut cell = CellFlusher::new(cfg.workers);
+    let mut tele = sinks.map(|_| (Flusher::new(), HistFlusher::new()));
+    // Virtual FCFS queue: per-server next-free times. Ties break to the
+    // lowest index — deterministic.
+    let mut free = vec![0u64; cfg.workers];
+    let mut unflushed = 0u32;
+    for _ in 0..cfg.requests {
+        let r = gen.next_request();
+        let admitted = bucket.is_none_or(|b| b.admit(r.arrival_ns));
+        if admitted {
+            cell.record_admit();
+            let mut best = 0;
+            for (i, &f) in free.iter().enumerate().skip(1) {
+                if f < free[best] {
+                    best = i;
+                }
+            }
+            let start = free[best].max(r.arrival_ns);
+            let completion = start + r.service_ns;
+            free[best] = completion;
+            cell.record_sojourn(completion - r.arrival_ns);
+            producer.push(r);
+        } else {
+            cell.record_shed();
+        }
+        unflushed += 1;
+        if unflushed >= FLUSH_EVERY {
+            cell.flush(sink);
+            flush_telemetry(&mut tele, sinks);
+            unflushed = 0;
+        }
+    }
+    cell.flush(sink);
+    flush_telemetry(&mut tele, sinks);
+}
+
+/// One worker: claim, execute the real operation, count, flush.
+fn worker_loop<F: FnMut()>(
+    ring: &SpmcRing,
+    done: &AtomicBool,
+    sink: &CellSink,
+    slot: usize,
+    producer_slot: usize,
+    sinks: Option<&ServeSinks>,
+    mut op: F,
+) {
+    let mut cell = CellFlusher::new(slot);
+    let shared_slot = nbsp_telemetry::thread_slot() == producer_slot;
+    let mut tele = (!shared_slot)
+        .then_some(sinks)
+        .flatten()
+        .map(|_| (Flusher::new(), HistFlusher::new()));
+    let mut backoff = Backoff::new();
+    let mut unflushed = 0u32;
+    loop {
+        match ring.try_pop() {
+            Some(_r) => {
+                op();
+                cell.record_completed(1);
+                unflushed += 1;
+                if unflushed >= FLUSH_EVERY {
+                    cell.flush(sink);
+                    flush_telemetry(&mut tele, sinks);
+                    unflushed = 0;
+                }
+                backoff.reset();
+            }
+            None => {
+                // `done` is set after the final push (release/acquire), so
+                // observing it *and then* still finding the ring empty
+                // means the cell is drained.
+                if done.load(Ordering::Acquire) && ring.is_empty() {
+                    break;
+                }
+                backoff.spin();
+            }
+        }
+    }
+    cell.flush(sink);
+    flush_telemetry(&mut tele, sinks);
+}
+
+fn flush_telemetry(tele: &mut Option<(Flusher, HistFlusher)>, sinks: Option<&ServeSinks>) {
+    if let (Some((events, hists)), Some(s)) = (tele.as_mut(), sinks) {
+        events.flush(&s.events);
+        hists.flush(&s.hists);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(workload: Workload, rate: f64, admission: Option<AdmissionConfig>) -> CellConfig {
+        CellConfig {
+            seed: 0x5eed,
+            process: ArrivalProcess::Poisson { rate_per_sec: rate },
+            workload,
+            workers: 2,
+            requests: 4_000,
+            service_mean_ns: 1_000.0,
+            admission,
+            ring_capacity: 256,
+        }
+    }
+
+    #[test]
+    fn underload_has_negligible_queueing() {
+        // 2 virtual servers x 1 µs mean service = 2e6 req/s capacity;
+        // offer 10% of it. Sojourn should stay within a few service
+        // times: p99 under ~64 µs is generous.
+        let r = run_cell(&small_cfg(Workload::Counter, 2e5, None), None);
+        assert_eq!(r.snapshot.generated(), 4_000);
+        assert_eq!(r.snapshot.shed, 0);
+        assert_eq!(r.snapshot.completed, 4_000);
+        assert!(r.p99_ns < 65_536, "p99 {} ns under light load", r.p99_ns);
+        assert!(r.p50_ns >= 511, "sojourn includes service time");
+    }
+
+    #[test]
+    fn overload_backlog_shows_up_as_latency_not_lost_requests() {
+        // Offer 2x capacity with no admission: open-loop accounting must
+        // charge the backlog to sojourn time.
+        let r = run_cell(&small_cfg(Workload::Counter, 4e6, None), None);
+        assert_eq!(r.snapshot.generated(), 4_000);
+        assert_eq!(r.snapshot.completed, 4_000);
+        // ~2_000 excess requests queue behind 2 servers: the tail is
+        // hundreds of µs at least.
+        assert!(r.p99_ns > 100_000, "p99 {} ns under 2x overload", r.p99_ns);
+    }
+
+    #[test]
+    fn admission_sheds_and_caps_the_tail() {
+        let admission = Some(AdmissionConfig {
+            rate_per_sec: 1.6e6, // 80% of the 2e6 capacity
+            burst: 32,
+        });
+        let off = run_cell(&small_cfg(Workload::Counter, 4e6, None), None);
+        let on = run_cell(&small_cfg(Workload::Counter, 4e6, admission), None);
+        assert!(on.snapshot.shed > 0, "2x overload must shed");
+        assert_eq!(on.snapshot.generated(), 4_000);
+        assert_eq!(on.snapshot.completed, on.snapshot.admitted);
+        assert!(
+            on.p99_ns < off.p99_ns,
+            "admission on p99 {} !< off p99 {}",
+            on.p99_ns,
+            off.p99_ns
+        );
+    }
+
+    #[test]
+    fn every_workload_drains_exactly() {
+        for w in Workload::ALL {
+            let r = run_cell(&small_cfg(w, 1e6, None), None);
+            assert_eq!(r.snapshot.completed, r.snapshot.admitted, "{}", w.name());
+            assert_eq!(r.snapshot.sojourns(), r.snapshot.admitted, "{}", w.name());
+        }
+    }
+}

@@ -7,7 +7,7 @@
 
 /// Number of distinct events ([`Event::ALL`]'s length, and the width `W`
 /// of the Figure-6 wide variable a consistent snapshot publisher uses).
-pub const EVENT_COUNT: usize = 10;
+pub const EVENT_COUNT: usize = 12;
 
 /// One countable occurrence inside the LL/SC stack.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -42,6 +42,12 @@ pub enum Event {
     /// Figure 7's feedback mechanism issued a tag from the front of the
     /// tag queue.
     TagAlloc = 9,
+    /// The serving subsystem's admission controller admitted a request
+    /// (one successful token-spending SC on the bucket word).
+    ServeAdmit = 10,
+    /// The admission controller shed a request: the token bucket was
+    /// empty at the request's intended arrival time.
+    ServeShed = 11,
 }
 
 impl Event {
@@ -57,6 +63,8 @@ impl Event {
         Event::BackoffYield,
         Event::BackoffSaturated,
         Event::TagAlloc,
+        Event::ServeAdmit,
+        Event::ServeShed,
     ];
 
     /// The event's row index in the counter matrix.
@@ -79,6 +87,8 @@ impl Event {
             Event::BackoffYield => "backoff_yield",
             Event::BackoffSaturated => "backoff_saturated",
             Event::TagAlloc => "tag_alloc",
+            Event::ServeAdmit => "serve_admit",
+            Event::ServeShed => "serve_shed",
         }
     }
 }

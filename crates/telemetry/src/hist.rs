@@ -92,6 +92,20 @@ pub(crate) fn observe_impl(hist: Hist, value: u64) {
         .fetch_add(1, Ordering::Relaxed);
 }
 
+/// The calling-thread-visible bucket counts of one slot's histogram rows
+/// (exact for the slot's own thread — rows are single-writer — and the
+/// baseline a [`crate::HistFlusher`] diffs against).
+#[must_use]
+pub fn slot_buckets(slot: usize) -> [[u64; HIST_BUCKETS]; HIST_COUNT] {
+    let mut out = [[0u64; HIST_BUCKETS]; HIST_COUNT];
+    for (h, row) in out.iter_mut().enumerate() {
+        for (b, c) in HIST_MATRIX[slot].buckets[h].iter().enumerate() {
+            row[b] = c.load(Ordering::Relaxed);
+        }
+    }
+    out
+}
+
 /// Racy bucket totals for one histogram (sums over all slots; same
 /// monotonicity contract as [`crate::racy_totals`]).
 #[must_use]

@@ -33,8 +33,9 @@ pub mod snapshot;
 
 pub use event::{Event, EVENT_COUNT};
 pub use hist::{bucket_label, bucket_of, histogram, Hist, HIST_BUCKETS, HIST_COUNT};
+pub use hist::slot_buckets;
 pub use registry::{racy_totals, slot_counts, thread_slot, MAX_SLOTS};
-pub use snapshot::{AtomicTotals, Flusher};
+pub use snapshot::{AtomicHists, AtomicTotals, Flusher, HistFlusher, HistState};
 
 /// Whether telemetry recording is compiled in.
 ///

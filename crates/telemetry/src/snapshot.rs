@@ -26,6 +26,7 @@
 use std::marker::PhantomData;
 
 use crate::event::EVENT_COUNT;
+use crate::hist::{slot_buckets, HIST_BUCKETS, HIST_COUNT};
 use crate::registry::{slot_counts, thread_slot};
 
 /// An atomically updatable, atomically readable vector of per-event
@@ -90,11 +91,103 @@ impl Flusher {
         }
         any
     }
+
+    /// Re-captures the thread's row as the published baseline *without*
+    /// publishing the difference.
+    ///
+    /// Thread slots wrap modulo the registry size, so a burst of
+    /// short-lived worker threads can land on this thread's slot and bump
+    /// its row from outside. If those workers flushed their own deltas,
+    /// a later `flush` here would publish the same counts a second time.
+    /// Call `resync` after such a window (e.g. after joining a spawn
+    /// scope) to discard the foreign counts from this flusher's view.
+    pub fn resync(&mut self) {
+        self.mirror = slot_counts(thread_slot());
+    }
 }
 
 impl Default for Flusher {
     fn default() -> Self {
         Flusher::new()
+    }
+}
+
+/// Flattened histogram state: `HIST_COUNT` histograms of `HIST_BUCKETS`
+/// buckets each, in [`crate::Hist::ALL`] order — the unit an
+/// [`AtomicHists`] sink adds and snapshots atomically.
+pub type HistState = [[u64; HIST_BUCKETS]; HIST_COUNT];
+
+/// An atomically updatable, atomically readable set of histogram bucket
+/// totals — [`AtomicTotals`]' counterpart for the log2 histograms.
+///
+/// Implementations must make `add` atomic with respect to `totals`, so a
+/// reported histogram is a state the aggregate actually held (no bucket
+/// from one flush mixed with buckets from another). The Figure-6-backed
+/// implementation is `nbsp_core::telemetry::WideHists`, which flattens
+/// all `HIST_COUNT * HIST_BUCKETS` buckets into one `WideVar` so the
+/// whole snapshot is a single WLL.
+pub trait AtomicHists {
+    /// Atomically adds `delta` (element-wise) to the bucket totals, as
+    /// the thread identified by `slot`.
+    fn add(&self, slot: usize, delta: &HistState);
+
+    /// An atomic (non-torn) snapshot of every histogram's buckets.
+    fn totals(&self) -> HistState;
+}
+
+/// Per-thread flush state for the histogram matrix: the [`Flusher`]
+/// pattern applied to [`crate::histogram`] buckets instead of event
+/// counters. Same contract: create on the recording thread, `!Send`,
+/// publishes only the delta since the previous flush.
+#[derive(Debug)]
+pub struct HistFlusher {
+    mirror: HistState,
+    /// Pins the flusher to its creating thread (no `Send`/`Sync`).
+    _not_send: PhantomData<*const ()>,
+}
+
+impl HistFlusher {
+    /// Captures the calling thread's current histogram rows as the
+    /// published baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        HistFlusher {
+            mirror: slot_buckets(thread_slot()),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Publishes every bucket increment this thread observed since the
+    /// last flush into `sink` as one atomic update. Returns `true` if
+    /// there was anything to publish.
+    pub fn flush<T: AtomicHists>(&mut self, sink: &T) -> bool {
+        let now = slot_buckets(thread_slot());
+        let mut delta = [[0u64; HIST_BUCKETS]; HIST_COUNT];
+        let mut any = false;
+        for h in 0..HIST_COUNT {
+            for b in 0..HIST_BUCKETS {
+                delta[h][b] = now[h][b] - self.mirror[h][b];
+                any |= delta[h][b] != 0;
+            }
+        }
+        if any {
+            sink.add(thread_slot(), &delta);
+            self.mirror = now;
+        }
+        any
+    }
+
+    /// Re-captures the thread's histogram rows as the published baseline
+    /// without publishing the difference — [`Flusher::resync`] for the
+    /// histogram matrix, with the same slot-wrap rationale.
+    pub fn resync(&mut self) {
+        self.mirror = slot_buckets(thread_slot());
+    }
+}
+
+impl Default for HistFlusher {
+    fn default() -> Self {
+        HistFlusher::new()
     }
 }
 
@@ -121,6 +214,42 @@ mod tests {
         fn totals(&self) -> [u64; EVENT_COUNT] {
             *self.0.lock().unwrap()
         }
+    }
+
+    /// Reference hist sink, mirroring [`LockedTotals`].
+    #[derive(Default)]
+    struct LockedHists(Mutex<HistState>);
+
+    impl AtomicHists for LockedHists {
+        fn add(&self, _slot: usize, delta: &HistState) {
+            let mut t = self.0.lock().unwrap();
+            for h in 0..HIST_COUNT {
+                for b in 0..HIST_BUCKETS {
+                    t[h][b] += delta[h][b];
+                }
+            }
+        }
+
+        fn totals(&self) -> HistState {
+            *self.0.lock().unwrap()
+        }
+    }
+
+    #[test]
+    fn hist_flush_publishes_only_the_delta_since_creation() {
+        use crate::hist::{bucket_of, observe_impl, Hist};
+        // BackoffDepth value 40 lands in a bucket nothing else in this
+        // binary observes.
+        observe_impl(Hist::BackoffDepth, 40); // pre-existing: not flushed
+        let mut f = HistFlusher::new();
+        let sink = LockedHists::default();
+        assert!(!f.flush(&sink), "nothing observed yet");
+        observe_impl(Hist::BackoffDepth, 40);
+        observe_impl(Hist::BackoffDepth, 40);
+        assert!(f.flush(&sink));
+        let b = bucket_of(40);
+        assert_eq!(sink.totals()[Hist::BackoffDepth as usize][b], 2);
+        assert!(!f.flush(&sink), "already published");
     }
 
     #[test]

@@ -48,3 +48,8 @@ pub use nbsp_structures as structures;
 /// History recording and linearizability checking. Re-export of
 /// `nbsp-linearize`.
 pub use nbsp_linearize as linearize;
+
+/// Open-loop request serving: seeded load generation, LL/SC dispatch
+/// ring, single-word token-bucket admission, WLL-snapshot latency
+/// metrics. Re-export of `nbsp-serve`.
+pub use nbsp_serve as serve;
