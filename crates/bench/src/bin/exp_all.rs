@@ -24,7 +24,10 @@ fn main() -> ExitCode {
         ("e5_wraparound", Box::new(move || e5_wraparound::run(big).to_string())),
         ("e7_structures", Box::new(move || e7_structures::run(big).to_string())),
         ("e8_interface", Box::new(move || e8_interface::run(big).to_string())),
-        ("e9_bounded", Box::new(move || e9_bounded::run(e9_iters).to_string())),
+        (
+            "e9_bounded",
+            Box::new(move || e9_bounded::run(e9_iters, quick).to_string()),
+        ),
         ("e10_disjoint", Box::new(|| e10_disjoint::run(2_000).to_string())),
         // Gates are left to the dedicated exp_telemetry_overhead binary:
         // inside exp_all the other experiments have already heated the

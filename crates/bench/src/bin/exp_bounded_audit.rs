@@ -1,6 +1,35 @@
-//! E9: bounded-tag safety audit. See `EXPERIMENTS.md`.
+//! E9: bounded-tag safety audit and constant-time ablation. See
+//! `EXPERIMENTS.md`.
+//!
+//! Flags: `--quick` shrinks the N sweep and iteration counts (and loosens
+//! the growth gates accordingly); `--provider name[,name…]` restricts the
+//! ablation to a subset of the registry (gates are skipped then). Writes
+//! the measured numbers and gate verdicts to `BENCH_bounded.json` so CI
+//! can assert the gates held without parsing markdown.
 use std::process::ExitCode;
 
+use nbsp_bench::experiments::e9_bounded;
+use nbsp_bench::runner::{provider_filter, run_experiment};
+
 fn main() -> ExitCode {
-    nbsp_bench::runner::run_experiment("e9_bounded", || nbsp_bench::experiments::e9_bounded::run(500_000).to_string())
+    let quick = std::env::args().any(|a| a == "--quick");
+    let filter = match provider_filter() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("[exp_bounded_audit] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let per_thread = if quick { 20_000 } else { 500_000 };
+    run_experiment("e9_bounded", move || {
+        let r = e9_bounded::collect(per_thread, quick, &filter);
+        let json = e9_bounded::to_json(&r);
+        std::fs::write("BENCH_bounded.json", &json).expect("write BENCH_bounded.json");
+        eprintln!("[exp_bounded_audit] wrote BENCH_bounded.json");
+        let report = e9_bounded::render(&r).to_markdown();
+        // After rendering, so a gate failure still leaves the JSON behind
+        // for diagnosis; the panic turns into a failing exit code.
+        e9_bounded::enforce(&r);
+        report
+    })
 }

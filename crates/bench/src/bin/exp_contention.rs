@@ -1,19 +1,26 @@
 //! Contention sweep: threads x structure x {padding, ordering, backoff}.
 //!
-//! The library now ships cache-line padding on per-process slots, weak
+//! The library ships cache-line padding on per-process slots, weak
 //! (acquire/release) orderings in the `Native` provider, and bounded
 //! exponential backoff in every structure retry loop. This harness measures
 //! what each of those three knobs buys under real multi-threaded contention
-//! by sweeping all eight combinations over the Figure-4-backed structures:
+//! by sweeping the registry's four native-ablation providers (the
+//! padding × ordering corners, `ProviderMeta::native_ablation`) over the
+//! Figure-4-backed structures, with backoff as the third axis:
 //!
-//! * **padding** — each LL/SC variable on its own 128-byte line
-//!   ([`CachePadded`]) vs. packed contiguously so neighbouring links false
-//!   share;
-//! * **ordering** — the shipped acquire/release [`Native`] provider vs. the
-//!   [`NativeSeqCst`] ablation that forces every operation to `SeqCst`
+//! * **padding** — each LL/SC variable on its own 128-byte line vs. packed
+//!   contiguously so neighbouring links false share;
+//! * **ordering** — the shipped acquire/release `Native` provider vs. the
+//!   `fig4-native-seqcst` ablation that forces every operation to `SeqCst`
 //!   (the pre-optimization behaviour);
 //! * **backoff** — structure retry loops back off after a failed SC
 //!   ([`backoff::set_enabled`]) vs. hammering the line immediately.
+//!
+//! The provider list comes from the registry (`nbsp_core::provider`) — this
+//! binary keeps no construction list of its own, and `--provider name[,…]`
+//! (parsed by the shared `runner::provider_filter`) restricts the sweep to
+//! any registered providers for focused runs (the ablation gate and the STM
+//! workload are skipped then, since the seed/hardened cells may be absent).
 //!
 //! A fourth workload drives [`OrecStm`], whose phase-1 orec acquisition is
 //! a spin lock: there the backoff axis decides whether a waiter burns its
@@ -26,253 +33,50 @@
 //!
 //! No criterion, no external deps: plain `std::thread` workers through
 //! `measure::throughput_sessions`. Every telemetry number this binary
-//! reports flows through the Figure-6 path: each worker session owns a
-//! [`Flusher`]/[`HistFlusher`] pair and publishes its per-thread deltas
-//! into a run-level [`WideTotals`]/[`WideHists`] sink, and the JSON
-//! telemetry block and per-cell event tables read those sinks with a
-//! single WLL each — never `racy_totals`, whose cross-event tearing E11
-//! demonstrates. Results go to stdout as a markdown table and to
-//! `BENCH_contention.json` so future PRs have a perf trajectory to regress
-//! against. The run exits nonzero if, at >= 4 threads, the fully hardened
-//! configuration (padded + acqrel + backoff) fails to beat the seed
-//! configuration (unpadded + SeqCst + no backoff) on the geometric-mean
-//! speedup across workloads — the PR's acceptance criterion.
+//! reports flows through the Figure-6 path (`nbsp_bench::sinks`): each
+//! worker session owns a flusher pair and publishes its per-thread deltas
+//! into a run-level WLL sink, and the JSON telemetry block and per-cell
+//! event tables read those sinks with a single WLL each — never
+//! `racy_totals`, whose cross-event tearing E11 demonstrates. Results go to
+//! stdout as a markdown table and to `BENCH_contention.json` so future PRs
+//! have a perf trajectory to regress against. The run exits nonzero if,
+//! at 4 or more threads, the fully hardened configuration (padded +
+//! acqrel + backoff) fails to beat the seed configuration (unpadded +
+//! SeqCst + no backoff) on the geometric-mean speedup across workloads.
 
 use std::fs;
 use std::process::ExitCode;
 
 use nbsp_bench::measure::throughput_sessions;
 use nbsp_bench::report::{event_table, fmt_ops, Report, Table};
-use nbsp_core::{
-    backoff, CachePadded, CasLlSc, Keep, LlScVar, Native, NativeSeqCst, TagLayout, WideHists,
-    WideTotals,
-};
+use nbsp_bench::runner::{provider_filter, ProviderFilter};
+use nbsp_bench::sinks::{session_loop, FlushPair, Sinks};
+use nbsp_core::{backoff, with_provider, Provider, ProviderId};
 use nbsp_memsim::ProcId;
 use nbsp_structures::stm_orec::OrecStm;
 use nbsp_structures::{Counter, Queue, Stack};
-use nbsp_telemetry::{AtomicHists, AtomicTotals, Event, Flusher, Hist, HistFlusher, EVENT_COUNT};
+use nbsp_telemetry::{AtomicHists, AtomicTotals, Event, Hist, EVENT_COUNT};
 
 // ---------------------------------------------------------------------------
-// Sweep axes as bench-local LL/SC variable types.
-//
-// `CasLlSc`'s inherent operations are generic over any `CasMemory` of the
-// `Native` family, so the ordering axis is just a choice of context value
-// (`&Native` = acquire/release, `&NativeSeqCst` = fully ordered) and the
-// padding axis is a `CachePadded` box around the same variable. Each of the
-// four combinations gets an `LlScVar` impl so the structures are reused
-// unchanged.
-// ---------------------------------------------------------------------------
-
-fn base_var() -> CasLlSc<Native> {
-    CasLlSc::new_native(TagLayout::half(), 0).unwrap()
-}
-
-macro_rules! bench_llsc_impl {
-    ($name:ident, $ctx:ty, $ctx_val:expr) => {
-        impl LlScVar for $name {
-            type Keep = Option<Keep>;
-            type Ctx<'a> = $ctx;
-
-            fn ll(&self, _ctx: &mut $ctx, keep: &mut Option<Keep>) -> u64 {
-                let k = keep.get_or_insert_with(Keep::default);
-                CasLlSc::ll(&self.0, &$ctx_val, k)
-            }
-
-            fn vl(&self, _ctx: &mut $ctx, keep: &Option<Keep>) -> bool {
-                keep.as_ref()
-                    .is_some_and(|k| CasLlSc::vl(&self.0, &$ctx_val, k))
-            }
-
-            fn sc(&self, _ctx: &mut $ctx, keep: &mut Option<Keep>, new: u64) -> bool {
-                keep.take()
-                    .is_some_and(|k| CasLlSc::sc(&self.0, &$ctx_val, &k, new))
-            }
-
-            fn cl(&self, _ctx: &mut $ctx, keep: &mut Option<Keep>) {
-                *keep = None;
-            }
-
-            fn read(&self, _ctx: &mut $ctx) -> u64 {
-                CasLlSc::read(&self.0, &$ctx_val)
-            }
-
-            fn max_val(&self) -> u64 {
-                self.0.layout().max_val()
-            }
-        }
-    };
-}
-
-/// Unpadded + SeqCst: the seed configuration this PR optimized away.
-struct SeqCstVar(CasLlSc<Native>);
-bench_llsc_impl!(SeqCstVar, NativeSeqCst, NativeSeqCst);
-
-/// Padded + acquire/release: the fully hardened configuration.
-struct PaddedVar(CachePadded<CasLlSc<Native>>);
-bench_llsc_impl!(PaddedVar, Native, Native);
-
-/// Padded + SeqCst: isolates the layout win from the ordering win.
-struct PaddedSeqCstVar(CachePadded<CasLlSc<Native>>);
-bench_llsc_impl!(PaddedSeqCstVar, NativeSeqCst, NativeSeqCst);
-
-/// The factory + context glue each measurement needs, per variable type.
-/// (`CasLlSc<Native>` itself covers the unpadded + acqrel corner.)
-trait BenchVar: LlScVar<Keep = Option<Keep>> + Send + Sync + 'static
-where
-    for<'a> Self: LlScVar<Ctx<'a> = Self::BenchCtx>,
-{
-    type BenchCtx: Send + 'static;
-    const PADDED: bool;
-    const ORDERING: &'static str;
-
-    fn make() -> Self;
-    fn ctx() -> Self::BenchCtx;
-}
-
-impl BenchVar for CasLlSc<Native> {
-    type BenchCtx = Native;
-    const PADDED: bool = false;
-    const ORDERING: &'static str = "acqrel";
-
-    fn make() -> Self {
-        base_var()
-    }
-
-    fn ctx() -> Native {
-        Native
-    }
-}
-
-impl BenchVar for SeqCstVar {
-    type BenchCtx = NativeSeqCst;
-    const PADDED: bool = false;
-    const ORDERING: &'static str = "seqcst";
-
-    fn make() -> Self {
-        SeqCstVar(base_var())
-    }
-
-    fn ctx() -> NativeSeqCst {
-        NativeSeqCst
-    }
-}
-
-impl BenchVar for PaddedVar {
-    type BenchCtx = Native;
-    const PADDED: bool = true;
-    const ORDERING: &'static str = "acqrel";
-
-    fn make() -> Self {
-        PaddedVar(CachePadded::new(base_var()))
-    }
-
-    fn ctx() -> Native {
-        Native
-    }
-}
-
-impl BenchVar for PaddedSeqCstVar {
-    type BenchCtx = NativeSeqCst;
-    const PADDED: bool = true;
-    const ORDERING: &'static str = "seqcst";
-
-    fn make() -> Self {
-        PaddedSeqCstVar(CachePadded::new(base_var()))
-    }
-
-    fn ctx() -> NativeSeqCst {
-        NativeSeqCst
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Telemetry plumbing: per-thread flushers into Figure-6 sinks.
-// ---------------------------------------------------------------------------
-
-/// Worker ops between telemetry flushes: frequent enough that mid-run
-/// reads stay fresh, rare enough that the WLL/SC flush loop is off the
-/// hot path.
-const FLUSH_EVERY: u64 = 8192;
-
-/// The run-level consistent sinks every thread flushes into and every
-/// report line reads from (each read is one WLL).
-struct Sinks {
-    events: WideTotals,
-    hists: WideHists,
-}
-
-impl Sinks {
-    fn new() -> Self {
-        Sinks {
-            events: WideTotals::with_all_slots().expect("events sink"),
-            hists: WideHists::with_all_slots().expect("hists sink"),
-        }
-    }
-}
-
-/// A thread's event + histogram flusher pair. Created on the thread that
-/// records (the types are `!Send`), flushed together so cross-event and
-/// cross-histogram invariants land in the sinks at the same boundaries.
-struct FlushPair {
-    events: Flusher,
-    hists: HistFlusher,
-}
-
-impl FlushPair {
-    fn new() -> Self {
-        FlushPair {
-            events: Flusher::new(),
-            hists: HistFlusher::new(),
-        }
-    }
-
-    fn flush(&mut self, sinks: &Sinks) {
-        self.events.flush(&sinks.events);
-        self.hists.flush(&sinks.hists);
-    }
-
-    /// Discard counts foreign threads left on this thread's (wrapped)
-    /// slot — see [`Flusher::resync`]. The main thread calls this after
-    /// every worker window: the sweep spawns thousands of short-lived
-    /// workers, so slots reuse and a worker can land on the main thread's
-    /// row. That worker flushes its own deltas; without the resync the
-    /// main thread's next flush would publish the same counts again.
-    fn resync(&mut self) {
-        self.events.resync();
-        self.hists.resync();
-    }
-}
-
-/// A worker-session loop body: run `iters` ops through `op`, flushing
-/// telemetry every [`FLUSH_EVERY`] ops and once at exit.
-fn session_loop(iters: u64, sinks: &Sinks, mut op: impl FnMut()) {
-    let mut flush = FlushPair::new();
-    for i in 1..=iters {
-        op();
-        if i % FLUSH_EVERY == 0 {
-            flush.flush(sinks);
-        }
-    }
-    flush.flush(sinks);
-}
-
-// ---------------------------------------------------------------------------
-// Workloads.
+// Workloads, generic over any registered provider.
 // ---------------------------------------------------------------------------
 
 /// Shared-counter increment: the worst case — every operation contends on
 /// one variable, so layout cannot help but ordering and backoff can.
-fn counter_tput<V>(threads: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64
-where
-    V: BenchVar,
-    for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
-{
-    let counter = Counter::new(V::make());
+fn counter_tput<P: Provider>(
+    threads: usize,
+    per_thread: u64,
+    sinks: &Sinks,
+    main: &mut FlushPair,
+) -> f64 {
+    let env = P::env(threads + 1).expect("provider env");
+    let counter = Counter::new(P::var(&env, 0).expect("provider var"));
     main.flush(sinks); // publish setup events before workers can share our slot
-    let tput = throughput_sessions(threads, per_thread, |_tid| {
+    let tput = throughput_sessions(threads, per_thread, |tid| {
         let counter = &counter;
-        let mut ctx = V::ctx();
+        let mut tc = P::thread_ctx(&env, tid);
         move |iters: u64| {
+            let mut ctx = P::ctx(&mut tc);
             session_loop(iters, sinks, || {
                 counter.increment(&mut ctx);
             });
@@ -284,19 +88,29 @@ where
 
 /// Treiber-style push/pop pairs. The stack's head and free-list head live
 /// in adjacent variables, so the padding axis separates their cache lines.
-fn stack_tput<V>(threads: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64
-where
-    V: BenchVar,
-    for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
-{
-    let mut setup = V::ctx();
-    let stack = Stack::new(2 * threads + 8, V::make(), V::make(), &mut setup);
+fn stack_tput<P: Provider>(
+    threads: usize,
+    per_thread: u64,
+    sinks: &Sinks,
+    main: &mut FlushPair,
+) -> f64 {
+    let env = P::env(threads + 1).expect("provider env");
+    // Setup does LL/SC work too: it gets the env's extra context slot.
+    let mut setup_tc = P::thread_ctx(&env, threads);
+    let mut setup = P::ctx(&mut setup_tc);
+    let stack = Stack::new(
+        2 * threads + 8,
+        P::var(&env, 0).expect("provider var"),
+        P::var(&env, 0).expect("provider var"),
+        &mut setup,
+    );
     main.flush(sinks);
     let tput = throughput_sessions(threads, per_thread, |tid| {
         let stack = &stack;
-        let mut ctx = V::ctx();
+        let mut tc = P::thread_ctx(&env, tid);
         let v = tid as u64;
         move |iters: u64| {
+            let mut ctx = P::ctx(&mut tc);
             session_loop(iters, sinks, || {
                 let _ = stack.push(&mut ctx, v);
                 let _ = stack.pop(&mut ctx);
@@ -309,19 +123,27 @@ where
 
 /// Michael–Scott-style enqueue/dequeue pairs over the Figure-4 link array;
 /// the padding axis decides whether neighbouring links false share.
-fn queue_tput<V>(threads: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64
-where
-    V: BenchVar,
-    for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
-{
-    let mut setup = V::ctx();
-    let queue = Queue::new(2 * threads + 8, V::make, &mut setup);
+fn queue_tput<P: Provider>(
+    threads: usize,
+    per_thread: u64,
+    sinks: &Sinks,
+    main: &mut FlushPair,
+) -> f64 {
+    let env = P::env(threads + 1).expect("provider env");
+    let mut setup_tc = P::thread_ctx(&env, threads);
+    let mut setup = P::ctx(&mut setup_tc);
+    let queue = Queue::new(
+        2 * threads + 8,
+        || P::var(&env, 0).expect("provider var"),
+        &mut setup,
+    );
     main.flush(sinks);
     let tput = throughput_sessions(threads, per_thread, |tid| {
         let queue = &queue;
-        let mut ctx = V::ctx();
+        let mut tc = P::thread_ctx(&env, tid);
         let v = tid as u64;
         move |iters: u64| {
+            let mut ctx = P::ctx(&mut tc);
             session_loop(iters, sinks, || {
                 let _ = queue.enqueue(&mut ctx, v);
                 let _ = queue.dequeue(&mut ctx);
@@ -335,7 +157,8 @@ where
 /// Fully overlapping two-cell transactions on the ownership-record STM.
 /// The orec acquisition spin is where backoff matters most: with more
 /// threads than cores, a disabled backoff burns whole scheduler quanta
-/// spinning on an orec whose owner is descheduled.
+/// spinning on an orec whose owner is descheduled. (Not provider-backed:
+/// its orecs are raw atomics, not swappable LL/SC variables.)
 fn stm_tput(threads: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64 {
     let stm = OrecStm::new(&[0; 4]);
     main.flush(sinks);
@@ -383,7 +206,7 @@ type Workload = fn(usize, u64, &Sinks, &mut FlushPair) -> f64;
 /// escalation) instead of just that it is. Runs of the full sweep keep
 /// stderr compact and rely on the run-level JSON block instead. Both
 /// endpoints of the delta are single-WLL snapshots of the run's
-/// [`WideTotals`] sink, so the printed deltas cannot tear across events.
+/// `WideTotals` sink, so the printed deltas cannot tear across events.
 fn print_cell_events(quick: bool, before: &[u64; EVENT_COUNT], sinks: &Sinks, total_ops: u64) {
     if !quick || !nbsp_telemetry::enabled() {
         return;
@@ -398,7 +221,7 @@ fn print_cell_events(quick: bool, before: &[u64; EVENT_COUNT], sinks: &Sinks, to
     }
 }
 
-fn sweep_var<V>(
+fn sweep_provider<P: Provider>(
     threads_list: &[usize],
     per_thread: u64,
     runs: usize,
@@ -406,14 +229,12 @@ fn sweep_var<V>(
     sinks: &Sinks,
     main: &mut FlushPair,
     rows: &mut Vec<Row>,
-) where
-    V: BenchVar,
-    for<'a> V: LlScVar<Ctx<'a> = V::BenchCtx>,
-{
+) {
+    let meta = P::ID.meta();
     let workloads: [(&'static str, Workload); 3] = [
-        ("counter", counter_tput::<V>),
-        ("stack", stack_tput::<V>),
-        ("queue", queue_tput::<V>),
+        ("counter", counter_tput::<P>),
+        ("stack", stack_tput::<P>),
+        ("queue", queue_tput::<P>),
     ];
     for &use_backoff in &[false, true] {
         backoff::set_enabled(use_backoff);
@@ -422,17 +243,18 @@ fn sweep_var<V>(
                 let before = sinks.events.totals();
                 let ops = median_tput(runs, || work(threads, per_thread, sinks, main));
                 eprintln!(
-                    "[exp_contention] {structure} t={threads} padded={} ordering={} backoff={use_backoff}: {}",
-                    V::PADDED,
-                    V::ORDERING,
+                    "[exp_contention] {structure} t={threads} provider={} padded={} ordering={} backoff={use_backoff}: {}",
+                    meta.name,
+                    meta.padded,
+                    meta.ordering,
                     fmt_ops(ops),
                 );
                 print_cell_events(quick, &before, sinks, runs as u64 * threads as u64 * per_thread);
                 rows.push(Row {
                     structure,
                     threads,
-                    padded: V::PADDED,
-                    ordering: V::ORDERING,
+                    padded: meta.padded,
+                    ordering: meta.ordering,
                     backoff: use_backoff,
                     ops_per_sec: ops,
                 });
@@ -442,9 +264,8 @@ fn sweep_var<V>(
     backoff::set_enabled(true); // library default
 }
 
-/// The STM workload only has the backoff axis (its orecs are raw atomics,
-/// not swappable LL/SC variables); padding/ordering are recorded as the
-/// library defaults so the JSON stays uniform.
+/// The STM workload only has the backoff axis; padding/ordering are
+/// recorded as the library defaults so the JSON stays uniform.
 fn sweep_stm(
     threads_list: &[usize],
     per_thread: u64,
@@ -582,8 +403,25 @@ fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
+/// Which providers this binary sweeps: the registry's native-ablation
+/// corners by default, or exactly the `--provider` list when given.
+fn should_sweep(id: ProviderId, filter: &ProviderFilter) -> bool {
+    if filter.is_restricted() {
+        filter.allows(id)
+    } else {
+        id.meta().native_ablation
+    }
+}
+
 fn main() -> ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
+    let filter = match provider_filter() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("[exp_contention] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let threads_list: &[usize] = &[1, 2, 4, 8];
     // Each thread's work must span many scheduler quanta (several ms at
     // least), otherwise on an oversubscribed host the threads simply run
@@ -599,11 +437,28 @@ fn main() -> ExitCode {
     let mut main_flush = FlushPair::new();
 
     let mut rows = Vec::new();
-    sweep_var::<SeqCstVar>(threads_list, per_thread, runs, quick, &sinks, &mut main_flush, &mut rows);
-    sweep_var::<CasLlSc<Native>>(threads_list, per_thread, runs, quick, &sinks, &mut main_flush, &mut rows);
-    sweep_var::<PaddedSeqCstVar>(threads_list, per_thread, runs, quick, &sinks, &mut main_flush, &mut rows);
-    sweep_var::<PaddedVar>(threads_list, per_thread, runs, quick, &sinks, &mut main_flush, &mut rows);
-    sweep_stm(threads_list, stm_per_thread, runs, quick, &sinks, &mut main_flush, &mut rows);
+    for id in ProviderId::ALL {
+        if !should_sweep(id, &filter) {
+            continue;
+        }
+        macro_rules! sweep_one {
+            ($p:ty) => {
+                sweep_provider::<$p>(
+                    threads_list,
+                    per_thread,
+                    runs,
+                    quick,
+                    &sinks,
+                    &mut main_flush,
+                    &mut rows,
+                )
+            };
+        }
+        with_provider!(id, sweep_one);
+    }
+    if !filter.is_restricted() {
+        sweep_stm(threads_list, stm_per_thread, runs, quick, &sinks, &mut main_flush, &mut rows);
+    }
 
     // Markdown report: one table per structure, one row per thread count,
     // seed configuration vs. hardened configuration plus the single-knob
@@ -642,19 +497,21 @@ fn main() -> ExitCode {
         report.heading(structure);
         report.table(&table);
     }
-    let mut table = Table::new(["threads", "no backoff", "backoff", "speedup"]);
-    for &t in threads_list {
-        let seed = find(&rows, "stm_orec", t, true, "acqrel", false);
-        let hardened = find(&rows, "stm_orec", t, true, "acqrel", true);
-        table.row([
-            t.to_string(),
-            fmt_ops(seed),
-            fmt_ops(hardened),
-            format!("{:.2}x", hardened / seed),
-        ]);
+    if !filter.is_restricted() {
+        let mut table = Table::new(["threads", "no backoff", "backoff", "speedup"]);
+        for &t in threads_list {
+            let seed = find(&rows, "stm_orec", t, true, "acqrel", false);
+            let hardened = find(&rows, "stm_orec", t, true, "acqrel", true);
+            table.row([
+                t.to_string(),
+                fmt_ops(seed),
+                fmt_ops(hardened),
+                format!("{:.2}x", hardened / seed),
+            ]);
+        }
+        report.heading("stm_orec (orec spin-acquire: backoff axis only)");
+        report.table(&table);
     }
-    report.heading("stm_orec (orec spin-acquire: backoff axis only)");
-    report.table(&table);
     print!("{}", report.to_markdown());
 
     let json = to_json(&rows, threads_list, per_thread, runs, &sinks);
@@ -666,6 +523,12 @@ fn main() -> ExitCode {
         "[exp_contention] wrote BENCH_contention.json ({} rows)",
         rows.len()
     );
+
+    // A `--provider`-restricted run is a focused debugging sweep: the
+    // seed/hardened ablation cells may be absent, so the gate is skipped.
+    if filter.is_restricted() {
+        return ExitCode::SUCCESS;
+    }
 
     // Acceptance gate: at every thread count >= 4 the hardened
     // configuration must beat the seed configuration on the geometric mean

@@ -2,175 +2,190 @@
 //!
 //! The paper's motivation: algorithms like [4, 7, 14] assume LL/VL/SC and
 //! were inapplicable on real machines. Here they run — counter, Treiber
-//! stack, Michael–Scott queue and the static STM — on the Figure-4
-//! construction, against the Figure-2 lock baseline (footnote 1's
-//! "straightforward" alternative) and, for the STM, a coarse mutex heap.
+//! stack, Michael–Scott queue and a lock-free set — on registry providers
+//! (the Figure-4 construction vs. the Figure-2 lock baseline, footnote 1's
+//! "straightforward" alternative), plus the static STM against a coarse
+//! mutex heap. The LL/SC substrates come from `nbsp_core::provider`; this
+//! module keeps no construction list of its own.
+//!
+//! Telemetry: every throughput cell runs through `nbsp_bench::sinks` —
+//! worker sessions flush per-thread deltas into a run-level Figure-6 sink,
+//! and the closing event table is a single-WLL snapshot of that sink
+//! (never `racy_totals`, whose tearing E11 demonstrates).
 
 use std::sync::Arc;
 
-use nbsp_core::lock_baseline::LockLlSc;
 use nbsp_core::wide::WideDomain;
-use nbsp_core::{CasLlSc, Native, TagLayout};
+use nbsp_core::{with_provider, Native, Provider, ProviderId};
 use nbsp_memsim::ProcId;
 use nbsp_structures::stm::Stm;
 use nbsp_structures::stm_orec::OrecStm;
 use nbsp_structures::{Counter, Queue, Set, Stack};
+use nbsp_telemetry::AtomicTotals;
 use std::sync::Mutex;
 
-use crate::measure::throughput;
-use crate::report::{fmt_ops, Report, Table};
+use crate::measure::{throughput, throughput_sessions};
+use crate::report::{event_table, fmt_ops, Report, Table};
+use crate::sinks::{session_loop, FlushPair, Sinks};
 
 const THREADS: [usize; 3] = [1, 2, 4];
 
-fn nat() -> CasLlSc<Native> {
-    CasLlSc::new_native(TagLayout::half(), 0).unwrap()
+/// The substrates this experiment compares, by registry id: the paper's
+/// Figure-4 construction and the Figure-2 lock baseline.
+const E7_PROVIDERS: [ProviderId; 2] = [ProviderId::Fig4Native, ProviderId::LockBaseline];
+
+/// Shared-counter increments.
+fn counter_tput<P: Provider>(n: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64 {
+    let env = P::env(n + 1).expect("provider env");
+    let c = Counter::new(P::var(&env, 0).expect("provider var"));
+    main.flush(sinks);
+    let tput = throughput_sessions(n, per_thread, |tid| {
+        let c = &c;
+        let mut tc = P::thread_ctx(&env, tid);
+        move |iters: u64| {
+            let mut ctx = P::ctx(&mut tc);
+            session_loop(iters, sinks, || {
+                c.increment(&mut ctx);
+            });
+        }
+    });
+    main.resync();
+    tput
 }
 
-/// Counter throughput, Figure 4 vs lock.
-fn counter_rows(iters: u64, t: &mut Table) {
-    let tp_fig4: Vec<String> = THREADS
-        .iter()
-        .map(|&n| {
-            let c = Counter::new(nat());
-            fmt_ops(throughput(n, iters / n as u64, |_| {
-                let c = &c;
-                move || {
-                    c.increment(&mut Native);
-                }
-            }))
-        })
-        .collect();
-    t.row(vec!["counter".into(), "Figure 4".into(), tp_fig4.join(" / ")]);
-    let tp_lock: Vec<String> = THREADS
-        .iter()
-        .map(|&n| {
-            let c = Counter::new(LockLlSc::new(n.max(2), 0));
-            fmt_ops(throughput(n, iters / n as u64, |tid| {
-                let c = &c;
-                move || {
-                    let mut ctx = ProcId::new(tid);
-                    c.increment(&mut ctx);
-                }
-            }))
-        })
-        .collect();
-    t.row(vec!["counter".into(), "lock".into(), tp_lock.join(" / ")]);
+/// Treiber-stack push+pop pairs.
+fn stack_tput<P: Provider>(n: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64 {
+    let env = P::env(n + 1).expect("provider env");
+    // Construction does LL/SC work: it uses the env's extra context slot.
+    let mut setup_tc = P::thread_ctx(&env, n);
+    let mut setup = P::ctx(&mut setup_tc);
+    let s = Stack::new(
+        64,
+        P::var(&env, 0).expect("provider var"),
+        P::var(&env, 0).expect("provider var"),
+        &mut setup,
+    );
+    main.flush(sinks);
+    let tput = throughput_sessions(n, per_thread, |tid| {
+        let s = &s;
+        let mut tc = P::thread_ctx(&env, tid);
+        move |iters: u64| {
+            let mut ctx = P::ctx(&mut tc);
+            session_loop(iters, sinks, || {
+                let _ = s.push(&mut ctx, 1);
+                let _ = s.pop(&mut ctx);
+            });
+        }
+    });
+    main.resync();
+    tput
 }
 
-/// Stack push+pop throughput, Figure 4 vs lock.
-fn stack_rows(iters: u64, t: &mut Table) {
-    let tp_fig4: Vec<String> = THREADS
-        .iter()
-        .map(|&n| {
-            let s = Stack::new(64, nat(), nat(), &mut Native);
-            fmt_ops(throughput(n, iters / n as u64, |_| {
-                let s = &s;
-                move || {
-                    let _ = s.push(&mut Native, 1);
-                    let _ = s.pop(&mut Native);
-                }
-            }))
-        })
-        .collect();
-    t.row(vec![
-        "stack push+pop".into(),
-        "Figure 4".into(),
-        tp_fig4.join(" / "),
-    ]);
-    let tp_lock: Vec<String> = THREADS
-        .iter()
-        .map(|&n| {
-            let np = n.max(2);
-            let mut init = ProcId::new(0);
-            let s = Stack::new(
-                64,
-                LockLlSc::new(np, 0),
-                LockLlSc::new(np, 0),
-                &mut init,
-            );
-            fmt_ops(throughput(n, iters / n as u64, |tid| {
-                let s = &s;
-                move || {
-                    let mut ctx = ProcId::new(tid);
-                    let _ = s.push(&mut ctx, 1);
-                    let _ = s.pop(&mut ctx);
-                }
-            }))
-        })
-        .collect();
-    t.row(vec![
-        "stack push+pop".into(),
-        "lock".into(),
-        tp_lock.join(" / "),
-    ]);
+/// Michael–Scott-queue enqueue+dequeue pairs.
+fn queue_tput<P: Provider>(n: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64 {
+    let env = P::env(n + 1).expect("provider env");
+    let mut setup_tc = P::thread_ctx(&env, n);
+    let mut setup = P::ctx(&mut setup_tc);
+    let q = Queue::new(64, || P::var(&env, 0).expect("provider var"), &mut setup);
+    main.flush(sinks);
+    let tput = throughput_sessions(n, per_thread, |tid| {
+        let q = &q;
+        let mut tc = P::thread_ctx(&env, tid);
+        move |iters: u64| {
+            let mut ctx = P::ctx(&mut tc);
+            session_loop(iters, sinks, || {
+                let _ = q.enqueue(&mut ctx, 1);
+                let _ = q.dequeue(&mut ctx);
+            });
+        }
+    });
+    main.resync();
+    tput
 }
 
-/// Queue enqueue+dequeue throughput, Figure 4 vs lock.
-fn queue_rows(iters: u64, t: &mut Table) {
-    let tp_fig4: Vec<String> = THREADS
-        .iter()
-        .map(|&n| {
-            let q = Queue::new(64, nat, &mut Native);
-            fmt_ops(throughput(n, iters / n as u64, |_| {
-                let q = &q;
-                move || {
-                    let _ = q.enqueue(&mut Native, 1);
-                    let _ = q.dequeue(&mut Native);
-                }
-            }))
-        })
-        .collect();
-    t.row(vec![
-        "queue enq+deq".into(),
-        "Figure 4".into(),
-        tp_fig4.join(" / "),
-    ]);
-    let tp_lock: Vec<String> = THREADS
-        .iter()
-        .map(|&n| {
-            let np = n.max(2);
-            let mut init = ProcId::new(0);
-            let q = Queue::new(64, || LockLlSc::new(np, 0), &mut init);
-            fmt_ops(throughput(n, iters / n as u64, |tid| {
-                let q = &q;
-                move || {
-                    let mut ctx = ProcId::new(tid);
-                    let _ = q.enqueue(&mut ctx, 1);
-                    let _ = q.dequeue(&mut ctx);
-                }
-            }))
-        })
-        .collect();
-    t.row(vec![
-        "queue enq+deq".into(),
-        "lock".into(),
-        tp_lock.join(" / "),
-    ]);
+/// Set add+remove pairs on per-thread key ranges. Arena sized for the
+/// set's lifetime-insert budget (nodes are not recycled; see the Set
+/// docs).
+fn set_tput<P: Provider>(n: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64 {
+    let env = P::env(n + 1).expect("provider env");
+    let mut setup_tc = P::thread_ctx(&env, n);
+    let mut setup = P::ctx(&mut setup_tc);
+    let capacity = (per_thread as usize) * n + 64;
+    let s = Set::new(capacity, || P::var(&env, 0).expect("provider var"), &mut setup);
+    main.flush(sinks);
+    let tput = throughput_sessions(n, per_thread, |tid| {
+        let s = &s;
+        let mut tc = P::thread_ctx(&env, tid);
+        let key_base = tid as u64 * 1_000_000;
+        move |iters: u64| {
+            let mut ctx = P::ctx(&mut tc);
+            let mut i = 0u64;
+            session_loop(iters, sinks, || {
+                i += 1;
+                let _ = s.add(&mut ctx, key_base + (i % 64));
+                let _ = s.remove(&mut ctx, key_base + (i % 64));
+            });
+        }
+    });
+    main.resync();
+    tput
 }
 
-/// STM transfer throughput, Figure-6 STM vs a coarse mutex heap.
-fn stm_rows(iters: u64, t: &mut Table) {
+/// One provider's throughput cells, in the structure order the report
+/// table uses.
+fn provider_rows<P: Provider>(
+    iters: u64,
+    sinks: &Sinks,
+    main: &mut FlushPair,
+) -> Vec<(&'static str, String)> {
+    let sweep = |work: fn(usize, u64, &Sinks, &mut FlushPair) -> f64,
+                 per_thread: fn(u64, usize) -> u64,
+                 main: &mut FlushPair| {
+        THREADS
+            .iter()
+            .map(|&n| fmt_ops(work(n, per_thread(iters, n), sinks, main)))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    };
+    vec![
+        ("counter", sweep(counter_tput::<P>, |i, n| i / n as u64, main)),
+        ("stack push+pop", sweep(stack_tput::<P>, |i, n| i / n as u64, main)),
+        ("queue enq+deq", sweep(queue_tput::<P>, |i, n| i / n as u64, main)),
+        ("set add+remove", sweep(set_tput::<P>, |i, n| i / (4 * n as u64), main)),
+    ]
+}
+
+/// STM transfer throughput, Figure-6 STM vs a coarse mutex heap. (Not
+/// provider-backed: the wide STM runs on a `WideDomain`, not a swappable
+/// single-word LL/SC variable — but its operations still flush telemetry
+/// into the run sink.)
+fn stm_rows(iters: u64, sinks: &Sinks, main: &mut FlushPair, t: &mut Table) {
     const CELLS: usize = 8;
     let tp_stm: Vec<String> = THREADS
         .iter()
         .map(|&n| {
             let d: Arc<WideDomain<Native>> = WideDomain::new(n.max(2), CELLS, 32).unwrap();
             let stm = Stm::new(&d, &[100; CELLS]).unwrap();
-            fmt_ops(throughput(n, iters / n as u64, |tid| {
+            main.flush(sinks);
+            let tput = throughput_sessions(n, iters / n as u64, |tid| {
                 let stm = &stm;
                 let p = ProcId::new(tid);
                 let mut x = tid as u64;
-                move || {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    let from = (x >> 33) as usize % CELLS;
-                    let to = (x >> 13) as usize % CELLS;
-                    stm.transact(&Native, p, |h| {
-                        let amt = h[from].min(1);
-                        h[from] -= amt;
-                        h[to] += amt;
+                move |iters: u64| {
+                    session_loop(iters, sinks, || {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let from = (x >> 33) as usize % CELLS;
+                        let to = (x >> 13) as usize % CELLS;
+                        stm.transact(&Native, p, |h| {
+                            let amt = h[from].min(1);
+                            h[from] -= amt;
+                            h[to] += amt;
+                        });
                     });
                 }
-            }))
+            });
+            main.resync();
+            fmt_ops(tput)
         })
         .collect();
     t.row(vec![
@@ -201,57 +216,6 @@ fn stm_rows(iters: u64, t: &mut Table) {
         "STM 2-cell transfer".into(),
         "mutex heap".into(),
         tp_mutex.join(" / "),
-    ]);
-}
-
-/// Set add+remove throughput, Figure 4 vs lock. Arena sized for the
-/// set's lifetime-insert budget (nodes are not recycled; see the Set
-/// docs).
-fn set_rows(iters: u64, t: &mut Table) {
-    let tp_fig4: Vec<String> = THREADS
-        .iter()
-        .map(|&n| {
-            let s = Set::new(iters as usize + 64, nat, &mut Native);
-            fmt_ops(throughput(n, iters / (2 * n as u64), |tid| {
-                let s = &s;
-                let key_base = tid as u64 * 1_000_000;
-                let mut i = 0u64;
-                move || {
-                    i += 1;
-                    let _ = s.add(&mut Native, key_base + (i % 64));
-                    let _ = s.remove(&mut Native, key_base + (i % 64));
-                }
-            }))
-        })
-        .collect();
-    t.row(vec![
-        "set add+remove".into(),
-        "Figure 4".into(),
-        tp_fig4.join(" / "),
-    ]);
-    let tp_lock: Vec<String> = THREADS
-        .iter()
-        .map(|&n| {
-            let np = n.max(2);
-            let mut init = ProcId::new(0);
-            let s = Set::new(iters as usize + 64, || LockLlSc::new(np, 0), &mut init);
-            fmt_ops(throughput(n, iters / (2 * n as u64), |tid| {
-                let s = &s;
-                let key_base = tid as u64 * 1_000_000;
-                let mut i = 0u64;
-                move || {
-                    i += 1;
-                    let mut ctx = ProcId::new(tid);
-                    let _ = s.add(&mut ctx, key_base + (i % 64));
-                    let _ = s.remove(&mut ctx, key_base + (i % 64));
-                }
-            }))
-        })
-        .collect();
-    t.row(vec![
-        "set add+remove".into(),
-        "lock".into(),
-        tp_lock.join(" / "),
     ]);
 }
 
@@ -304,17 +268,37 @@ pub fn run(iters: u64) -> Report {
     report.para(
         "Paper claim: algorithms assuming LL/VL/SC ([4, 7, 14] …) become \
          deployable; §5 specifically claims STM is implementable. \
-         Throughput of each structure on the Figure-4 construction vs the \
-         Figure-2 lock baseline (and a mutex heap for the STM), at 1/2/4 \
-         threads. The non-blocking versions additionally survive arbitrary \
-         delays and failures of individual threads, which no lock can.",
+         Throughput of each structure on the registry's Figure-4 provider \
+         vs the Figure-2 lock baseline (and a mutex heap for the STM), at \
+         1/2/4 threads. The non-blocking versions additionally survive \
+         arbitrary delays and failures of individual threads, which no \
+         lock can.",
     );
+
+    let sinks = Sinks::new();
+    let mut main_flush = FlushPair::new();
+    let mut per_provider: Vec<(&'static str, Vec<(&'static str, String)>)> = Vec::new();
+    for id in E7_PROVIDERS {
+        macro_rules! rows_one {
+            ($p:ty) => {
+                per_provider.push((
+                    id.meta().name,
+                    provider_rows::<$p>(iters, &sinks, &mut main_flush),
+                ))
+            };
+        }
+        with_provider!(id, rows_one);
+    }
+
     let mut t = Table::new(["structure", "substrate", "throughput 1/2/4 threads"]);
-    counter_rows(iters, &mut t);
-    stack_rows(iters, &mut t);
-    queue_rows(iters, &mut t);
-    set_rows(iters / 2, &mut t);
-    stm_rows(iters / 2, &mut t);
+    // Structure-major, provider-minor: adjacent rows compare substrates.
+    for si in 0..per_provider[0].1.len() {
+        for (provider, rows) in &per_provider {
+            let (structure, cells) = &rows[si];
+            t.row(vec![(*structure).into(), (*provider).into(), cells.clone()]);
+        }
+    }
+    stm_rows(iters / 2, &sinks, &mut main_flush, &mut t);
     report.table(&t);
 
     report.para(
@@ -338,25 +322,38 @@ pub fn run(iters: u64) -> Report {
         fmt_ops(orec_tp),
     ]);
     report.table(&t2);
+
+    if nbsp_telemetry::enabled() {
+        report.para(
+            "Telemetry totals across every cell above, read from the \
+             run-level Figure-6 sink with a single WLL (E11 shows why a \
+             racy per-counter sum could not be trusted here):",
+        );
+        report.table(&event_table(&sinks.events.totals(), None));
+    }
     report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nbsp_core::provider::{Fig4Native, LockBaseline};
+
+    fn counter_smoke<P: Provider>() {
+        // Cheap correctness pass of exactly the code paths the experiment
+        // times (the experiment itself only reports throughput).
+        let env = P::env(2).unwrap();
+        let c = Counter::new(P::var(&env, 0).unwrap());
+        let mut tc = P::thread_ctx(&env, 0);
+        let mut ctx = P::ctx(&mut tc);
+        c.increment(&mut ctx);
+        assert_eq!(c.get(&mut ctx), 1);
+    }
 
     #[test]
     fn structures_work_on_both_substrates() {
-        // Cheap correctness pass of exactly the code paths the experiment
-        // times (the experiment itself only reports throughput).
-        let c = Counter::new(nat());
-        c.increment(&mut Native);
-        assert_eq!(c.get(&mut Native), 1);
-
-        let c = Counter::new(LockLlSc::new(2, 0));
-        let mut ctx = ProcId::new(0);
-        c.increment(&mut ctx);
-        assert_eq!(c.get(&mut ctx), 1);
+        counter_smoke::<Fig4Native>();
+        counter_smoke::<LockBaseline>();
     }
 
     #[test]
@@ -365,5 +362,7 @@ mod tests {
         assert!(md.contains("E7"));
         assert!(md.contains("Figure-6 STM"));
         assert!(md.contains("queue enq+deq"));
+        assert!(md.contains("fig4-native"));
+        assert!(md.contains("lock"));
     }
 }

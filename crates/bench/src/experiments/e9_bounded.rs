@@ -1,4 +1,5 @@
-//! **E9 — bounded-tag safety audit** (Theorem 5's mechanism).
+//! **E9 — bounded-tag safety audit and the constant-time ablation**
+//! (Theorem 5's mechanism vs. arXiv:1911.09671).
 //!
 //! Theorem 5's safety property is that the feedback mechanism never lets a
 //! CAS "succeed when it should fail" — i.e. a (tag, cnt, pid) stamp is
@@ -12,13 +13,25 @@
 //! * **reuse-distance audit**: single-process stamp traces — the same
 //!   (tag, cnt) pair must not recur within `Nk + 1` successive SCs to one
 //!   variable (the paper's line-13/14 counter argument).
+//!
+//! Plus the **constant-time ablation**: the registry's `fig7-bounded`
+//! (O(1) indexed tag queue), `fig7-bounded-scan` (Figure 7 line 10 as
+//! written — an O(Nk) scan per successful SC), and `constant`
+//! (Blelloch–Wei, O(1) worst-case by construction) providers run the same
+//! contended-exactness audit and a single-threaded worst-case SC latency
+//! profile across domain sizes N. The deterministic gate: the scan
+//! provider's tail latency must grow with N while the constant provider's
+//! stays flat — the asymptotic gap the constant-time construction exists
+//! to close, measured rather than asserted.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use nbsp_core::bounded::BoundedDomain;
-use nbsp_core::Native;
+use nbsp_core::{with_provider, LlScVar, Native, Provider, ProviderId};
 
 use crate::report::{Report, Table};
+use crate::runner::ProviderFilter;
 
 /// Result of the contended exactness audit.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +45,9 @@ pub struct ExactnessAudit {
 }
 
 /// Runs `per_thread` increments on each of 2 threads with N = 2, k = 1.
+/// (Direct `BoundedDomain` use, not a registry entry: the registry's `k`
+/// is sized for nested structure operations, and this audit wants the
+/// tightest universe the construction admits.)
 #[must_use]
 pub fn exactness_audit(per_thread: u64) -> ExactnessAudit {
     let d = BoundedDomain::<Native>::new(2, 1).unwrap();
@@ -79,21 +95,239 @@ pub fn min_stamp_reuse_distance(n: usize, k: usize, ops: u64) -> u64 {
     min_dist
 }
 
-/// Runs E9.
+// ---------------------------------------------------------------------------
+// Constant-time ablation over registry providers.
+// ---------------------------------------------------------------------------
+
+/// The providers the ablation compares: Figure 7 with the O(1) indexed
+/// tag queue, Figure 7 with the paper-literal O(Nk) scan, and the
+/// Blelloch–Wei constant-time construction.
+const ABLATION: [ProviderId; 3] = [
+    ProviderId::Fig7Bounded,
+    ProviderId::Fig7BoundedScan,
+    ProviderId::ConstantTime,
+];
+
+/// Contended exactness for one registry provider.
+#[derive(Clone, Copy, Debug)]
+pub struct ProviderExactness {
+    /// Registry name of the provider audited.
+    pub provider: &'static str,
+    /// Increments attempted across both writers.
+    pub expected: u64,
+    /// Final value read back.
+    pub observed: u64,
+}
+
+/// One point of the worst-case SC latency profile.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyRow {
+    /// Registry name of the provider measured.
+    pub provider: &'static str,
+    /// Domain size (number of processes the domain is built for).
+    pub n: usize,
+    /// Median single-op `sc` latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile single-op `sc` latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Worst single-op `sc` latency in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Everything E9 measures, for rendering and the JSON artifact.
+#[derive(Clone, Debug)]
+pub struct E9Results {
+    /// The N = 2, k = 1 tiny-universe audit.
+    pub audit: ExactnessAudit,
+    /// (n, k, measured min stamp-reuse distance) rows.
+    pub reuse: Vec<(usize, usize, u64)>,
+    /// Per-provider contended exactness.
+    pub exactness: Vec<ProviderExactness>,
+    /// The latency profile, provider-major then N-ascending.
+    pub latency: Vec<LatencyRow>,
+    /// Per-provider p99 growth ratio: p99 at the largest N over p99 at
+    /// the smallest N. Flat providers sit near 1; the scan provider's
+    /// grows with the tag universe.
+    pub growth: Vec<(&'static str, f64)>,
+    /// Whether this was a `--quick` run (smaller N sweep, looser gates).
+    pub quick: bool,
+}
+
+/// Two writers race `per_thread` increments each; a third context reads
+/// the final value. Exactness means no SC ever falsely succeeded.
+fn provider_exactness<P: Provider>(per_thread: u64) -> ProviderExactness {
+    let env = P::env(3).expect("provider env");
+    let var = P::var(&env, 0).expect("provider var");
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let var = &var;
+            let mut tc = P::thread_ctx(&env, t);
+            s.spawn(move || {
+                let mut ctx = P::ctx(&mut tc);
+                let mut keep = <P::Var as LlScVar>::Keep::default();
+                for _ in 0..per_thread {
+                    loop {
+                        let v = var.ll(&mut ctx, &mut keep);
+                        if var.sc(&mut ctx, &mut keep, v + 1) {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut tc = P::thread_ctx(&env, 2);
+    let mut ctx = P::ctx(&mut tc);
+    ProviderExactness {
+        provider: P::ID.meta().name,
+        expected: 2 * per_thread,
+        observed: var.read(&mut ctx),
+    }
+}
+
+/// Single-threaded worst-case SC latency at domain size `n`: the LL sits
+/// outside the timer, so the sample is exactly one `sc` call — which is
+/// where Figure 7 pays its per-success tag-queue maintenance (O(1)
+/// indexed, O(Nk) for the paper-literal scan) and where the constant-time
+/// construction pays its fixed announce-scan + filter step.
+fn sc_latency_profile<P: Provider>(n: usize, ops: u64) -> (u64, u64, u64) {
+    let env = P::env(n).expect("provider env");
+    let var = P::var(&env, 0).expect("provider var");
+    let mut tc = P::thread_ctx(&env, 0);
+    let mut ctx = P::ctx(&mut tc);
+    let mut keep = <P::Var as LlScVar>::Keep::default();
+    let mut samples: Vec<u64> = Vec::with_capacity(ops as usize);
+    for _ in 0..ops {
+        let v = var.ll(&mut ctx, &mut keep);
+        let start = Instant::now();
+        let ok = var.sc(&mut ctx, &mut keep, (v + 1) & 0xFF);
+        samples.push(start.elapsed().as_nanos() as u64);
+        assert!(ok, "uncontended sc failed");
+    }
+    samples.sort_unstable();
+    let len = samples.len();
+    let p99 = samples[((len * 99) / 100).min(len - 1)];
+    (samples[len / 2], p99, samples[len - 1])
+}
+
+/// Runs every E9 measurement. `filter` restricts which ablation providers
+/// run (`--provider` on `exp_bounded_audit`); the growth gates are only
+/// meaningful on an unrestricted run.
 #[must_use]
-pub fn run(per_thread: u64) -> Report {
-    let mut report = Report::new();
-    report.heading("E9 — bounded-tag safety audit (Theorem 5)");
+pub fn collect(per_thread: u64, quick: bool, filter: &ProviderFilter) -> E9Results {
     let audit = exactness_audit(per_thread);
+    let reuse_ops = if quick { 10_000 } else { 20_000 };
+    let reuse = [(2usize, 1usize), (2, 2), (4, 2), (8, 4)]
+        .into_iter()
+        .map(|(n, k)| (n, k, min_stamp_reuse_distance(n, k, reuse_ops)))
+        .collect();
+
+    let sizes: &[usize] = if quick { &[2, 128] } else { &[2, 16, 128, 512] };
+    let (exact_per_thread, latency_ops) = if quick { (20_000, 8_000) } else { (100_000, 40_000) };
+    let mut exactness = Vec::new();
+    let mut latency = Vec::new();
+    for id in ABLATION {
+        if !filter.allows(id) {
+            continue;
+        }
+        macro_rules! ablate_one {
+            ($p:ty) => {{
+                exactness.push(provider_exactness::<$p>(exact_per_thread));
+                for &n in sizes {
+                    let (p50_ns, p99_ns, max_ns) = sc_latency_profile::<$p>(n, latency_ops);
+                    latency.push(LatencyRow {
+                        provider: id.meta().name,
+                        n,
+                        p50_ns,
+                        p99_ns,
+                        max_ns,
+                    });
+                }
+            }};
+        }
+        with_provider!(id, ablate_one);
+    }
+
+    let growth = ABLATION
+        .iter()
+        .filter_map(|id| {
+            let rows: Vec<&LatencyRow> = latency
+                .iter()
+                .filter(|r| r.provider == id.meta().name)
+                .collect();
+            let first = rows.first()?;
+            let last = rows.last()?;
+            Some((id.meta().name, last.p99_ns as f64 / first.p99_ns as f64))
+        })
+        .collect();
+
+    E9Results {
+        audit,
+        reuse,
+        exactness,
+        latency,
+        growth,
+        quick,
+    }
+}
+
+fn growth_of(r: &E9Results, provider: &str) -> Option<f64> {
+    r.growth.iter().find(|(p, _)| *p == provider).map(|&(_, g)| g)
+}
+
+/// The deterministic ablation gates, named. Quick runs use looser
+/// thresholds (the quick N sweep tops out at 128, so the scan's growth is
+/// real but smaller). Empty if the `--provider` filter removed a needed
+/// provider.
+#[must_use]
+pub fn gates(r: &E9Results) -> Vec<(&'static str, bool)> {
+    let (Some(scan), Some(constant)) = (
+        growth_of(r, "fig7-bounded-scan"),
+        growth_of(r, "constant"),
+    ) else {
+        return Vec::new();
+    };
+    let (scan_min, flat_max, sep) = if r.quick { (1.5, 3.0, 1.5) } else { (3.0, 3.0, 2.0) };
+    vec![
+        ("scan_grows", scan > scan_min),
+        ("constant_flat", constant < flat_max),
+        ("separation", scan > sep * constant),
+    ]
+}
+
+/// Panics (with the measured ratios) if any ablation gate fails — the
+/// harness's `catch_unwind` turns that into a failing exit code.
+pub fn enforce(r: &E9Results) {
+    for (name, ok) in gates(r) {
+        assert!(
+            ok,
+            "E9 gate '{name}' failed: growth ratios {:?} (quick = {})",
+            r.growth, r.quick
+        );
+    }
+    for e in &r.exactness {
+        assert_eq!(
+            e.expected, e.observed,
+            "provider {} lost updates under contention",
+            e.provider
+        );
+    }
+}
+
+/// Renders the E9 report.
+#[must_use]
+pub fn render(r: &E9Results) -> Report {
+    let mut report = Report::new();
+    report.heading("E9 — bounded-tag safety audit (Theorem 5) and constant-time ablation");
     report.para(&format!(
         "Contended exactness, N = 2, k = 1 (tag universe of {} — the \
          hardest configuration): {} increments applied, {} observed, {} \
          lost. A single premature tag reuse would have produced a \
          false-success CAS and corrupted the count.",
-        audit.universe,
-        audit.expected,
-        audit.observed,
-        audit.expected - audit.observed,
+        r.audit.universe,
+        r.audit.expected,
+        r.audit.observed,
+        r.audit.expected - r.audit.observed,
     ));
 
     report.para(
@@ -107,8 +341,7 @@ pub fn run(per_thread: u64) -> Report {
         "guaranteed min distance (Nk+1)",
         "measured min distance",
     ]);
-    for (n, k) in [(2usize, 1usize), (2, 2), (4, 2), (8, 4)] {
-        let measured = min_stamp_reuse_distance(n, k, 20_000);
+    for &(n, k, measured) in &r.reuse {
         t.row([
             n.to_string(),
             k.to_string(),
@@ -121,6 +354,128 @@ pub fn run(per_thread: u64) -> Report {
         ]);
     }
     report.table(&t);
+
+    report.para(
+        "Constant-time ablation: the same contended-exactness audit over \
+         the registry's three tag-recycling disciplines (2 writers, 1 \
+         reader):",
+    );
+    let mut t = Table::new(["provider", "expected", "observed"]);
+    for e in &r.exactness {
+        t.row([
+            e.provider.to_string(),
+            e.expected.to_string(),
+            e.observed.to_string(),
+        ]);
+    }
+    report.table(&t);
+
+    report.para(
+        "Worst-case single-op SC latency vs domain size N, single-threaded \
+         so per-success queue maintenance is the only thing that varies: \
+         Figure 7 with the indexed tag queue is O(1); Figure 7 with the \
+         paper-literal scan (line 10 as written) pays O(Nk) per success; \
+         the Blelloch–Wei construction is O(1) worst-case by design \
+         (arXiv:1911.09671) — its per-SC work is one announce-cell read \
+         plus a bounded filter step, independent of N:",
+    );
+    let mut t = Table::new(["provider", "N", "sc p50", "sc p99", "sc max"]);
+    for row in &r.latency {
+        t.row([
+            row.provider.to_string(),
+            row.n.to_string(),
+            format!("{} ns", row.p50_ns),
+            format!("{} ns", row.p99_ns),
+            format!("{} ns", row.max_ns),
+        ]);
+    }
+    report.table(&t);
+
+    let growth = r
+        .growth
+        .iter()
+        .map(|(p, g)| format!("{p} {g:.2}x"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let gate_line = gates(r)
+        .iter()
+        .map(|(name, ok)| format!("{name}={}", if *ok { "ok" } else { "FAILED" }))
+        .collect::<Vec<_>>()
+        .join(", ");
+    report.para(&format!(
+        "p99 growth from N = {} to N = {}: {growth}. Gates: {}.",
+        r.latency.first().map_or(0, |row| row.n),
+        r.latency.last().map_or(0, |row| row.n),
+        if gate_line.is_empty() { "skipped (--provider restricted)".to_string() } else { gate_line },
+    ));
+    report
+}
+
+/// JSON artifact for CI: the measured numbers plus the named gate
+/// verdicts, so a workflow step can assert the gates held without
+/// re-parsing the markdown.
+#[must_use]
+pub fn to_json(r: &E9Results) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str("  \"experiment\": \"bounded_audit\",\n");
+    s.push_str(&format!("  \"quick\": {},\n", r.quick));
+    s.push_str(&format!(
+        "  \"tiny_universe\": {{\"expected\": {}, \"observed\": {}, \"universe\": {}}},\n",
+        r.audit.expected, r.audit.observed, r.audit.universe
+    ));
+    s.push_str("  \"exactness\": [\n");
+    for (i, e) in r.exactness.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"provider\": \"{}\", \"expected\": {}, \"observed\": {}}}{}\n",
+            e.provider,
+            e.expected,
+            e.observed,
+            if i + 1 == r.exactness.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"sc_latency\": [\n");
+    for (i, row) in r.latency.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"provider\": \"{}\", \"n\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{}\n",
+            row.provider,
+            row.n,
+            row.p50_ns,
+            row.p99_ns,
+            row.max_ns,
+            if i + 1 == r.latency.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"growth\": {{{}}},\n",
+        r.growth
+            .iter()
+            .map(|(p, g)| format!("\"{p}\": {g:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!(
+        "  \"gates\": {{{}}}\n",
+        gates(r)
+            .iter()
+            .map(|(name, ok)| format!("\"{name}\": {ok}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Runs E9: collect, render, and enforce the gates (panicking on
+/// failure, after the report is built so the harness can still show it).
+#[must_use]
+pub fn run(per_thread: u64, quick: bool) -> Report {
+    let r = collect(per_thread, quick, &ProviderFilter::default());
+    let report = render(&r);
+    enforce(&r);
     report
 }
 
@@ -148,9 +503,29 @@ mod tests {
     }
 
     #[test]
+    fn every_ablation_provider_is_exact() {
+        let r = collect(2_000, true, &ProviderFilter::default());
+        for e in &r.exactness {
+            assert_eq!(e.expected, e.observed, "provider {} lost updates", e.provider);
+        }
+        assert_eq!(r.exactness.len(), ABLATION.len());
+    }
+
+    #[test]
+    fn json_has_gates_and_latency() {
+        let r = collect(1_000, true, &ProviderFilter::default());
+        let json = to_json(&r);
+        assert!(json.contains("\"gates\""));
+        assert!(json.contains("\"constant\""));
+        assert!(json.contains("fig7-bounded-scan"));
+    }
+
+    #[test]
     fn report_smoke() {
-        let md = run(5_000).to_markdown();
+        let r = collect(2_000, true, &ProviderFilter::default());
+        let md = render(&r).to_markdown();
         assert!(md.contains("E9"));
         assert!(md.contains("0 lost") || md.contains(" lost"));
+        assert!(md.contains("constant"));
     }
 }

@@ -17,3 +17,4 @@ pub mod experiments;
 pub mod measure;
 pub mod report;
 pub mod runner;
+pub mod sinks;

@@ -9,6 +9,64 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use nbsp_core::ProviderId;
+
+/// A parsed `--provider` CLI restriction: which registry entries an
+/// experiment binary should sweep. `None` means "the experiment's
+/// default set".
+#[derive(Clone, Debug, Default)]
+pub struct ProviderFilter {
+    ids: Option<Vec<ProviderId>>,
+}
+
+impl ProviderFilter {
+    /// True iff `id` should run under this filter.
+    #[must_use]
+    pub fn allows(&self, id: ProviderId) -> bool {
+        self.ids.as_ref().is_none_or(|ids| ids.contains(&id))
+    }
+
+    /// True iff the user restricted the set at all.
+    #[must_use]
+    pub fn is_restricted(&self) -> bool {
+        self.ids.is_some()
+    }
+}
+
+/// Parses `--provider name[,name…]` (repeatable) from the process's
+/// arguments — the single provider-flag parser every experiment binary
+/// routes through, so the accepted names are exactly the registry's
+/// [`ProviderId::parse`] names everywhere.
+///
+/// # Errors
+///
+/// Returns a message (listing the valid names) on an unknown provider or
+/// a missing flag value; binaries print it and exit nonzero.
+pub fn provider_filter() -> Result<ProviderFilter, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut ids: Option<Vec<ProviderId>> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let value = if args[i] == "--provider" {
+            i += 1;
+            Some(
+                args.get(i)
+                    .ok_or("--provider requires a value".to_string())?
+                    .as_str(),
+            )
+        } else {
+            args[i].strip_prefix("--provider=")
+        };
+        if let Some(list) = value {
+            for name in list.split(',').filter(|s| !s.is_empty()) {
+                ids.get_or_insert_with(Vec::new).push(ProviderId::parse(name)?);
+            }
+        }
+        i += 1;
+    }
+    Ok(ProviderFilter { ids })
+}
+
 /// Extracts a printable message from a panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     payload
@@ -113,5 +171,24 @@ mod tests {
             ("b", Box::new(|| panic!("boom"))),
         ]);
         assert_eq!(code, ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn unrestricted_filter_allows_everything() {
+        let f = ProviderFilter::default();
+        assert!(!f.is_restricted());
+        for id in ProviderId::ALL {
+            assert!(f.allows(id));
+        }
+    }
+
+    #[test]
+    fn restricted_filter_allows_only_listed() {
+        let f = ProviderFilter {
+            ids: Some(vec![ProviderId::ConstantTime]),
+        };
+        assert!(f.is_restricted());
+        assert!(f.allows(ProviderId::ConstantTime));
+        assert!(!f.allows(ProviderId::Fig4Native));
     }
 }

@@ -37,7 +37,64 @@ use std::sync::Arc;
 use nbsp_memsim::{CachePadded, ProcId};
 
 use crate::layout::{bits_for_count, low_mask};
+use crate::tag_queue::ScanQueue;
 use crate::{CasFamily, CasMemory, Error, Native, Result, TagQueue};
+
+/// Which tag-queue implementation a [`BoundedDomain`]'s processes use for
+/// Figure 7's `Q`.
+///
+/// Behaviourally identical (differentially tested in `tag_queue`); only the
+/// per-SC cost differs. E9 registers one provider per policy so the gap is
+/// measured rather than asserted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TagPolicy {
+    /// The paper's constant-time remark: circular doubly-linked list with a
+    /// static index table ([`TagQueue`]). O(1) per SC. The default.
+    Indexed,
+    /// Figure 7 line 10 as literally written: a plain queue whose
+    /// `delete(Q, t)` linearly searches all `2Nk + 1` tags
+    /// ([`ScanQueue`]). O(Nk) per SC — the E9 ablation baseline.
+    Scan,
+}
+
+/// Private dispatch between the two [`TagPolicy`] implementations. An enum
+/// (not a trait object) so the hot calls stay branch-predictable and
+/// allocation-free.
+#[derive(Debug)]
+enum TagStore {
+    Indexed(TagQueue),
+    Scan(ScanQueue),
+}
+
+impl TagStore {
+    fn new(policy: TagPolicy, universe: usize) -> Self {
+        match policy {
+            TagPolicy::Indexed => TagStore::Indexed(TagQueue::new(universe)),
+            TagPolicy::Scan => TagStore::Scan(ScanQueue::new(universe)),
+        }
+    }
+
+    fn rotate(&mut self) -> u64 {
+        match self {
+            TagStore::Indexed(q) => q.rotate(),
+            TagStore::Scan(q) => q.rotate(),
+        }
+    }
+
+    fn move_to_back(&mut self, tag: u64) {
+        match self {
+            TagStore::Indexed(q) => q.move_to_back(tag),
+            TagStore::Scan(q) => q.move_to_back(tag),
+        }
+    }
+
+    fn to_vec(&self) -> Vec<u64> {
+        match self {
+            TagStore::Indexed(q) => q.to_vec(),
+            TagStore::Scan(q) => q.to_vec(),
+        }
+    }
+}
 
 /// Field layout of a bounded-tag word: `tag | cnt | pid | val`
 /// (Figure 7's `wordtype`).
@@ -125,6 +182,7 @@ pub struct BoundedDomain<F: CasFamily = Native> {
     /// pattern.
     announce: Vec<CachePadded<F::Cell>>,
     claimed: Vec<CachePadded<AtomicBool>>,
+    policy: TagPolicy,
     _family: PhantomData<fn() -> F>,
 }
 
@@ -139,6 +197,16 @@ impl<F: CasFamily> BoundedDomain<F> {
     /// room for values (the paper's caveat that this construction trades
     /// word space for boundedness).
     pub fn new(n: usize, k: usize) -> Result<Arc<Self>> {
+        Self::new_with_policy(n, k, TagPolicy::Indexed)
+    }
+
+    /// Like [`BoundedDomain::new`], but selecting the tag-queue
+    /// implementation (the E9 indexed-vs-scan ablation knob).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BoundedDomain::new`].
+    pub fn new_with_policy(n: usize, k: usize, policy: TagPolicy) -> Result<Arc<Self>> {
         if n == 0 {
             return Err(Error::InvalidDomain {
                 what: "n (number of processes) must be positive",
@@ -160,8 +228,15 @@ impl<F: CasFamily> BoundedDomain<F> {
             claimed: (0..n)
                 .map(|_| CachePadded::new(AtomicBool::new(false)))
                 .collect(),
+            policy,
             _family: PhantomData,
         }))
+    }
+
+    /// The tag-queue implementation this domain's processes use.
+    #[must_use]
+    pub fn tag_policy(&self) -> TagPolicy {
+        self.policy
     }
 
     /// Number of processes.
@@ -212,7 +287,7 @@ impl<F: CasFamily> BoundedDomain<F> {
             p: ProcId::new(p),
             domain: Arc::clone(self),
             slots: (0..self.k).rev().collect(), // pop() yields 0 first
-            q: TagQueue::new(2 * nk + 1),
+            q: TagStore::new(self.policy, 2 * nk + 1),
             j: 0,
         }
     }
@@ -255,7 +330,7 @@ pub struct BoundedProc<F: CasFamily = Native> {
     p: ProcId,
     domain: Arc<BoundedDomain<F>>,
     slots: Vec<usize>,
-    q: TagQueue,
+    q: TagStore,
     j: usize,
 }
 

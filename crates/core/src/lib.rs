@@ -48,6 +48,7 @@ pub mod backoff;
 pub mod bounded;
 mod cas_from_rll;
 mod cas_provider;
+pub mod constant_llsc;
 mod error;
 pub mod keep_search;
 mod layout;
@@ -55,19 +56,23 @@ mod llsc_from_cas;
 mod llsc_from_rll;
 pub mod lock_baseline;
 mod ops;
+pub mod provider;
 mod tag_queue;
 pub mod telemetry;
 pub mod wide;
 
 pub use backoff::Backoff;
+pub use bounded::TagPolicy;
 pub use cas_from_rll::{EmuCas, EmuCasWord, EmuFamily};
 pub use cas_provider::{CasFamily, CasMemory, CellOf, Native, NativeSeqCst, SimCas, SimFamily};
+pub use constant_llsc::{ConstantDomain, ConstantKeep, ConstantProc, ConstantVar};
 pub use error::{Error, Result};
 pub use layout::TagLayout;
 pub use llsc_from_cas::{CasLlSc, Keep};
 pub use llsc_from_rll::RllLlSc;
 pub use ops::LlScVar;
-pub use tag_queue::TagQueue;
+pub use provider::{Provider, ProviderId, ProviderMeta};
+pub use tag_queue::{ScanQueue, TagQueue};
 pub use telemetry::{WideHists, WideTotals};
 
 // Re-exported so users of the constructions can pad their own per-process

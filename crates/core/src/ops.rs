@@ -16,6 +16,7 @@
 use nbsp_memsim::{ProcId, Processor};
 
 use crate::bounded::{BoundedKeep, BoundedProc, BoundedVar};
+use crate::constant_llsc::{ConstantKeep, ConstantProc, ConstantVar};
 use crate::keep_search::{PerVarKeepVar, RegistryKeepVar};
 use crate::lock_baseline::LockLlSc;
 use crate::{CasLlSc, EmuCas, EmuFamily, Keep, Native, RllLlSc, SimCas, SimFamily};
@@ -256,6 +257,48 @@ impl LlScVar for BoundedVar<Native> {
 }
 
 // ---------------------------------------------------------------------------
+// Blelloch–Wei constant-time construction over native CAS.
+// ---------------------------------------------------------------------------
+
+impl LlScVar for ConstantVar<Native> {
+    type Keep = Option<ConstantKeep>;
+    type Ctx<'a> = ConstantProc<Native>;
+
+    fn ll(&self, ctx: &mut ConstantProc<Native>, keep: &mut Option<ConstantKeep>) -> u64 {
+        if let Some(old) = keep.take() {
+            ctx.cl(&Native, old); // abandoning a sequence releases slot + pin
+        }
+        let (v, k) = ConstantVar::ll(self, &Native, ctx);
+        *keep = Some(k);
+        v
+    }
+
+    fn vl(&self, ctx: &mut ConstantProc<Native>, keep: &Option<ConstantKeep>) -> bool {
+        keep.as_ref()
+            .is_some_and(|k| ConstantVar::vl(self, &Native, ctx, k))
+    }
+
+    fn sc(&self, ctx: &mut ConstantProc<Native>, keep: &mut Option<ConstantKeep>, new: u64) -> bool {
+        keep.take()
+            .is_some_and(|k| ConstantVar::sc(self, &Native, ctx, k, new))
+    }
+
+    fn cl(&self, ctx: &mut ConstantProc<Native>, keep: &mut Option<ConstantKeep>) {
+        if let Some(k) = keep.take() {
+            ctx.cl(&Native, k);
+        }
+    }
+
+    fn read(&self, ctx: &mut ConstantProc<Native>) -> u64 {
+        ConstantVar::read(self, &Native, ctx)
+    }
+
+    fn max_val(&self) -> u64 {
+        self.domain().max_val()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Figure 2 lock baseline.
 // ---------------------------------------------------------------------------
 
@@ -390,6 +433,30 @@ mod tests {
         increment_n_times(&v, &mut me, 100);
         assert_eq!(LlScVar::read(&v, &mut me), 100);
         assert_eq!(me.free_slots(), 2, "all slots must be returned");
+    }
+
+    #[test]
+    fn generic_loop_on_constant() {
+        let d = crate::ConstantDomain::<Native>::new(2, 2, 4).unwrap();
+        let v = d.var(&Native, 0).unwrap();
+        let mut me = d.proc(0);
+        increment_n_times(&v, &mut me, 100);
+        assert_eq!(LlScVar::read(&v, &mut me), 100);
+        assert_eq!(me.free_slots(), 2, "all slots must be returned");
+    }
+
+    #[test]
+    fn restarting_ll_on_constant_releases_old_slot_and_pin() {
+        let d = crate::ConstantDomain::<Native>::new(1, 1, 2).unwrap();
+        let v = d.var(&Native, 0).unwrap();
+        let mut me = d.proc(0);
+        let mut keep = <ConstantVar<Native> as LlScVar>::Keep::default();
+        // Two lls back-to-back on k = 1: the second must recycle the
+        // first sequence's slot instead of panicking.
+        let _ = LlScVar::ll(&v, &mut me, &mut keep);
+        let _ = LlScVar::ll(&v, &mut me, &mut keep);
+        assert!(LlScVar::sc(&v, &mut me, &mut keep, 1));
+        assert_eq!(LlScVar::read(&v, &mut me), 1);
     }
 
     #[test]

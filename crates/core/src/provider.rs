@@ -1,0 +1,1000 @@
+//! The provider registry: every LL/VL/SC construction in one place.
+//!
+//! Before this module, each consumer (the contention sweep, E7, E9, the
+//! serve crate, the integration tests) kept its own private list of
+//! constructions — a `BenchVar` trait here, a `nat()` helper there — so
+//! adding a provider meant editing five call sites. The registry inverts
+//! that: [`ProviderId`] enumerates the constructions, [`ProviderMeta`]
+//! carries their reporting metadata, the [`Provider`] trait packages
+//! "how to build the environment / a variable / a per-thread context",
+//! and the [`for_each_provider!`] / [`with_provider!`] macros let
+//! monomorphized generic code run per provider — either statically (one
+//! instantiation per entry) or dispatched from a runtime [`ProviderId`].
+//!
+//! This is the registry's *only* enumeration: consumers must not keep
+//! their own `match`es over constructions (the PR's grep-proof criterion).
+//!
+//! ## Environments and thread contexts
+//!
+//! Constructions differ in what they need around a variable: native
+//! atomics need nothing, the simulated machines need a [`Machine`] and a
+//! per-thread `Processor`, Figure 7 and the constant-time construction
+//! need a claimed per-process state from a shared domain. [`Provider`]
+//! normalizes this to three steps:
+//!
+//! 1. [`Provider::env`]`(n)` — one shared environment sized for `n`
+//!    per-thread contexts. Callers that also need a setup or reader
+//!    context (structure construction does LL/SC work too) should request
+//!    `env(threads + 1)` and use index `threads` for it.
+//! 2. [`Provider::thread_ctx`]`(&env, p)` — the `Send` per-thread state
+//!    for process `p < n`, claimed **once** per `(env, p)` for the
+//!    domain-based providers (claiming twice panics, as in the paper:
+//!    private variables are private).
+//! 3. [`Provider::ctx`]`(&mut tc)` — the [`LlScVar::Ctx`] view used for
+//!    operations. For the domain-based providers this *moves* the claimed
+//!    state out of the thread context, so it may be called only once per
+//!    `thread_ctx` result; call it once per session and reuse the result.
+
+use std::sync::Arc;
+
+use nbsp_memsim::{InstructionSet, Machine, ProcId, Processor};
+
+use crate::bounded::{BoundedDomain, BoundedProc, BoundedVar, TagPolicy};
+use crate::constant_llsc::{ConstantDomain, ConstantProc, ConstantVar};
+use crate::keep_search::{KeepRegistry, PerVarKeepVar, RegistryKeepVar};
+use crate::lock_baseline::LockLlSc;
+use crate::{
+    CachePadded, CasFamily, CasLlSc, EmuCas, EmuFamily, Keep, LlScVar, Native, NativeSeqCst,
+    Result, RllLlSc, SimCas, SimFamily, TagLayout,
+};
+
+/// Concurrent LL–SC sequences per process (`k`) used by the registry's
+/// domain-based entries. `Queue::dequeue` holds three keeps at once
+/// (head, tail, and a link), and `Set`'s traversal nests a `read` —
+/// itself an LL/CL pair on these providers — inside a held keep, so the
+/// registry provisions four: the deepest nesting any registered
+/// structure reaches, plus one slot of margin.
+pub const PROVIDER_K: usize = 4;
+
+/// Variable budget for the registry's constant-time domain (its node pool
+/// seeds one node per variable up front).
+pub const PROVIDER_MAX_VARS: usize = 256;
+
+/// Tag bits of the registry's Figure-3 emulated-CAS entry.
+pub const PROVIDER_EMU_TAG_BITS: u32 = 16;
+
+// ---------------------------------------------------------------------------
+// Native-family ablation wrappers (moved here from exp_contention, which
+// used to keep them as a private provider list — exactly what the
+// registry exists to forbid).
+//
+// `CasLlSc`'s inherent operations are generic over any `CasMemory` of the
+// `Native` family, so the ordering axis is just a choice of context value
+// (`&Native` = acquire/release, `&NativeSeqCst` = fully ordered) and the
+// padding axis is a `CachePadded` box around the same variable. Each
+// combination gets an `LlScVar` impl so generic structures run unchanged.
+// ---------------------------------------------------------------------------
+
+macro_rules! native_ablation_impl {
+    ($name:ident, $ctx:ty, $ctx_val:expr) => {
+        impl LlScVar for $name {
+            type Keep = Option<Keep>;
+            type Ctx<'a> = $ctx;
+
+            fn ll(&self, _ctx: &mut $ctx, keep: &mut Option<Keep>) -> u64 {
+                let k = keep.get_or_insert_with(Keep::default);
+                CasLlSc::ll(&self.0, &$ctx_val, k)
+            }
+
+            fn vl(&self, _ctx: &mut $ctx, keep: &Option<Keep>) -> bool {
+                keep.as_ref()
+                    .is_some_and(|k| CasLlSc::vl(&self.0, &$ctx_val, k))
+            }
+
+            fn sc(&self, _ctx: &mut $ctx, keep: &mut Option<Keep>, new: u64) -> bool {
+                keep.take()
+                    .is_some_and(|k| CasLlSc::sc(&self.0, &$ctx_val, &k, new))
+            }
+
+            fn cl(&self, _ctx: &mut $ctx, keep: &mut Option<Keep>) {
+                *keep = None;
+            }
+
+            fn read(&self, _ctx: &mut $ctx) -> u64 {
+                CasLlSc::read(&self.0, &$ctx_val)
+            }
+
+            fn max_val(&self) -> u64 {
+                self.0.layout().max_val()
+            }
+        }
+    };
+}
+
+/// Figure 4 on native atomics, forced to `SeqCst`: the pre-PR-1 seed
+/// configuration, kept as the ordering ablation.
+#[derive(Debug)]
+pub struct SeqCstVar(CasLlSc<Native>);
+native_ablation_impl!(SeqCstVar, NativeSeqCst, NativeSeqCst);
+
+/// Figure 4 on native atomics, cache-line padded: the layout ablation.
+#[derive(Debug)]
+pub struct PaddedVar(CachePadded<CasLlSc<Native>>);
+native_ablation_impl!(PaddedVar, Native, Native);
+
+/// Figure 4 padded **and** forced to `SeqCst`: isolates the layout win
+/// from the ordering win.
+#[derive(Debug)]
+pub struct PaddedSeqCstVar(CachePadded<CasLlSc<Native>>);
+native_ablation_impl!(PaddedSeqCstVar, NativeSeqCst, NativeSeqCst);
+
+fn native_base(initial: u64) -> Result<CasLlSc<Native>> {
+    CasLlSc::new_native(TagLayout::half(), initial)
+}
+
+// ---------------------------------------------------------------------------
+// Identity + metadata.
+// ---------------------------------------------------------------------------
+
+/// Runtime identity of a registered construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProviderId {
+    /// Figure 4 over native CAS, acquire/release orderings, unpadded.
+    Fig4Native,
+    /// Figure 4 over native CAS forced to `SeqCst` (ordering ablation).
+    Fig4NativeSeqCst,
+    /// Figure 4 over native CAS, cache-line padded (layout ablation).
+    Fig4NativePadded,
+    /// Figure 4 padded + `SeqCst` (both ablations together).
+    Fig4NativePaddedSeqCst,
+    /// Figure 4 over a simulated CAS-only machine.
+    Fig4Sim,
+    /// Figure 4 over Figure 3's CAS-from-RLL/RSC emulation.
+    Fig4Emu,
+    /// Figure 5: LL/SC directly from RLL/RSC on a simulated machine.
+    Fig5Rll,
+    /// Figure 7: bounded tags, indexed (constant-time) tag queue.
+    Fig7Bounded,
+    /// Figure 7 with the paper-literal O(Nk) scan queue (E9 ablation).
+    Fig7BoundedScan,
+    /// The Blelloch–Wei constant-time, bounded-space construction.
+    ConstantTime,
+    /// Figure 2: the lock-based reference semantics.
+    LockBaseline,
+    /// Keep-search ablation: per-variable keep slots.
+    KeepPerVar,
+    /// Keep-search ablation: registry-wide keep search.
+    KeepWithRegistry,
+}
+
+impl ProviderId {
+    /// Every registered construction, in registry order.
+    pub const ALL: [ProviderId; 13] = [
+        ProviderId::Fig4Native,
+        ProviderId::Fig4NativeSeqCst,
+        ProviderId::Fig4NativePadded,
+        ProviderId::Fig4NativePaddedSeqCst,
+        ProviderId::Fig4Sim,
+        ProviderId::Fig4Emu,
+        ProviderId::Fig5Rll,
+        ProviderId::Fig7Bounded,
+        ProviderId::Fig7BoundedScan,
+        ProviderId::ConstantTime,
+        ProviderId::LockBaseline,
+        ProviderId::KeepPerVar,
+        ProviderId::KeepWithRegistry,
+    ];
+
+    /// The stable CLI/JSON name (`--provider` flags, BENCH output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.meta().name
+    }
+
+    /// Parses a CLI/JSON name back to an id — the single `--provider`
+    /// parser every experiment binary routes through.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing all valid names on no match.
+    pub fn parse(s: &str) -> std::result::Result<ProviderId, String> {
+        ProviderId::ALL
+            .iter()
+            .copied()
+            .find(|id| id.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = ProviderId::ALL.iter().map(|id| id.name()).collect();
+                format!("unknown provider {s:?}; valid: {}", names.join(", "))
+            })
+    }
+
+    /// Reporting metadata for this construction.
+    #[must_use]
+    pub fn meta(self) -> ProviderMeta {
+        match self {
+            ProviderId::Fig4Native => ProviderMeta {
+                id: self,
+                name: "fig4-native",
+                figure: "4",
+                family: "native CAS",
+                space_class: "O(1)/var",
+                tag_bits: "32",
+                padded: false,
+                ordering: "acqrel",
+                constant_time_sc: true,
+                native_ablation: true,
+            },
+            ProviderId::Fig4NativeSeqCst => ProviderMeta {
+                id: self,
+                name: "fig4-native-seqcst",
+                figure: "4",
+                family: "native CAS",
+                space_class: "O(1)/var",
+                tag_bits: "32",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: true,
+                native_ablation: true,
+            },
+            ProviderId::Fig4NativePadded => ProviderMeta {
+                id: self,
+                name: "fig4-native-padded",
+                figure: "4",
+                family: "native CAS",
+                space_class: "O(1)/var",
+                tag_bits: "32",
+                padded: true,
+                ordering: "acqrel",
+                constant_time_sc: true,
+                native_ablation: true,
+            },
+            ProviderId::Fig4NativePaddedSeqCst => ProviderMeta {
+                id: self,
+                name: "fig4-native-padded-seqcst",
+                figure: "4",
+                family: "native CAS",
+                space_class: "O(1)/var",
+                tag_bits: "32",
+                padded: true,
+                ordering: "seqcst",
+                constant_time_sc: true,
+                native_ablation: true,
+            },
+            ProviderId::Fig4Sim => ProviderMeta {
+                id: self,
+                name: "fig4-sim",
+                figure: "4",
+                family: "simulated CAS",
+                space_class: "O(1)/var",
+                tag_bits: "32",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: true,
+                native_ablation: false,
+            },
+            ProviderId::Fig4Emu => ProviderMeta {
+                id: self,
+                name: "fig4-emu",
+                figure: "4 over 3",
+                family: "RLL/RSC-emulated CAS",
+                space_class: "O(1)/var",
+                tag_bits: "16+16",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: true,
+                native_ablation: false,
+            },
+            ProviderId::Fig5Rll => ProviderMeta {
+                id: self,
+                name: "fig5-rll",
+                figure: "5",
+                family: "RLL/RSC",
+                space_class: "O(1)/var",
+                tag_bits: "32",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: true,
+                native_ablation: false,
+            },
+            ProviderId::Fig7Bounded => ProviderMeta {
+                id: self,
+                name: "fig7-bounded",
+                figure: "7",
+                family: "native CAS",
+                space_class: "Θ(N(k+T))",
+                tag_bits: "⌈log(2Nk+1)⌉",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: true,
+                native_ablation: false,
+            },
+            ProviderId::Fig7BoundedScan => ProviderMeta {
+                id: self,
+                name: "fig7-bounded-scan",
+                figure: "7 (literal)",
+                family: "native CAS",
+                space_class: "Θ(N(k+T))",
+                tag_bits: "⌈log(2Nk+1)⌉",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: false,
+                native_ablation: false,
+            },
+            ProviderId::ConstantTime => ProviderMeta {
+                id: self,
+                name: "constant",
+                figure: "— (arXiv:1911.09671)",
+                family: "native CAS",
+                space_class: "Θ(N²k + T)",
+                tag_bits: "0",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: true,
+                native_ablation: false,
+            },
+            ProviderId::LockBaseline => ProviderMeta {
+                id: self,
+                name: "lock",
+                figure: "2",
+                family: "lock",
+                space_class: "Θ(N)/var",
+                tag_bits: "0",
+                padded: false,
+                ordering: "lock",
+                constant_time_sc: false,
+                native_ablation: false,
+            },
+            ProviderId::KeepPerVar => ProviderMeta {
+                id: self,
+                name: "keep-pervar",
+                figure: "4 + per-var keeps",
+                family: "native CAS",
+                space_class: "Θ(N)/var",
+                tag_bits: "32",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: true,
+                native_ablation: false,
+            },
+            ProviderId::KeepWithRegistry => ProviderMeta {
+                id: self,
+                name: "keep-registry",
+                figure: "4 + keep registry",
+                family: "native CAS",
+                space_class: "Θ(N + T)",
+                tag_bits: "32",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: false,
+                native_ablation: false,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Reporting metadata of a registered construction: everything a sweep or
+/// report needs without hardcoding per-provider knowledge.
+#[derive(Clone, Copy, Debug)]
+pub struct ProviderMeta {
+    /// The construction's identity.
+    pub id: ProviderId,
+    /// Stable CLI/JSON name.
+    pub name: &'static str,
+    /// Which paper figure (or external construction) this implements.
+    pub figure: &'static str,
+    /// The primitive family underneath (native CAS, simulated, lock…).
+    pub family: &'static str,
+    /// Space-overhead class, in the paper's N/k/T variables.
+    pub space_class: &'static str,
+    /// Tag bits consumed inside the word (the value-width cost).
+    pub tag_bits: &'static str,
+    /// Whether the variable is cache-line padded.
+    pub padded: bool,
+    /// Memory-ordering regime of the hot path.
+    pub ordering: &'static str,
+    /// Whether a single `sc` is O(1) worst case (Fig7BoundedScan's O(Nk)
+    /// tag scan and the lock baseline's critical section are not).
+    pub constant_time_sc: bool,
+    /// Whether this entry exists for the exp_contention padding/ordering
+    /// ablation matrix (the four native Figure-4 corners).
+    pub native_ablation: bool,
+}
+
+// ---------------------------------------------------------------------------
+// The factory trait.
+// ---------------------------------------------------------------------------
+
+/// A registered construction: how to build its environment, variables and
+/// per-thread contexts. See the module docs for the three-step protocol.
+pub trait Provider: 'static {
+    /// This provider's registry identity.
+    const ID: ProviderId;
+
+    /// The variable type (its `LlScVar` impl is what consumers run).
+    type Var: LlScVar + 'static;
+
+    /// Shared environment: sizing info, a simulated machine, or a domain.
+    type Env: Send + Sync + 'static;
+
+    /// Per-thread state from which an operation context is made.
+    type ThreadCtx: Send;
+
+    /// Builds an environment sized for `n` thread contexts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the construction's domain/layout errors (e.g. a Figure-7
+    /// layout with no value bits left).
+    fn env(n: usize) -> Result<Self::Env>;
+
+    /// Creates a variable holding `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the construction's value/budget errors.
+    fn var(env: &Self::Env, initial: u64) -> Result<Self::Var>;
+
+    /// Claims the per-thread state for process `p < n`.
+    ///
+    /// # Panics
+    ///
+    /// For domain-based providers, panics if `(env, p)` is claimed twice
+    /// or `p` is out of range.
+    fn thread_ctx(env: &Self::Env, p: usize) -> Self::ThreadCtx;
+
+    /// Makes the operation context. For domain-based providers this moves
+    /// the claimed state out of `tc` — call once per [`Provider::thread_ctx`]
+    /// result (a second call panics) and reuse the returned context.
+    fn ctx<'a>(tc: &'a mut Self::ThreadCtx) -> <Self::Var as LlScVar>::Ctx<'a>;
+}
+
+fn machine(n: usize, set: InstructionSet) -> Machine {
+    Machine::builder(n).instruction_set(set).build()
+}
+
+/// Figure 4 over native CAS (acquire/release, unpadded): the default
+/// provider real structures use.
+#[derive(Debug)]
+pub struct Fig4Native;
+
+impl Provider for Fig4Native {
+    const ID: ProviderId = ProviderId::Fig4Native;
+    type Var = CasLlSc<Native>;
+    type Env = ();
+    type ThreadCtx = Native;
+
+    fn env(_n: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn var(_env: &(), initial: u64) -> Result<CasLlSc<Native>> {
+        native_base(initial)
+    }
+
+    fn thread_ctx(_env: &(), _p: usize) -> Native {
+        Native
+    }
+
+    fn ctx(tc: &mut Native) -> Native {
+        *tc
+    }
+}
+
+/// Figure 4 over native CAS forced to `SeqCst` (ordering ablation).
+#[derive(Debug)]
+pub struct Fig4NativeSeqCst;
+
+impl Provider for Fig4NativeSeqCst {
+    const ID: ProviderId = ProviderId::Fig4NativeSeqCst;
+    type Var = SeqCstVar;
+    type Env = ();
+    type ThreadCtx = NativeSeqCst;
+
+    fn env(_n: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn var(_env: &(), initial: u64) -> Result<SeqCstVar> {
+        Ok(SeqCstVar(native_base(initial)?))
+    }
+
+    fn thread_ctx(_env: &(), _p: usize) -> NativeSeqCst {
+        NativeSeqCst
+    }
+
+    fn ctx(tc: &mut NativeSeqCst) -> NativeSeqCst {
+        *tc
+    }
+}
+
+/// Figure 4 over native CAS, cache-line padded (layout ablation).
+#[derive(Debug)]
+pub struct Fig4NativePadded;
+
+impl Provider for Fig4NativePadded {
+    const ID: ProviderId = ProviderId::Fig4NativePadded;
+    type Var = PaddedVar;
+    type Env = ();
+    type ThreadCtx = Native;
+
+    fn env(_n: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn var(_env: &(), initial: u64) -> Result<PaddedVar> {
+        Ok(PaddedVar(CachePadded::new(native_base(initial)?)))
+    }
+
+    fn thread_ctx(_env: &(), _p: usize) -> Native {
+        Native
+    }
+
+    fn ctx(tc: &mut Native) -> Native {
+        *tc
+    }
+}
+
+/// Figure 4 padded + `SeqCst` (both ablations together).
+#[derive(Debug)]
+pub struct Fig4NativePaddedSeqCst;
+
+impl Provider for Fig4NativePaddedSeqCst {
+    const ID: ProviderId = ProviderId::Fig4NativePaddedSeqCst;
+    type Var = PaddedSeqCstVar;
+    type Env = ();
+    type ThreadCtx = NativeSeqCst;
+
+    fn env(_n: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn var(_env: &(), initial: u64) -> Result<PaddedSeqCstVar> {
+        Ok(PaddedSeqCstVar(CachePadded::new(native_base(initial)?)))
+    }
+
+    fn thread_ctx(_env: &(), _p: usize) -> NativeSeqCst {
+        NativeSeqCst
+    }
+
+    fn ctx(tc: &mut NativeSeqCst) -> NativeSeqCst {
+        *tc
+    }
+}
+
+/// Figure 4 over a simulated CAS-only machine.
+#[derive(Debug)]
+pub struct Fig4Sim;
+
+impl Provider for Fig4Sim {
+    const ID: ProviderId = ProviderId::Fig4Sim;
+    type Var = CasLlSc<SimFamily>;
+    type Env = Machine;
+    type ThreadCtx = Processor;
+
+    fn env(n: usize) -> Result<Machine> {
+        Ok(machine(n, InstructionSet::CasOnly))
+    }
+
+    fn var(_env: &Machine, initial: u64) -> Result<CasLlSc<SimFamily>> {
+        CasLlSc::new(TagLayout::half(), initial)
+    }
+
+    fn thread_ctx(env: &Machine, p: usize) -> Processor {
+        env.processor(p)
+    }
+
+    fn ctx<'a>(tc: &'a mut Processor) -> SimCas<'a> {
+        SimCas::new(&*tc)
+    }
+}
+
+/// Figure 4 over Figure 3's CAS-from-RLL/RSC emulation.
+#[derive(Debug)]
+pub struct Fig4Emu;
+
+impl Provider for Fig4Emu {
+    const ID: ProviderId = ProviderId::Fig4Emu;
+    type Var = CasLlSc<EmuFamily<PROVIDER_EMU_TAG_BITS>>;
+    type Env = Machine;
+    type ThreadCtx = Processor;
+
+    fn env(n: usize) -> Result<Machine> {
+        Ok(machine(n, InstructionSet::RllRscOnly))
+    }
+
+    fn var(_env: &Machine, initial: u64) -> Result<Self::Var> {
+        // 16 LL/SC tag bits + 32 value bits inside the emulation's 48
+        // value bits (64 minus its own 16 emulation-tag bits).
+        CasLlSc::new(
+            TagLayout::for_width(
+                PROVIDER_EMU_TAG_BITS,
+                32,
+                EmuFamily::<PROVIDER_EMU_TAG_BITS>::VALUE_BITS,
+            )?,
+            initial,
+        )
+    }
+
+    fn thread_ctx(env: &Machine, p: usize) -> Processor {
+        env.processor(p)
+    }
+
+    fn ctx<'a>(tc: &'a mut Processor) -> EmuCas<'a, PROVIDER_EMU_TAG_BITS> {
+        EmuCas::new(&*tc)
+    }
+}
+
+/// Figure 5: LL/SC directly from RLL/RSC on a simulated machine.
+#[derive(Debug)]
+pub struct Fig5Rll;
+
+impl Provider for Fig5Rll {
+    const ID: ProviderId = ProviderId::Fig5Rll;
+    type Var = RllLlSc;
+    type Env = Machine;
+    type ThreadCtx = Processor;
+
+    fn env(n: usize) -> Result<Machine> {
+        Ok(machine(n, InstructionSet::RllRscOnly))
+    }
+
+    fn var(_env: &Machine, initial: u64) -> Result<RllLlSc> {
+        RllLlSc::new(TagLayout::half(), initial)
+    }
+
+    fn thread_ctx(env: &Machine, p: usize) -> Processor {
+        env.processor(p)
+    }
+
+    fn ctx(tc: &mut Processor) -> &Processor {
+        &*tc
+    }
+}
+
+/// Figure 7: bounded tags with the indexed (constant-time) tag queue.
+#[derive(Debug)]
+pub struct Fig7Bounded;
+
+impl Provider for Fig7Bounded {
+    const ID: ProviderId = ProviderId::Fig7Bounded;
+    type Var = BoundedVar<Native>;
+    type Env = Arc<BoundedDomain<Native>>;
+    type ThreadCtx = Option<BoundedProc<Native>>;
+
+    fn env(n: usize) -> Result<Arc<BoundedDomain<Native>>> {
+        BoundedDomain::new(n, PROVIDER_K)
+    }
+
+    fn var(env: &Arc<BoundedDomain<Native>>, initial: u64) -> Result<BoundedVar<Native>> {
+        env.var(initial)
+    }
+
+    fn thread_ctx(env: &Arc<BoundedDomain<Native>>, p: usize) -> Option<BoundedProc<Native>> {
+        Some(env.proc(p))
+    }
+
+    fn ctx(tc: &mut Option<BoundedProc<Native>>) -> BoundedProc<Native> {
+        tc.take().expect("ctx() already taken from this thread_ctx")
+    }
+}
+
+/// Figure 7 with the paper-literal O(Nk) scan queue (E9 ablation).
+#[derive(Debug)]
+pub struct Fig7BoundedScan;
+
+impl Provider for Fig7BoundedScan {
+    const ID: ProviderId = ProviderId::Fig7BoundedScan;
+    type Var = BoundedVar<Native>;
+    type Env = Arc<BoundedDomain<Native>>;
+    type ThreadCtx = Option<BoundedProc<Native>>;
+
+    fn env(n: usize) -> Result<Arc<BoundedDomain<Native>>> {
+        BoundedDomain::new_with_policy(n, PROVIDER_K, TagPolicy::Scan)
+    }
+
+    fn var(env: &Arc<BoundedDomain<Native>>, initial: u64) -> Result<BoundedVar<Native>> {
+        env.var(initial)
+    }
+
+    fn thread_ctx(env: &Arc<BoundedDomain<Native>>, p: usize) -> Option<BoundedProc<Native>> {
+        Some(env.proc(p))
+    }
+
+    fn ctx(tc: &mut Option<BoundedProc<Native>>) -> BoundedProc<Native> {
+        tc.take().expect("ctx() already taken from this thread_ctx")
+    }
+}
+
+/// The Blelloch–Wei constant-time, bounded-space construction.
+#[derive(Debug)]
+pub struct ConstantTime;
+
+impl Provider for ConstantTime {
+    const ID: ProviderId = ProviderId::ConstantTime;
+    type Var = ConstantVar<Native>;
+    type Env = Arc<ConstantDomain<Native>>;
+    type ThreadCtx = Option<ConstantProc<Native>>;
+
+    fn env(n: usize) -> Result<Arc<ConstantDomain<Native>>> {
+        ConstantDomain::new(n, PROVIDER_K, PROVIDER_MAX_VARS)
+    }
+
+    fn var(env: &Arc<ConstantDomain<Native>>, initial: u64) -> Result<ConstantVar<Native>> {
+        env.var(&Native, initial)
+    }
+
+    fn thread_ctx(env: &Arc<ConstantDomain<Native>>, p: usize) -> Option<ConstantProc<Native>> {
+        Some(env.proc(p))
+    }
+
+    fn ctx(tc: &mut Option<ConstantProc<Native>>) -> ConstantProc<Native> {
+        tc.take().expect("ctx() already taken from this thread_ctx")
+    }
+}
+
+/// Figure 2: the lock-based reference semantics.
+#[derive(Debug)]
+pub struct LockBaseline;
+
+impl Provider for LockBaseline {
+    const ID: ProviderId = ProviderId::LockBaseline;
+    type Var = LockLlSc;
+    type Env = usize;
+    type ThreadCtx = ProcId;
+
+    fn env(n: usize) -> Result<usize> {
+        Ok(n)
+    }
+
+    fn var(env: &usize, initial: u64) -> Result<LockLlSc> {
+        Ok(LockLlSc::new(*env, initial))
+    }
+
+    fn thread_ctx(_env: &usize, p: usize) -> ProcId {
+        ProcId::new(p)
+    }
+
+    fn ctx(tc: &mut ProcId) -> ProcId {
+        *tc
+    }
+}
+
+/// Keep-search ablation: per-variable keep slots.
+#[derive(Debug)]
+pub struct KeepPerVar;
+
+impl Provider for KeepPerVar {
+    const ID: ProviderId = ProviderId::KeepPerVar;
+    type Var = PerVarKeepVar;
+    type Env = usize;
+    type ThreadCtx = ProcId;
+
+    fn env(n: usize) -> Result<usize> {
+        Ok(n)
+    }
+
+    fn var(env: &usize, initial: u64) -> Result<PerVarKeepVar> {
+        PerVarKeepVar::new(*env, TagLayout::half(), initial)
+    }
+
+    fn thread_ctx(_env: &usize, p: usize) -> ProcId {
+        ProcId::new(p)
+    }
+
+    fn ctx(tc: &mut ProcId) -> ProcId {
+        *tc
+    }
+}
+
+/// Keep-search ablation: registry-wide keep search.
+#[derive(Debug)]
+pub struct KeepWithRegistry;
+
+impl Provider for KeepWithRegistry {
+    const ID: ProviderId = ProviderId::KeepWithRegistry;
+    type Var = RegistryKeepVar;
+    type Env = (usize, Arc<KeepRegistry>);
+    type ThreadCtx = ProcId;
+
+    fn env(n: usize) -> Result<(usize, Arc<KeepRegistry>)> {
+        Ok((n, KeepRegistry::new()))
+    }
+
+    fn var(env: &(usize, Arc<KeepRegistry>), initial: u64) -> Result<RegistryKeepVar> {
+        RegistryKeepVar::new(&env.1, env.0, TagLayout::half(), initial)
+    }
+
+    fn thread_ctx(_env: &(usize, Arc<KeepRegistry>), p: usize) -> ProcId {
+        ProcId::new(p)
+    }
+
+    fn ctx(tc: &mut ProcId) -> ProcId {
+        *tc
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch macros.
+// ---------------------------------------------------------------------------
+
+/// Invokes `$body!(snake_name, ProviderType)` once per registry entry —
+/// the static fan-out (e.g. the conformance suite generates one test
+/// module per provider).
+///
+/// ```
+/// macro_rules! count {
+///     ($name:ident, $p:ty) => {
+///         let _: nbsp_core::ProviderId = <$p as nbsp_core::Provider>::ID;
+///     };
+/// }
+/// nbsp_core::for_each_provider!(count);
+/// ```
+#[macro_export]
+macro_rules! for_each_provider {
+    ($body:ident) => {
+        $body!(fig4_native, $crate::provider::Fig4Native);
+        $body!(fig4_native_seqcst, $crate::provider::Fig4NativeSeqCst);
+        $body!(fig4_native_padded, $crate::provider::Fig4NativePadded);
+        $body!(
+            fig4_native_padded_seqcst,
+            $crate::provider::Fig4NativePaddedSeqCst
+        );
+        $body!(fig4_sim, $crate::provider::Fig4Sim);
+        $body!(fig4_emu, $crate::provider::Fig4Emu);
+        $body!(fig5_rll, $crate::provider::Fig5Rll);
+        $body!(fig7_bounded, $crate::provider::Fig7Bounded);
+        $body!(fig7_bounded_scan, $crate::provider::Fig7BoundedScan);
+        $body!(constant_time, $crate::provider::ConstantTime);
+        $body!(lock_baseline, $crate::provider::LockBaseline);
+        $body!(keep_pervar, $crate::provider::KeepPerVar);
+        $body!(keep_with_registry, $crate::provider::KeepWithRegistry);
+    };
+}
+
+/// Dispatches a runtime [`ProviderId`] to monomorphized code:
+/// `with_provider!(id, body)` expands to a match whose every arm invokes
+/// `body!(ProviderType)` with the arm's concrete provider. The macro is
+/// the registry's only id → type match; the whole expression takes the
+/// value of the invoked arm.
+///
+/// Note every arm is monomorphized: `body` must *compile* for all
+/// registered providers even if only some ids are ever passed.
+///
+/// ```
+/// macro_rules! name_of {
+///     ($p:ty) => {
+///         <$p as nbsp_core::Provider>::ID.name()
+///     };
+/// }
+/// let id = nbsp_core::ProviderId::ConstantTime;
+/// assert_eq!(nbsp_core::with_provider!(id, name_of), "constant");
+/// ```
+#[macro_export]
+macro_rules! with_provider {
+    ($id:expr, $body:ident) => {
+        match $id {
+            $crate::ProviderId::Fig4Native => $body!($crate::provider::Fig4Native),
+            $crate::ProviderId::Fig4NativeSeqCst => $body!($crate::provider::Fig4NativeSeqCst),
+            $crate::ProviderId::Fig4NativePadded => $body!($crate::provider::Fig4NativePadded),
+            $crate::ProviderId::Fig4NativePaddedSeqCst => {
+                $body!($crate::provider::Fig4NativePaddedSeqCst)
+            }
+            $crate::ProviderId::Fig4Sim => $body!($crate::provider::Fig4Sim),
+            $crate::ProviderId::Fig4Emu => $body!($crate::provider::Fig4Emu),
+            $crate::ProviderId::Fig5Rll => $body!($crate::provider::Fig5Rll),
+            $crate::ProviderId::Fig7Bounded => $body!($crate::provider::Fig7Bounded),
+            $crate::ProviderId::Fig7BoundedScan => $body!($crate::provider::Fig7BoundedScan),
+            $crate::ProviderId::ConstantTime => $body!($crate::provider::ConstantTime),
+            $crate::ProviderId::LockBaseline => $body!($crate::provider::LockBaseline),
+            $crate::ProviderId::KeepPerVar => $body!($crate::provider::KeepPerVar),
+            $crate::ProviderId::KeepWithRegistry => $body!($crate::provider::KeepWithRegistry),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for id in ProviderId::ALL {
+            assert_eq!(ProviderId::parse(id.name()), Ok(id));
+            assert_eq!(id.meta().id, id);
+            assert_eq!(id.to_string(), id.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ProviderId::ALL.iter().map(|id| id.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ProviderId::ALL.len());
+    }
+
+    #[test]
+    fn parse_error_lists_valid_names() {
+        let err = ProviderId::parse("nope").unwrap_err();
+        assert!(err.contains("fig4-native"));
+        assert!(err.contains("constant"));
+        assert!(err.contains("fig7-bounded-scan"));
+    }
+
+    #[test]
+    fn exactly_four_native_ablation_corners() {
+        let corners: Vec<ProviderId> = ProviderId::ALL
+            .iter()
+            .copied()
+            .filter(|id| id.meta().native_ablation)
+            .collect();
+        assert_eq!(
+            corners,
+            [
+                ProviderId::Fig4Native,
+                ProviderId::Fig4NativeSeqCst,
+                ProviderId::Fig4NativePadded,
+                ProviderId::Fig4NativePaddedSeqCst,
+            ]
+        );
+    }
+
+    #[test]
+    fn with_provider_dispatches_to_the_matching_type() {
+        macro_rules! id_of {
+            ($p:ty) => {
+                <$p as Provider>::ID
+            };
+        }
+        for id in ProviderId::ALL {
+            assert_eq!(with_provider!(id, id_of), id);
+        }
+    }
+
+    #[test]
+    fn for_each_provider_covers_the_whole_registry() {
+        let mut seen = Vec::new();
+        macro_rules! collect {
+            ($name:ident, $p:ty) => {
+                seen.push(<$p as Provider>::ID);
+            };
+        }
+        for_each_provider!(collect);
+        assert_eq!(seen, ProviderId::ALL.to_vec());
+    }
+
+    /// The three-step protocol works generically for every entry: build,
+    /// increment a few times single-threaded, read back.
+    fn smoke<P: Provider>() {
+        let env = P::env(2).expect("env");
+        let var = P::var(&env, 0).expect("var");
+        let mut tc = P::thread_ctx(&env, 0);
+        let mut ctx = P::ctx(&mut tc);
+        for _ in 0..10 {
+            let mut keep = <P::Var as LlScVar>::Keep::default();
+            loop {
+                let v = var.ll(&mut ctx, &mut keep);
+                if var.sc(&mut ctx, &mut keep, v + 1) {
+                    break;
+                }
+            }
+        }
+        assert_eq!(var.read(&mut ctx), 10);
+    }
+
+    #[test]
+    fn every_provider_smokes() {
+        macro_rules! run_smoke {
+            ($name:ident, $p:ty) => {
+                smoke::<$p>();
+            };
+        }
+        for_each_provider!(run_smoke);
+    }
+}

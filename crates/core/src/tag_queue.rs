@@ -145,6 +145,98 @@ impl TagQueue {
     }
 }
 
+/// The *paper-literal* tag queue: Figure 7 line 10 as written.
+///
+/// Line 10 reads `delete(Q, t); enqueue(Q, t)` over a plain queue, which
+/// costs a linear search of all `2Nk + 1` tags on **every** SC — the O(Nk)
+/// tag-reuse scan that the indexed [`TagQueue`] (the paper's own
+/// constant-time remark) eliminates. This implementation exists as the E9
+/// ablation baseline: registering it as the `fig7-bounded-scan` provider
+/// lets the experiment show the asymptotic gap instead of asserting it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanQueue {
+    q: std::collections::VecDeque<u32>,
+}
+
+impl ScanQueue {
+    /// Creates a queue containing `0, 1, …, universe - 1` in that order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe` is zero or exceeds `u32::MAX as usize`.
+    #[must_use]
+    pub fn new(universe: usize) -> Self {
+        assert!(universe > 0, "tag universe must be non-empty");
+        assert!(
+            universe <= u32::MAX as usize,
+            "tag universe too large for u32 links"
+        );
+        ScanQueue {
+            q: (0..universe as u32).collect(),
+        }
+    }
+
+    /// Number of tags in the universe.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Always false: the universe is non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Figure 7 line 12: dequeue + re-enqueue. O(1) even here.
+    pub fn rotate(&mut self) -> u64 {
+        let t = self.q.pop_front().expect("universe is non-empty");
+        self.q.push_back(t);
+        u64::from(t)
+    }
+
+    /// Figure 7 line 10, literally: `delete(Q, t); enqueue(Q, t)` by
+    /// linear search — **O(universe) per call**, the cost E9 measures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is outside the universe.
+    pub fn move_to_back(&mut self, tag: u64) {
+        assert!(
+            (tag as usize) < self.q.len(),
+            "tag {tag} outside universe of {}",
+            self.q.len()
+        );
+        let i = self
+            .q
+            .iter()
+            .position(|&x| u64::from(x) == tag)
+            .expect("every tag is always present");
+        self.q.remove(i);
+        self.q.push_back(tag as u32);
+    }
+
+    /// The queue contents front-to-back (for tests and audits).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.q.iter().map(|&x| u64::from(x)).collect()
+    }
+
+    /// Position of `tag` from the front (O(n); for tests and audits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is outside the universe.
+    #[must_use]
+    pub fn position(&self, tag: u64) -> usize {
+        assert!((tag as usize) < self.len(), "tag outside universe");
+        self.q
+            .iter()
+            .position(|&x| u64::from(x) == tag)
+            .expect("every tag is always present")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +380,40 @@ mod tests {
                 assert_eq!(q.position(t), i);
             }
         }
+    }
+
+    // The scan ablation must be behaviourally identical to the indexed
+    // queue — only the cost differs. Drive both with the same op stream.
+    #[test]
+    fn scan_queue_matches_indexed_queue() {
+        let mut rng = SplitMix64::new(0x7a67_0003);
+        for case in 0..100 {
+            let universe = 1 + rng.next_index(29);
+            let mut fast = TagQueue::new(universe);
+            let mut slow = ScanQueue::new(universe);
+            assert_eq!(fast.len(), slow.len());
+            assert!(!slow.is_empty());
+            for step in 0..rng.next_index(150) {
+                if rng.next_index(2) == 0 {
+                    assert_eq!(fast.rotate(), slow.rotate(), "case {case} step {step}");
+                } else {
+                    let tag = rng.next_below(universe as u64);
+                    fast.move_to_back(tag);
+                    slow.move_to_back(tag);
+                }
+                assert_eq!(fast.to_vec(), slow.to_vec(), "case {case} step {step}");
+            }
+            let v = slow.to_vec();
+            for (i, &t) in v.iter().enumerate() {
+                assert_eq!(slow.position(t), i);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn scan_queue_rejects_foreign_tag() {
+        let mut q = ScanQueue::new(3);
+        q.move_to_back(3);
     }
 }

@@ -29,7 +29,8 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use nbsp_core::{Backoff, CasLlSc, Native, TagLayout, WideHists, WideTotals};
+use nbsp_core::provider::Fig4Native;
+use nbsp_core::{Backoff, Provider, WideHists, WideTotals};
 use nbsp_memsim::ProcId;
 use nbsp_structures::stm_orec::OrecStm;
 use nbsp_structures::{Counter, Queue, Stack};
@@ -163,47 +164,61 @@ pub fn run_cell(cfg: &CellConfig, sinks: Option<&ServeSinks>) -> CellResult {
     assert!(cfg.requests > 0, "need at least one request");
     let sink = CellSink::new(cfg.workers + 1).unwrap();
 
+    // The LL/SC substrate comes from the provider registry
+    // (`nbsp_core::provider`), not a local construction list; serving
+    // cells run on the registry's Figure-4 native entry. The env gets one
+    // extra context slot for structure setup (index `cfg.workers`). The
+    // `let env` bindings keep the provider's generic shape even though
+    // this entry's `Env` happens to be `()`.
+    #[allow(clippy::let_unit_value)]
     match cfg.workload {
         Workload::Counter => {
-            let c = Counter::new(CasLlSc::new_native(TagLayout::half(), 0).unwrap());
-            drive(cfg, &sink, sinks, |_slot| {
+            let env = Fig4Native::env(cfg.workers + 1).unwrap();
+            let c = Counter::new(Fig4Native::var(&env, 0).unwrap());
+            drive(cfg, &sink, sinks, |slot| {
                 let c = &c;
-                let mut ctx = Native;
+                let mut tc = Fig4Native::thread_ctx(&env, slot);
                 move || {
-                    c.increment(&mut ctx);
+                    c.increment(&mut Fig4Native::ctx(&mut tc));
                 }
             });
         }
         Workload::Stack => {
-            let mut setup = Native;
+            let env = Fig4Native::env(cfg.workers + 1).unwrap();
+            let mut setup_tc = Fig4Native::thread_ctx(&env, cfg.workers);
+            let mut setup = Fig4Native::ctx(&mut setup_tc);
             let st = Stack::new(
                 2 * cfg.workers + 8,
-                CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
-                CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
+                Fig4Native::var(&env, 0).unwrap(),
+                Fig4Native::var(&env, 0).unwrap(),
                 &mut setup,
             );
             drive(cfg, &sink, sinks, |slot| {
                 let st = &st;
-                let mut ctx = Native;
+                let mut tc = Fig4Native::thread_ctx(&env, slot);
                 let v = slot as u64;
                 move || {
+                    let mut ctx = Fig4Native::ctx(&mut tc);
                     let _ = st.push(&mut ctx, v);
                     let _ = st.pop(&mut ctx);
                 }
             });
         }
         Workload::Queue => {
-            let mut setup = Native;
+            let env = Fig4Native::env(cfg.workers + 1).unwrap();
+            let mut setup_tc = Fig4Native::thread_ctx(&env, cfg.workers);
+            let mut setup = Fig4Native::ctx(&mut setup_tc);
             let q = Queue::new(
                 2 * cfg.workers + 8,
-                || CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
+                || Fig4Native::var(&env, 0).unwrap(),
                 &mut setup,
             );
             drive(cfg, &sink, sinks, |slot| {
                 let q = &q;
-                let mut ctx = Native;
+                let mut tc = Fig4Native::thread_ctx(&env, slot);
                 let v = slot as u64;
                 move || {
+                    let mut ctx = Fig4Native::ctx(&mut tc);
                     let _ = q.enqueue(&mut ctx, v);
                     let _ = q.dequeue(&mut ctx);
                 }

@@ -1,0 +1,169 @@
+//! Provider-conformance suite: every entry in the `nbsp_core::provider`
+//! registry must implement the same LL/VL/SC contract, checked through
+//! one generic body per property and stamped out over the whole registry
+//! by `for_each_provider!` — so a provider added to the registry is
+//! conformance-tested by construction, and one that breaks the contract
+//! fails here by name.
+//!
+//! Three properties per provider:
+//!
+//! * **semantics** — LL/VL/SC single-thread sequencing: an undisturbed
+//!   sequence validates and commits; a sequence whose variable changed
+//!   underneath (here: via a second context's committed SC) must fail
+//!   both VL and SC; CL abandons a sequence without poisoning the next.
+//! * **wraparound** — thousands of sequential increments force tag/stamp
+//!   reuse in every bounded scheme (the registry's tag universes and
+//!   version pools are all far smaller than the iteration count); values
+//!   must stay exact through every recycling boundary.
+//! * **linearization** — two writer threads race increments while a
+//!   reader polls; the counter must end exact (lost updates would mean a
+//!   falsely-successful SC) and reads must be monotone (a torn or stale
+//!   read would break linearizability of `read`).
+//!
+//! The suite is feature-independent: CI's no-default-features matrix runs
+//! the same assertions with telemetry compiled out.
+
+use nbsp_core::{for_each_provider, LlScVar, Provider};
+
+/// LL/VL/SC sequencing contract, one provider.
+fn semantics<P: Provider>() {
+    let env = P::env(3).expect("provider env");
+    let var = P::var(&env, 7).expect("provider var");
+
+    // Context 0: an undisturbed sequence reads, validates, and commits.
+    let mut tc0 = P::thread_ctx(&env, 0);
+    let mut ctx0 = P::ctx(&mut tc0);
+    let mut keep0 = <P::Var as LlScVar>::Keep::default();
+    assert_eq!(var.ll(&mut ctx0, &mut keep0), 7, "LL reads initial value");
+    assert!(var.vl(&mut ctx0, &keep0), "undisturbed VL validates");
+    assert!(var.sc(&mut ctx0, &mut keep0, 8), "undisturbed SC succeeds");
+    assert_eq!(var.read(&mut ctx0), 8, "committed value visible");
+
+    // A disturbed sequence: context 1 LLs, context 2 commits an SC in
+    // between, so context 1's VL and SC must both fail.
+    let mut tc1 = P::thread_ctx(&env, 1);
+    let mut tc2 = P::thread_ctx(&env, 2);
+    let mut ctx1 = P::ctx(&mut tc1);
+    let mut ctx2 = P::ctx(&mut tc2);
+    let mut keep1 = <P::Var as LlScVar>::Keep::default();
+    let mut keep2 = <P::Var as LlScVar>::Keep::default();
+    assert_eq!(var.ll(&mut ctx1, &mut keep1), 8);
+    let _ = var.ll(&mut ctx2, &mut keep2);
+    assert!(var.sc(&mut ctx2, &mut keep2, 9), "interfering SC commits");
+    assert!(!var.vl(&mut ctx1, &keep1), "VL must fail after interference");
+    assert!(
+        !var.sc(&mut ctx1, &mut keep1, 10),
+        "SC must fail after interference"
+    );
+    assert_eq!(var.read(&mut ctx1), 9, "failed SC must not write");
+
+    // CL abandons a sequence; the next sequence on the same context is
+    // unaffected.
+    let mut keep = <P::Var as LlScVar>::Keep::default();
+    let _ = var.ll(&mut ctx0, &mut keep);
+    var.cl(&mut ctx0, &mut keep);
+    let mut keep = <P::Var as LlScVar>::Keep::default();
+    let v = var.ll(&mut ctx0, &mut keep);
+    assert!(var.sc(&mut ctx0, &mut keep, v + 1), "SC after CL succeeds");
+    assert_eq!(var.read(&mut ctx0), 10);
+}
+
+/// Tag/stamp wraparound, one provider: enough sequential successful SCs
+/// to cycle every tag universe and version pool in the registry several
+/// times over.
+fn wraparound<P: Provider>() {
+    const OPS: u64 = 3_000;
+    let env = P::env(2).expect("provider env");
+    let var = P::var(&env, 0).expect("provider var");
+    let mut tc = P::thread_ctx(&env, 0);
+    let mut ctx = P::ctx(&mut tc);
+    let mut keep = <P::Var as LlScVar>::Keep::default();
+    // Stay within every provider's value width (the emulated-CAS entry
+    // steals tag bits from the value field).
+    let mask = var.max_val().min(0xFFFF);
+    for i in 0..OPS {
+        let v = var.ll(&mut ctx, &mut keep);
+        assert_eq!(v, i & mask, "value drift at op {i}");
+        assert!(
+            var.sc(&mut ctx, &mut keep, (i + 1) & mask),
+            "uncontended SC failed at op {i}"
+        );
+    }
+    assert_eq!(var.read(&mut ctx), OPS & mask);
+}
+
+/// Multi-thread linearization, one provider: 2 racing writers + 1
+/// polling reader.
+fn linearization<P: Provider>() {
+    const WRITERS: usize = 2;
+    const PER_WRITER: u64 = 2_000;
+    // WRITERS contexts + the polling reader + one more for the final
+    // read (each thread_ctx claims its slot once).
+    let env = P::env(WRITERS + 2).expect("provider env");
+    let var = P::var(&env, 0).expect("provider var");
+    std::thread::scope(|s| {
+        for t in 0..WRITERS {
+            let var = &var;
+            let mut tc = P::thread_ctx(&env, t);
+            s.spawn(move || {
+                let mut ctx = P::ctx(&mut tc);
+                let mut keep = <P::Var as LlScVar>::Keep::default();
+                for _ in 0..PER_WRITER {
+                    loop {
+                        let v = var.ll(&mut ctx, &mut keep);
+                        if var.sc(&mut ctx, &mut keep, v + 1) {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        let var = &var;
+        let mut tc = P::thread_ctx(&env, WRITERS);
+        s.spawn(move || {
+            let mut ctx = P::ctx(&mut tc);
+            let mut prev = 0;
+            for _ in 0..1_000 {
+                let v = var.read(&mut ctx);
+                assert!(v >= prev, "non-monotone read: {v} after {prev}");
+                assert!(
+                    v <= WRITERS as u64 * PER_WRITER,
+                    "read beyond total increments: {v}"
+                );
+                prev = v;
+            }
+        });
+    });
+    let mut tc = P::thread_ctx(&env, WRITERS + 1);
+    let mut ctx = P::ctx(&mut tc);
+    assert_eq!(
+        var.read(&mut ctx),
+        WRITERS as u64 * PER_WRITER,
+        "lost updates: some SC falsely succeeded"
+    );
+}
+
+// The module generated per provider by `for_each_provider!`: three
+// `#[test]`s per registry entry, named by the provider's snake_case slug.
+macro_rules! conformance {
+    ($name:ident, $provider:ty) => {
+        mod $name {
+            #[test]
+            fn semantics() {
+                super::semantics::<$provider>();
+            }
+
+            #[test]
+            fn wraparound() {
+                super::wraparound::<$provider>();
+            }
+
+            #[test]
+            fn linearization() {
+                super::linearization::<$provider>();
+            }
+        }
+    };
+}
+
+for_each_provider!(conformance);
