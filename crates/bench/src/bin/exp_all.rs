@@ -1,6 +1,7 @@
-//! Regenerates every experiment table in `EXPERIMENTS.md` (E1–E5, E7–E12;
+//! Regenerates every experiment table in `EXPERIMENTS.md` (E1–E5, E7–E13;
 //! E6 is `examples/concurrent_sequences.rs` / `tests/figure1.rs`; the
-//! model-checking certificates are the separate `exp_modelcheck` binary).
+//! figure-level model-checking certificates and the `BENCH_modelcheck.json`
+//! artifact are the separate `exp_modelcheck` binary).
 //!
 //! Run with `--quick` for a fast smoke pass. Failures are attributed per
 //! experiment module and the process exits nonzero if any module failed.
@@ -39,6 +40,10 @@ fn main() -> ExitCode {
         (
             "e12_serve",
             Box::new(move || e12_serve::run(if quick { 20_000 } else { 200_000 }).to_string()),
+        ),
+        (
+            "e13_modelcheck",
+            Box::new(move || e13_modelcheck::run(quick).to_string()),
         ),
     ])
 }

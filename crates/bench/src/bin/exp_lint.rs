@@ -1,0 +1,31 @@
+//! Repo-invariant lint pass (`nbsp_check::lint`), as a CI gate.
+//!
+//! Walks every Rust source file in the repository and mechanizes the
+//! conventions the review process otherwise has to carry by hand: memory
+//! orderings stay acquire/release outside the sanctioned files,
+//! per-process slot arrays stay cache-line padded, provider names and
+//! construction dispatch stay confined to the registry, the telemetry
+//! stub keeps API parity with the real implementation, and every
+//! `BENCH_*.json` artifact declares a schema version. Allowlist entries
+//! that stop matching anything are themselves findings, so the allowlists
+//! cannot rot.
+//!
+//! Prints every finding (`[rule] path:line: message`) and exits nonzero
+//! if there are any. No arguments.
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // The binary lives in crates/bench; the repo root is two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = nbsp_check::run_lints(&root);
+    if findings.is_empty() {
+        eprintln!("[nbsp-lint] clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!("[nbsp-lint] {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -1,11 +1,30 @@
-//! Mechanical certificates: exhaustive model checking of the paper's
-//! pseudocode (Figures 3, 5 and 6) over every interleaving of small
-//! configurations. See `EXPERIMENTS.md` ("model checking" section).
+//! Model checking, two layers deep.
+//!
+//! **Certificates** (first section): exhaustive interleaving checks of the
+//! paper's *pseudocode* — the explicit step machines for Figures 3, 5, 6
+//! and 7 in `nbsp-linearize` — including negative controls (disabled tags,
+//! undersized tag universes) showing which mechanisms are load-bearing.
+//!
+//! **E13** (second section): DPOR model checking of the *shipped
+//! providers* via `nbsp-check` — every registry entry runs on real
+//! threads under a cooperative scheduler, every interleaving of its
+//! shared accesses is enumerated, and every distinct history is checked
+//! against the Figure-2 specification. Writes `BENCH_modelcheck.json`
+//! (schema documented in `e13_modelcheck::to_json`) and hard-fails on any
+//! violation, any capped exploration, a pruning ratio below 2x, or a
+//! missed planted bug.
+//!
+//! `--quick` restricts the E13 sweep to the base configuration per
+//! provider (CI uses this).
+use std::process::ExitCode;
+
+use nbsp_bench::experiments::e13_modelcheck;
+use nbsp_bench::runner::run_experiment;
 use nbsp_linearize::modelcheck::{check_figure3, check_figure5, CasOp, LlScOp};
 use nbsp_linearize::modelcheck_bounded::{check_figure7, BoundedOp};
 use nbsp_linearize::modelcheck_wide::{check_figure6, WideOp};
 
-fn main() {
+fn certificates() {
     println!("### Mechanical certificates (exhaustive interleaving checks)\n");
 
     let r = check_figure3(
@@ -130,4 +149,22 @@ fn main() {
         r.executions,
         r.holds()
     );
+    println!();
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    certificates();
+    run_experiment("e13_modelcheck", move || {
+        let r = e13_modelcheck::collect(quick);
+        let json = e13_modelcheck::to_json(&r);
+        std::fs::write("BENCH_modelcheck.json", &json)
+            .expect("writing BENCH_modelcheck.json failed");
+        eprintln!("[nbsp-bench] wrote BENCH_modelcheck.json");
+        let report = e13_modelcheck::render(&r).to_string();
+        // Gates run after the artifact is written so a red run still
+        // leaves the numbers on disk for the postmortem.
+        e13_modelcheck::enforce(&r);
+        report
+    })
 }

@@ -13,6 +13,7 @@
 //! | [`e10_disjoint`] | E10 | Figures 3/4/5 are disjoint-access parallel; 6/7 are not but contention stays moderate |
 //! | [`e11_telemetry`] | E11 | telemetry is free when disabled; Figure-6 snapshots never tear, racy ones do |
 //! | [`e12_serve`] | E12 | open-loop serving: latency percentiles vs intended arrivals; single-word token-bucket admission caps the tail |
+//! | [`e13_modelcheck`] | E13 | every registry provider is linearizable under exhaustive DPOR on small configurations; DPOR prunes ≥2x vs naive DFS; a planted tag-drop bug is caught |
 //!
 //! (E6 — Figure 1 — is `examples/concurrent_sequences.rs` and
 //! `tests/figure1.rs`.)
@@ -20,6 +21,7 @@
 pub mod e10_disjoint;
 pub mod e11_telemetry;
 pub mod e12_serve;
+pub mod e13_modelcheck;
 pub mod e1_time;
 pub mod e2_wide;
 pub mod e3_space;

@@ -1,0 +1,536 @@
+//! Schedule-controlled execution of one multi-process program on a real
+//! provider.
+//!
+//! This is the "stateless" half of a CHESS/Loom-style model checker: each
+//! call to [`run_execution`] builds a **fresh** environment and variable for
+//! the provider under test, spawns one real OS thread per process, and
+//! drives them with a strict token hand-off — at any instant exactly one
+//! thread (the controller or a single worker) is running. Workers park at
+//! every shared access via the [`nbsp_memsim::sched`] yield-point hook; the
+//! controller decides, access by access, who moves next.
+//!
+//! Determinism is the load-bearing property: replaying the same schedule
+//! prefix always reproduces the same accesses, the same history and the
+//! same logical-clock stamps, because
+//!
+//! * the environment is rebuilt from scratch (same seeds, same initial
+//!   state) for every execution;
+//! * workers only run between a grant and their next yield point, so every
+//!   shared access, every history push and every clock tick happens in the
+//!   single global order the schedule dictates;
+//! * the one non-interleaving source of nondeterminism — spurious RSC
+//!   failure — is itself a scheduler [`Decision`], enumerated explicitly.
+//!
+//! Operation intervals are stamped conservatively: `invoked` is ticked
+//! before the operation's first shared access and `returned` after its
+//! last, both while holding the token, so the recorded interval always
+//! contains the operation's linearization point and a non-linearizable
+//! recorded history corresponds to a real violation.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use nbsp_core::provider::Provider;
+use nbsp_core::LlScVar;
+use nbsp_linearize::{Completed, Op, Ret};
+use nbsp_memsim::sched::{self, AccessKind, Decision, SchedulePoint};
+use nbsp_memsim::ProcId;
+
+/// One operation of a per-process plan, in the Figure-2 vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Load-linked.
+    Ll,
+    /// Validate the pending sequence.
+    Vl,
+    /// Store-conditional of the given value.
+    Sc(u64),
+    /// Plain read.
+    Read,
+}
+
+/// A closed multi-process program over one shared LL/VL/SC variable.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Initial value of the shared variable.
+    pub initial: u64,
+    /// One plan per process; `plans.len()` is the process count.
+    pub plans: Vec<Vec<PlanOp>>,
+    /// Maximum number of scheduler-forced spurious RSC failures per
+    /// schedule (the paper's "occasional" adversary, bounded).
+    pub spurious_budget: u32,
+}
+
+impl Program {
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+/// A sleep-set entry: an already-explored alternative `(proc, decision)`
+/// together with the shared access it would perform, so dependence with
+/// later steps can wake it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SleepEntry {
+    /// Process of the sleeping choice.
+    pub proc: usize,
+    /// Decision of the sleeping choice.
+    pub decision: Decision,
+    /// Logical address (see [`StepRec::addr`]) the sleeping choice would
+    /// access.
+    pub addr: usize,
+    /// Kind of access the sleeping choice would perform.
+    pub kind: AccessKind,
+}
+
+impl SleepEntry {
+    /// True iff this sleeping choice commutes with an executed access by
+    /// `proc` to `(addr, kind)` and may therefore stay asleep.
+    #[must_use]
+    pub fn independent_of(&self, proc: usize, addr: usize, kind: AccessKind) -> bool {
+        self.proc != proc && (self.addr != addr || (self.kind.is_read_only() && kind.is_read_only()))
+    }
+}
+
+/// One scheduling decision of a completed execution, with the state
+/// snapshot the DPOR driver needs for race analysis and backtracking.
+#[derive(Clone, Debug)]
+pub struct StepRec {
+    /// Process granted the step.
+    pub proc: usize,
+    /// Decision handed to it.
+    pub decision: Decision,
+    /// **Logical** address it accessed: the first-touch index of the raw
+    /// address within this execution. Raw heap addresses are useless as
+    /// identities across executions — every execution allocates a fresh
+    /// environment, and the allocator may or may not hand back the same
+    /// blocks — so the controller renames them at each decision point, in
+    /// process-index order. The set of pending accesses at a decision
+    /// point is schedule-determined, so along a common schedule prefix two
+    /// executions assign identical logical addresses, which is exactly the
+    /// stability the DPOR driver's cross-execution sleep sets and
+    /// backtrack analysis need.
+    pub addr: usize,
+    /// Kind of access it performed.
+    pub kind: AccessKind,
+    /// Processes parked (runnable) immediately before this step.
+    pub enabled: Vec<usize>,
+    /// Per-process pending access — logical address and kind — immediately
+    /// before this step (`None` for processes already finished or not yet
+    /// parked).
+    pub pending: Vec<Option<(usize, AccessKind)>>,
+}
+
+/// Renames a raw address to its first-touch index (the logical address).
+fn logical_addr(map: &mut Vec<usize>, raw: usize) -> usize {
+    map.iter().position(|&r| r == raw).unwrap_or_else(|| {
+        map.push(raw);
+        map.len() - 1
+    })
+}
+
+/// A completed (or sleep-blocked) execution.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// The scheduling decisions taken, in order.
+    pub steps: Vec<StepRec>,
+    /// The recorded history (empty for blocked executions).
+    pub history: Vec<Completed>,
+    /// True iff the run was abandoned because every runnable process was
+    /// in the sleep set (the schedule is covered by an earlier execution).
+    pub blocked: bool,
+}
+
+#[derive(Debug)]
+enum Phase {
+    AtStart,
+    Parked { addr: usize, kind: AccessKind },
+    Running,
+    Done,
+}
+
+struct SchedState {
+    phase: Vec<Phase>,
+    grant: Option<(usize, Decision)>,
+    /// Once set, workers stop parking and free-run to completion; the
+    /// execution's steps and history are discarded by the caller.
+    abort: bool,
+    clock: u64,
+    history: Vec<Completed>,
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Shared {
+    m: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+struct WorkerHook {
+    shared: Arc<Shared>,
+    p: usize,
+}
+
+impl SchedulePoint for WorkerHook {
+    fn yield_point(&self, addr: usize, kind: AccessKind) -> Decision {
+        let mut g = self.shared.m.lock().unwrap();
+        if g.abort {
+            return Decision::Proceed;
+        }
+        g.phase[self.p] = Phase::Parked { addr, kind };
+        self.shared.cv.notify_all();
+        loop {
+            if g.abort {
+                g.phase[self.p] = Phase::Running;
+                return Decision::Proceed;
+            }
+            if let Some((w, d)) = g.grant {
+                if w == self.p {
+                    g.grant = None;
+                    g.phase[self.p] = Phase::Running;
+                    return d;
+                }
+            }
+            g = self.shared.cv.wait(g).unwrap();
+        }
+    }
+}
+
+fn tick(shared: &Shared) -> u64 {
+    let mut g = shared.m.lock().unwrap();
+    g.clock += 1;
+    g.clock
+}
+
+fn wait_for_start(shared: &Shared, p: usize) {
+    let mut g = shared.m.lock().unwrap();
+    loop {
+        if g.abort {
+            g.phase[p] = Phase::Running;
+            return;
+        }
+        if let Some((w, _)) = g.grant {
+            if w == p {
+                g.grant = None;
+                g.phase[p] = Phase::Running;
+                return;
+            }
+        }
+        g = shared.cv.wait(g).unwrap();
+    }
+}
+
+fn worker_body<P: Provider>(
+    shared: &Arc<Shared>,
+    var: &P::Var,
+    mut tc: P::ThreadCtx,
+    p: usize,
+    plan: &[PlanOp],
+) {
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut ctx = P::ctx(&mut tc);
+        let hook: Arc<dyn SchedulePoint> = Arc::new(WorkerHook {
+            shared: Arc::clone(shared),
+            p,
+        });
+        let _guard = sched::install(hook);
+        wait_for_start(shared, p);
+        let mut keep = <P::Var as LlScVar>::Keep::default();
+        for op in plan {
+            let invoked = tick(shared);
+            let (op, ret) = match *op {
+                PlanOp::Ll => (Op::Ll, Ret::Value(var.ll(&mut ctx, &mut keep))),
+                PlanOp::Vl => (Op::Vl, Ret::Bool(var.vl(&mut ctx, &keep))),
+                PlanOp::Sc(x) => (Op::Sc(x), Ret::Bool(var.sc(&mut ctx, &mut keep, x))),
+                PlanOp::Read => (Op::Read, Ret::Value(var.read(&mut ctx))),
+            };
+            let returned = tick(shared);
+            let mut g = shared.m.lock().unwrap();
+            g.history.push(Completed {
+                proc: ProcId::new(p),
+                op,
+                ret,
+                invoked,
+                returned,
+            });
+        }
+    }));
+    let mut g = shared.m.lock().unwrap();
+    if let Err(payload) = result {
+        if g.panic_payload.is_none() {
+            g.panic_payload = Some(payload);
+        }
+        g.abort = true;
+    }
+    // A grant addressed to this worker can never be consumed once it is
+    // done; leaving it would wedge the controller's quiescence wait.
+    if matches!(g.grant, Some((w, _)) if w == p) {
+        g.grant = None;
+    }
+    g.phase[p] = Phase::Done;
+    shared.cv.notify_all();
+}
+
+/// Blocks until no worker is mid-step: no grant outstanding and nobody
+/// `Running` (everyone parked, at start, or done).
+fn wait_quiescent(shared: &Shared) -> MutexGuard<'_, SchedState> {
+    let mut g = shared.m.lock().unwrap();
+    loop {
+        if matches!(g.grant, Some((w, _)) if matches!(g.phase[w], Phase::Done)) {
+            g.grant = None;
+        }
+        let busy = g.grant.is_some() || g.phase.iter().any(|ph| matches!(ph, Phase::Running));
+        if !busy {
+            return g;
+        }
+        g = shared.cv.wait(g).unwrap();
+    }
+}
+
+/// Sets the abort flag and waits for every worker to free-run to
+/// completion. Aborted runs produce garbage steps/history; callers discard
+/// them.
+fn abort_and_drain(shared: &Shared) {
+    let mut g = shared.m.lock().unwrap();
+    g.abort = true;
+    shared.cv.notify_all();
+    while !g.phase.iter().all(|ph| matches!(ph, Phase::Done)) {
+        g = shared.cv.wait(g).unwrap();
+    }
+}
+
+/// Runs one execution of `program` on provider `P`.
+///
+/// The first `prefix.len()` scheduling decisions replay `prefix` verbatim;
+/// beyond it the default policy runs the lowest-indexed runnable process
+/// whose `(proc, Proceed)` choice is not in the (evolving) sleep set,
+/// starting from `frontier_sleep` — the sleep set in force immediately
+/// after the prefix. If at some point every runnable process is asleep the
+/// execution is abandoned with [`ExecOutcome::blocked`] set.
+///
+/// # Errors
+///
+/// Propagates the provider's environment/variable construction errors.
+///
+/// # Panics
+///
+/// Re-raises any panic from the code under test, and panics if replaying
+/// `prefix` diverges (which would indicate the execution is not
+/// deterministic — a checker bug, never a property of the code under
+/// test).
+pub fn run_execution<P: Provider>(
+    program: &Program,
+    prefix: &[(usize, Decision)],
+    frontier_sleep: &[SleepEntry],
+) -> Result<ExecOutcome, nbsp_core::Error> {
+    let n = program.n();
+    assert!(n > 0, "program needs at least one process");
+    let env = P::env(n)?;
+    let var = P::var(&env, program.initial)?;
+    let tcs: Vec<P::ThreadCtx> = (0..n).map(|p| P::thread_ctx(&env, p)).collect();
+    let shared = Arc::new(Shared {
+        m: Mutex::new(SchedState {
+            phase: (0..n).map(|_| Phase::AtStart).collect(),
+            grant: None,
+            abort: false,
+            clock: 0,
+            history: Vec::new(),
+            panic_payload: None,
+        }),
+        cv: Condvar::new(),
+    });
+
+    let mut steps: Vec<StepRec> = Vec::new();
+    let mut blocked = false;
+
+    std::thread::scope(|s| {
+        let var = &var;
+        for (p, tc) in tcs.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let plan = program.plans[p].clone();
+            s.spawn(move || worker_body::<P>(&shared, var, tc, p, &plan));
+        }
+
+        // Preamble: run each worker, in index order, from its entry point
+        // to its first yield point. These grants are not schedule steps —
+        // no shared access happens before the first yield.
+        for p in 0..n {
+            let mut g = wait_quiescent(&shared);
+            if g.abort {
+                break;
+            }
+            debug_assert!(matches!(g.phase[p], Phase::AtStart | Phase::Done));
+            if matches!(g.phase[p], Phase::AtStart) {
+                g.grant = Some((p, Decision::Proceed));
+                drop(g);
+                shared.cv.notify_all();
+            }
+        }
+
+        let mut sleep: Vec<SleepEntry> = frontier_sleep.to_vec();
+        let mut addr_map: Vec<usize> = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let g = wait_quiescent(&shared);
+            if g.abort || g.panic_payload.is_some() {
+                drop(g);
+                abort_and_drain(&shared);
+                break;
+            }
+            let parked: Vec<usize> = (0..n)
+                .filter(|&p| matches!(g.phase[p], Phase::Parked { .. }))
+                .collect();
+            if parked.is_empty() {
+                debug_assert!(g.phase.iter().all(|ph| matches!(ph, Phase::Done)));
+                break;
+            }
+            // Rename raw addresses to logical ones in process-index order —
+            // deterministic because the pending *set* at a decision point is
+            // determined by the schedule, even though parking order is not.
+            let pending: Vec<Option<(usize, AccessKind)>> = (0..n)
+                .map(|p| match g.phase[p] {
+                    Phase::Parked { addr, kind } => Some((logical_addr(&mut addr_map, addr), kind)),
+                    _ => None,
+                })
+                .collect();
+            let (proc, decision) = if pos < prefix.len() {
+                let c = prefix[pos];
+                if !parked.contains(&c.0) {
+                    // Divergence means execution is not deterministic — a
+                    // checker bug. Drain first so the spawn scope can join.
+                    drop(g);
+                    abort_and_drain(&shared);
+                    panic!(
+                        "schedule replay diverged: process {} is not runnable at step {pos}",
+                        c.0
+                    );
+                }
+                c
+            } else {
+                match parked.iter().copied().find(|&p| {
+                    !sleep
+                        .iter()
+                        .any(|e| e.proc == p && e.decision == Decision::Proceed)
+                }) {
+                    Some(p) => (p, Decision::Proceed),
+                    None => {
+                        blocked = true;
+                        drop(g);
+                        abort_and_drain(&shared);
+                        break;
+                    }
+                }
+            };
+            let (addr, kind) = pending[proc].expect("granted process must be parked");
+            steps.push(StepRec {
+                proc,
+                decision,
+                addr,
+                kind,
+                enabled: parked,
+                pending,
+            });
+            if pos >= prefix.len() {
+                sleep.retain(|e| e.independent_of(proc, addr, kind));
+            }
+            let mut g = g;
+            g.grant = Some((proc, decision));
+            drop(g);
+            shared.cv.notify_all();
+            pos += 1;
+        }
+    });
+
+    let mut g = shared.m.lock().unwrap();
+    if let Some(payload) = g.panic_payload.take() {
+        panic::resume_unwind(payload);
+    }
+    let history = std::mem::take(&mut g.history);
+    drop(g);
+    if blocked {
+        return Ok(ExecOutcome {
+            steps,
+            history: Vec::new(),
+            blocked: true,
+        });
+    }
+    Ok(ExecOutcome {
+        steps,
+        history,
+        blocked: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbsp_core::provider::{Fig4Native, LockBaseline};
+    use nbsp_linearize::{is_linearizable, LlScSpec};
+
+    fn incr_program(n: usize) -> Program {
+        Program {
+            initial: 0,
+            plans: (0..n).map(|p| vec![PlanOp::Ll, PlanOp::Sc(p as u64 + 1)]).collect(),
+            spurious_budget: 0,
+        }
+    }
+
+    #[test]
+    fn default_policy_runs_to_completion() {
+        let exec = run_execution::<Fig4Native>(&incr_program(2), &[], &[]).unwrap();
+        assert!(!exec.blocked);
+        assert_eq!(exec.history.len(), 4, "two ops per process");
+        assert!(is_linearizable(LlScSpec::new(2, 0), &exec.history));
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let first = run_execution::<LockBaseline>(&incr_program(2), &[], &[]).unwrap();
+        let prefix: Vec<_> = first.steps.iter().map(|s| (s.proc, s.decision)).collect();
+        let second = run_execution::<LockBaseline>(&incr_program(2), &prefix, &[]).unwrap();
+        assert_eq!(first.history, second.history);
+        assert_eq!(first.steps.len(), second.steps.len());
+        for (a, b) in first.steps.iter().zip(&second.steps) {
+            assert_eq!((a.proc, a.decision, a.addr, a.kind), (b.proc, b.decision, b.addr, b.kind));
+        }
+    }
+
+    #[test]
+    fn prefix_steers_the_interleaving() {
+        // Interleave p1's whole LL;SC inside p0's LL…SC window: p1's
+        // successful SC invalidates p0's reservation, so p0's SC must
+        // fail. Each LockBaseline operation is exactly one access.
+        let program = incr_program(2);
+        let prefix = vec![
+            (0, Decision::Proceed), // p0: LL
+            (1, Decision::Proceed), // p1: LL
+            (1, Decision::Proceed), // p1: SC -> true
+            (0, Decision::Proceed), // p0: SC -> false
+        ];
+        let exec = run_execution::<LockBaseline>(&program, &prefix, &[]).unwrap();
+        let p0_sc = exec
+            .history
+            .iter()
+            .find(|c| c.proc.index() == 0 && matches!(c.op, Op::Sc(_)))
+            .unwrap();
+        assert_eq!(p0_sc.ret, Ret::Bool(false), "p1's SC intervened before p0's");
+        assert!(is_linearizable(LlScSpec::new(2, 0), &exec.history));
+    }
+
+    #[test]
+    fn sleep_block_abandons_the_run() {
+        // Every process asleep at the first post-prefix decision.
+        let sleep: Vec<SleepEntry> = (0..2)
+            .map(|p| SleepEntry {
+                proc: p,
+                decision: Decision::Proceed,
+                addr: 0,
+                kind: AccessKind::Write,
+            })
+            .collect();
+        let exec = run_execution::<Fig4Native>(&incr_program(2), &[], &sleep).unwrap();
+        assert!(exec.blocked);
+        assert!(exec.history.is_empty());
+    }
+}

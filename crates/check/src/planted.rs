@@ -1,0 +1,175 @@
+//! A deliberately broken provider proving the checker is not vacuous.
+//!
+//! [`PlantedTagDrop`] implements Figure 4's word layout — `(tag, value)`
+//! packed in one CAS word — but its SC installs the new value with the
+//! **same** tag instead of `tag + 1`. That is precisely the ABA bug the
+//! paper's tag exists to prevent: an LL/SC sequence that straddles a
+//! "value changed away and back" episode validates successfully even
+//! though successful SCs intervened. The model checker must find a
+//! concrete schedule whose recorded history the Wing–Gong checker rejects;
+//! `exp_modelcheck` and a unit test gate on it.
+//!
+//! The fixture lives here, not in `nbsp-core`, so the broken construction
+//! can never be registered or benchmarked by accident. It reuses
+//! [`ProviderId::Fig4Native`] as its nominal identity because the
+//! [`Provider`] trait requires one and the registry deliberately cannot
+//! name out-of-tree constructions; the checker never consults the id.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nbsp_core::provider::Provider;
+use nbsp_core::{LlScVar, Native, ProviderId, Result};
+use nbsp_memsim::sched::{self, AccessKind};
+
+const VALUE_BITS: u32 = 32;
+const VALUE_MASK: u64 = (1 << VALUE_BITS) - 1;
+
+/// The broken variable: Figure 4's packed `(tag, value)` word whose SC
+/// forgets to increment the tag.
+#[derive(Debug)]
+pub struct PlantedTagDropVar {
+    word: AtomicU64,
+}
+
+impl PlantedTagDropVar {
+    /// Creates the variable holding `initial` (must fit in 32 value bits).
+    #[must_use]
+    pub fn new(initial: u64) -> Self {
+        assert!(initial <= VALUE_MASK, "initial value exceeds 32 bits");
+        PlantedTagDropVar {
+            word: AtomicU64::new(initial),
+        }
+    }
+
+    fn hook(&self, kind: AccessKind) {
+        let _ = sched::yield_point(std::ptr::from_ref(&self.word) as usize, kind);
+    }
+}
+
+impl LlScVar for PlantedTagDropVar {
+    /// The packed word observed by the pending LL, if any.
+    type Keep = Option<u64>;
+    type Ctx<'a> = Native;
+
+    fn ll(&self, _ctx: &mut Native, keep: &mut Option<u64>) -> u64 {
+        self.hook(AccessKind::Read);
+        let w = self.word.load(Ordering::Acquire);
+        *keep = Some(w);
+        w & VALUE_MASK
+    }
+
+    fn vl(&self, _ctx: &mut Native, keep: &Option<u64>) -> bool {
+        keep.is_some_and(|w| {
+            self.hook(AccessKind::Read);
+            self.word.load(Ordering::Acquire) == w
+        })
+    }
+
+    fn sc(&self, _ctx: &mut Native, keep: &mut Option<u64>, new: u64) -> bool {
+        keep.take().is_some_and(|w| {
+            self.hook(AccessKind::Cas);
+            // BUG (deliberate): Figure 4 installs (tag + 1, new); this
+            // installs (tag, new), so the word can return to a previously
+            // observed bit pattern and an SC that must fail succeeds.
+            let tag = w & !VALUE_MASK;
+            self.word
+                .compare_exchange(w, tag | new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        })
+    }
+
+    fn cl(&self, _ctx: &mut Native, keep: &mut Option<u64>) {
+        *keep = None;
+    }
+
+    fn read(&self, _ctx: &mut Native) -> u64 {
+        self.hook(AccessKind::Read);
+        self.word.load(Ordering::Acquire) & VALUE_MASK
+    }
+
+    fn max_val(&self) -> u64 {
+        VALUE_MASK
+    }
+}
+
+/// The broken construction as a [`Provider`], for the model checker only.
+#[derive(Debug)]
+pub struct PlantedTagDrop;
+
+impl Provider for PlantedTagDrop {
+    // Nominal only — see the module docs; never registered.
+    const ID: ProviderId = ProviderId::Fig4Native;
+    type Var = PlantedTagDropVar;
+    type Env = ();
+    type ThreadCtx = Native;
+
+    fn env(_n: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn var(_env: &(), initial: u64) -> Result<PlantedTagDropVar> {
+        Ok(PlantedTagDropVar::new(initial))
+    }
+
+    fn thread_ctx(_env: &(), _p: usize) -> Native {
+        Native
+    }
+
+    fn ctx(tc: &mut Native) -> Native {
+        *tc
+    }
+}
+
+/// The program on which the checker must expose the dropped tag: p1 drives
+/// the value away and back (`0 → 7 → 0`) inside p0's LL…SC window; with
+/// the tag dropped, p0's SC succeeds although two successful SCs
+/// intervened — a real-time-ordered history the specification forbids.
+#[must_use]
+pub fn aba_program() -> crate::exec::Program {
+    use crate::exec::PlanOp;
+    crate::exec::Program {
+        initial: 0,
+        plans: vec![
+            vec![PlanOp::Ll, PlanOp::Sc(9)],
+            vec![PlanOp::Ll, PlanOp::Sc(7), PlanOp::Ll, PlanOp::Sc(0)],
+        ],
+        spurious_budget: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpor::{check, Mode};
+    use nbsp_core::provider::Fig4Native;
+    use nbsp_linearize::is_linearizable;
+    use nbsp_linearize::LlScSpec;
+
+    #[test]
+    fn checker_finds_the_planted_aba_bug() {
+        let out = check::<PlantedTagDrop>(&aba_program(), Mode::Dpor, 1 << 20).unwrap();
+        let v = out.violation.expect("the dropped tag must be caught");
+        assert!(
+            !is_linearizable(LlScSpec::new(2, 0), &v.history),
+            "the reported history must itself fail the Wing-Gong check"
+        );
+        // The counterexample must replay deterministically to the same
+        // violating history.
+        let replay =
+            crate::exec::run_execution::<PlantedTagDrop>(&aba_program(), &v.schedule, &[]).unwrap();
+        assert_eq!(replay.history, v.history);
+    }
+
+    #[test]
+    fn naive_mode_also_finds_it() {
+        let out = check::<PlantedTagDrop>(&aba_program(), Mode::Naive, 1 << 20).unwrap();
+        assert!(out.violation.is_some());
+    }
+
+    #[test]
+    fn the_real_figure4_passes_the_same_program() {
+        let out = check::<Fig4Native>(&aba_program(), Mode::Dpor, 1 << 20).unwrap();
+        assert!(out.violation.is_none(), "the tag increment is what saves Figure 4");
+        assert!(!out.capped);
+    }
+}

@@ -27,7 +27,15 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use nbsp_memsim::sched::{self, AccessKind};
 use nbsp_memsim::{Processor, SimWord};
+
+/// Schedule-point for a native atomic cell: a no-op unless the calling
+/// thread is running under `nbsp-check`'s cooperative scheduler.
+#[inline]
+fn hook(cell: &AtomicU64, kind: AccessKind) {
+    let _ = sched::yield_point(std::ptr::from_ref(cell) as usize, kind);
+}
 
 /// Storage family for 64-bit shared cells supporting load, store and CAS.
 ///
@@ -158,32 +166,38 @@ impl CasMemory for Native {
 
     #[inline]
     fn load(&self, cell: &AtomicU64) -> u64 {
+        hook(cell, AccessKind::Read);
         cell.load(Ordering::SeqCst)
     }
 
     #[inline]
     fn store(&self, cell: &AtomicU64, value: u64) {
+        hook(cell, AccessKind::Write);
         cell.store(value, Ordering::SeqCst);
     }
 
     #[inline]
     fn cas(&self, cell: &AtomicU64, old: u64, new: u64) -> bool {
+        hook(cell, AccessKind::Cas);
         cell.compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
     }
 
     #[inline]
     fn load_acquire(&self, cell: &AtomicU64) -> u64 {
+        hook(cell, AccessKind::Read);
         cell.load(Ordering::Acquire)
     }
 
     #[inline]
     fn store_release(&self, cell: &AtomicU64, value: u64) {
+        hook(cell, AccessKind::Write);
         cell.store(value, Ordering::Release);
     }
 
     #[inline]
     fn cas_acqrel(&self, cell: &AtomicU64, old: u64, new: u64) -> bool {
+        hook(cell, AccessKind::Cas);
         cell.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
@@ -213,16 +227,19 @@ impl CasMemory for NativeSeqCst {
 
     #[inline]
     fn load(&self, cell: &AtomicU64) -> u64 {
+        hook(cell, AccessKind::Read);
         cell.load(Ordering::SeqCst)
     }
 
     #[inline]
     fn store(&self, cell: &AtomicU64, value: u64) {
+        hook(cell, AccessKind::Write);
         cell.store(value, Ordering::SeqCst);
     }
 
     #[inline]
     fn cas(&self, cell: &AtomicU64, old: u64, new: u64) -> bool {
+        hook(cell, AccessKind::Cas);
         cell.compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
     }

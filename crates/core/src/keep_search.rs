@@ -25,9 +25,20 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use nbsp_memsim::sched::{self, AccessKind};
 use nbsp_memsim::{CachePadded, ProcId};
 
 use crate::{Error, Result, TagLayout};
+
+/// Schedule-point before an access to the shared `cell`. The keep slots
+/// ([`PerVarKeepVar::keeps`]) and the registry's per-`(process, variable)`
+/// map entries are written and read only by their owning process, so only
+/// the cell needs a yield for model checking; the registry's `RwLock` is
+/// never held across a yield.
+#[inline]
+fn hook(cell: &AtomicU64, kind: AccessKind) {
+    let _ = sched::yield_point(std::ptr::from_ref(cell) as usize, kind);
+}
 
 /// Figure-4 LL/VL/SC with a per-variable keep array instead of
 /// caller-supplied keeps: the space side of the tradeoff (Θ(N) per
@@ -96,6 +107,7 @@ impl PerVarKeepVar {
     pub fn ll(&self, p: ProcId) -> u64 {
         // Acquire on the shared cell (pairs with the release CAS in `sc`);
         // the keep slot is process-private, so Relaxed is exact there.
+        hook(&self.cell, AccessKind::Read);
         let w = self.cell.load(Ordering::Acquire);
         self.keeps[p.index()].store(w, Ordering::Relaxed);
         self.layout.val(w)
@@ -109,7 +121,9 @@ impl PerVarKeepVar {
     #[must_use]
     pub fn vl(&self, p: ProcId) -> bool {
         // Single-cell coherence decides the comparison; see CasLlSc::vl.
-        self.keeps[p.index()].load(Ordering::Relaxed) == self.cell.load(Ordering::Acquire)
+        let keep = self.keeps[p.index()].load(Ordering::Relaxed);
+        hook(&self.cell, AccessKind::Read);
+        keep == self.cell.load(Ordering::Acquire)
     }
 
     /// SC against the stored keep for `p`.
@@ -130,6 +144,7 @@ impl PerVarKeepVar {
             .pack_unchecked(self.layout.tag_succ(self.layout.tag(keep)), new);
         // AcqRel: success is the release publication point (same argument
         // as CasLlSc::sc); failure only needs the acquire read.
+        hook(&self.cell, AccessKind::Cas);
         self.cell
             .compare_exchange(keep, neww, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
@@ -138,6 +153,7 @@ impl PerVarKeepVar {
     /// Reads the current value.
     #[must_use]
     pub fn read(&self) -> u64 {
+        hook(&self.cell, AccessKind::Read);
         self.layout.val(self.cell.load(Ordering::Acquire))
     }
 }
@@ -222,6 +238,7 @@ impl RegistryKeepVar {
     /// LL: records the observed word in the registry under (p, var).
     #[must_use]
     pub fn ll(&self, p: ProcId) -> u64 {
+        hook(&self.cell, AccessKind::Read);
         let w = self.cell.load(Ordering::Acquire);
         self.registry
             .map
@@ -245,6 +262,7 @@ impl RegistryKeepVar {
             .unwrap()
             .get(&(p.index(), self.id))
             .expect("VL without a preceding LL");
+        hook(&self.cell, AccessKind::Read);
         keep == self.cell.load(Ordering::Acquire)
     }
 
@@ -271,6 +289,7 @@ impl RegistryKeepVar {
         let neww = self
             .layout
             .pack_unchecked(self.layout.tag_succ(self.layout.tag(keep)), new);
+        hook(&self.cell, AccessKind::Cas);
         self.cell
             .compare_exchange(keep, neww, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
@@ -279,6 +298,7 @@ impl RegistryKeepVar {
     /// Reads the current value.
     #[must_use]
     pub fn read(&self) -> u64 {
+        hook(&self.cell, AccessKind::Read);
         self.layout.val(self.cell.load(Ordering::Acquire))
     }
 }

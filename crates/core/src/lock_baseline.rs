@@ -18,6 +18,7 @@
 
 use std::sync::Mutex;
 
+use nbsp_memsim::sched::{self, AccessKind};
 use nbsp_memsim::ProcId;
 
 /// A shared variable with Figure 2's exact LL/VL/SC and CAS semantics,
@@ -80,6 +81,15 @@ impl LockLlSc {
         );
     }
 
+    /// Schedule-point before taking the lock. Each Figure-2 fragment runs
+    /// atomically inside the mutex, so for model checking the whole
+    /// operation is a single access to this variable; the lock is never
+    /// held across a yield, so the cooperative scheduler cannot deadlock.
+    #[inline]
+    fn hook(&self, kind: AccessKind) {
+        let _ = sched::yield_point(std::ptr::from_ref(self) as usize, kind);
+    }
+
     /// Figure 2's `LL(X)`: `valid[p] := true; return X`.
     ///
     /// # Panics
@@ -87,6 +97,7 @@ impl LockLlSc {
     /// Panics if `p` is out of range.
     #[must_use]
     pub fn ll(&self, p: ProcId) -> u64 {
+        self.hook(AccessKind::Write);
         let mut g = self.state.lock().unwrap();
         self.check(p, g.valid.len());
         g.valid[p.index()] = true;
@@ -100,6 +111,7 @@ impl LockLlSc {
     /// Panics if `p` is out of range.
     #[must_use]
     pub fn vl(&self, p: ProcId) -> bool {
+        self.hook(AccessKind::Read);
         let g = self.state.lock().unwrap();
         self.check(p, g.valid.len());
         g.valid[p.index()]
@@ -113,6 +125,7 @@ impl LockLlSc {
     /// Panics if `p` is out of range.
     #[must_use]
     pub fn sc(&self, p: ProcId, v: u64) -> bool {
+        self.hook(AccessKind::Write);
         let mut g = self.state.lock().unwrap();
         self.check(p, g.valid.len());
         if g.valid[p.index()] {
@@ -129,6 +142,7 @@ impl LockLlSc {
     /// reservations (only SC does); the two specifications are independent.
     #[must_use]
     pub fn cas(&self, old: u64, new: u64) -> bool {
+        self.hook(AccessKind::Cas);
         let mut g = self.state.lock().unwrap();
         if g.value == old {
             g.value = new;
@@ -141,6 +155,7 @@ impl LockLlSc {
     /// Reads the current value atomically.
     #[must_use]
     pub fn read(&self) -> u64 {
+        self.hook(AccessKind::Read);
         self.state.lock().unwrap().value
     }
 }

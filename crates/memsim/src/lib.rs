@@ -57,6 +57,7 @@ mod machine;
 mod pad;
 mod proc_id;
 pub mod rng;
+pub mod sched;
 mod spurious;
 mod stats;
 mod trace;

@@ -370,6 +370,7 @@ impl Processor {
     /// clear the `LLBit`.
     #[must_use]
     pub fn read(&self, w: &SimWord) -> u64 {
+        let _ = crate::sched::yield_point(w.addr(), crate::sched::AccessKind::Read);
         self.touch_memory();
         self.bump(|s| s.reads += 1);
         let value = w.load();
@@ -379,6 +380,7 @@ impl Processor {
 
     /// Writes a word (an ordinary store).
     pub fn write(&self, w: &SimWord, value: u64) {
+        let _ = crate::sched::yield_point(w.addr(), crate::sched::AccessKind::Write);
         self.touch_memory();
         self.bump(|s| s.writes += 1);
         w.store(value);
@@ -397,6 +399,7 @@ impl Processor {
             "this machine ({:?}) does not provide CAS",
             self.inner.isa
         );
+        let _ = crate::sched::yield_point(w.addr(), crate::sched::AccessKind::Cas);
         self.touch_memory();
         let ok = w.compare_exchange(old, new);
         self.bump(|s| {
@@ -422,6 +425,7 @@ impl Processor {
             "this machine ({:?}) does not provide RLL/RSC",
             self.inner.isa
         );
+        let _ = crate::sched::yield_point(w.addr(), crate::sched::AccessKind::Rll);
         let observed = w.load();
         self.reservation.set(Some(Reservation {
             addr: w.addr(),
@@ -452,6 +456,7 @@ impl Processor {
             "this machine ({:?}) does not provide RLL/RSC",
             self.inner.isa
         );
+        let decision = crate::sched::yield_point(w.addr(), crate::sched::AccessKind::Rsc);
         let attempt = self.rsc_counter.get() + 1;
         self.rsc_counter.set(attempt);
 
@@ -490,7 +495,9 @@ impl Processor {
         );
 
         let random = self.rng.borrow_mut().next_u64();
-        if self.inner.spurious.should_fail(attempt, random) {
+        if decision == crate::sched::Decision::SpuriousFail
+            || self.inner.spurious.should_fail(attempt, random)
+        {
             nbsp_telemetry::record(nbsp_telemetry::Event::RscSpurious);
             self.bump(|s| {
                 s.rsc_attempts += 1;

@@ -1,0 +1,236 @@
+//! Schedule-point hook: every shared access can yield to an explicit
+//! scheduler.
+//!
+//! Stateless model checkers (CHESS, Loom, and this workspace's
+//! `nbsp-check`) work by running the *real* implementation under a
+//! cooperative scheduler that decides, at every shared-memory access, which
+//! thread moves next. This module is the seam that makes that possible
+//! without forking the code under test: the simulator's
+//! [`Processor`](crate::Processor) — and, in `nbsp-core`, the native
+//! `CasMemory` accessors and the raw-atomic ablations — call
+//! [`yield_point`] immediately before each shared access.
+//!
+//! The hook is **per-thread**: a checker installs its [`SchedulePoint`]
+//! only in the worker threads it spawns, so concurrently running tests,
+//! benchmarks and unrelated threads in the same process are never
+//! intercepted. When no hook is installed anywhere in the process the cost
+//! is a single relaxed load of a static counter, so production and
+//! benchmark paths are unaffected.
+//!
+//! Besides choosing *when* an access runs, the scheduler also controls the
+//! one source of nondeterminism that is not an interleaving: it may answer
+//! an [`AccessKind::Rsc`] yield with [`Decision::SpuriousFail`], forcing
+//! the store-conditional to fail spuriously on that attempt. This turns
+//! the paper's "RSC may occasionally fail when the normal semantics
+//! dictate that it should succeed" from a probabilistic adversary into an
+//! explicitly enumerable scheduler branch.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The kind of shared access about to be performed at a yield point.
+///
+/// Two accesses to the same address are *independent* (commute) iff both
+/// are in the read-only subset ([`AccessKind::is_read_only`]); everything
+/// else may write and therefore conflicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// An ordinary load.
+    Read,
+    /// An ordinary store.
+    Write,
+    /// A compare-and-swap (counted as a write even when it fails).
+    Cas,
+    /// A restricted load-linked (reads memory, sets the reservation).
+    Rll,
+    /// A restricted store-conditional (may write; may fail spuriously).
+    Rsc,
+}
+
+impl AccessKind {
+    /// True iff this access never modifies the shared word: two read-only
+    /// accesses to the same address commute.
+    #[must_use]
+    pub fn is_read_only(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::Rll)
+    }
+}
+
+/// The scheduler's answer to a yield: proceed normally, or (for
+/// [`AccessKind::Rsc`] only) fail this store-conditional spuriously.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Perform the access with its normal semantics.
+    Proceed,
+    /// Fail this RSC attempt spuriously. Ignored by non-RSC accesses.
+    SpuriousFail,
+}
+
+/// A scheduler receiving yield points from instrumented shared accesses.
+///
+/// Implementations typically park the calling thread until a controller
+/// grants it the step; the return value is the controller's decision.
+pub trait SchedulePoint: Send + Sync {
+    /// Called immediately before a shared access to `addr` of kind `kind`;
+    /// blocks until the scheduler lets the access proceed.
+    fn yield_point(&self, addr: usize, kind: AccessKind) -> Decision;
+}
+
+/// Number of threads with a hook installed, so the uninstrumented fast
+/// path is one relaxed load (no thread-local access).
+static ACTIVE_HOOKS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static HOOK: RefCell<Option<Arc<dyn SchedulePoint>>> = const { RefCell::new(None) };
+}
+
+/// Yields to the calling thread's installed scheduler, if any.
+///
+/// Instrumented call sites invoke this immediately before every shared
+/// access. With no hook installed on the calling thread this returns
+/// [`Decision::Proceed`] after a single relaxed load.
+#[inline]
+pub fn yield_point(addr: usize, kind: AccessKind) -> Decision {
+    if ACTIVE_HOOKS.load(Ordering::Relaxed) == 0 {
+        return Decision::Proceed;
+    }
+    yield_point_slow(addr, kind)
+}
+
+#[cold]
+fn yield_point_slow(addr: usize, kind: AccessKind) -> Decision {
+    // Clone the Arc out so the hook runs without the RefCell borrowed:
+    // a hook that itself touches instrumented state must not re-enter a
+    // held borrow.
+    let hook = HOOK.with(|h| h.borrow().clone());
+    match hook {
+        Some(hook) => hook.yield_point(addr, kind),
+        None => Decision::Proceed,
+    }
+}
+
+/// Installs `hook` for the calling thread, returning a guard that
+/// uninstalls it when dropped (including on unwind).
+///
+/// # Panics
+///
+/// Panics if the calling thread already has a hook installed — checkers
+/// do not nest.
+#[must_use]
+pub fn install(hook: Arc<dyn SchedulePoint>) -> HookGuard {
+    HOOK.with(|h| {
+        let mut slot = h.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "a schedule hook is already installed on this thread"
+        );
+        *slot = Some(hook);
+    });
+    ACTIVE_HOOKS.fetch_add(1, Ordering::Relaxed);
+    HookGuard { _priv: () }
+}
+
+/// Uninstalls the calling thread's schedule hook on drop (see [`install`]).
+#[derive(Debug)]
+pub struct HookGuard {
+    _priv: (),
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        HOOK.with(|h| h.borrow_mut().take());
+        ACTIVE_HOOKS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    struct Counter(AtomicU64);
+
+    impl SchedulePoint for Counter {
+        fn yield_point(&self, _addr: usize, _kind: AccessKind) -> Decision {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            Decision::Proceed
+        }
+    }
+
+    #[test]
+    fn uninstalled_hook_proceeds() {
+        assert_eq!(yield_point(0, AccessKind::Read), Decision::Proceed);
+    }
+
+    #[test]
+    fn install_routes_and_guard_uninstalls() {
+        let hook = Arc::new(Counter(AtomicU64::new(0)));
+        {
+            let _g = install(hook.clone());
+            let _ = yield_point(1, AccessKind::Write);
+            let _ = yield_point(2, AccessKind::Cas);
+            assert_eq!(hook.0.load(Ordering::Relaxed), 2);
+        }
+        let _ = yield_point(3, AccessKind::Read);
+        assert_eq!(hook.0.load(Ordering::Relaxed), 2, "guard must uninstall");
+    }
+
+    #[test]
+    fn hook_is_per_thread() {
+        let hook = Arc::new(Counter(AtomicU64::new(0)));
+        let _g = install(hook.clone());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // No hook installed on this thread: not intercepted even
+                // though ACTIVE_HOOKS is nonzero.
+                let _ = yield_point(7, AccessKind::Rsc);
+            });
+        });
+        assert_eq!(hook.0.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn processor_accesses_reach_the_hook() {
+        let hook = Arc::new(Counter(AtomicU64::new(0)));
+        let _g = install(hook.clone());
+        let m = crate::Machine::new(1);
+        let p = m.processor(0);
+        let w = crate::SimWord::new(0);
+        let _ = p.read(&w);
+        p.write(&w, 1);
+        let _ = p.cas(&w, 1, 2);
+        let v = p.rll(&w);
+        let _ = p.rsc(&w, v + 1);
+        assert_eq!(hook.0.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn spurious_decision_fails_the_rsc() {
+        struct FailRsc;
+        impl SchedulePoint for FailRsc {
+            fn yield_point(&self, _addr: usize, kind: AccessKind) -> Decision {
+                if kind == AccessKind::Rsc {
+                    Decision::SpuriousFail
+                } else {
+                    Decision::Proceed
+                }
+            }
+        }
+        let _g = install(Arc::new(FailRsc));
+        let m = crate::Machine::new(1);
+        let p = m.processor(0);
+        let w = crate::SimWord::new(0);
+        let v = p.rll(&w);
+        assert!(!p.rsc(&w, v + 1), "scheduler-forced spurious failure");
+        assert_eq!(w.peek(), 0);
+        assert_eq!(p.stats().rsc_spurious, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already installed")]
+    fn nested_install_panics() {
+        let _a = install(Arc::new(Counter(AtomicU64::new(0))));
+        let _b = install(Arc::new(Counter(AtomicU64::new(0))));
+    }
+}

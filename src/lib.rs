@@ -53,3 +53,7 @@ pub use nbsp_linearize as linearize;
 /// ring, single-word token-bucket admission, WLL-snapshot latency
 /// metrics. Re-export of `nbsp-serve`.
 pub use nbsp_serve as serve;
+
+/// Schedule-controlled model checking (DPOR) of the real providers and
+/// the repo-invariant lint pass. Re-export of `nbsp-check`.
+pub use nbsp_check as check;
