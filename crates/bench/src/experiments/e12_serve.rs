@@ -25,14 +25,39 @@
 //! A supplementary ON/OFF-burst section shows the admission controller
 //! absorbing a flash crowd whose *mean* rate is at capacity.
 //!
+//! ## The scaling curve: single ring vs sharded fabric
+//!
+//! A second sweep scales the pool, `workers ∈ {1, 2, 4, 8, 16}` ×
+//! `{single-ring baseline, fabric}` × offered load `{0.6, 1.2}` × pool
+//! capacity, admission on. The virtual model charges every claim on the
+//! shared dispatch cursor `workers ×` [`CLAIM_NS_PER_CONTENDER`], so the
+//! single ring's dispatch capacity *falls* as `1/workers` while the pool
+//! grows as `workers` — past ~6 workers dispatch, not service, is the
+//! baseline's bottleneck. The fabric's per-shard cursors pay the
+//! single-contender cost, and its steal rule moves work off a lagging
+//! home shard for [`STEAL_NS`](nbsp_serve::fabric::STEAL_NS). Gates:
+//!
+//! * **(a) fabric wins at scale** — at 8 and 16 workers and 1.2× pool
+//!   capacity (≥ 1.2× the baseline's capacity, since the baseline's
+//!   capacity is capped by its saturated dispatch cursor), the fabric's
+//!   p99 must beat the single ring's.
+//! * **(b) flash crowd does not collapse** — the at-scale ON/OFF cells
+//!   shed (> 0) and conserve (`generated == admitted + shed`,
+//!   `completed == admitted`) for both architectures.
+//! * **(c) stealing is exercised** — the fabric's (deterministic, model)
+//!   steal count is nonzero under the bursty process at 8 and 16
+//!   workers, and its striped admission records batch refills.
+//!
 //! All per-cell counters come from single-WLL [`CellSnapshot`]s and the
 //! run-level telemetry block from the Figure-6
 //! [`WideTotals`](nbsp_core::WideTotals)/[`WideHists`](nbsp_core::WideHists)
 //! sinks — no racy sums anywhere on the reporting path. The run writes
 //! `BENCH_serve.json` for trend tracking.
 
+use nbsp_serve::service::CLAIM_NS_PER_CONTENDER;
 use nbsp_serve::{
-    run_cell, AdmissionConfig, ArrivalProcess, CellConfig, CellResult, ServeSinks, Workload,
+    run_cell, run_fabric_cell, AdmissionConfig, ArrivalProcess, CellConfig, CellResult,
+    FabricConfig, ServeSinks, Workload,
 };
 use nbsp_telemetry::{AtomicHists, AtomicTotals, Event, Hist};
 
@@ -69,6 +94,142 @@ fn admission() -> AdmissionConfig {
         rate_per_sec: ADMIT_RHO * capacity_per_sec(),
         burst: ADMIT_BURST,
     }
+}
+
+/// Worker counts of the scaling sweep.
+const SCALE_WORKERS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Offered load of the scaling sweep, as a fraction of *pool* capacity:
+/// comfortably under, and 20% over (which is ≥ 1.2× the single ring's
+/// own capacity — dispatch contention only lowers that).
+const SCALE_RHO: [f64; 2] = [0.6, 1.2];
+
+/// Per-shard ring capacity in the scaling sweep (single-ring cells get
+/// the same total for their one ring).
+const SCALE_RING_CAPACITY: usize = 1024;
+
+/// Batch size `B` of a striped global → shard token refill.
+const REFILL_BATCH: u64 = 64;
+
+/// Pool capacity (requests/s) for a given worker count.
+fn pool_capacity(workers: usize) -> f64 {
+    workers as f64 * 1e9 / SERVICE_MEAN_NS
+}
+
+/// Scaling-sweep admission: the same 85%-of-capacity rule as the fixed
+/// sweep, scaled to the cell's pool.
+fn admission_for(workers: usize) -> AdmissionConfig {
+    AdmissionConfig {
+        rate_per_sec: ADMIT_RHO * pool_capacity(workers),
+        burst: ADMIT_BURST,
+    }
+}
+
+/// The two dispatch architectures of the scaling sweep.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Arch {
+    SingleRing,
+    Fabric,
+}
+
+impl Arch {
+    fn name(self) -> &'static str {
+        match self {
+            Arch::SingleRing => "single_ring",
+            Arch::Fabric => "fabric",
+        }
+    }
+}
+
+/// One scaling cell's identity + outcome.
+struct ScaleRow {
+    arch: Arch,
+    process: &'static str,
+    workers: usize,
+    rate_per_sec: f64,
+    result: CellResult,
+}
+
+fn run_scale_one(
+    arch: Arch,
+    workers: usize,
+    process: ArrivalProcess,
+    requests: u64,
+    sinks: &ServeSinks,
+) -> ScaleRow {
+    let result = match arch {
+        Arch::SingleRing => run_cell(
+            &CellConfig {
+                seed: SEED,
+                process,
+                workload: Workload::Counter,
+                workers,
+                requests,
+                service_mean_ns: SERVICE_MEAN_NS,
+                admission: Some(admission_for(workers)),
+                ring_capacity: SCALE_RING_CAPACITY,
+            },
+            Some(sinks),
+        ),
+        Arch::Fabric => run_fabric_cell(
+            &FabricConfig {
+                seed: SEED,
+                process,
+                workload: Workload::Counter,
+                workers,
+                requests,
+                service_mean_ns: SERVICE_MEAN_NS,
+                admission: Some(admission_for(workers)),
+                ring_capacity: SCALE_RING_CAPACITY,
+                refill_batch: REFILL_BATCH,
+            },
+            Some(sinks),
+        ),
+    };
+    eprintln!(
+        "[e12_serve] scale {} w={} {} rate={}: p99={} shed={} steals={} refills={}",
+        arch.name(),
+        workers,
+        process.name(),
+        fmt_ops(process.mean_rate_per_sec()),
+        fmt_ns(result.p99_ns as f64),
+        result.snapshot.shed,
+        result.snapshot.steals,
+        result.snapshot.refills,
+    );
+    ScaleRow {
+        arch,
+        process: process.name(),
+        workers,
+        rate_per_sec: process.mean_rate_per_sec(),
+        result,
+    }
+}
+
+/// The at-scale flash crowd: 2× pool-capacity ON bursts, 50/50 duty.
+fn scale_onoff(workers: usize) -> ArrivalProcess {
+    ArrivalProcess::OnOff {
+        on_rate_per_sec: 2.0 * pool_capacity(workers),
+        on_mean_ns: 50_000.0,
+        off_mean_ns: 50_000.0,
+    }
+}
+
+fn scale_find<'a>(
+    rows: &'a [ScaleRow],
+    arch: Arch,
+    workers: usize,
+    rate: f64,
+    process: &str,
+) -> &'a ScaleRow {
+    rows.iter()
+        .find(|r| {
+            r.arch == arch
+                && r.workers == workers
+                && r.process == process
+                && (r.rate_per_sec - rate).abs() < 1.0
+        })
+        .expect("scaling cell missing")
 }
 
 /// One sweep cell's identity + outcome, as serialized into the JSON.
@@ -152,11 +313,11 @@ fn telemetry_json(indent: &str, sinks: &ServeSinks) -> String {
     )
 }
 
-fn to_json(rows: &[CellRow], requests: u64, sinks: &ServeSinks) -> String {
+fn to_json(rows: &[CellRow], scale: &[ScaleRow], requests: u64, sinks: &ServeSinks) -> String {
     let adm = admission();
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str("  \"schema_version\": 2,\n");
     s.push_str("  \"experiment\": \"serve\",\n");
     s.push_str(&format!("  \"seed\": {SEED},\n"));
     s.push_str(&format!("  \"workers\": {WORKERS},\n"));
@@ -165,6 +326,12 @@ fn to_json(rows: &[CellRow], requests: u64, sinks: &ServeSinks) -> String {
     s.push_str(&format!(
         "  \"admission\": {{\"rate_per_sec\": {:.1}, \"burst\": {}}},\n",
         adm.rate_per_sec, adm.burst
+    ));
+    s.push_str(&format!(
+        "  \"fabric\": {{\"claim_ns_per_contender\": {CLAIM_NS_PER_CONTENDER}, \
+         \"steal_ns\": {}, \"ring_capacity\": {SCALE_RING_CAPACITY}, \
+         \"refill_batch\": {REFILL_BATCH}}},\n",
+        nbsp_serve::fabric::STEAL_NS
     ));
     s.push_str("  \"latency_reference\": \"intended_arrival\",\n");
     s.push_str("  \"results\": [\n");
@@ -188,6 +355,32 @@ fn to_json(rows: &[CellRow], requests: u64, sinks: &ServeSinks) -> String {
             r.result.p99_ns,
             r.result.p999_ns,
             if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"scaling\": [\n");
+    for (i, r) in scale.iter().enumerate() {
+        let snap = &r.result.snapshot;
+        s.push_str(&format!(
+            "    {{\"arch\": \"{}\", \"process\": \"{}\", \"workers\": {}, \
+             \"rate_per_sec\": {:.1}, \"generated\": {}, \"admitted\": {}, \"shed\": {}, \
+             \"completed\": {}, \"steals\": {}, \"refills\": {}, \"p50_ns\": {}, \
+             \"p95_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}{}\n",
+            r.arch.name(),
+            r.process,
+            r.workers,
+            r.rate_per_sec,
+            snap.generated(),
+            snap.admitted,
+            snap.shed,
+            snap.completed,
+            snap.steals,
+            snap.refills,
+            r.result.p50_ns,
+            r.result.p95_ns,
+            r.result.p99_ns,
+            r.result.p999_ns,
+            if i + 1 == scale.len() { "" } else { "," },
         ));
     }
     s.push_str("  ],\n");
@@ -239,7 +432,26 @@ pub fn run(requests: u64) -> Report {
         rows.push(run_one(onoff, Workload::Counter, requests, admit, &sinks));
     }
 
-    let json = to_json(&rows, requests, &sinks);
+    // The scaling sweep: pool size × architecture × offered load,
+    // admission always on (the scaled 85%-of-pool rule).
+    let mut scale: Vec<ScaleRow> = Vec::new();
+    for w in SCALE_WORKERS {
+        for rho in SCALE_RHO {
+            let process = ArrivalProcess::Poisson {
+                rate_per_sec: rho * pool_capacity(w),
+            };
+            for arch in [Arch::SingleRing, Arch::Fabric] {
+                scale.push(run_scale_one(arch, w, process, requests, &sinks));
+            }
+        }
+    }
+    // Flash crowd at scale: both architectures at 8 workers (collapse
+    // gate), fabric again at 16 (steal gate at the top of the curve).
+    scale.push(run_scale_one(Arch::SingleRing, 8, scale_onoff(8), requests, &sinks));
+    scale.push(run_scale_one(Arch::Fabric, 8, scale_onoff(8), requests, &sinks));
+    scale.push(run_scale_one(Arch::Fabric, 16, scale_onoff(16), requests, &sinks));
+
+    let json = to_json(&rows, &scale, requests, &sinks);
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     eprintln!("[e12_serve] wrote BENCH_serve.json ({} cells)", rows.len());
 
@@ -311,6 +523,60 @@ pub fn run(requests: u64) -> Report {
     report.heading("flash crowd (ON/OFF at mean = capacity, counter)");
     report.table(&table);
 
+    // Scaling tables: one per offered-load point, workers down the rows.
+    for rho in SCALE_RHO {
+        let mut table = Table::new([
+            "workers",
+            "single-ring p99",
+            "fabric p99",
+            "fabric steals",
+            "fabric refills",
+            "fabric shed",
+        ]);
+        for w in SCALE_WORKERS {
+            let rate = rho * pool_capacity(w);
+            let base = scale_find(&scale, Arch::SingleRing, w, rate, "poisson");
+            let fab = scale_find(&scale, Arch::Fabric, w, rate, "poisson");
+            let fsnap = &fab.result.snapshot;
+            table.row([
+                format!("{w}"),
+                fmt_ns(base.result.p99_ns as f64),
+                fmt_ns(fab.result.p99_ns as f64),
+                format!("{}", fsnap.steals),
+                format!("{}", fsnap.refills),
+                format!("{:.1}%", 100.0 * fsnap.shed as f64 / fsnap.generated() as f64),
+            ]);
+        }
+        report.heading(&format!(
+            "scaling at {rho:.1}x pool capacity (counter, admission on)"
+        ));
+        report.table(&table);
+    }
+    report.para(&format!(
+        "The single ring pays {CLAIM_NS_PER_CONTENDER} ns x workers per dispatch claim \
+         (serialized on one cursor), so its dispatch capacity falls as 1/workers; the fabric's \
+         per-shard cursors pay the single-contender cost and a steal costs {} ns. Steal and \
+         refill counts are the deterministic model's; the real thieves' committed steals are \
+         racy and appear only in the telemetry block (`serve_steal`).",
+        nbsp_serve::fabric::STEAL_NS,
+    ));
+
+    let mut table = Table::new(["arch", "workers", "p99", "shed", "steals"]);
+    for r in scale.iter().filter(|r| r.process == "onoff") {
+        table.row([
+            r.arch.name().to_string(),
+            format!("{}", r.workers),
+            fmt_ns(r.result.p99_ns as f64),
+            format!(
+                "{:.1}%",
+                100.0 * r.result.snapshot.shed as f64 / r.result.snapshot.generated() as f64
+            ),
+            format!("{}", r.result.snapshot.steals),
+        ]);
+    }
+    report.heading("flash crowd at scale (ON/OFF at mean = pool capacity)");
+    report.table(&table);
+
     // Gates. Both comparisons are functions of the seed alone (virtual
     // time), so they are enforced in quick runs too.
     for workload in Workload::ALL {
@@ -343,6 +609,56 @@ pub fn run(requests: u64) -> Report {
          overload p99 exceeds underload p99 (the backlog is charged as latency, not dropped \
          from the arrival record). All enforced; see `BENCH_serve.json`.",
         RHO[2],
+    ));
+
+    // Scaling gates (a)–(c); deterministic for the same reason.
+    for w in [8usize, 16] {
+        let rate = SCALE_RHO[1] * pool_capacity(w);
+        let base = scale_find(&scale, Arch::SingleRing, w, rate, "poisson");
+        let fab = scale_find(&scale, Arch::Fabric, w, rate, "poisson");
+        assert!(
+            fab.result.p99_ns < base.result.p99_ns,
+            "gate (a): fabric p99 {} must beat single-ring p99 {} at {w} workers, \
+             {:.1}x pool capacity",
+            fab.result.p99_ns,
+            base.result.p99_ns,
+            SCALE_RHO[1],
+        );
+    }
+    for r in scale.iter().filter(|r| r.process == "onoff") {
+        let snap = &r.result.snapshot;
+        assert!(
+            snap.shed > 0,
+            "gate (b): the {} flash crowd at {} workers must shed",
+            r.arch.name(),
+            r.workers,
+        );
+        assert_eq!(
+            snap.generated(),
+            snap.admitted + snap.shed,
+            "gate (b): the {} flash crowd at {} workers must conserve requests",
+            r.arch.name(),
+            r.workers,
+        );
+        if r.arch == Arch::Fabric {
+            assert!(
+                snap.steals > 0,
+                "gate (c): the fabric flash crowd at {} workers must steal",
+                r.workers,
+            );
+            assert!(
+                snap.refills > 0,
+                "gate (c): the fabric flash crowd at {} workers must batch-refill",
+                r.workers,
+            );
+        }
+    }
+    report.para(&format!(
+        "Scaling gates: at 8 and 16 workers and {:.1}x pool capacity the fabric's p99 beats \
+         the single ring's; the at-scale flash crowds shed without collapsing (requests \
+         conserved); and the fabric's bursty cells record nonzero steals and batch refills. \
+         All enforced.",
+        SCALE_RHO[1],
     ));
     report
 }

@@ -146,6 +146,10 @@ const PROVIDER_ID_ALLOW: &[(&str, &str)] = &[
         "the planted-bug fixture needs a nominal id; it is never registered",
     ),
     (
+        "crates/serve/src/fabric.rs",
+        "names the fabric's default provider once; all dispatch is with_provider!",
+    ),
+    (
         "crates/check/src/lint.rs",
         "this linter pulls the authoritative provider-name list from the registry",
     ),

@@ -32,6 +32,14 @@
 //! `exp_serve` experiment sweeps over arrival rate × structure ×
 //! admission on/off to produce `BENCH_serve.json`.
 //!
+//! 5. **The sharded fabric** ([`fabric`]) — the scaling-path rebuild of
+//!    2–3: per-worker SPSC rings (one head/tail cursor pair per shard),
+//!    LL/SC steal-half work stealing when a ring runs dry, and striped
+//!    admission whose fast path is one LL–SC on a worker-local word,
+//!    batch-refilled from a global Figure-6 wide bucket. Registry-
+//!    provider-generic via `with_provider!`; E12's scaling curves sweep
+//!    it against the single-ring baseline.
+//!
 //! ## Why timing is virtual
 //!
 //! Completion times come from a deterministic virtual `N`-server queue
@@ -49,12 +57,17 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod admission;
+pub mod fabric;
 pub mod loadgen;
 pub mod metrics;
 pub mod ring;
 pub mod service;
 
 pub use admission::{AdmissionConfig, TokenBucket};
+pub use fabric::{
+    run_fabric_cell, run_fabric_cell_as, AdmitOutcome, Directory, FabricConfig, ShardRing,
+    StripedBucket,
+};
 pub use loadgen::{ArrivalProcess, LoadGen, Request};
 pub use metrics::{percentile_ns, CellFlusher, CellSink, CellSnapshot, SOJOURN_BUCKETS};
 pub use ring::SpmcRing;

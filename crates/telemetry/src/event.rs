@@ -7,7 +7,7 @@
 
 /// Number of distinct events ([`Event::ALL`]'s length, and the width `W`
 /// of the Figure-6 wide variable a consistent snapshot publisher uses).
-pub const EVENT_COUNT: usize = 12;
+pub const EVENT_COUNT: usize = 14;
 
 /// One countable occurrence inside the LL/SC stack.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -48,6 +48,12 @@ pub enum Event {
     /// The admission controller shed a request: the token bucket was
     /// empty at the request's intended arrival time.
     ServeShed = 11,
+    /// A fabric worker's steal committed: one SC on a victim's head
+    /// cursor transferred a batch of queued requests to the thief.
+    ServeSteal = 12,
+    /// A fabric worker's local admission sub-bucket went empty and was
+    /// refilled in a batch from the global wide bucket.
+    ServeRefill = 13,
 }
 
 impl Event {
@@ -65,6 +71,8 @@ impl Event {
         Event::TagAlloc,
         Event::ServeAdmit,
         Event::ServeShed,
+        Event::ServeSteal,
+        Event::ServeRefill,
     ];
 
     /// The event's row index in the counter matrix.
@@ -89,6 +97,8 @@ impl Event {
             Event::TagAlloc => "tag_alloc",
             Event::ServeAdmit => "serve_admit",
             Event::ServeShed => "serve_shed",
+            Event::ServeSteal => "serve_steal",
+            Event::ServeRefill => "serve_refill",
         }
     }
 }

@@ -1,0 +1,164 @@
+//! Integration tests for the sharded serving fabric: request
+//! conservation and seeded determinism through `run_fabric_cell_as` for
+//! **every registry provider** (the fabric's cursors, directory and
+//! admission stripes all run on the provider under test), plus a real-
+//! thread forced-starvation stress on `ShardRing` proving the steal-half
+//! SC commit never duplicates and never loses a request.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use nbsp::core::{for_each_provider, CasLlSc, Native, Provider, TagLayout};
+use nbsp::serve::fabric::{ShardRing, STEAL_MAX};
+use nbsp::serve::{
+    run_fabric_cell_as, AdmissionConfig, ArrivalProcess, FabricConfig, Request, Workload,
+};
+
+/// Small enough that every cursor stays far below the Fig4Emu provider's
+/// 16-bit value range, big enough to force refills and (with the bursty
+/// process) steals.
+fn small_cfg() -> FabricConfig {
+    FabricConfig {
+        seed: 0xfab_feed,
+        process: ArrivalProcess::OnOff {
+            on_rate_per_sec: 4.0e6, // 2x the 2-worker pool capacity
+            on_mean_ns: 20_000.0,
+            off_mean_ns: 20_000.0,
+        },
+        workload: Workload::Counter,
+        workers: 2,
+        requests: 1_500,
+        service_mean_ns: 1_000.0,
+        admission: Some(AdmissionConfig {
+            rate_per_sec: 1.7e6, // 85% of pool capacity
+            burst: 64,
+        }),
+        ring_capacity: 128,
+        refill_batch: 16,
+    }
+}
+
+fn conserves_and_is_deterministic<P: Provider>() {
+    let cfg = small_cfg();
+    let a = run_fabric_cell_as(P::ID, &cfg, None);
+    let b = run_fabric_cell_as(P::ID, &cfg, None);
+    assert_eq!(a, b, "same-seed fabric cells must be byte-identical");
+    let snap = &a.snapshot;
+    assert_eq!(snap.generated(), cfg.requests, "every request accounted");
+    assert_eq!(
+        snap.generated(),
+        snap.admitted + snap.shed,
+        "admission must conserve: generated == admitted + shed"
+    );
+    assert_eq!(
+        snap.completed, snap.admitted,
+        "every admitted request executed exactly once"
+    );
+    assert!(snap.shed > 0, "the bursty overload cell must shed");
+    assert!(snap.refills > 0, "striped admission must batch-refill");
+    assert!(
+        snap.steals > 0,
+        "the bursty 2-worker cell must exercise the steal path"
+    );
+}
+
+// One `#[test]` per registry provider, named by the provider's slug.
+macro_rules! fabric_test {
+    ($name:ident, $provider:ty) => {
+        mod $name {
+            #[test]
+            fn fabric_conserves_and_is_deterministic() {
+                super::conserves_and_is_deterministic::<$provider>();
+            }
+        }
+    };
+}
+
+for_each_provider!(fabric_test);
+
+/// Forced starvation: one producer feeds ring 0 only, its owner pops,
+/// and three permanently-starved thieves hammer `steal_into` on it.
+/// Every consumed request contributes its arrival stamp to a checksum;
+/// if a steal's SC commit could duplicate a request the sum would
+/// overshoot, if it could lose one the count would undershoot (the
+/// consumers only exit once the producer is done and the ring drained).
+#[test]
+fn steal_commit_never_duplicates_or_loses_under_starvation() {
+    const REQUESTS: u64 = 12_000;
+    const THIEVES: usize = 3;
+    let ring = ShardRing::new(
+        64,
+        CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
+        CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
+    );
+    let done = AtomicBool::new(false);
+    let consumed = AtomicU64::new(0);
+    let checksum = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        let ring = &ring;
+        let done = &done;
+        let consumed = &consumed;
+        let checksum = &checksum;
+        // The starved thieves: never own a request, only steal.
+        for _ in 0..THIEVES {
+            s.spawn(move || {
+                let ctx = &mut Native;
+                let mut stash = [Request {
+                    arrival_ns: 0,
+                    service_ns: 0,
+                }; STEAL_MAX];
+                loop {
+                    let k = ring.steal_into(ctx, &mut stash);
+                    if k > 0 {
+                        let sum: u64 = stash[..k].iter().map(|r| r.arrival_ns).sum();
+                        checksum.fetch_add(sum, Ordering::Relaxed);
+                        consumed.fetch_add(k as u64, Ordering::Relaxed);
+                    } else if done.load(Ordering::Acquire) && ring.is_empty(ctx) {
+                        break;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        // The owner: plain pops, racing the thieves on the same head.
+        s.spawn(move || {
+            let ctx = &mut Native;
+            loop {
+                if let Some(r) = ring.try_pop(ctx) {
+                    checksum.fetch_add(r.arrival_ns, Ordering::Relaxed);
+                    consumed.fetch_add(1, Ordering::Relaxed);
+                } else if done.load(Ordering::Acquire) && ring.is_empty(ctx) {
+                    break;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        // The producer: single writer on ring 0's tail, spins when full
+        // (the 64-slot ring against 12k requests forces constant
+        // wraparound, so every slot is reused ~190 times).
+        let ctx = &mut Native;
+        for i in 1..=REQUESTS {
+            let r = Request {
+                arrival_ns: i,
+                service_ns: 1,
+            };
+            while !ring.try_push(ctx, r) {
+                std::thread::yield_now();
+            }
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    assert_eq!(
+        consumed.load(Ordering::Relaxed),
+        REQUESTS,
+        "a steal or pop lost (undershoot) or duplicated (overshoot) a claim"
+    );
+    assert_eq!(
+        checksum.load(Ordering::Relaxed),
+        REQUESTS * (REQUESTS + 1) / 2,
+        "consumed set is not exactly the produced set"
+    );
+}
