@@ -45,5 +45,12 @@ fn main() -> ExitCode {
             "e13_modelcheck",
             Box::new(move || e13_modelcheck::run(quick).to_string()),
         ),
+        (
+            "e14_elastic",
+            Box::new(move || {
+                let (requests, trials) = if quick { (20_000, 16) } else { (200_000, 64) };
+                e14_elastic::run(requests, trials).to_string()
+            }),
+        ),
     ])
 }

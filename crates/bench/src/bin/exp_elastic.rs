@@ -1,0 +1,18 @@
+//! Regenerates E14: the elastic-pool flash-crowd sweep (fixed fabric
+//! pools vs the dynamic-joining elastic pool under one admission
+//! configuration) plus the durable provider's kill-at-schedule-point
+//! crash–recovery sweep. Writes `BENCH_elastic.json`. Run with `--quick`
+//! for a fast smoke pass (the determinism-based gates are enforced
+//! either way).
+use std::process::ExitCode;
+
+use nbsp_bench::experiments::e14_elastic;
+use nbsp_bench::runner::run_experiment;
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (requests, crash_trials) = if quick { (20_000, 16) } else { (200_000, 64) };
+    run_experiment("e14_elastic", move || {
+        e14_elastic::run(requests, crash_trials).to_string()
+    })
+}

@@ -78,6 +78,14 @@ const SEQCST_ALLOW: &[(&str, &str)] = &[
         "the simulated memory is sequentially consistent by design",
     ),
     (
+        "crates/memsim/src/pmem.rs",
+        "the persistent-memory model mirrors the simulator's sequential consistency",
+    ),
+    (
+        "crates/core/src/dynamic_llsc.rs",
+        "membership claim flags only; the LL/SC hot path runs on memsim pmem words",
+    ),
+    (
         "crates/memsim/src/machine.rs",
         "one-time processor-claim flag, not a hot path",
     ),
@@ -148,6 +156,14 @@ const PROVIDER_ID_ALLOW: &[(&str, &str)] = &[
     (
         "crates/serve/src/fabric.rs",
         "names the fabric's default provider once; all dispatch is with_provider!",
+    ),
+    (
+        "crates/serve/src/elastic.rs",
+        "names the elastic pool's default (dynamic) provider once; all dispatch is with_provider!",
+    ),
+    (
+        "crates/bench/src/experiments/e14_elastic.rs",
+        "the elastic sweep's provider-equality gate compares the dynamic pair to the fixed-N baseline by id",
     ),
     (
         "crates/check/src/lint.rs",

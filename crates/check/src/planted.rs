@@ -111,8 +111,8 @@ impl Provider for PlantedTagDrop {
         Ok(PlantedTagDropVar::new(initial))
     }
 
-    fn thread_ctx(_env: &(), _p: usize) -> Native {
-        Native
+    fn try_thread_ctx(_env: &(), _p: usize) -> Result<Native> {
+        Ok(Native)
     }
 
     fn ctx(tc: &mut Native) -> Native {

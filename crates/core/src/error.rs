@@ -39,6 +39,12 @@ pub enum Error {
         /// Human-readable description of the violated constraint.
         what: &'static str,
     },
+    /// A process pool has no free slot: `join` on a full dynamic provider,
+    /// or a process id at/past capacity on a fixed-N provider.
+    PoolExhausted {
+        /// Number of process slots the provider was created with.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -60,6 +66,9 @@ impl fmt::Display for Error {
                 write!(f, "buffer of {got} words supplied to a {expected}-word variable")
             }
             Error::InvalidDomain { what } => write!(f, "invalid domain parameter: {what}"),
+            Error::PoolExhausted { capacity } => {
+                write!(f, "process pool exhausted: all {capacity} slots are taken")
+            }
         }
     }
 }
@@ -93,6 +102,7 @@ mod tests {
                 "2 words",
             ),
             (Error::InvalidDomain { what: "n must be positive" }, "n must be"),
+            (Error::PoolExhausted { capacity: 4 }, "all 4 slots"),
         ];
         for (e, needle) in cases {
             let msg = e.to_string();

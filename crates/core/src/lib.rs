@@ -49,6 +49,7 @@ pub mod bounded;
 mod cas_from_rll;
 mod cas_provider;
 pub mod constant_llsc;
+pub mod dynamic_llsc;
 mod error;
 pub mod keep_search;
 mod layout;
@@ -66,6 +67,7 @@ pub use bounded::TagPolicy;
 pub use cas_from_rll::{EmuCas, EmuCasWord, EmuFamily};
 pub use cas_provider::{CasFamily, CasMemory, CellOf, Native, NativeSeqCst, SimCas, SimFamily};
 pub use constant_llsc::{ConstantDomain, ConstantKeep, ConstantProc, ConstantVar};
+pub use dynamic_llsc::{DurableDynamicVar, DynProc, DynamicDomain, DynamicVar, VolatileDynamicVar};
 pub use error::{Error, Result};
 pub use layout::TagLayout;
 pub use llsc_from_cas::{CasLlSc, Keep};

@@ -39,13 +39,16 @@ use std::sync::Arc;
 
 use nbsp_memsim::{InstructionSet, Machine, ProcId, Processor};
 
+use nbsp_memsim::{PWord, VWord};
+
 use crate::bounded::{BoundedDomain, BoundedProc, BoundedVar, TagPolicy};
 use crate::constant_llsc::{ConstantDomain, ConstantProc, ConstantVar};
+use crate::dynamic_llsc::{DynProc, DynamicDomain, DynamicVar};
 use crate::keep_search::{KeepRegistry, PerVarKeepVar, RegistryKeepVar};
 use crate::lock_baseline::LockLlSc;
 use crate::{
-    CachePadded, CasFamily, CasLlSc, EmuCas, EmuFamily, Keep, LlScVar, Native, NativeSeqCst,
-    Result, RllLlSc, SimCas, SimFamily, TagLayout,
+    CachePadded, CasFamily, CasLlSc, EmuCas, EmuFamily, Error, Keep, LlScVar, Native,
+    NativeSeqCst, Result, RllLlSc, SimCas, SimFamily, TagLayout,
 };
 
 /// Concurrent LL–SC sequences per process (`k`) used by the registry's
@@ -165,11 +168,16 @@ pub enum ProviderId {
     KeepPerVar,
     /// Keep-search ablation: registry-wide keep search.
     KeepWithRegistry,
+    /// Writable LL/SC with dynamic joining (arXiv:2302.00135), volatile.
+    Dynamic,
+    /// The dynamic-joining construction over the persistent-memory model
+    /// (durably linearizable, crash–recovery tested).
+    DynamicDurable,
 }
 
 impl ProviderId {
     /// Every registered construction, in registry order.
-    pub const ALL: [ProviderId; 13] = [
+    pub const ALL: [ProviderId; 15] = [
         ProviderId::Fig4Native,
         ProviderId::Fig4NativeSeqCst,
         ProviderId::Fig4NativePadded,
@@ -183,6 +191,8 @@ impl ProviderId {
         ProviderId::LockBaseline,
         ProviderId::KeepPerVar,
         ProviderId::KeepWithRegistry,
+        ProviderId::Dynamic,
+        ProviderId::DynamicDurable,
     ];
 
     /// The stable CLI/JSON name (`--provider` flags, BENCH output).
@@ -368,6 +378,30 @@ impl ProviderId {
                 constant_time_sc: false,
                 native_ablation: false,
             },
+            ProviderId::Dynamic => ProviderMeta {
+                id: self,
+                name: "dynamic",
+                figure: "— (arXiv:2302.00135)",
+                family: "native CAS",
+                space_class: "Θ(N)/var",
+                tag_bits: "0",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: true,
+                native_ablation: false,
+            },
+            ProviderId::DynamicDurable => ProviderMeta {
+                id: self,
+                name: "dynamic-durable",
+                figure: "— (arXiv:2302.00135)",
+                family: "persistent memory (model)",
+                space_class: "Θ(N)/var",
+                tag_bits: "0",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: true,
+                native_ablation: false,
+            },
         }
     }
 }
@@ -440,18 +474,64 @@ pub trait Provider: 'static {
     /// Propagates the construction's value/budget errors.
     fn var(env: &Self::Env, initial: u64) -> Result<Self::Var>;
 
-    /// Claims the per-thread state for process `p < n`.
+    /// Claims the per-thread state for process `p`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PoolExhausted`] when `p` is at or past the environment's
+    /// process capacity (every provider knows its `n`), or — for the
+    /// dynamic providers — names a slot that is not currently admitted.
+    fn try_thread_ctx(env: &Self::Env, p: usize) -> Result<Self::ThreadCtx>;
+
+    /// Claims the per-thread state for process `p < n`, panicking where
+    /// [`Provider::try_thread_ctx`] would error.
     ///
     /// # Panics
     ///
-    /// For domain-based providers, panics if `(env, p)` is claimed twice
-    /// or `p` is out of range.
-    fn thread_ctx(env: &Self::Env, p: usize) -> Self::ThreadCtx;
+    /// If `p` is rejected; for domain-based providers, also if `(env, p)`
+    /// is claimed twice.
+    fn thread_ctx(env: &Self::Env, p: usize) -> Self::ThreadCtx {
+        match Self::try_thread_ctx(env, p) {
+            Ok(tc) => tc,
+            Err(e) => panic!("thread_ctx({p}): {e}"),
+        }
+    }
+
+    /// Admits a late-arriving process, returning a fresh id usable with
+    /// [`Provider::try_thread_ctx`]. The default is the fixed-N answer:
+    /// the process set was sealed at [`Provider::env`] time, so there are
+    /// no dynamically joinable slots.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PoolExhausted`] when no slot is free — always, for
+    /// fixed-N providers (reported capacity 0: the *joinable* pool is
+    /// empty, whatever `n` was).
+    fn join(env: &Self::Env) -> Result<usize> {
+        let _ = env;
+        Err(Error::PoolExhausted { capacity: 0 })
+    }
+
+    /// Retires a process id, returning its slot (and per-process
+    /// resources) to the pool for future joiners. A no-op for fixed-N
+    /// providers: their slots were never joinable, so there is nothing to
+    /// return.
+    fn retire(env: &Self::Env, p: usize) {
+        let _ = (env, p);
+    }
 
     /// Makes the operation context. For domain-based providers this moves
     /// the claimed state out of `tc` — call once per [`Provider::thread_ctx`]
     /// result (a second call panics) and reuse the returned context.
     fn ctx<'a>(tc: &'a mut Self::ThreadCtx) -> <Self::Var as LlScVar>::Ctx<'a>;
+}
+
+fn check_pid(n: usize, p: usize) -> Result<()> {
+    if p < n {
+        Ok(())
+    } else {
+        Err(Error::PoolExhausted { capacity: n })
+    }
 }
 
 fn machine(n: usize, set: InstructionSet) -> Machine {
@@ -466,19 +546,20 @@ pub struct Fig4Native;
 impl Provider for Fig4Native {
     const ID: ProviderId = ProviderId::Fig4Native;
     type Var = CasLlSc<Native>;
-    type Env = ();
+    type Env = usize;
     type ThreadCtx = Native;
 
-    fn env(_n: usize) -> Result<()> {
-        Ok(())
+    fn env(n: usize) -> Result<usize> {
+        Ok(n)
     }
 
-    fn var(_env: &(), initial: u64) -> Result<CasLlSc<Native>> {
+    fn var(_env: &usize, initial: u64) -> Result<CasLlSc<Native>> {
         native_base(initial)
     }
 
-    fn thread_ctx(_env: &(), _p: usize) -> Native {
-        Native
+    fn try_thread_ctx(env: &usize, p: usize) -> Result<Native> {
+        check_pid(*env, p)?;
+        Ok(Native)
     }
 
     fn ctx(tc: &mut Native) -> Native {
@@ -493,19 +574,20 @@ pub struct Fig4NativeSeqCst;
 impl Provider for Fig4NativeSeqCst {
     const ID: ProviderId = ProviderId::Fig4NativeSeqCst;
     type Var = SeqCstVar;
-    type Env = ();
+    type Env = usize;
     type ThreadCtx = NativeSeqCst;
 
-    fn env(_n: usize) -> Result<()> {
-        Ok(())
+    fn env(n: usize) -> Result<usize> {
+        Ok(n)
     }
 
-    fn var(_env: &(), initial: u64) -> Result<SeqCstVar> {
+    fn var(_env: &usize, initial: u64) -> Result<SeqCstVar> {
         Ok(SeqCstVar(native_base(initial)?))
     }
 
-    fn thread_ctx(_env: &(), _p: usize) -> NativeSeqCst {
-        NativeSeqCst
+    fn try_thread_ctx(env: &usize, p: usize) -> Result<NativeSeqCst> {
+        check_pid(*env, p)?;
+        Ok(NativeSeqCst)
     }
 
     fn ctx(tc: &mut NativeSeqCst) -> NativeSeqCst {
@@ -520,19 +602,20 @@ pub struct Fig4NativePadded;
 impl Provider for Fig4NativePadded {
     const ID: ProviderId = ProviderId::Fig4NativePadded;
     type Var = PaddedVar;
-    type Env = ();
+    type Env = usize;
     type ThreadCtx = Native;
 
-    fn env(_n: usize) -> Result<()> {
-        Ok(())
+    fn env(n: usize) -> Result<usize> {
+        Ok(n)
     }
 
-    fn var(_env: &(), initial: u64) -> Result<PaddedVar> {
+    fn var(_env: &usize, initial: u64) -> Result<PaddedVar> {
         Ok(PaddedVar(CachePadded::new(native_base(initial)?)))
     }
 
-    fn thread_ctx(_env: &(), _p: usize) -> Native {
-        Native
+    fn try_thread_ctx(env: &usize, p: usize) -> Result<Native> {
+        check_pid(*env, p)?;
+        Ok(Native)
     }
 
     fn ctx(tc: &mut Native) -> Native {
@@ -547,19 +630,20 @@ pub struct Fig4NativePaddedSeqCst;
 impl Provider for Fig4NativePaddedSeqCst {
     const ID: ProviderId = ProviderId::Fig4NativePaddedSeqCst;
     type Var = PaddedSeqCstVar;
-    type Env = ();
+    type Env = usize;
     type ThreadCtx = NativeSeqCst;
 
-    fn env(_n: usize) -> Result<()> {
-        Ok(())
+    fn env(n: usize) -> Result<usize> {
+        Ok(n)
     }
 
-    fn var(_env: &(), initial: u64) -> Result<PaddedSeqCstVar> {
+    fn var(_env: &usize, initial: u64) -> Result<PaddedSeqCstVar> {
         Ok(PaddedSeqCstVar(CachePadded::new(native_base(initial)?)))
     }
 
-    fn thread_ctx(_env: &(), _p: usize) -> NativeSeqCst {
-        NativeSeqCst
+    fn try_thread_ctx(env: &usize, p: usize) -> Result<NativeSeqCst> {
+        check_pid(*env, p)?;
+        Ok(NativeSeqCst)
     }
 
     fn ctx(tc: &mut NativeSeqCst) -> NativeSeqCst {
@@ -585,8 +669,9 @@ impl Provider for Fig4Sim {
         CasLlSc::new(TagLayout::half(), initial)
     }
 
-    fn thread_ctx(env: &Machine, p: usize) -> Processor {
-        env.processor(p)
+    fn try_thread_ctx(env: &Machine, p: usize) -> Result<Processor> {
+        check_pid(env.n(), p)?;
+        Ok(env.processor(p))
     }
 
     fn ctx<'a>(tc: &'a mut Processor) -> SimCas<'a> {
@@ -621,8 +706,9 @@ impl Provider for Fig4Emu {
         )
     }
 
-    fn thread_ctx(env: &Machine, p: usize) -> Processor {
-        env.processor(p)
+    fn try_thread_ctx(env: &Machine, p: usize) -> Result<Processor> {
+        check_pid(env.n(), p)?;
+        Ok(env.processor(p))
     }
 
     fn ctx<'a>(tc: &'a mut Processor) -> EmuCas<'a, PROVIDER_EMU_TAG_BITS> {
@@ -648,8 +734,9 @@ impl Provider for Fig5Rll {
         RllLlSc::new(TagLayout::half(), initial)
     }
 
-    fn thread_ctx(env: &Machine, p: usize) -> Processor {
-        env.processor(p)
+    fn try_thread_ctx(env: &Machine, p: usize) -> Result<Processor> {
+        check_pid(env.n(), p)?;
+        Ok(env.processor(p))
     }
 
     fn ctx(tc: &mut Processor) -> &Processor {
@@ -675,8 +762,12 @@ impl Provider for Fig7Bounded {
         env.var(initial)
     }
 
-    fn thread_ctx(env: &Arc<BoundedDomain<Native>>, p: usize) -> Option<BoundedProc<Native>> {
-        Some(env.proc(p))
+    fn try_thread_ctx(
+        env: &Arc<BoundedDomain<Native>>,
+        p: usize,
+    ) -> Result<Option<BoundedProc<Native>>> {
+        check_pid(env.n(), p)?;
+        Ok(Some(env.proc(p)))
     }
 
     fn ctx(tc: &mut Option<BoundedProc<Native>>) -> BoundedProc<Native> {
@@ -702,8 +793,12 @@ impl Provider for Fig7BoundedScan {
         env.var(initial)
     }
 
-    fn thread_ctx(env: &Arc<BoundedDomain<Native>>, p: usize) -> Option<BoundedProc<Native>> {
-        Some(env.proc(p))
+    fn try_thread_ctx(
+        env: &Arc<BoundedDomain<Native>>,
+        p: usize,
+    ) -> Result<Option<BoundedProc<Native>>> {
+        check_pid(env.n(), p)?;
+        Ok(Some(env.proc(p)))
     }
 
     fn ctx(tc: &mut Option<BoundedProc<Native>>) -> BoundedProc<Native> {
@@ -729,8 +824,12 @@ impl Provider for ConstantTime {
         env.var(&Native, initial)
     }
 
-    fn thread_ctx(env: &Arc<ConstantDomain<Native>>, p: usize) -> Option<ConstantProc<Native>> {
-        Some(env.proc(p))
+    fn try_thread_ctx(
+        env: &Arc<ConstantDomain<Native>>,
+        p: usize,
+    ) -> Result<Option<ConstantProc<Native>>> {
+        check_pid(env.n(), p)?;
+        Ok(Some(env.proc(p)))
     }
 
     fn ctx(tc: &mut Option<ConstantProc<Native>>) -> ConstantProc<Native> {
@@ -756,8 +855,9 @@ impl Provider for LockBaseline {
         Ok(LockLlSc::new(*env, initial))
     }
 
-    fn thread_ctx(_env: &usize, p: usize) -> ProcId {
-        ProcId::new(p)
+    fn try_thread_ctx(env: &usize, p: usize) -> Result<ProcId> {
+        check_pid(*env, p)?;
+        Ok(ProcId::new(p))
     }
 
     fn ctx(tc: &mut ProcId) -> ProcId {
@@ -783,8 +883,9 @@ impl Provider for KeepPerVar {
         PerVarKeepVar::new(*env, TagLayout::half(), initial)
     }
 
-    fn thread_ctx(_env: &usize, p: usize) -> ProcId {
-        ProcId::new(p)
+    fn try_thread_ctx(env: &usize, p: usize) -> Result<ProcId> {
+        check_pid(*env, p)?;
+        Ok(ProcId::new(p))
     }
 
     fn ctx(tc: &mut ProcId) -> ProcId {
@@ -810,11 +911,84 @@ impl Provider for KeepWithRegistry {
         RegistryKeepVar::new(&env.1, env.0, TagLayout::half(), initial)
     }
 
-    fn thread_ctx(_env: &(usize, Arc<KeepRegistry>), p: usize) -> ProcId {
-        ProcId::new(p)
+    fn try_thread_ctx(env: &(usize, Arc<KeepRegistry>), p: usize) -> Result<ProcId> {
+        check_pid(env.0, p)?;
+        Ok(ProcId::new(p))
     }
 
     fn ctx(tc: &mut ProcId) -> ProcId {
+        *tc
+    }
+}
+
+/// Writable LL/SC with dynamic joining (arXiv:2302.00135), volatile
+/// words: the provider whose process set grows and shrinks at runtime.
+#[derive(Debug)]
+pub struct Dynamic;
+
+impl Provider for Dynamic {
+    const ID: ProviderId = ProviderId::Dynamic;
+    type Var = DynamicVar<VWord>;
+    type Env = Arc<DynamicDomain>;
+    type ThreadCtx = DynProc;
+
+    fn env(n: usize) -> Result<Arc<DynamicDomain>> {
+        DynamicDomain::with_preadmitted(n)
+    }
+
+    fn var(env: &Arc<DynamicDomain>, initial: u64) -> Result<DynamicVar<VWord>> {
+        DynamicVar::new(env.capacity(), initial)
+    }
+
+    fn try_thread_ctx(env: &Arc<DynamicDomain>, p: usize) -> Result<DynProc> {
+        env.claim(p)
+    }
+
+    fn join(env: &Arc<DynamicDomain>) -> Result<usize> {
+        env.join()
+    }
+
+    fn retire(env: &Arc<DynamicDomain>, p: usize) {
+        env.retire(p);
+    }
+
+    fn ctx(tc: &mut DynProc) -> DynProc {
+        *tc
+    }
+}
+
+/// The dynamic-joining construction over the persistent-memory model:
+/// durably linearizable, gated by kill-at-schedule-point crash–recovery.
+#[derive(Debug)]
+pub struct DynamicDurable;
+
+impl Provider for DynamicDurable {
+    const ID: ProviderId = ProviderId::DynamicDurable;
+    type Var = DynamicVar<PWord>;
+    type Env = Arc<DynamicDomain>;
+    type ThreadCtx = DynProc;
+
+    fn env(n: usize) -> Result<Arc<DynamicDomain>> {
+        DynamicDomain::with_preadmitted(n)
+    }
+
+    fn var(env: &Arc<DynamicDomain>, initial: u64) -> Result<DynamicVar<PWord>> {
+        DynamicVar::new(env.capacity(), initial)
+    }
+
+    fn try_thread_ctx(env: &Arc<DynamicDomain>, p: usize) -> Result<DynProc> {
+        env.claim(p)
+    }
+
+    fn join(env: &Arc<DynamicDomain>) -> Result<usize> {
+        env.join()
+    }
+
+    fn retire(env: &Arc<DynamicDomain>, p: usize) {
+        env.retire(p);
+    }
+
+    fn ctx(tc: &mut DynProc) -> DynProc {
         *tc
     }
 }
@@ -854,6 +1028,8 @@ macro_rules! for_each_provider {
         $body!(lock_baseline, $crate::provider::LockBaseline);
         $body!(keep_pervar, $crate::provider::KeepPerVar);
         $body!(keep_with_registry, $crate::provider::KeepWithRegistry);
+        $body!(dynamic, $crate::provider::Dynamic);
+        $body!(dynamic_durable, $crate::provider::DynamicDurable);
     };
 }
 
@@ -894,6 +1070,8 @@ macro_rules! with_provider {
             $crate::ProviderId::LockBaseline => $body!($crate::provider::LockBaseline),
             $crate::ProviderId::KeepPerVar => $body!($crate::provider::KeepPerVar),
             $crate::ProviderId::KeepWithRegistry => $body!($crate::provider::KeepWithRegistry),
+            $crate::ProviderId::Dynamic => $body!($crate::provider::Dynamic),
+            $crate::ProviderId::DynamicDurable => $body!($crate::provider::DynamicDurable),
         }
     };
 }
@@ -996,5 +1174,65 @@ mod tests {
             };
         }
         for_each_provider!(run_smoke);
+    }
+
+    /// Every provider rejects an out-of-range pid with a typed error
+    /// instead of a panic (the fixed-N satellite), and in-range pids
+    /// succeed.
+    fn pid_bounds<P: Provider>() {
+        let env = P::env(2).expect("env");
+        assert!(P::try_thread_ctx(&env, 0).is_ok(), "{}", P::ID);
+        // Far past any headroom a dynamic pool provisions for joiners.
+        match P::try_thread_ctx(&env, usize::MAX) {
+            Err(Error::PoolExhausted { .. }) => {}
+            Err(e) => panic!("{}: wrong error {e}", P::ID),
+            Ok(_) => panic!("{}: out-of-range pid accepted", P::ID),
+        }
+    }
+
+    #[test]
+    fn every_provider_bounds_its_pids() {
+        macro_rules! run_bounds {
+            ($name:ident, $p:ty) => {
+                pid_bounds::<$p>();
+            };
+        }
+        for_each_provider!(run_bounds);
+    }
+
+    #[test]
+    fn fixed_n_providers_refuse_join_and_tolerate_retire() {
+        let env = Fig4Native::env(2).unwrap();
+        assert_eq!(
+            Fig4Native::join(&env),
+            Err(Error::PoolExhausted { capacity: 0 })
+        );
+        Fig4Native::retire(&env, 0); // no-op, must not panic
+        assert!(Fig4Native::try_thread_ctx(&env, 0).is_ok());
+    }
+
+    #[test]
+    fn dynamic_providers_join_and_retire_through_the_trait() {
+        fn churn<P: Provider>() {
+            let env = P::env(1).expect("env");
+            let var = P::var(&env, 0).expect("var");
+            let late = P::join(&env).expect("join");
+            assert!(late >= 1, "pre-admitted ids are 0..n");
+            let mut tc = P::thread_ctx(&env, late);
+            let mut ctx = P::ctx(&mut tc);
+            let mut keep = <P::Var as LlScVar>::Keep::default();
+            loop {
+                let v = var.ll(&mut ctx, &mut keep);
+                if var.sc(&mut ctx, &mut keep, v + 1) {
+                    break;
+                }
+            }
+            assert_eq!(var.read(&mut ctx), 1);
+            P::retire(&env, late);
+            // The retired slot is joinable again.
+            assert_eq!(P::join(&env).expect("rejoin"), late);
+        }
+        churn::<Dynamic>();
+        churn::<DynamicDurable>();
     }
 }

@@ -55,6 +55,7 @@ mod cost;
 pub mod exact;
 mod machine;
 mod pad;
+pub mod pmem;
 mod proc_id;
 pub mod rng;
 pub mod sched;
@@ -64,6 +65,7 @@ mod trace;
 mod word;
 
 pub use cost::CostModel;
+pub use pmem::{MemWord, PWord, VWord};
 pub use machine::{AccessBetween, InstructionSet, Machine, MachineBuilder, Processor};
 pub use pad::CachePadded;
 pub use proc_id::ProcId;

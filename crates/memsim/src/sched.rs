@@ -144,6 +144,89 @@ impl Drop for HookGuard {
     }
 }
 
+/// Kill-at-schedule-point crash injection.
+///
+/// A `CrashPlan` is a [`SchedulePoint`] shared (via `Arc`) by every thread
+/// of a crash experiment. It counts down the instrumented shared accesses
+/// performed across *all* participating threads; when the countdown
+/// reaches zero the plan *trips*, and from then on every yield from a
+/// participating thread panics with a recognizable crash token instead of
+/// letting the access proceed. The harness joins the workers, treats
+/// [`is_crash_panic`] payloads as the simulated power failure (any other
+/// panic is a real bug and is resumed), rolls persistent words back with
+/// `crash_reset`, runs the algorithm's recovery procedure, and asserts
+/// durable linearizability.
+///
+/// Because the kill point is "the k-th instrumented access, whichever
+/// thread performs it", sweeping `k` over a seeded random range explores
+/// crashes at arbitrary interleaving depths without any cooperation from
+/// the code under test — the same property that makes the schedule-point
+/// seam sufficient for DPOR makes it sufficient for crash injection.
+///
+/// The countdown and trip flag use relaxed atomics: the plan needs an
+/// *atomic* trip (exactly one access observes the count hit zero) but no
+/// ordering with the data accesses themselves — the crash is adversarial
+/// by design, so any interleaving of "who noticed the trip when" is a
+/// legal power-failure instant.
+#[derive(Debug)]
+pub struct CrashPlan {
+    remaining: AtomicUsize,
+    tripped: std::sync::atomic::AtomicBool,
+}
+
+/// The panic payload used by [`CrashPlan`] to tear a thread down; detect
+/// it with [`is_crash_panic`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashToken;
+
+/// True iff `payload` (from [`std::thread::JoinHandle::join`] or
+/// [`std::panic::catch_unwind`]) is a [`CrashPlan`] kill, as opposed to a
+/// genuine assertion failure in the code under test.
+#[must_use]
+pub fn is_crash_panic(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<CrashToken>()
+}
+
+impl CrashPlan {
+    /// A plan that trips at the `kill_after`-th instrumented access
+    /// (0 trips at the very first access) counted across every thread the
+    /// plan is installed on.
+    #[must_use]
+    pub fn new(kill_after: usize) -> Arc<Self> {
+        Arc::new(CrashPlan {
+            remaining: AtomicUsize::new(kill_after),
+            tripped: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// True once the kill point has been reached (some thread has already
+    /// been torn down, or will be at its next yield).
+    #[must_use]
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+}
+
+impl SchedulePoint for CrashPlan {
+    fn yield_point(&self, _addr: usize, _kind: AccessKind) -> Decision {
+        if !self.tripped() {
+            // fetch_update is a CAS loop: exactly one access moves the
+            // count from 0, and it is the one that sets the trip flag.
+            let hit = self
+                .remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+                .is_err();
+            if !hit {
+                return Decision::Proceed;
+            }
+            self.tripped.store(true, Ordering::Relaxed);
+        }
+        // Tripped: this thread dies *before* the access executes, exactly
+        // like a power failure between two instructions.
+        std::panic::panic_any(CrashToken);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +315,66 @@ mod tests {
     fn nested_install_panics() {
         let _a = install(Arc::new(Counter(AtomicU64::new(0))));
         let _b = install(Arc::new(Counter(AtomicU64::new(0))));
+    }
+
+    #[test]
+    fn crash_plan_kills_at_the_exact_access() {
+        let plan = CrashPlan::new(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = install(plan.clone());
+            let mut survived = 0u64;
+            for i in 0..10 {
+                let _ = yield_point(i, AccessKind::Write);
+                survived += 1;
+            }
+            survived
+        }));
+        let payload = result.expect_err("the plan must kill the loop");
+        assert!(is_crash_panic(payload.as_ref()), "crash token, not a bug");
+        assert!(plan.tripped());
+    }
+
+    #[test]
+    fn crash_plan_counts_across_threads() {
+        // Two threads, 4 accesses budget: together they execute exactly 4
+        // accesses before both die at their next yield.
+        let plan = CrashPlan::new(4);
+        let done = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let plan = plan.clone();
+                let done = done.clone();
+                s.spawn(move || {
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _g = install(plan);
+                        loop {
+                            let _ = yield_point(0, AccessKind::Cas);
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }));
+                    let payload = caught.expect_err("must crash");
+                    assert!(is_crash_panic(payload.as_ref()));
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 4);
+        assert!(plan.tripped());
+    }
+
+    #[test]
+    fn crash_panic_discriminates_real_bugs() {
+        let real = std::panic::catch_unwind(|| panic!("assertion failed: real bug"))
+            .expect_err("panicked");
+        assert!(!is_crash_panic(real.as_ref()));
+    }
+
+    #[test]
+    fn crash_plan_zero_kills_immediately() {
+        let plan = CrashPlan::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = install(plan.clone());
+            let _ = yield_point(0, AccessKind::Read);
+        }));
+        assert!(is_crash_panic(result.expect_err("dies first access").as_ref()));
     }
 }

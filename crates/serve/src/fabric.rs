@@ -403,6 +403,45 @@ impl<V: LlScVar> StripedBucket<V> {
         }
     }
 
+    /// Drains stripe `shard` back into the global pair, returning how
+    /// many tokens moved. The elastic resizer calls this for every
+    /// stripe it deactivates, so the burst slack parked in a retired
+    /// shard's word is not stranded there while the pool is small (and
+    /// cannot double-spend when the shard is later reactivated). Tokens
+    /// above the global burst cap are discarded, exactly as a full
+    /// bucket discards refill — the cap is the admission contract.
+    pub fn redistribute(&self, ctx: &mut V::Ctx<'_>, shard: usize) -> u64 {
+        let local = &self.locals[shard];
+        let mut keep = V::Keep::default();
+        let mut backoff = Backoff::new();
+        let tokens = loop {
+            let tokens = local.ll(ctx, &mut keep);
+            if tokens == 0 {
+                local.cl(ctx, &mut keep);
+                return 0;
+            }
+            if local.sc(ctx, &mut keep, 0) {
+                break tokens;
+            }
+            backoff.spin();
+        };
+        let mem = Native;
+        let mut wkeep = WideKeep::default();
+        let mut buf = [0u64; 2];
+        loop {
+            if !self.global.wll(&mem, &mut wkeep, &mut buf).is_success() {
+                continue;
+            }
+            let new = [
+                buf[G_STAMP],
+                buf[G_TOKENS].saturating_add(tokens).min(self.burst),
+            ];
+            if self.global.sc(&mem, ProcId::new(0), &wkeep, &new) {
+                return tokens;
+            }
+        }
+    }
+
     /// Decides one request arriving at `now_ns` against stripe `shard`.
     /// Lock-free; the fast path is a single LL–SC on the shard word.
     pub fn admit(&self, ctx: &mut V::Ctx<'_>, shard: usize, now_ns: u64) -> AdmitOutcome {
@@ -836,7 +875,7 @@ fn fabric_worker<P: Provider, F: FnMut()>(shared: &FabricShared<'_, P>, me: usiz
     flush_telemetry(&mut tele, shared.sinks);
 }
 
-fn flush_telemetry(tele: &mut Option<(Flusher, HistFlusher)>, sinks: Option<&ServeSinks>) {
+pub(crate) fn flush_telemetry(tele: &mut Option<(Flusher, HistFlusher)>, sinks: Option<&ServeSinks>) {
     if let (Some((events, hists)), Some(s)) = (tele.as_mut(), sinks) {
         events.flush(&s.events);
         hists.flush(&s.hists);
@@ -973,6 +1012,33 @@ mod tests {
             bucket.admit(ctx, 0, 4_000),
             AdmitOutcome::Admitted { refilled: true }
         );
+    }
+
+    #[test]
+    fn redistribute_returns_stripe_slack_to_the_global_bucket() {
+        // Rate too slow to refill within the test's clock: the global
+        // burst of 64 is all there is.
+        let cfg = AdmissionConfig {
+            rate_per_sec: 1.0,
+            burst: 64,
+        };
+        let bucket = StripedBucket::new(cfg, 16, (0..2).map(|_| var()).collect());
+        let ctx = &mut Native;
+        // One admit on stripe 1 batch-moves 16 tokens there and spends 1.
+        assert!(matches!(
+            bucket.admit(ctx, 1, 0),
+            AdmitOutcome::Admitted { refilled: true }
+        ));
+        // Deactivating stripe 1 hands its 15 parked tokens back.
+        assert_eq!(bucket.redistribute(ctx, 1), 15);
+        assert_eq!(bucket.redistribute(ctx, 1), 0, "already drained");
+        // Every surviving token is spendable through stripe 0: none were
+        // lost in the move, none can be double-spent from stripe 1.
+        let mut admitted = 0;
+        while matches!(bucket.admit(ctx, 0, 0), AdmitOutcome::Admitted { .. }) {
+            admitted += 1;
+        }
+        assert_eq!(admitted, 63, "64 burst minus the one spent admit");
     }
 
     fn small_cfg(workers: usize, rate: f64, admission: Option<AdmissionConfig>) -> FabricConfig {

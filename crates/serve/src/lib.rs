@@ -39,6 +39,14 @@
 //!    batch-refilled from a global Figure-6 wide bucket. Registry-
 //!    provider-generic via `with_provider!`; E12's scaling curves sweep
 //!    it against the single-ring baseline.
+//! 6. **The elastic pool** ([`elastic`]) — the fabric with its worker
+//!    count unpinned: a deterministic producer-driven autoscaler
+//!    republishes the [`fabric::Directory`] word as load moves, workers
+//!    join/retire the provider domain per activation epoch (real
+//!    membership churn on the `dynamic` providers), and deactivated
+//!    admission stripes hand their token slack back to the global
+//!    bucket via [`fabric::StripedBucket::redistribute`]. E14 sweeps it
+//!    against fixed pool sizes under a flash crowd.
 //!
 //! ## Why timing is virtual
 //!
@@ -57,6 +65,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod admission;
+pub mod elastic;
 pub mod fabric;
 pub mod loadgen;
 pub mod metrics;
@@ -64,6 +73,10 @@ pub mod ring;
 pub mod service;
 
 pub use admission::{AdmissionConfig, TokenBucket};
+pub use elastic::{
+    run_elastic_cell, run_elastic_cell_as, ElasticConfig, ElasticResult, PoolTrace, ScalerConfig,
+    DEFAULT_ELASTIC_PROVIDER,
+};
 pub use fabric::{
     run_fabric_cell, run_fabric_cell_as, AdmitOutcome, Directory, FabricConfig, ShardRing,
     StripedBucket,

@@ -7,7 +7,7 @@
 
 /// Number of distinct events ([`Event::ALL`]'s length, and the width `W`
 /// of the Figure-6 wide variable a consistent snapshot publisher uses).
-pub const EVENT_COUNT: usize = 14;
+pub const EVENT_COUNT: usize = 17;
 
 /// One countable occurrence inside the LL/SC stack.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -54,6 +54,15 @@ pub enum Event {
     /// A fabric worker's local admission sub-bucket went empty and was
     /// refilled in a batch from the global wide bucket.
     ServeRefill = 13,
+    /// A dynamic-joining provider admitted a late-arriving process: one
+    /// successful CAS on a free membership slot.
+    JoinAdmit = 14,
+    /// A dynamic-joining provider retired a process, returning its
+    /// membership slot (and its cells) to the pool.
+    Retire = 15,
+    /// A durable provider ran its crash-recovery procedure after a
+    /// simulated power failure rolled memory back to the persisted image.
+    CrashRecover = 16,
 }
 
 impl Event {
@@ -73,6 +82,9 @@ impl Event {
         Event::ServeShed,
         Event::ServeSteal,
         Event::ServeRefill,
+        Event::JoinAdmit,
+        Event::Retire,
+        Event::CrashRecover,
     ];
 
     /// The event's row index in the counter matrix.
@@ -99,6 +111,9 @@ impl Event {
             Event::ServeShed => "serve_shed",
             Event::ServeSteal => "serve_steal",
             Event::ServeRefill => "serve_refill",
+            Event::JoinAdmit => "join_admit",
+            Event::Retire => "retire",
+            Event::CrashRecover => "crash_recover",
         }
     }
 }

@@ -57,3 +57,8 @@ pub use nbsp_serve as serve;
 /// Schedule-controlled model checking (DPOR) of the real providers and
 /// the repo-invariant lint pass. Re-export of `nbsp-check`.
 pub use nbsp_check as check;
+
+/// Dynamic joining and durability: the kill-at-schedule-point
+/// crash–recovery harness and membership churn drivers for the
+/// `dynamic`/`dynamic-durable` providers. Re-export of `nbsp-dynamic`.
+pub use nbsp_dynamic as dynamic;

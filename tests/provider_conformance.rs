@@ -5,7 +5,7 @@
 //! conformance-tested by construction, and one that breaks the contract
 //! fails here by name.
 //!
-//! Three properties per provider:
+//! Four properties per provider:
 //!
 //! * **semantics** — LL/VL/SC single-thread sequencing: an undisturbed
 //!   sequence validates and commits; a sequence whose variable changed
@@ -19,11 +19,17 @@
 //!   reader polls; the counter must end exact (lost updates would mean a
 //!   falsely-successful SC) and reads must be monotone (a torn or stale
 //!   read would break linearizability of `read`).
+//! * **churn** — the `join`/`retire` membership contract: fixed-N
+//!   providers refuse with the typed `PoolExhausted` error and their
+//!   no-op `retire` leaves preadmitted slots working; dynamic providers
+//!   hand out fresh slots until their headroom is exhausted, refuse
+//!   past capacity, and recycle retired slots into working contexts
+//!   with no increments lost.
 //!
 //! The suite is feature-independent: CI's no-default-features matrix runs
 //! the same assertions with telemetry compiled out.
 
-use nbsp_core::{for_each_provider, LlScVar, Provider};
+use nbsp_core::{for_each_provider, Error, LlScVar, Provider};
 
 /// LL/VL/SC sequencing contract, one provider.
 fn semantics<P: Provider>() {
@@ -143,7 +149,91 @@ fn linearization<P: Provider>() {
     );
 }
 
-// The module generated per provider by `for_each_provider!`: three
+/// Membership churn, one provider: the `join`/`retire` contract. A
+/// fixed-N provider must refuse with the typed `PoolExhausted` error
+/// (and its no-op `retire` must not disturb the preadmitted slots); a
+/// dynamic provider must hand out fresh working slots, refuse once its
+/// headroom is exhausted, and reuse retired slots.
+fn churn<P: Provider>() {
+    let env = P::env(2).expect("provider env");
+    let var = P::var(&env, 0).expect("provider var");
+    match P::join(&env) {
+        Err(Error::PoolExhausted { .. }) => {
+            // Fixed-N: joining is always refused, retire is a no-op,
+            // and neither disturbs a preadmitted slot's sequences.
+            P::retire(&env, 0);
+            let mut tc = P::thread_ctx(&env, 0);
+            let mut ctx = P::ctx(&mut tc);
+            let mut keep = <P::Var as LlScVar>::Keep::default();
+            let v = var.ll(&mut ctx, &mut keep);
+            assert!(var.sc(&mut ctx, &mut keep, v + 1), "SC after no-op retire");
+            assert_eq!(var.read(&mut ctx), v + 1);
+        }
+        Err(e) => panic!("join refusal must be PoolExhausted, got: {e}"),
+        Ok(first) => {
+            // Dynamic: drain the headroom. Every joined slot must be a
+            // working context (one committed increment each).
+            let mut slots = vec![first];
+            loop {
+                match P::join(&env) {
+                    Ok(p) => slots.push(p),
+                    Err(Error::PoolExhausted { capacity }) => {
+                        assert!(
+                            capacity >= 2 + slots.len(),
+                            "reported capacity {capacity} below the {} slots seen",
+                            2 + slots.len(),
+                        );
+                        break;
+                    }
+                    Err(e) => panic!("exhausted join must be PoolExhausted, got: {e}"),
+                }
+                assert!(slots.len() <= 1024, "join never reported exhaustion");
+            }
+            let joined = slots.len() as u64;
+            for &p in &slots {
+                let mut tc = P::thread_ctx(&env, p);
+                let mut ctx = P::ctx(&mut tc);
+                let mut keep = <P::Var as LlScVar>::Keep::default();
+                loop {
+                    let v = var.ll(&mut ctx, &mut keep);
+                    if var.sc(&mut ctx, &mut keep, v + 1) {
+                        break;
+                    }
+                }
+            }
+            // Retire-then-rejoin: every retired slot becomes joinable
+            // again, and the recycled contexts still commit.
+            for &p in &slots {
+                P::retire(&env, p);
+            }
+            let mut recycled = Vec::new();
+            for _ in 0..slots.len() {
+                recycled.push(P::join(&env).expect("retired slots must be joinable again"));
+            }
+            for &p in &recycled {
+                let mut tc = P::thread_ctx(&env, p);
+                let mut ctx = P::ctx(&mut tc);
+                let mut keep = <P::Var as LlScVar>::Keep::default();
+                loop {
+                    let v = var.ll(&mut ctx, &mut keep);
+                    if var.sc(&mut ctx, &mut keep, v + 1) {
+                        break;
+                    }
+                }
+                P::retire(&env, p);
+            }
+            let mut tc = P::thread_ctx(&env, 0);
+            let mut ctx = P::ctx(&mut tc);
+            assert_eq!(
+                var.read(&mut ctx),
+                2 * joined,
+                "increments lost across join/retire churn"
+            );
+        }
+    }
+}
+
+// The module generated per provider by `for_each_provider!`: four
 // `#[test]`s per registry entry, named by the provider's snake_case slug.
 macro_rules! conformance {
     ($name:ident, $provider:ty) => {
@@ -161,6 +251,11 @@ macro_rules! conformance {
             #[test]
             fn linearization() {
                 super::linearization::<$provider>();
+            }
+
+            #[test]
+            fn churn() {
+                super::churn::<$provider>();
             }
         }
     };
