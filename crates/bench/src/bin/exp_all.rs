@@ -52,5 +52,12 @@ fn main() -> ExitCode {
                 e14_elastic::run(requests, trials).to_string()
             }),
         ),
+        (
+            "e15_structures",
+            Box::new(move || {
+                let (requests, iters) = if quick { (20_000, 12_000) } else { (100_000, 48_000) };
+                e15_structures::run(requests, iters).to_string()
+            }),
+        ),
     ])
 }

@@ -1,0 +1,18 @@
+//! Regenerates E15: the LLX/SCX ordered map's keyed fabric cells
+//! (worker count × key skew, deterministic on the virtual clock) and the
+//! closed-loop throughput sweep against the lock-baseline map. Writes
+//! `BENCH_structures.json` (deterministic artifacts + gate verdicts).
+//! Run with `--quick` for a fast smoke pass (the determinism and
+//! conservation gates are enforced either way).
+use std::process::ExitCode;
+
+use nbsp_bench::experiments::e15_structures;
+use nbsp_bench::runner::run_experiment;
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (requests, iters) = if quick { (20_000, 40_000) } else { (100_000, 48_000) };
+    run_experiment("e15_structures", move || {
+        e15_structures::run(requests, iters).to_string()
+    })
+}

@@ -228,7 +228,10 @@ pub fn snapshot_ablation(writers: usize, batches: u64, per_batch: u64) -> Ablati
         }
         s.spawn(|| {
             let (mut rn, mut rt, mut an, mut at) = (0u64, 0u64, 0u64, 0u64);
-            while !stop.load(Ordering::Relaxed) {
+            // Do-while: the writers may already be done by the time this
+            // thread gets scheduled; at least one sample of each reader
+            // must still be taken.
+            loop {
                 let racy = racy_totals();
                 rn += 1;
                 if racy[ta] - base[ta] != racy[rs] - base[rs] {
@@ -238,6 +241,9 @@ pub fn snapshot_ablation(writers: usize, batches: u64, per_batch: u64) -> Ablati
                 an += 1;
                 if atomic[ta] != atomic[rs] {
                     at += 1;
+                }
+                if stop.load(Ordering::Relaxed) {
+                    break;
                 }
             }
             (rn, rt, an, at)

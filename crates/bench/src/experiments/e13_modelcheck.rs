@@ -11,13 +11,17 @@
 //! scheduler branches), and every distinct history is checked against the
 //! Figure-2 sequential specification.
 //!
-//! Three deterministic gates:
+//! Four deterministic gates:
 //! * every provider × configuration completes exhaustively (no cap) with
 //!   no violation;
 //! * DPOR prunes at least [`MIN_PRUNING_RATIO`]× versus the naive full
 //!   DFS on the designated ratio configuration;
 //! * the planted tag-drop provider (`nbsp_check::planted`) is caught with
-//!   a concrete violating schedule — the checker is not vacuous.
+//!   a concrete violating schedule — the checker is not vacuous;
+//! * multi-word LLX/SCX commits (`nbsp_check::llx`) conserve exhaustively
+//!   on the overlap program, and the planted lost-freeze domain is caught
+//!   with the same counterexample schedule on two independent
+//!   explorations.
 //!
 //! Configurations scale per provider by measured cost, not by name: every
 //! provider runs the base configuration; providers whose base run costs
@@ -26,7 +30,10 @@
 //! only on the provider's access pattern).
 
 use nbsp_check::planted::{aba_program, PlantedTagDrop};
-use nbsp_check::{check, Mode, Outcome, PlanOp, Program};
+use nbsp_check::{
+    check, check_conservation, check_lost_freeze, llx::overlap_program, Mode, Outcome, PlanOp,
+    Program,
+};
 use nbsp_core::Provider;
 
 use crate::report::{Report, Table};
@@ -170,6 +177,26 @@ pub struct PlantedResult {
     pub schedule_len: usize,
 }
 
+/// The multi-word LLX/SCX gate data: the overlap program (two SCXs whose
+/// linked sets intersect on the written record) explored exhaustively on
+/// the default Figure-4 provider, judged by conservation, plus the
+/// planted lost-freeze domain — which must be caught with the *same*
+/// counterexample schedule on two independent explorations.
+#[derive(Clone, Debug)]
+pub struct LlxResult {
+    /// Exhaustive conservation exploration of the faithful protocol.
+    pub conserve: Outcome,
+    /// Completed executions until the lost-freeze violation surfaced.
+    pub flawed_executions: u64,
+    /// Whether the lost-freeze canary was caught (it must be).
+    pub flawed_found: bool,
+    /// Length of the lost-freeze counterexample schedule.
+    pub flawed_schedule_len: usize,
+    /// Whether two independent explorations produced identical
+    /// counterexample schedules.
+    pub deterministic: bool,
+}
+
 /// Everything E13 measures.
 #[derive(Clone, Debug)]
 pub struct E13Results {
@@ -179,6 +206,8 @@ pub struct E13Results {
     pub ratio: RatioResult,
     /// Non-vacuity gate data.
     pub planted: PlantedResult,
+    /// Multi-word LLX/SCX gate data.
+    pub llx: LlxResult,
     /// Whether the sweep ran in quick mode (base configuration only).
     pub quick: bool,
 }
@@ -249,10 +278,30 @@ pub fn collect(quick: bool) -> E13Results {
             .map_or(0, |v| v.schedule.len()),
     };
 
+    let lp = overlap_program();
+    let conserve =
+        check_conservation::<nbsp_core::provider::Fig4Native>(&lp, Mode::Dpor, MAX_EXECUTIONS)
+            .expect("native env is infallible");
+    let f1 = check_lost_freeze::<nbsp_core::provider::Fig4Native>(&lp, Mode::Dpor, MAX_EXECUTIONS)
+        .expect("native env is infallible");
+    let f2 = check_lost_freeze::<nbsp_core::provider::Fig4Native>(&lp, Mode::Dpor, MAX_EXECUTIONS)
+        .expect("native env is infallible");
+    let llx = LlxResult {
+        flawed_executions: f1.executions,
+        flawed_found: f1.violation.is_some(),
+        flawed_schedule_len: f1.violation.as_ref().map_or(0, |v| v.schedule.len()),
+        deterministic: match (&f1.violation, &f2.violation) {
+            (Some(a), Some(b)) => a.schedule == b.schedule,
+            _ => false,
+        },
+        conserve,
+    };
+
     E13Results {
         rows,
         ratio,
         planted,
+        llx,
         quick,
     }
 }
@@ -320,6 +369,19 @@ pub fn render(r: &E13Results) -> Report {
         r.planted.executions,
         r.planted.schedule_len,
     ));
+    report.para(&format!(
+        "Multi-word LLX/SCX: the two-SCX overlap program conserved across {} \
+         executions ({} blocked) on fig4-native — every interleaving of the \
+         freeze/write/settle/release protocol — and the planted lost-freeze \
+         domain was {} after {} executions (schedule of {} decisions, \
+         deterministic across two explorations: {}).",
+        r.llx.conserve.executions,
+        r.llx.conserve.sleep_blocked,
+        if r.llx.flawed_found { "caught" } else { "MISSED" },
+        r.llx.flawed_executions,
+        r.llx.flawed_schedule_len,
+        r.llx.deterministic,
+    ));
     report
 }
 
@@ -378,8 +440,21 @@ pub fn to_json(r: &E13Results) -> String {
         r.ratio.ratio(),
     ));
     s.push_str(&format!(
-        "  \"planted\": {{\"found\": {}, \"executions\": {}, \"schedule_len\": {}}}\n",
+        "  \"planted\": {{\"found\": {}, \"executions\": {}, \"schedule_len\": {}}},\n",
         r.planted.found, r.planted.executions, r.planted.schedule_len,
+    ));
+    s.push_str(&format!(
+        "  \"llx\": {{\"conserve_executions\": {}, \"conserve_blocked\": {}, \
+         \"conserve_violation\": {}, \"conserve_capped\": {}, \"flawed_found\": {}, \
+         \"flawed_executions\": {}, \"flawed_schedule_len\": {}, \"deterministic\": {}}}\n",
+        r.llx.conserve.executions,
+        r.llx.conserve.sleep_blocked,
+        r.llx.conserve.violation.is_some(),
+        r.llx.conserve.capped,
+        r.llx.flawed_found,
+        r.llx.flawed_executions,
+        r.llx.flawed_schedule_len,
+        r.llx.deterministic,
     ));
     s.push_str("}\n");
     s
@@ -423,6 +498,22 @@ pub fn enforce(r: &E13Results) {
         r.planted.found,
         "the planted tag-drop bug was not caught — the checker is vacuous"
     );
+    assert!(
+        r.llx.conserve.violation.is_none(),
+        "the faithful LLX/SCX overlap program lost an update"
+    );
+    assert!(
+        !r.llx.conserve.capped,
+        "the LLX/SCX conservation exploration did not finish within {MAX_EXECUTIONS} executions"
+    );
+    assert!(
+        r.llx.flawed_found,
+        "the planted lost-freeze bug was not caught — multi-word commits are unchecked"
+    );
+    assert!(
+        r.llx.deterministic,
+        "the lost-freeze counterexample differed between explorations"
+    );
 }
 
 /// Collect + render + enforce, for `exp_all`.
@@ -446,5 +537,7 @@ mod tests {
         let json = to_json(&r);
         assert!(json.contains("\"schema_version\": 1"));
         assert!(json.contains("\"planted\""));
+        assert!(json.contains("\"llx\""));
+        assert!(json.contains("\"flawed_found\": true"));
     }
 }

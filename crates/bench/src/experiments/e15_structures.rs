@@ -1,0 +1,760 @@
+//! **E15 — the LLX/SCX ordered map, served and swept.**
+//!
+//! PR 8's tentpole: `nbsp-llx` turns the registry's single-word LL/SC
+//! into Brown–Ellen–Ruppert multi-word LLX/SCX, and
+//! [`nbsp_structures::OrdMap`] builds the external-BST ordered map on
+//! top. This experiment closes the loop from both ends:
+//!
+//! 1. **Keyed fabric cells** — the serving fabric routes
+//!    [`Workload::OrdMap`] requests to shards by key hash, so a skewed
+//!    key distribution becomes a skewed *shard* load. Cells sweep worker
+//!    count × key skew (uniform vs Zipf(1) hot keys) on the virtual
+//!    clock; every cell is run **twice** and the results must be
+//!    identical (the cell is a pure function of the seed), and each cell
+//!    conserves requests (`completed == admitted == generated` — no
+//!    admission gate here, the sweep compares skews, not policies). The
+//!    map's own conservation (`inserts − deletes == final size`) is
+//!    asserted inside the cell by `MapCell`.
+//! 2. **Closed-loop throughput** — the racy, wall-clock half: `threads ×
+//!    skew × substrate` where the substrates are the ordmap on four
+//!    registry providers (Figure 4 native, Figure 7 bounded-tag, the
+//!    dynamic-joining domain, and the Figure-2 **lock substrate** —
+//!    footnote 1's "straightforward" mutex implementation of LL/SC,
+//!    running the *same* ordmap; E7's substrate-comparison convention)
+//!    plus a coarse mutex around `BTreeMap` as an out-of-family
+//!    reference row. Each thread draws keys from its own seeded
+//!    SplitMix64 stream — a read-dominated 1/1/8 insert/delete/get mix
+//!    on the uniform cells, an adversarial 50/50 insert/delete mix on
+//!    the Zipf cells (their job is to force conflicts); per-cell
+//!    conservation (successful inserts − successful deletes == final
+//!    `len`) is asserted for every substrate, and the headline gate is
+//!    **the ordmap on fig4-native beating the ordmap on the lock
+//!    substrate at 4 threads on the uniform cell** (every Figure-2
+//!    LL/VL/SC/read takes a per-variable mutex; the native CAS cells
+//!    run the identical algorithm without them).
+//!
+//! Under the Zipf cell the hot keys force real SCX conflicts: when
+//! telemetry is compiled in, the `llx_help` and `scx_abort` totals for
+//! that sweep must be nonzero — helping actually happens end to end, not
+//! just in the model checker.
+//!
+//! `BENCH_structures.json` records the **deterministic** artifacts only:
+//! the keyed-cell results (virtual-time percentiles and counters) and the
+//! gate verdicts as booleans. Wall-clock throughput stays in the markdown
+//! report — that is what keeps the JSON byte-identical across same-seed
+//! runs, which is itself one of the gates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nbsp_core::{with_provider, Provider, ProviderId};
+use nbsp_memsim::rng::SplitMix64;
+use nbsp_serve::{run_fabric_cell, ArrivalProcess, CellResult, FabricConfig, Workload};
+use nbsp_structures::{ordmap_capacity, LockMap, OrdMap};
+use nbsp_telemetry::{AtomicTotals, Event};
+
+use crate::measure::{throughput, throughput_sessions};
+use crate::report::{event_table, fmt_ns, fmt_ops, Report, Table};
+use crate::sinks::{session_loop, FlushPair, Sinks};
+
+/// Seed for every keyed cell and every per-thread key stream.
+const SEED: u64 = 0x5e15_5e15;
+
+/// Mean virtual service demand per keyed request.
+const SERVICE_MEAN_NS: f64 = 1_000.0;
+
+/// Offered rate as a fraction of each keyed cell's pool capacity —
+/// below saturation, so the tail reflects routing skew, not overload.
+const KEYED_RHO: f64 = 0.8;
+
+/// Worker counts for the keyed fabric sweep.
+const KEYED_WORKERS: [usize; 2] = [2, 4];
+
+/// Key space of the keyed cells and the Zipf throughput cells: small
+/// enough that Zipf(1)'s head is genuinely hot (key 0 draws ~21%).
+const HOT_KEY_SPACE: u64 = 64;
+
+/// Key space of the uniform throughput cells: large enough that 4
+/// threads mostly touch disjoint subtrees.
+const UNIFORM_KEY_SPACE: u64 = 256;
+
+/// Key space of the Zipf throughput cells: tiny, so the Zipf(1) head
+/// (key 0 draws ~37% of 8) lands concurrent SCXs on the same records
+/// often enough that freezes are *observed* — that is what drives the
+/// nonzero `llx_help`/`scx_abort` gate.
+const ZIPF_TPUT_SPACE: u64 = 8;
+
+/// Per-shard ring capacity (as E12/E14).
+const RING_CAPACITY: usize = 1024;
+
+/// Global → shard token refill batch (idle here: admission is off).
+const REFILL_BATCH: u64 = 64;
+
+/// Thread counts for the closed-loop throughput sweep.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Operation mix modulus for the uniform sweep: residue 0 inserts, 1
+/// deletes, the rest get — the read-dominated shape of keyed serving
+/// traffic (1/1/8).
+const SERVE_MIX: u64 = 10;
+
+/// Mix modulus for the Zipf sweep: pure 50/50 insert/delete. The Zipf
+/// cells exist to force SCX conflicts on the hot head, so they get the
+/// adversarial all-update mix.
+const ADVERSARIAL_MIX: u64 = 2;
+
+/// The registry substrates the ordmap is timed on: the paper's native
+/// Figure-4 construction, the bounded-tag Figure-7 construction, the
+/// dynamic-joining domain, and the Figure-2 lock substrate — footnote
+/// 1's "straightforward" lock implementation of LL/SC, running the
+/// *same* ordmap (E7's substrate-comparison convention; this is the
+/// gated baseline). (`constant-time` is excluded: its fixed
+/// 256-variable budget cannot hold an arena of LLX records.)
+const TPUT_PROVIDERS: [ProviderId; 4] = [
+    ProviderId::Fig4Native,
+    ProviderId::Fig7Bounded,
+    ProviderId::Dynamic,
+    ProviderId::LockBaseline,
+];
+
+/// One keyed fabric cell configuration. Everything downstream of the
+/// seed is deterministic, so the same config must reproduce the same
+/// [`CellResult`] bit for bit.
+fn keyed_config(workers: usize, requests: u64, zipf: bool) -> FabricConfig {
+    FabricConfig {
+        seed: SEED,
+        process: ArrivalProcess::Poisson {
+            rate_per_sec: KEYED_RHO * workers as f64 * 1e9 / SERVICE_MEAN_NS,
+        },
+        workload: Workload::OrdMap {
+            key_space: HOT_KEY_SPACE,
+            zipf,
+        },
+        workers,
+        requests,
+        service_mean_ns: SERVICE_MEAN_NS,
+        admission: None,
+        ring_capacity: RING_CAPACITY,
+        refill_batch: REFILL_BATCH,
+    }
+}
+
+fn skew_name(zipf: bool) -> &'static str {
+    if zipf {
+        "zipf"
+    } else {
+        "uniform"
+    }
+}
+
+/// One substrate's numbers for one throughput cell.
+#[derive(Debug)]
+pub struct MapStats {
+    /// Wall-clock map operations per second.
+    pub tput: f64,
+    /// Successful new-key inserts across all threads.
+    pub inserted: u64,
+    /// Successful deletes across all threads.
+    pub deleted: u64,
+    /// `len()` observed after the threads joined.
+    pub final_len: u64,
+}
+
+/// One skew's sweep: substrate name → per-thread-count stats (ordmap
+/// providers first, the mutex-btreemap reference last).
+pub type SkewRows = Vec<(&'static str, Vec<(usize, MapStats)>)>;
+
+/// Everything E15 measures, separated from rendering/enforcement so
+/// tests can gate without touching the filesystem.
+#[derive(Debug)]
+pub struct E15Results {
+    /// Keyed fabric cells: (workers, zipf, result) — already verified
+    /// identical across two same-seed runs.
+    pub keyed: Vec<(usize, bool, CellResult)>,
+    /// Uniform-key throughput sweep.
+    pub uniform: SkewRows,
+    /// Zipf-key throughput sweep.
+    pub zipf: SkewRows,
+    /// `(llx_help, scx_abort)` deltas recorded during the Zipf sweep
+    /// (plus any bounded re-rolls); `None` when telemetry is compiled
+    /// out.
+    pub zipf_contention: Option<(u64, u64)>,
+    /// Extra adversarial cells run because one of the counters was
+    /// still zero (rare events at quick scales).
+    pub zipf_rerolls: u32,
+    /// Run-level event sink (for the report's closing table).
+    pub sinks: Sinks,
+    /// Requests per keyed cell.
+    pub requests: u64,
+    /// Total map operations per throughput cell.
+    pub iters: u64,
+}
+
+impl E15Results {
+    fn at4(rows: &SkewRows, name: &str) -> f64 {
+        rows.iter()
+            .find(|(n, _)| *n == name)
+            .expect("substrate present")
+            .1
+            .last()
+            .expect("4-thread cell")
+            .1
+            .tput
+    }
+
+    /// The headline pair at 4 threads on the uniform cell: the ordmap on
+    /// fig4-native vs the same ordmap on the Figure-2 lock substrate.
+    #[must_use]
+    pub fn headline(&self) -> (f64, f64) {
+        (
+            Self::at4(&self.uniform, ProviderId::Fig4Native.name()),
+            Self::at4(&self.uniform, ProviderId::LockBaseline.name()),
+        )
+    }
+
+    /// The throughput gate's verdict.
+    #[must_use]
+    pub fn tput_gate(&self) -> bool {
+        let (ord, lock) = self.headline();
+        ord > lock
+    }
+}
+
+/// Zipf(1) CDF over `space` keys (the same shape the load generator
+/// uses), or empty for uniform.
+fn zipf_cdf(space: u64) -> Vec<f64> {
+    let mut acc = 0.0f64;
+    let mut cdf: Vec<f64> = (0..space)
+        .map(|k| {
+            acc += 1.0 / (k + 1) as f64;
+            acc
+        })
+        .collect();
+    for c in &mut cdf {
+        *c /= acc;
+    }
+    cdf
+}
+
+fn draw_key(rng: &mut SplitMix64, space: u64, cdf: &[f64]) -> u64 {
+    if cdf.is_empty() {
+        rng.next_below(space)
+    } else {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        cdf.partition_point(|&c| c <= u) as u64
+    }
+}
+
+/// Closed-loop insert/delete mix on the LLX/SCX ordmap over provider
+/// `P`: each thread alternates operations on keys from its own seeded
+/// stream. Asserts conservation before returning.
+fn ordmap_tput<P: Provider>(
+    n: usize,
+    per_thread: u64,
+    space: u64,
+    cdf: &[f64],
+    mix: u64,
+    sinks: &Sinks,
+    main: &mut FlushPair,
+) -> MapStats {
+    let env = P::env(n + 1).expect("provider env");
+    // Construction does LL/SC work: it uses the env's extra context slot.
+    let mut setup_tc = P::thread_ctx(&env, n);
+    let mut setup = P::ctx(&mut setup_tc);
+    let ops = (n as u64 * per_thread) as usize;
+    let m = OrdMap::new(
+        n,
+        ordmap_capacity(ops),
+        || P::var(&env, 0).expect("provider var"),
+        &mut setup,
+    );
+    let inserted = AtomicU64::new(0);
+    let deleted = AtomicU64::new(0);
+    main.flush(sinks);
+    let tput = throughput_sessions(n, per_thread, |tid| {
+        let m = &m;
+        let (inserted, deleted) = (&inserted, &deleted);
+        let mut tc = P::thread_ctx(&env, tid);
+        let mut rng = SplitMix64::new(SEED ^ (tid as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        move |iters: u64| {
+            let mut ctx = P::ctx(&mut tc);
+            let (mut ins, mut del) = (0u64, 0u64);
+            session_loop(iters, sinks, || {
+                let op = rng.next_u64();
+                let key = draw_key(&mut rng, space, cdf);
+                match op % mix {
+                    0 => {
+                        if m.insert(&mut ctx, tid, key, op).expect("record budget").is_none() {
+                            ins += 1;
+                        }
+                    }
+                    1 => {
+                        if m.delete(&mut ctx, tid, key).expect("record budget").is_some() {
+                            del += 1;
+                        }
+                    }
+                    _ => {
+                        let _ = m.get(&mut ctx, key);
+                    }
+                }
+            });
+            inserted.fetch_add(ins, Ordering::Relaxed);
+            deleted.fetch_add(del, Ordering::Relaxed);
+        }
+    });
+    main.resync();
+    let final_len = m.len(&mut setup) as u64;
+    let (inserted, deleted) = (inserted.load(Ordering::Relaxed), deleted.load(Ordering::Relaxed));
+    assert_eq!(
+        inserted - deleted,
+        final_len,
+        "ordmap conservation: inserts − deletes must equal the final size"
+    );
+    MapStats {
+        tput,
+        inserted,
+        deleted,
+        final_len,
+    }
+}
+
+/// The same closed loop on the lock-baseline map.
+fn lockmap_tput(n: usize, per_thread: u64, space: u64, cdf: &[f64], mix: u64) -> MapStats {
+    let m = LockMap::new();
+    let inserted = AtomicU64::new(0);
+    let deleted = AtomicU64::new(0);
+    let tput = throughput(n, per_thread, |tid| {
+        let m = &m;
+        let (inserted, deleted) = (&inserted, &deleted);
+        let mut rng = SplitMix64::new(SEED ^ (tid as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        move || {
+            let op = rng.next_u64();
+            let key = draw_key(&mut rng, space, cdf);
+            match op % mix {
+                0 => {
+                    if m.insert(key, op).is_none() {
+                        inserted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                1 => {
+                    if m.delete(key).is_some() {
+                        deleted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                _ => {
+                    let _ = m.get(key);
+                }
+            }
+        }
+    });
+    let final_len = m.len() as u64;
+    let (inserted, deleted) = (inserted.load(Ordering::Relaxed), deleted.load(Ordering::Relaxed));
+    assert_eq!(inserted - deleted, final_len, "lock map conservation");
+    MapStats {
+        tput,
+        inserted,
+        deleted,
+        final_len,
+    }
+}
+
+/// One provider's thread sweep for one skew.
+fn ordmap_rows<P: Provider>(
+    iters: u64,
+    space: u64,
+    cdf: &[f64],
+    mix: u64,
+    sinks: &Sinks,
+    main: &mut FlushPair,
+) -> Vec<(usize, MapStats)> {
+    THREADS
+        .iter()
+        .map(|&n| (n, ordmap_tput::<P>(n, iters / n as u64, space, cdf, mix, sinks, main)))
+        .collect()
+}
+
+/// All substrates' thread sweeps for one skew.
+fn skew_sweep(iters: u64, space: u64, zipf: bool, sinks: &Sinks, main: &mut FlushPair) -> SkewRows {
+    let cdf = if zipf { zipf_cdf(space) } else { Vec::new() };
+    let mix = if zipf { ADVERSARIAL_MIX } else { SERVE_MIX };
+    let mut rows: SkewRows = Vec::new();
+    for id in TPUT_PROVIDERS {
+        macro_rules! one {
+            ($p:ty) => {
+                rows.push((id.name(), ordmap_rows::<$p>(iters, space, &cdf, mix, sinks, main)))
+            };
+        }
+        with_provider!(id, one);
+        eprintln!("[e15_structures] tput {} ({}) done", id.name(), skew_name(zipf));
+    }
+    rows.push((
+        "mutex-btreemap",
+        THREADS
+            .iter()
+            .map(|&n| (n, lockmap_tput(n, iters / n as u64, space, &cdf, mix)))
+            .collect(),
+    ));
+    eprintln!("[e15_structures] tput mutex-btreemap ({}) done", skew_name(zipf));
+    rows
+}
+
+/// Runs both halves of the sweep. Every keyed cell is run twice and the
+/// pair asserted identical here (the determinism gate cannot be deferred:
+/// only one result is kept).
+#[must_use]
+pub fn collect(requests: u64, iters: u64) -> E15Results {
+    let mut keyed: Vec<(usize, bool, CellResult)> = Vec::new();
+    for &w in &KEYED_WORKERS {
+        for zipf in [false, true] {
+            let cfg = keyed_config(w, requests, zipf);
+            let a = run_fabric_cell(&cfg, None);
+            let b = run_fabric_cell(&cfg, None);
+            assert_eq!(
+                a, b,
+                "gate: keyed cell w={w} {} must be byte-identical across same-seed runs",
+                skew_name(zipf),
+            );
+            eprintln!(
+                "[e15_structures] keyed w={w} {}: p50={} p99={} steals={}",
+                skew_name(zipf),
+                fmt_ns(a.p50_ns as f64),
+                fmt_ns(a.p99_ns as f64),
+                a.snapshot.steals,
+            );
+            keyed.push((w, zipf, a));
+        }
+    }
+
+    // The event totals before/after the Zipf sweep isolate its
+    // helps/aborts from the uniform sweep's.
+    let sinks = Sinks::new();
+    let mut main_flush = FlushPair::new();
+    let uniform = skew_sweep(iters, UNIFORM_KEY_SPACE, false, &sinks, &mut main_flush);
+    let before = sinks.events.totals();
+    let zipf = skew_sweep(iters, ZIPF_TPUT_SPACE, true, &sinks, &mut main_flush);
+    let after = sinks.events.totals();
+    let mut zipf_contention = nbsp_telemetry::enabled().then(|| {
+        (
+            after[Event::LlxHelp.index()] - before[Event::LlxHelp.index()],
+            after[Event::ScxAbort.index()] - before[Event::ScxAbort.index()],
+        )
+    });
+
+    // A help or abort needs two threads inside the same record's freeze
+    // window — tens of nanoseconds — so at quick scales either counter
+    // can land on zero by luck. Re-roll the 4-thread adversarial cell
+    // (bounded) until both have fired: the gate asserts the helping path
+    // is *reachable* end to end, not that a particular run was lucky.
+    // The re-roll cell has a per-thread floor so each thread outlasts a
+    // scheduler quantum on a single-CPU host — a cell that finishes
+    // inside one timeslice runs its threads back to back and can never
+    // overlap a freeze window.
+    let mut zipf_rerolls = 0u32;
+    if let Some((ref mut helps, ref mut aborts)) = zipf_contention {
+        let cdf = zipf_cdf(ZIPF_TPUT_SPACE);
+        let n = *THREADS.last().expect("thread sweep is non-empty");
+        let per_thread = (iters / n as u64).max(25_000);
+        while (*helps == 0 || *aborts == 0) && zipf_rerolls < 8 {
+            let before = sinks.events.totals();
+            macro_rules! reroll {
+                ($p:ty) => {
+                    ordmap_tput::<$p>(
+                        n,
+                        per_thread,
+                        ZIPF_TPUT_SPACE,
+                        &cdf,
+                        ADVERSARIAL_MIX,
+                        &sinks,
+                        &mut main_flush,
+                    )
+                };
+            }
+            let _ = with_provider!(ProviderId::Fig4Native, reroll);
+            let after = sinks.events.totals();
+            *helps += after[Event::LlxHelp.index()] - before[Event::LlxHelp.index()];
+            *aborts += after[Event::ScxAbort.index()] - before[Event::ScxAbort.index()];
+            zipf_rerolls += 1;
+            eprintln!(
+                "[e15_structures] adversarial re-roll {zipf_rerolls}: \
+                 llx_help={helps} scx_abort={aborts}"
+            );
+        }
+    }
+
+    E15Results {
+        keyed,
+        uniform,
+        zipf,
+        zipf_contention,
+        zipf_rerolls,
+        sinks,
+        requests,
+        iters,
+    }
+}
+
+fn keyed_json(keyed: &[(usize, bool, CellResult)]) -> String {
+    keyed
+        .iter()
+        .enumerate()
+        .map(|(i, (w, zipf, r))| {
+            let snap = &r.snapshot;
+            format!(
+                "    {{\"workers\": {w}, \"skew\": \"{}\", \"generated\": {}, \
+                 \"admitted\": {}, \"shed\": {}, \"completed\": {}, \"steals\": {}, \
+                 \"refills\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+                 \"p999_ns\": {}}}{}",
+                skew_name(*zipf),
+                snap.generated(),
+                snap.admitted,
+                snap.shed,
+                snap.completed,
+                snap.steals,
+                snap.refills,
+                r.p50_ns,
+                r.p95_ns,
+                r.p99_ns,
+                r.p999_ns,
+                if i + 1 == keyed.len() { "" } else { "," },
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Deterministic JSON only: keyed cells + gate verdicts. No wall-clock
+/// numbers — same seed, same build config ⇒ byte-identical file.
+#[must_use]
+pub fn to_json(r: &E15Results) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str("  \"experiment\": \"structures\",\n");
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    s.push_str(&format!("  \"requests_per_keyed_cell\": {},\n", r.requests));
+    s.push_str(&format!("  \"ops_per_tput_cell\": {},\n", r.iters));
+    s.push_str(&format!("  \"service_mean_ns\": {SERVICE_MEAN_NS},\n"));
+    s.push_str(&format!(
+        "  \"key_space\": {{\"keyed\": {HOT_KEY_SPACE}, \"uniform\": {UNIFORM_KEY_SPACE}, \
+         \"zipf\": {ZIPF_TPUT_SPACE}}},\n"
+    ));
+    s.push_str("  \"keyed\": [\n");
+    s.push_str(&keyed_json(&r.keyed));
+    s.push_str("\n  ],\n");
+    // The racy halves are reduced to verdicts so the file stays
+    // deterministic; the measured numbers live in EXPERIMENTS.md.
+    s.push_str("  \"gates\": {\n");
+    s.push_str(&format!(
+        "    \"ordmap_beats_lock_at_4_threads_uniform\": {},\n",
+        r.tput_gate()
+    ));
+    s.push_str("    \"conservation\": true,\n");
+    s.push_str("    \"keyed_deterministic\": true,\n");
+    match r.zipf_contention {
+        None => s.push_str("    \"zipf_contention\": {\"enabled\": false}\n"),
+        Some((helps, aborts)) => s.push_str(&format!(
+            "    \"zipf_contention\": {{\"enabled\": true, \"llx_help_nonzero\": {}, \
+             \"scx_abort_nonzero\": {}}}\n",
+            helps > 0,
+            aborts > 0,
+        )),
+    }
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Asserts every gate. Separate from [`collect`] so the JSON (which
+/// records verdicts) is written even on a failing run's way down.
+pub fn enforce(r: &E15Results) {
+    for (w, zipf, c) in &r.keyed {
+        assert_eq!(c.snapshot.shed, 0, "keyed w={w} {}: nothing sheds", skew_name(*zipf));
+        assert_eq!(
+            c.snapshot.completed,
+            c.snapshot.generated(),
+            "keyed w={w} {}: conservation",
+            skew_name(*zipf),
+        );
+    }
+    let (ord, lock) = r.headline();
+    // An unoptimized build is not a benchmark — the ordmap's constant
+    // factors balloon under debug while the mutex's barely move. The
+    // JSON verdict records the measurement either way.
+    if cfg!(debug_assertions) {
+        if !r.tput_gate() {
+            eprintln!(
+                "[e15_structures] tput gate skipped (debug build): ordmap {ord:.0} vs lock {lock:.0}"
+            );
+        }
+    } else {
+        assert!(
+            r.tput_gate(),
+            "gate: ordmap(fig4-native) {ord:.0} ops/s must beat the ordmap on the Figure-2 \
+             lock substrate {lock:.0} ops/s at 4 threads on the uniform cell"
+        );
+    }
+    if let Some((helps, aborts)) = r.zipf_contention {
+        assert!(
+            helps > 0 && aborts > 0,
+            "gate: the Zipf sweep must exercise helping (llx_help={helps}, scx_abort={aborts})"
+        );
+    }
+}
+
+fn tput_table(rows: &SkewRows) -> Table {
+    let mut t = Table::new(["substrate", "throughput 1/2/4 threads", "ins/del/len @4t"]);
+    for (name, cells) in rows {
+        let tps = cells
+            .iter()
+            .map(|(_, s)| fmt_ops(s.tput))
+            .collect::<Vec<_>>()
+            .join(" / ");
+        let last = &cells.last().expect("thread sweep is non-empty").1;
+        t.row(vec![
+            (*name).to_string(),
+            tps,
+            format!("{}/{}/{}", last.inserted, last.deleted, last.final_len),
+        ]);
+    }
+    t
+}
+
+fn render(r: &E15Results) -> Report {
+    let (ord, lock) = r.headline();
+    let mut report = Report::new();
+    report.heading("E15 — LLX/SCX ordered map: keyed serving + throughput");
+    report.para(&format!(
+        "The `nbsp-llx` multi-word primitives carry `nbsp_structures::OrdMap` (an external BST \
+         with one SCX per update) into two harnesses. Keyed fabric cells route each request to \
+         a shard by key hash, so Zipf(1) hot keys become hot shards: {} requests per cell at \
+         {:.0}% of pool capacity over {HOT_KEY_SPACE} keys, seed `{SEED:#x}`, every cell run \
+         twice and bit-identical. Closed-loop cells time {} map ops per cell at 1/2/4 \
+         threads (1/1/8 insert/delete/get on uniform keys, 50/50 insert/delete on Zipf); the \
+         gated baseline is the same ordmap on the Figure-2 lock substrate, with a coarse \
+         mutex`BTreeMap` as reference.",
+        r.requests,
+        KEYED_RHO * 100.0,
+        r.iters,
+    ));
+
+    let mut t = Table::new(["workers", "skew", "p50", "p99", "p99.9", "steals"]);
+    for (w, zipf, c) in &r.keyed {
+        t.row([
+            format!("{w}"),
+            skew_name(*zipf).to_string(),
+            fmt_ns(c.p50_ns as f64),
+            fmt_ns(c.p99_ns as f64),
+            fmt_ns(c.p999_ns as f64),
+            format!("{}", c.snapshot.steals),
+        ]);
+    }
+    report.heading("keyed fabric cells (virtual time, deterministic)");
+    report.table(&t);
+    report.para(
+        "Requests conserve exactly (`completed == admitted == generated`; admission is off so \
+         nothing sheds) and the map's `inserts − deletes == len` invariant is asserted inside \
+         each cell. Work stealing rebalances part of the hot-shard skew: the steal counts rise \
+         with the Zipf cells.",
+    );
+
+    report.heading("closed-loop throughput, uniform keys");
+    report.table(&tput_table(&r.uniform));
+    report.heading("closed-loop throughput, Zipf(1) hot keys");
+    report.table(&tput_table(&r.zipf));
+    report.para(&format!(
+        "Uniform 4-thread headline: ordmap on fig4-native {} vs the same ordmap on the \
+         Figure-2 lock substrate {} — every lock-substrate LL/VL/SC/read takes a per-variable \
+         mutex, while the native CAS cells run the identical algorithm without them. The \
+         `mutex-btreemap` row is the out-of-family reference: a coarse lock around std's \
+         `BTreeMap` wins on constant factors at this key-space size but is blocking — no \
+         progress guarantee, and a stalled holder stalls everyone. Under Zipf(1) the hot head \
+         concentrates SCX conflicts and the helping path does real work.",
+        fmt_ops(ord),
+        fmt_ops(lock),
+    ));
+
+    if let Some((helps, aborts)) = r.zipf_contention {
+        report.para(&format!(
+            "Zipf-sweep contention telemetry: {helps} llx_help (a reader finalized someone \
+             else's stalled SCX) and {aborts} scx_abort (a commit lost its freeze race and \
+             retried), after {} adversarial re-roll(s). Run-total event table:",
+            r.zipf_rerolls,
+        ));
+        report.table(&event_table(&r.sinks.events.totals(), None));
+    }
+
+    report.para(
+        "Gates: every keyed cell is byte-identical across same-seed runs and conserves \
+         requests; every map cell (ordmap on all four providers and the mutex-btreemap \
+         reference, both skews, all thread counts) satisfies inserts − deletes == len; the \
+         ordmap on fig4-native beats the ordmap on the lock substrate at 4 threads on uniform \
+         keys (optimized builds); and (telemetry builds) the Zipf sweep records nonzero \
+         llx_help and scx_abort. All enforced; deterministic artifacts in \
+         `BENCH_structures.json`.",
+    );
+    report
+}
+
+/// Runs the E15 sweep with `requests` per keyed cell and `iters` total
+/// map operations per throughput cell, writes `BENCH_structures.json`,
+/// and returns the report.
+///
+/// # Panics
+///
+/// Panics (failing the experiment) if a keyed cell is not byte-identical
+/// across same-seed runs or fails request conservation, a map cell fails
+/// `inserts − deletes == len`, the ordmap on fig4-native does not beat
+/// the ordmap on the lock substrate at 4 threads (optimized builds), the
+/// Zipf sweep records no helps/aborts (telemetry builds), or the JSON
+/// cannot be written.
+pub fn run(requests: u64, iters: u64) -> Report {
+    let results = collect(requests, iters);
+    let json = to_json(&results);
+    std::fs::write("BENCH_structures.json", &json).expect("write BENCH_structures.json");
+    eprintln!("[e15_structures] wrote BENCH_structures.json");
+    let report = render(&results);
+    enforce(&results);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        let cdf = zipf_cdf(HOT_KEY_SPACE);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        // The head is genuinely hot: key 0 draws ~1/H(64) ≈ 21%.
+        assert!(cdf[0] > 0.2);
+    }
+
+    #[test]
+    fn keyed_cells_are_deterministic_and_conserve() {
+        let cfg = keyed_config(2, 2_000, true);
+        let a = run_fabric_cell(&cfg, None);
+        let b = run_fabric_cell(&cfg, None);
+        assert_eq!(a, b);
+        assert_eq!(a.snapshot.completed, a.snapshot.generated());
+    }
+
+    #[test]
+    fn quick_sweep_passes_all_gates() {
+        // Release gets enough ops per cell that the wall-clock gates sit
+        // well clear of spawn/scheduling noise; debug (which skips the
+        // throughput gate) stays small so tier-1 stays fast.
+        let iters = if cfg!(debug_assertions) { 6_000 } else { 40_000 };
+        let r = collect(2_000, iters);
+        let md = render(&r).to_markdown();
+        enforce(&r);
+        assert!(md.contains("E15"));
+        assert!(md.contains("fig4-native"));
+        assert!(md.contains("mutex-btreemap"));
+        let json = to_json(&r);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"keyed_deterministic\": true"));
+        assert!(json.contains("\"ordmap_beats_lock_at_4_threads_uniform\""));
+        // The JSON is a pure function of the deterministic results.
+        assert_eq!(json, to_json(&r));
+    }
+}

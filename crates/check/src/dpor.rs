@@ -35,7 +35,7 @@ use nbsp_core::provider::Provider;
 use nbsp_linearize::{is_linearizable, Completed, LlScSpec};
 use nbsp_memsim::sched::{AccessKind, Decision};
 
-use crate::exec::{run_execution, Program, SleepEntry, StepRec};
+use crate::exec::{run_execution, ExecOutcome, Program, SleepEntry, StepRec};
 
 /// Search strategy: reduced or exhaustive.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -223,24 +223,46 @@ fn history_fingerprint(history: &[Completed]) -> u64 {
     h.finish()
 }
 
-/// Explores every schedule of `program` on provider `P` (up to
-/// `max_executions` completed-or-blocked runs), checking each distinct
-/// history for linearizability against the Figure-2 LL/SC specification.
+/// The verdict a judge callback passes on one completed execution.
+#[derive(Clone, Debug)]
+pub enum Judgment {
+    /// Equivalent to an already-judged execution — counted but not
+    /// re-checked (fingerprint deduplication lives in the judge).
+    Duplicate,
+    /// The execution satisfies the property.
+    Pass,
+    /// The execution violates the property; the payload is whatever
+    /// history the judge wants preserved in the [`Violation`] (may be
+    /// empty for state-based verdicts like conservation).
+    Fail(Vec<Completed>),
+}
+
+/// The generic exploration driver under [`check`] and the LLX/SCX
+/// conservation checks of [`crate::llx`]: enumerates schedules of an
+/// `n`-process execution (DPOR + sleep sets, or naive DFS), calling
+/// `run` once per schedule and `judge` once per completed (non-blocked)
+/// execution. Stops at the first [`Judgment::Fail`].
 ///
-/// Stops at the first violation. Deterministic: same provider, program and
-/// mode always explore the same schedules in the same order.
+/// Deterministic: the same `run` behaviour always explores the same
+/// schedules in the same order.
 ///
 /// # Errors
 ///
-/// Propagates the provider's environment/variable construction errors.
-pub fn check<P: Provider>(
-    program: &Program,
+/// Propagates errors from `run` (provider environment/variable
+/// construction).
+pub fn explore<R, J>(
+    n: usize,
+    spurious_budget: u32,
     mode: Mode,
     max_executions: u64,
-) -> Result<Outcome, nbsp_core::Error> {
-    let n = program.n();
+    mut run: R,
+    mut judge: J,
+) -> Result<Outcome, nbsp_core::Error>
+where
+    R: FnMut(&[(usize, Decision)], &[SleepEntry]) -> Result<ExecOutcome, nbsp_core::Error>,
+    J: FnMut(&ExecOutcome) -> Judgment,
+{
     let mut stack: Vec<Node> = Vec::new();
-    let mut seen: HashSet<u64> = HashSet::new();
     let mut out = Outcome::default();
 
     loop {
@@ -249,21 +271,25 @@ pub fn check<P: Provider>(
             (Mode::Naive, _) | (_, None) => Vec::new(),
             (Mode::Dpor, Some(nd)) => nd.child_sleep(),
         };
-        let exec = run_execution::<P>(program, &prefix, &frontier)?;
+        let exec = run(&prefix, &frontier)?;
 
         if exec.blocked {
             out.sleep_blocked += 1;
         } else {
             out.executions += 1;
             out.steps += exec.steps.len() as u64;
-            let fp = history_fingerprint(&exec.history);
-            if seen.insert(fp) {
-                out.unique_histories += 1;
-                out.lin_checks += 1;
-                if !is_linearizable(LlScSpec::new(n, program.initial), &exec.history) {
+            match judge(&exec) {
+                Judgment::Duplicate => {}
+                Judgment::Pass => {
+                    out.unique_histories += 1;
+                    out.lin_checks += 1;
+                }
+                Judgment::Fail(history) => {
+                    out.unique_histories += 1;
+                    out.lin_checks += 1;
                     out.violation = Some(Violation {
                         schedule: exec.steps.iter().map(|s| (s.proc, s.decision)).collect(),
-                        history: exec.history,
+                        history,
                     });
                     return Ok(out);
                 }
@@ -284,7 +310,7 @@ pub fn check<P: Provider>(
                         }
                     }
                 }
-                queue_spurious_alternative(&mut stack, program.spurious_budget);
+                queue_spurious_alternative(&mut stack, spurious_budget);
             }
             if mode == Mode::Dpor {
                 race_analysis(&mut stack, &exec.steps, n);
@@ -302,7 +328,7 @@ pub fn check<P: Provider>(
             let Some(last) = stack.len().checked_sub(1) else {
                 return Ok(out); // exploration complete
             };
-            let budget_left = spurious_used(&stack[..last]) < program.spurious_budget;
+            let budget_left = spurious_used(&stack[..last]) < spurious_budget;
             let nd = &mut stack[last];
             if !nd.done.contains(&nd.chosen) {
                 nd.done.push(nd.chosen);
@@ -336,6 +362,42 @@ pub fn check<P: Provider>(
             }
         }
     }
+}
+
+/// Explores every schedule of `program` on provider `P` (up to
+/// `max_executions` completed-or-blocked runs), checking each distinct
+/// history for linearizability against the Figure-2 LL/SC specification.
+///
+/// Stops at the first violation. Deterministic: same provider, program and
+/// mode always explore the same schedules in the same order.
+///
+/// # Errors
+///
+/// Propagates the provider's environment/variable construction errors.
+pub fn check<P: Provider>(
+    program: &Program,
+    mode: Mode,
+    max_executions: u64,
+) -> Result<Outcome, nbsp_core::Error> {
+    let n = program.n();
+    let mut seen: HashSet<u64> = HashSet::new();
+    explore(
+        n,
+        program.spurious_budget,
+        mode,
+        max_executions,
+        |prefix, frontier| run_execution::<P>(program, prefix, frontier),
+        |exec| {
+            let fp = history_fingerprint(&exec.history);
+            if !seen.insert(fp) {
+                Judgment::Duplicate
+            } else if is_linearizable(LlScSpec::new(n, program.initial), &exec.history) {
+                Judgment::Pass
+            } else {
+                Judgment::Fail(exec.history.clone())
+            }
+        },
+    )
 }
 
 #[cfg(test)]

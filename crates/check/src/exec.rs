@@ -27,6 +27,7 @@
 //! contains the operation's linearization point and a non-linearizable
 //! recorded history corresponds to a real violation.
 
+use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
@@ -167,6 +168,34 @@ struct Shared {
     cv: Condvar,
 }
 
+/// The handle a controlled worker body gets: the logical clock and the
+/// history sink, both shared with the controller. See
+/// [`run_controlled`].
+pub struct WorkerCtl {
+    shared: Arc<Shared>,
+}
+
+impl fmt::Debug for WorkerCtl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerCtl").finish_non_exhaustive()
+    }
+}
+
+impl WorkerCtl {
+    /// Advances the execution's logical clock and returns the new stamp.
+    /// Call before an operation's first shared access (`invoked`) and
+    /// after its last (`returned`).
+    pub fn tick(&self) -> u64 {
+        tick(&self.shared)
+    }
+
+    /// Appends one completed operation to the execution's history.
+    pub fn record(&self, c: Completed) {
+        let mut g = self.shared.m.lock().unwrap();
+        g.history.push(c);
+    }
+}
+
 struct WorkerHook {
     shared: Arc<Shared>,
     p: usize,
@@ -221,40 +250,18 @@ fn wait_for_start(shared: &Shared, p: usize) {
     }
 }
 
-fn worker_body<P: Provider>(
-    shared: &Arc<Shared>,
-    var: &P::Var,
-    mut tc: P::ThreadCtx,
-    p: usize,
-    plan: &[PlanOp],
-) {
+fn worker_body<B: FnOnce(&WorkerCtl)>(shared: &Arc<Shared>, p: usize, body: B) {
     let result = panic::catch_unwind(AssertUnwindSafe(|| {
-        let mut ctx = P::ctx(&mut tc);
         let hook: Arc<dyn SchedulePoint> = Arc::new(WorkerHook {
             shared: Arc::clone(shared),
             p,
         });
         let _guard = sched::install(hook);
         wait_for_start(shared, p);
-        let mut keep = <P::Var as LlScVar>::Keep::default();
-        for op in plan {
-            let invoked = tick(shared);
-            let (op, ret) = match *op {
-                PlanOp::Ll => (Op::Ll, Ret::Value(var.ll(&mut ctx, &mut keep))),
-                PlanOp::Vl => (Op::Vl, Ret::Bool(var.vl(&mut ctx, &keep))),
-                PlanOp::Sc(x) => (Op::Sc(x), Ret::Bool(var.sc(&mut ctx, &mut keep, x))),
-                PlanOp::Read => (Op::Read, Ret::Value(var.read(&mut ctx))),
-            };
-            let returned = tick(shared);
-            let mut g = shared.m.lock().unwrap();
-            g.history.push(Completed {
-                proc: ProcId::new(p),
-                op,
-                ret,
-                invoked,
-                returned,
-            });
-        }
+        let ctl = WorkerCtl {
+            shared: Arc::clone(shared),
+        };
+        body(&ctl);
     }));
     let mut g = shared.m.lock().unwrap();
     if let Err(payload) = result {
@@ -300,7 +307,14 @@ fn abort_and_drain(shared: &Shared) {
     }
 }
 
-/// Runs one execution of `program` on provider `P`.
+/// Runs one schedule-controlled execution of arbitrary per-process
+/// `bodies` (index = process id). Each body runs on its own OS thread
+/// under the cooperative scheduler — every shared access it performs
+/// through schedule-point-instrumented code parks at the yield-point hook
+/// and moves only when granted — and may stamp/record history through the
+/// [`WorkerCtl`] it receives. This is the generic core under
+/// [`run_execution`] (single-variable Figure-2 plans) and the multi-word
+/// LLX/SCX programs of [`crate::llx`].
 ///
 /// The first `prefix.len()` scheduling decisions replay `prefix` verbatim;
 /// beyond it the default policy runs the lowest-indexed runnable process
@@ -309,26 +323,22 @@ fn abort_and_drain(shared: &Shared) {
 /// after the prefix. If at some point every runnable process is asleep the
 /// execution is abandoned with [`ExecOutcome::blocked`] set.
 ///
-/// # Errors
-///
-/// Propagates the provider's environment/variable construction errors.
-///
 /// # Panics
 ///
 /// Re-raises any panic from the code under test, and panics if replaying
 /// `prefix` diverges (which would indicate the execution is not
 /// deterministic — a checker bug, never a property of the code under
 /// test).
-pub fn run_execution<P: Provider>(
-    program: &Program,
+pub fn run_controlled<B>(
     prefix: &[(usize, Decision)],
     frontier_sleep: &[SleepEntry],
-) -> Result<ExecOutcome, nbsp_core::Error> {
-    let n = program.n();
-    assert!(n > 0, "program needs at least one process");
-    let env = P::env(n)?;
-    let var = P::var(&env, program.initial)?;
-    let tcs: Vec<P::ThreadCtx> = (0..n).map(|p| P::thread_ctx(&env, p)).collect();
+    bodies: Vec<B>,
+) -> ExecOutcome
+where
+    B: FnOnce(&WorkerCtl) + Send,
+{
+    let n = bodies.len();
+    assert!(n > 0, "need at least one process");
     let shared = Arc::new(Shared {
         m: Mutex::new(SchedState {
             phase: (0..n).map(|_| Phase::AtStart).collect(),
@@ -345,11 +355,9 @@ pub fn run_execution<P: Provider>(
     let mut blocked = false;
 
     std::thread::scope(|s| {
-        let var = &var;
-        for (p, tc) in tcs.into_iter().enumerate() {
+        for (p, body) in bodies.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
-            let plan = program.plans[p].clone();
-            s.spawn(move || worker_body::<P>(&shared, var, tc, p, &plan));
+            s.spawn(move || worker_body(&shared, p, body));
         }
 
         // Preamble: run each worker, in index order, from its entry point
@@ -449,17 +457,68 @@ pub fn run_execution<P: Provider>(
     let history = std::mem::take(&mut g.history);
     drop(g);
     if blocked {
-        return Ok(ExecOutcome {
+        return ExecOutcome {
             steps,
             history: Vec::new(),
             blocked: true,
-        });
+        };
     }
-    Ok(ExecOutcome {
+    ExecOutcome {
         steps,
         history,
         blocked: false,
-    })
+    }
+}
+
+/// Runs one execution of `program` on provider `P`: each process's
+/// [`PlanOp`] plan over one shared variable, scheduled by
+/// [`run_controlled`] (see there for the prefix/sleep semantics).
+///
+/// # Errors
+///
+/// Propagates the provider's environment/variable construction errors.
+///
+/// # Panics
+///
+/// As [`run_controlled`].
+pub fn run_execution<P: Provider>(
+    program: &Program,
+    prefix: &[(usize, Decision)],
+    frontier_sleep: &[SleepEntry],
+) -> Result<ExecOutcome, nbsp_core::Error> {
+    let n = program.n();
+    assert!(n > 0, "program needs at least one process");
+    let env = P::env(n)?;
+    let var = P::var(&env, program.initial)?;
+    let var = &var;
+    let bodies: Vec<_> = (0..n)
+        .map(|p| {
+            let mut tc = P::thread_ctx(&env, p);
+            let plan = program.plans[p].clone();
+            move |ctl: &WorkerCtl| {
+                let mut ctx = P::ctx(&mut tc);
+                let mut keep = <P::Var as LlScVar>::Keep::default();
+                for op in &plan {
+                    let invoked = ctl.tick();
+                    let (op, ret) = match *op {
+                        PlanOp::Ll => (Op::Ll, Ret::Value(var.ll(&mut ctx, &mut keep))),
+                        PlanOp::Vl => (Op::Vl, Ret::Bool(var.vl(&mut ctx, &keep))),
+                        PlanOp::Sc(x) => (Op::Sc(x), Ret::Bool(var.sc(&mut ctx, &mut keep, x))),
+                        PlanOp::Read => (Op::Read, Ret::Value(var.read(&mut ctx))),
+                    };
+                    let returned = ctl.tick();
+                    ctl.record(Completed {
+                        proc: ProcId::new(p),
+                        op,
+                        ret,
+                        invoked,
+                        returned,
+                    });
+                }
+            }
+        })
+        .collect();
+    Ok(run_controlled(prefix, frontier_sleep, bodies))
 }
 
 #[cfg(test)]

@@ -13,6 +13,11 @@
 //!   accesses with **dynamic partial-order reduction** and checking each
 //!   recorded history against the Figure-2 sequential specification with
 //!   the Wing–Gong checker.
+//! * [`llx`] — the same scheduler driven through `nbsp-llx`'s
+//!   **multi-word** LLX/SCX commits: every info/field/state word of the
+//!   protocol is a provider variable, so one SCX's freeze–write–settle–
+//!   release sequence is enumerated end to end, judged by a conservation
+//!   verdict, with a planted lost-freeze domain as the non-vacuity canary.
 //! * [`lint`] — a dependency-free source scanner that mechanizes the
 //!   repository's cross-cutting invariants (memory-ordering discipline,
 //!   cache-line padding of per-process slot arrays, registry encapsulation,
@@ -30,8 +35,10 @@
 pub mod dpor;
 pub mod exec;
 pub mod lint;
+pub mod llx;
 pub mod planted;
 
-pub use dpor::{check, Mode, Outcome, Violation};
+pub use dpor::{check, explore, Judgment, Mode, Outcome, Violation};
 pub use exec::{PlanOp, Program};
 pub use lint::{run_lints, Finding};
+pub use llx::{check_conservation, check_lost_freeze, IncrVia, LlxProgram};

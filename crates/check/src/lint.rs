@@ -17,10 +17,14 @@
 //!   restricted to the registry itself plus the ablation experiments; the
 //!   registry's `for_each_provider!`/`with_provider!` macros are the only
 //!   sanctioned id→type dispatch.
-//! * **R4 `telemetry-parity`** — inside `crates/telemetry`, every
-//!   `#[cfg(feature = …)]` block has a matching `#[cfg(not(feature = …))]`
-//!   stub, so the API is identical with recording compiled out (the E11
-//!   overhead gate relies on this).
+//! * **R4 `telemetry-parity`** — inside `crates/telemetry` and
+//!   `crates/llx`, every `#[cfg(feature = …)]` block has a matching
+//!   `#[cfg(not(feature = …))]` stub, so the API is identical with
+//!   recording compiled out (the E11 overhead gate relies on this); and
+//!   inside `crates/llx`, `Event::` values (the `LlxHelp`/`ScxAbort`
+//!   sites) may only appear in `record(…)` calls, the API whose stub
+//!   parity the first half checks — ad-hoc counters would silently skew
+//!   one build config.
 //! * **R5 `bench-schema`** — any file that builds or writes a
 //!   `BENCH_*.json` artifact must declare `schema_version`, so CI sanity
 //!   checks and trend tooling can dispatch on it.
@@ -66,6 +70,8 @@ const PUSH_STR: &str = concat!("push_", "str(");
 const PROVIDER_ID_PATH: &str = concat!("ProviderId", "::");
 const SCHEMA_VERSION: &str = concat!("schema", "_version");
 const CACHE_PADDED: &str = concat!("Cache", "Padded");
+const EVENT_PATH: &str = concat!("Event", "::");
+const RECORD_CALL: &str = concat!("record", "(");
 
 /// R1: files allowed to use `Ordering::SeqCst`, with the justification.
 const SEQCST_ALLOW: &[(&str, &str)] = &[
@@ -164,6 +170,11 @@ const PROVIDER_ID_ALLOW: &[(&str, &str)] = &[
     (
         "crates/bench/src/experiments/e14_elastic.rs",
         "the elastic sweep's provider-equality gate compares the dynamic pair to the fixed-N baseline by id",
+    ),
+    (
+        "crates/bench/src/experiments/e15_structures.rs",
+        "the structures sweep selects registry subsets by id and names the gated \
+         native-vs-lock-substrate baseline pair",
     ),
     (
         "crates/check/src/lint.rs",
@@ -297,7 +308,7 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
     }
 
     // R4: telemetry real/stub parity.
-    if path.starts_with("crates/telemetry/src/") {
+    if path.starts_with("crates/telemetry/src/") || path.starts_with("crates/llx/src/") {
         let on = content.matches(CFG_TELEMETRY_ON).count();
         let off = content.matches(CFG_TELEMETRY_OFF).count();
         if on != off {
@@ -310,6 +321,24 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
                      identical with recording compiled out (E11 overhead gate)"
                 ),
             });
+        }
+    }
+    if path.starts_with("crates/llx/src/") {
+        for (i, line) in content.lines().enumerate() {
+            if is_comment_line(line) {
+                continue;
+            }
+            if line.contains(EVENT_PATH) && !line.contains(RECORD_CALL) {
+                findings.push(Finding {
+                    rule: "telemetry-parity",
+                    path: path.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "{EVENT_PATH} value outside a {RECORD_CALL}…) call; llx events \
+                         (LlxHelp/ScxAbort) must flow through the parity-checked API"
+                    ),
+                });
+            }
         }
     }
 
@@ -491,6 +520,27 @@ mod tests {
         assert_eq!(f[0].rule, "telemetry-parity");
         let paired = format!("{CFG_TELEMETRY_ON}\nfn a() {{}}\n{CFG_TELEMETRY_OFF}\nfn b() {{}}\n");
         assert!(lint_file("crates/telemetry/src/lib.rs", &paired).is_empty());
+    }
+
+    #[test]
+    fn llx_event_outside_record_is_flagged() {
+        let src = format!("fn f() {{ let e = {EVENT_PATH}LlxHelp; count(e); }}\n");
+        let f = lint_file("crates/llx/src/lib.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "telemetry-parity");
+        let through_api = format!("fn f() {{ {RECORD_CALL}{EVENT_PATH}LlxHelp); }}\n");
+        assert!(lint_file("crates/llx/src/lib.rs", &through_api).is_empty());
+        // Outside the llx crate the rule does not apply (bench reads
+        // totals by Event index legitimately).
+        assert!(lint_file("crates/bench/src/foo.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn llx_telemetry_cfg_blocks_need_stubs() {
+        let src = format!("{CFG_TELEMETRY_ON}\nfn real() {{}}\n");
+        let f = lint_file("crates/llx/src/lib.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "telemetry-parity");
     }
 
     #[test]

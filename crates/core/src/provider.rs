@@ -52,12 +52,30 @@ use crate::{
 };
 
 /// Concurrent LL–SC sequences per process (`k`) used by the registry's
-/// domain-based entries. `Queue::dequeue` holds three keeps at once
-/// (head, tail, and a link), and `Set`'s traversal nests a `read` —
-/// itself an LL/CL pair on these providers — inside a held keep, so the
-/// registry provisions four: the deepest nesting any registered
-/// structure reaches, plus one slot of margin.
-pub const PROVIDER_K: usize = 4;
+/// domain-based entries.
+///
+/// Sizing audit (the deepest nesting any registered consumer reaches):
+///
+/// | consumer                      | keeps held at once                  |
+/// |-------------------------------|-------------------------------------|
+/// | `Queue::dequeue`              | 3 (head, tail, a link)              |
+/// | `Set` traversal               | 1 + a nested `read` (an LL/CL pair) |
+/// | `OrdMap` delete via LLX/SCX   | 4 linked handles (gp, p, leaf, and  |
+/// |                               | the sibling being copied)           |
+/// | SCX announce / freeze / help  | +1 transient (strictly one at a     |
+/// |                               | time: each LL is SC'd or CL'd       |
+/// |                               | before the next one opens)          |
+///
+/// The LLX/SCX worst case is therefore 4 held handles + 1 transient = 5
+/// concurrent sequences — one past the old `k = 4`, which the deepest
+/// pre-LLX consumer (`Queue::dequeue`) already met with *zero* margin.
+/// The registry provisions exactly the deepest audited nesting; a future
+/// consumer adding a nesting level fails loudly in review (and in the
+/// keep-exhaustion conformance test) rather than silently at the
+/// boundary. Exhausting all `k` slots anyway is a documented panic (slot
+/// exhaustion in the Figure-7/constant domains), asserted by that test —
+/// never UB.
+pub const PROVIDER_K: usize = 5;
 
 /// Variable budget for the registry's constant-time domain (its node pool
 /// seeds one node per variable up front).

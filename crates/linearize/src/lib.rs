@@ -37,5 +37,6 @@ pub use checker::is_linearizable;
 pub use history::{Completed, HistoryClock, Op, Recorder, Ret};
 pub use spec::{CasSpec, LlScSpec, SeqSpec};
 pub use structures_spec::{
-    QueueOp, QueueRet, QueueSpec, SetOp, SetRet, SetSpec, StackOp, StackRet, StackSpec,
+    MapOp, MapRet, MapSpec, QueueOp, QueueRet, QueueSpec, SetOp, SetRet, SetSpec, StackOp,
+    StackRet, StackSpec,
 };

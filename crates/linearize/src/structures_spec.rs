@@ -181,6 +181,51 @@ impl SeqSpec for SetSpec {
     }
 }
 
+/// Operations on an ordered map (the `OrdMap` interface).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MapOp {
+    /// Insert or overwrite a key.
+    Insert(u64, u64),
+    /// Remove a key.
+    Delete(u64),
+    /// Look a key up.
+    Get(u64),
+}
+
+/// Return values of map operations: the previous value under the key
+/// (insert/delete) or the current one (get).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MapRet(pub Option<u64>);
+
+/// The sequential ordered map (capacity-free, like [`SetSpec`]: the
+/// implementation's lifetime record budget is a resource limit, not part
+/// of the abstract state — harnesses size arenas to never fill).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct MapSpec {
+    items: std::collections::BTreeMap<u64, u64>,
+}
+
+impl MapSpec {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        MapSpec::default()
+    }
+}
+
+impl SeqSpec for MapSpec {
+    type Op = MapOp;
+    type Ret = MapRet;
+
+    fn apply(&mut self, _proc: ProcId, op: &MapOp) -> MapRet {
+        MapRet(match *op {
+            MapOp::Insert(k, v) => self.items.insert(k, v),
+            MapOp::Delete(k) => self.items.remove(&k),
+            MapOp::Get(k) => self.items.get(&k).copied(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,1068 @@
+//! # nbsp-llx — multi-word LLX/SCX/VLX on the provider registry
+//!
+//! The Brown–Ellen–Ruppert primitives (*Pragmatic primitives for
+//! non-blocking data structures*, arXiv:1712.06688) generalize LL/SC from
+//! one word to a set of **records**: `LLX(r)` returns a snapshot of `r`'s
+//! mutable fields and links `r` into the caller's next `SCX`; `SCX(V, R,
+//! fld, new)` atomically verifies that no record in `V` changed since its
+//! LLX, writes `new` into one mutable field, and marks the records in
+//! `R ⊆ V` as *finalized* (logically removed, never to change again);
+//! `VLX(V)` validates a set without writing. This is exactly the shape of
+//! the source paper's Figure-6 announce/helping machinery, lifted from
+//! "copy W words" to "freeze V records": an SCX publishes a descriptor,
+//! installs a *frozen* marker in each linked record's `info` word, and any
+//! reader or competing writer that trips over the marker **helps** the
+//! stalled SCX to completion before proceeding (help-on-read).
+//!
+//! ## How this maps onto the registry
+//!
+//! Every interleaving-relevant word is a registry [`LlScVar`]:
+//!
+//! * each record's `info` word (version ∥ frozen-by pid ∥ seq hint ∥
+//!   finalized bit),
+//! * each record's mutable fields,
+//! * each process's descriptor **state** word (`seq ∥
+//!   {InProgress,Committed,Aborted}`).
+//!
+//! so the whole commit protocol runs on whichever provider the caller
+//! supplies — and, because the providers are schedule-point instrumented,
+//! a multi-word SCX is DPOR-checkable end to end by `nbsp-check` with no
+//! extra hooks. The descriptor *payload* (linked set, expected infos,
+//! finalize mask, field/new) lives in plain per-process atomics, like
+//! Figure 6's announce rows: it is immutable from the state word's
+//! InProgress publication until the owner starts its next SCX, and
+//! helpers re-validate the state word after reading it, so those reads
+//! are race-free by protocol rather than by instrumentation.
+//!
+//! ## Freezing by value, helped by keeps
+//!
+//! BER assume a CAS that can distinguish "still my expected descriptor
+//! pointer" by identity. Here the `info` word carries a **version** field
+//! bumped by every successful SC on it, so its values never repeat within
+//! a version-wraparound period and helpers can freeze with a plain
+//! value-guarded LL/SC loop. The SCX *owner* additionally holds the keeps
+//! from its LLXs and tries a true keep-based SC first — the LL/SC-native
+//! fast path — falling back to the uniform value loop when it fails. The
+//! wraparound bound is the same flavour as the paper's Figure-7 tag
+//! arithmetic: with `v` version bits, a stalled helper resurrects only if
+//! exactly a multiple of `2^v` info updates land on one record while its
+//! SCX stays in progress (documented residual, sized at construction).
+//!
+//! ## Freshness requirement on field values
+//!
+//! The committing field write is a value-guarded CAS (`old → new`), made
+//! idempotent across helpers by requiring that **`new` never equals any
+//! value the field previously held**. Arena-allocated structures satisfy
+//! this for free (child pointers are never-reused record indices;
+//! counters only grow). Violating it makes a stalled helper's late CAS
+//! indistinguishable from a fresh one — the classic ABA the version field
+//! excludes for the `info` words.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use nbsp_core::{Backoff, CachePadded, LlScVar};
+use nbsp_telemetry::{record, Event};
+
+/// Maximum records one SCX may link (`|V|`). Three is the deepest any
+/// shipped structure needs (external-BST delete links grandparent,
+/// parent, leaf); the fourth slot is margin for experiments.
+pub const MAX_V: usize = 4;
+
+/// Maximum mutable fields per record (an external BST needs two: left and
+/// right child).
+pub const MAX_FIELDS: usize = 4;
+
+/// Descriptor states, packed into the low two bits of the state word.
+const ST_IDLE: u64 = 0;
+const ST_IN_PROGRESS: u64 = 1;
+const ST_COMMITTED: u64 = 2;
+const ST_ABORTED: u64 = 3;
+
+/// Bits of the SCX sequence number mirrored into frozen `info` words (a
+/// hint locating the descriptor generation; the full-width state word is
+/// what helpers actually validate against).
+const HINT_BITS: u32 = 8;
+
+/// Structure-level errors (the arena is a lifetime budget, as everywhere
+/// else in this workspace: records are never reclaimed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LlxError {
+    /// The record arena's lifetime allocation budget is exhausted.
+    Full,
+}
+
+impl fmt::Display for LlxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlxError::Full => write!(f, "llx record arena exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for LlxError {}
+
+/// Deliberately broken protocol variants for the model checker's planted
+/// canaries. Never constructed outside `nbsp-check`'s E13 harness; the
+/// checker must *deterministically* catch each one, proving DPOR really
+/// sees multi-word races.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Flaw {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// The freeze phase "freezes" every linked record after the first by
+    /// doing nothing — a lost-freeze bug: overlapping SCXs can both
+    /// commit against stale snapshots of the unfrozen records.
+    LostFreeze,
+}
+
+/// The result of an [`LlxDomain::llx`] call.
+#[derive(Debug)]
+pub enum LlxOutcome<V: LlScVar> {
+    /// The record was snapshotted and linked: the handle holds the open
+    /// keep, the observed `info` word and the field values. Pass it to
+    /// [`LlxDomain::scx`] (which consumes the keep) or release it with
+    /// [`LlxDomain::unlink`].
+    Linked(LlxHandle<V>),
+    /// The record is finalized: it was removed by a committed SCX and
+    /// will never change again.
+    Finalized,
+}
+
+impl<V: LlScVar> LlxOutcome<V> {
+    /// Unwraps the linked handle; panics on `Finalized`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record was finalized.
+    pub fn expect_linked(self, msg: &str) -> LlxHandle<V> {
+        match self {
+            LlxOutcome::Linked(h) => h,
+            LlxOutcome::Finalized => panic!("{msg}: record is finalized"),
+        }
+    }
+}
+
+/// A linked LLX result: the snapshot plus the open LL–SC sequence on the
+/// record's `info` word. Holding one consumes one of the provider's `k`
+/// concurrent-sequence slots until it is passed to `scx` or `unlink`.
+pub struct LlxHandle<V: LlScVar> {
+    /// Arena index of the record.
+    pub rec: usize,
+    /// The `info` word observed (version ∥ unfrozen ∥ unfinalized).
+    pub info: u64,
+    /// Field values, valid at the `info` validation point.
+    vals: [u64; MAX_FIELDS],
+    /// The open keep from the LLX's `ll` on `info`.
+    keep: V::Keep,
+}
+
+impl<V: LlScVar> LlxHandle<V> {
+    /// The snapshotted value of field `f`.
+    #[must_use]
+    pub fn field(&self, f: usize) -> u64 {
+        self.vals[f]
+    }
+}
+
+impl<V: LlScVar> fmt::Debug for LlxHandle<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LlxHandle")
+            .field("rec", &self.rec)
+            .field("info", &self.info)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An *unlinked* LLX observation (keep released, value retained): enough
+/// for [`LlxDomain::vlx_snapshots`]'s value-compare validation, and not
+/// bounded by the provider's `k` — range scans collect arbitrarily many.
+#[derive(Clone, Copy, Debug)]
+pub struct LlxSnapshot {
+    /// Arena index of the record.
+    pub rec: usize,
+    /// The `info` word observed.
+    pub info: u64,
+    /// Field values, valid at the `info` validation point.
+    vals: [u64; MAX_FIELDS],
+}
+
+impl LlxSnapshot {
+    /// The snapshotted value of field `f`.
+    #[must_use]
+    pub fn field(&self, f: usize) -> u64 {
+        self.vals[f]
+    }
+}
+
+/// One record: an `info` word coordinating freeze/finalize, `fields`
+/// mutable only through SCX, and immutable-after-alloc `meta` words
+/// (keys, payload values) in plain atomics.
+struct Record<V: LlScVar> {
+    info: V,
+    fields: Box<[V]>,
+    meta: Box<[AtomicU64]>,
+}
+
+/// Per-process SCX descriptor payload — the Figure-6 announce row. Plain
+/// release/acquire atomics: immutable between the state word's InProgress
+/// publication and the owner's next SCX, and helpers re-validate the
+/// state word after reading (see the module docs).
+struct Desc {
+    v_len: AtomicUsize,
+    v: [AtomicUsize; MAX_V],
+    exp: [AtomicU64; MAX_V],
+    fin_mask: AtomicU64,
+    fld_rec: AtomicUsize,
+    fld_idx: AtomicUsize,
+    fld_old: AtomicU64,
+    fld_new: AtomicU64,
+}
+
+impl Desc {
+    fn new() -> Self {
+        Desc {
+            v_len: AtomicUsize::new(0),
+            v: std::array::from_fn(|_| AtomicUsize::new(0)),
+            exp: std::array::from_fn(|_| AtomicU64::new(0)),
+            fin_mask: AtomicU64::new(0),
+            fld_rec: AtomicUsize::new(0),
+            fld_idx: AtomicUsize::new(0),
+            fld_old: AtomicU64::new(0),
+            fld_new: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A snapshot of one descriptor payload, taken by a helper.
+#[derive(Clone, Copy)]
+struct DescSnap {
+    v_len: usize,
+    v: [usize; MAX_V],
+    exp: [u64; MAX_V],
+    fin_mask: u64,
+    fld_rec: usize,
+    fld_idx: usize,
+    fld_old: u64,
+    fld_new: u64,
+}
+
+/// Bit layout of a record's `info` word, sized at construction from the
+/// variable's value width and the process count:
+///
+/// ```text
+///  high                                   low
+///  [ version | seq hint | frozen-by pid+1 | finalized ]
+///     rest      8 bits     ⌈log₂(n+1)⌉       1 bit
+/// ```
+#[derive(Clone, Copy, Debug)]
+struct InfoLayout {
+    pid_bits: u32,
+    ver_bits: u32,
+}
+
+impl InfoLayout {
+    fn new(n: usize, max_val: u64) -> InfoLayout {
+        let pid_bits = usize::BITS - n.leading_zeros(); // ⌈log₂(n+1)⌉
+        let value_bits = 64 - max_val.leading_zeros();
+        let used = 1 + pid_bits + HINT_BITS;
+        assert!(
+            value_bits >= used + 8,
+            "llx needs at least 8 version bits: {value_bits} value bits, \
+             {used} used by pid/hint/finalized"
+        );
+        InfoLayout {
+            pid_bits,
+            ver_bits: value_bits - used,
+        }
+    }
+
+    fn finalized(self, w: u64) -> bool {
+        w & 1 == 1
+    }
+
+    /// Frozen-by pid + 1; 0 = unfrozen.
+    fn frozen_by(self, w: u64) -> u64 {
+        (w >> 1) & ((1 << self.pid_bits) - 1)
+    }
+
+    fn version(self, w: u64) -> u64 {
+        w >> (1 + self.pid_bits + HINT_BITS)
+    }
+
+    fn pack(self, ver: u64, frozen_by: u64, hint: u64, fin: bool) -> u64 {
+        let ver = ver & ((1u64 << self.ver_bits) - 1);
+        (ver << (1 + self.pid_bits + HINT_BITS))
+            | ((hint & ((1 << HINT_BITS) - 1)) << (1 + self.pid_bits))
+            | (frozen_by << 1)
+            | u64::from(fin)
+    }
+
+    /// The word a helper of `(pid, seq)` installs to freeze a record whose
+    /// expected info is `exp` — deterministic from `exp`, so every helper
+    /// computes the same target.
+    fn freeze_word(self, exp: u64, pid: usize, seq: u64) -> u64 {
+        self.pack(
+            self.version(exp).wrapping_add(1),
+            pid as u64 + 1,
+            seq,
+            false,
+        )
+    }
+
+    /// The word that releases a frozen record (`target` per
+    /// [`InfoLayout::freeze_word`]): version advances again, the frozen
+    /// marker clears, and `fin` latches the finalized bit.
+    fn release_word(self, target: u64, fin: bool) -> u64 {
+        self.pack(self.version(target).wrapping_add(1), 0, 0, fin)
+    }
+}
+
+fn pack_state(seq: u64, st: u64) -> u64 {
+    (seq << 2) | st
+}
+
+fn state_seq(w: u64) -> u64 {
+    w >> 2
+}
+
+fn state_of(w: u64) -> u64 {
+    w & 3
+}
+
+/// An arena of LLX/SCX records plus the per-process SCX descriptors, all
+/// coordination words built by one `make_var` closure — provider-generic
+/// exactly like [`Set`](../nbsp_structures/struct.Set.html).
+///
+/// ```
+/// use nbsp_core::{CasLlSc, Native, TagLayout};
+/// use nbsp_llx::{LlxDomain, LlxOutcome};
+///
+/// let mut ctx = Native;
+/// let d = LlxDomain::new(
+///     2,  // processes
+///     8,  // record budget
+///     1,  // mutable fields per record
+///     1,  // immutable meta words per record
+///     || CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
+///     &mut ctx,
+/// );
+/// let r = d.alloc(&mut ctx, &[42], &[7]).unwrap();
+/// let h = d.llx(&mut ctx, r).expect_linked("fresh");
+/// assert_eq!(h.field(0), 7);
+/// // SCX as process 0: V = {r}, finalize nothing, write field 0.
+/// assert!(d.scx(&mut ctx, 0, vec![h], 0, r, 0, 8));
+/// let h = d.llx(&mut ctx, r).expect_linked("still live");
+/// assert_eq!(h.field(0), 8);
+/// d.unlink(&mut ctx, h);
+/// ```
+pub struct LlxDomain<V: LlScVar> {
+    n: usize,
+    fields_per_record: usize,
+    recs: Box<[Record<V>]>,
+    bump: AtomicUsize,
+    descs: Box<[CachePadded<Desc>]>,
+    states: Box<[CachePadded<V>]>,
+    layout: InfoLayout,
+    max_val: u64,
+    flaw: Flaw,
+}
+
+impl<V: LlScVar> fmt::Debug for LlxDomain<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LlxDomain")
+            .field("n", &self.n)
+            .field("capacity", &self.recs.len())
+            .field("fields_per_record", &self.fields_per_record)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V: LlScVar> LlxDomain<V> {
+    /// Builds a domain for `n` processes with a lifetime budget of
+    /// `capacity` records, each carrying `fields_per_record` SCX-mutable
+    /// fields and `meta_words` immutable-after-alloc words. All LL/SC
+    /// words come from `make_var`; `ctx` is any operation context (used
+    /// only to zero-initialize, the construction is single-threaded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields_per_record > MAX_FIELDS` or the variable's value
+    /// width cannot fit the info layout (needs `9 + ⌈log₂(n+1)⌉` bits
+    /// plus at least 8 version bits).
+    #[must_use]
+    pub fn new(
+        n: usize,
+        capacity: usize,
+        fields_per_record: usize,
+        meta_words: usize,
+        mut make_var: impl FnMut() -> V,
+        ctx: &mut V::Ctx<'_>,
+    ) -> Self {
+        Self::build(
+            n,
+            capacity,
+            fields_per_record,
+            meta_words,
+            &mut make_var,
+            ctx,
+            Flaw::None,
+        )
+    }
+
+    /// A deliberately broken domain for the model checker's planted-bug
+    /// canary. See [`Flaw`]. Not part of the public protocol.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn new_flawed(
+        n: usize,
+        capacity: usize,
+        fields_per_record: usize,
+        meta_words: usize,
+        mut make_var: impl FnMut() -> V,
+        ctx: &mut V::Ctx<'_>,
+        flaw: Flaw,
+    ) -> Self {
+        Self::build(
+            n,
+            capacity,
+            fields_per_record,
+            meta_words,
+            &mut make_var,
+            ctx,
+            flaw,
+        )
+    }
+
+    fn build(
+        n: usize,
+        capacity: usize,
+        fields_per_record: usize,
+        meta_words: usize,
+        make_var: &mut dyn FnMut() -> V,
+        ctx: &mut V::Ctx<'_>,
+        flaw: Flaw,
+    ) -> Self {
+        assert!(n >= 1, "at least one process");
+        assert!(
+            (1..=MAX_FIELDS).contains(&fields_per_record),
+            "fields_per_record must be in 1..={MAX_FIELDS}"
+        );
+        let recs: Box<[Record<V>]> = (0..capacity)
+            .map(|_| Record {
+                info: make_var(),
+                fields: (0..fields_per_record).map(|_| make_var()).collect(),
+                meta: (0..meta_words).map(|_| AtomicU64::new(0)).collect(),
+            })
+            .collect();
+        let states: Box<[CachePadded<V>]> =
+            (0..n).map(|_| CachePadded::new(make_var())).collect();
+        let probe_max = states
+            .first()
+            .map_or(u64::MAX, |s| LlScVar::max_val(&**s));
+        let layout = InfoLayout::new(n, probe_max);
+        let d = LlxDomain {
+            n,
+            fields_per_record,
+            recs,
+            bump: AtomicUsize::new(0),
+            descs: (0..n).map(|_| CachePadded::new(Desc::new())).collect(),
+            states,
+            layout,
+            max_val: probe_max,
+            flaw,
+        };
+        for r in d.recs.iter() {
+            d.force_store(ctx, &r.info, 0);
+            for f in r.fields.iter() {
+                d.force_store(ctx, f, 0);
+            }
+        }
+        for s in d.states.iter() {
+            d.force_store(ctx, s, pack_state(0, ST_IDLE));
+        }
+        d
+    }
+
+    /// Single-threaded unconditional store (construction / allocation
+    /// only — the records involved are unpublished).
+    fn force_store(&self, ctx: &mut V::Ctx<'_>, var: &V, value: u64) {
+        let mut keep = V::Keep::default();
+        loop {
+            let _ = var.ll(ctx, &mut keep);
+            if var.sc(ctx, &mut keep, value) {
+                return;
+            }
+        }
+    }
+
+    /// Number of processes the domain was built for.
+    #[must_use]
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+
+    /// Mutable fields per record.
+    #[must_use]
+    pub fn fields_per_record(&self) -> usize {
+        self.fields_per_record
+    }
+
+    /// Records still available in the lifetime budget.
+    #[must_use]
+    pub fn remaining_capacity(&self) -> usize {
+        self.recs.len().saturating_sub(self.bump.load(Ordering::Relaxed))
+    }
+
+    /// The largest value the provider's variables can hold — the bound on
+    /// anything a structure packs into a mutable field (a record index
+    /// encoding, say).
+    #[must_use]
+    pub fn max_val(&self) -> u64 {
+        self.max_val
+    }
+
+    /// Allocates a fresh record with the given immutable `meta` words and
+    /// initial mutable `fields`, returning its index. The record is
+    /// private to the caller until some SCX installs its index into a
+    /// published field.
+    ///
+    /// # Errors
+    ///
+    /// [`LlxError::Full`] when the lifetime budget is exhausted (records
+    /// are never reclaimed — the workspace-wide arena discipline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meta` or `fields` mismatch the domain's per-record
+    /// shape.
+    pub fn alloc(
+        &self,
+        ctx: &mut V::Ctx<'_>,
+        meta: &[u64],
+        fields: &[u64],
+    ) -> Result<usize, LlxError> {
+        assert_eq!(fields.len(), self.fields_per_record, "field count");
+        let idx = self.bump.fetch_add(1, Ordering::Relaxed);
+        if idx >= self.recs.len() {
+            self.bump.store(self.recs.len(), Ordering::Relaxed);
+            return Err(LlxError::Full);
+        }
+        let rec = &self.recs[idx];
+        assert_eq!(meta.len(), rec.meta.len(), "meta count");
+        for (slot, &m) in rec.meta.iter().zip(meta) {
+            slot.store(m, Ordering::Release);
+        }
+        for (f, &init) in rec.fields.iter().zip(fields) {
+            self.force_store(ctx, f, init);
+        }
+        Ok(idx)
+    }
+
+    /// Rewrites a record that has **never been installed into a published
+    /// field** — the retry-reuse path: an SCX that aborted never exposed
+    /// its freshly allocated records, so a retry may repurpose them
+    /// instead of burning more of the lifetime budget. Calling this on a
+    /// reachable record is a protocol violation (it bypasses SCX).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, as [`LlxDomain::alloc`].
+    pub fn reinit(&self, ctx: &mut V::Ctx<'_>, rec: usize, meta: &[u64], fields: &[u64]) {
+        assert_eq!(fields.len(), self.fields_per_record, "field count");
+        let r = &self.recs[rec];
+        assert_eq!(meta.len(), r.meta.len(), "meta count");
+        for (slot, &m) in r.meta.iter().zip(meta) {
+            slot.store(m, Ordering::Release);
+        }
+        for (f, &init) in r.fields.iter().zip(fields) {
+            self.force_store(ctx, f, init);
+        }
+    }
+
+    /// Reads immutable meta word `i` of record `rec`.
+    #[must_use]
+    pub fn meta(&self, rec: usize, i: usize) -> u64 {
+        self.recs[rec].meta[i].load(Ordering::Acquire)
+    }
+
+    /// Plain (sequence-free) read of mutable field `f` of record `rec` —
+    /// the traversal read; un-validated, pair it with VLX where the
+    /// algorithm needs a consistent multi-record view.
+    pub fn read_field(&self, ctx: &mut V::Ctx<'_>, rec: usize, f: usize) -> u64 {
+        self.recs[rec].fields[f].read(ctx)
+    }
+
+    /// LLX: snapshot `rec`'s fields and link it (open keep retained in
+    /// the returned handle) for a following [`LlxDomain::scx`] /
+    /// [`LlxDomain::vlx`]. Helps any in-progress SCX found frozen on the
+    /// record (help-on-read), then retries; returns
+    /// [`LlxOutcome::Finalized`] if the record was finalized.
+    pub fn llx(&self, ctx: &mut V::Ctx<'_>, rec: usize) -> LlxOutcome<V> {
+        let mut backoff = Backoff::new();
+        loop {
+            let mut keep = V::Keep::default();
+            let info = &self.recs[rec].info;
+            let w = info.ll(ctx, &mut keep);
+            if self.layout.finalized(w) {
+                info.cl(ctx, &mut keep);
+                return LlxOutcome::Finalized;
+            }
+            let owner = self.layout.frozen_by(w);
+            if owner != 0 {
+                info.cl(ctx, &mut keep);
+                record(Event::LlxHelp);
+                self.help(ctx, owner as usize - 1);
+                backoff.spin();
+                continue;
+            }
+            let mut vals = [0u64; MAX_FIELDS];
+            for (f, v) in vals.iter_mut().enumerate().take(self.fields_per_record) {
+                *v = self.recs[rec].fields[f].read(ctx);
+            }
+            if info.vl(ctx, &keep) {
+                return LlxOutcome::Linked(LlxHandle {
+                    rec,
+                    info: w,
+                    vals,
+                    keep,
+                });
+            }
+            info.cl(ctx, &mut keep);
+            backoff.spin();
+        }
+    }
+
+    /// Releases a linked handle without committing (returns its keep).
+    pub fn unlink(&self, ctx: &mut V::Ctx<'_>, mut h: LlxHandle<V>) {
+        self.recs[h.rec].info.cl(ctx, &mut h.keep);
+    }
+
+    /// The unlinked LLX: same snapshot-and-validate as
+    /// [`LlxDomain::llx`], but the keep is released immediately — only
+    /// the observed `info` value is retained, for value-compare
+    /// validation via [`LlxDomain::vlx_snapshots`]. Unbounded by the
+    /// provider's `k`, so range scans can collect one per visited record.
+    pub fn llx_snapshot(&self, ctx: &mut V::Ctx<'_>, rec: usize) -> Option<LlxSnapshot> {
+        match self.llx(ctx, rec) {
+            LlxOutcome::Linked(h) => {
+                let snap = LlxSnapshot {
+                    rec: h.rec,
+                    info: h.info,
+                    vals: h.vals,
+                };
+                self.unlink(ctx, h);
+                Some(snap)
+            }
+            LlxOutcome::Finalized => None,
+        }
+    }
+
+    /// VLX over *linked* handles: true iff every record is still exactly
+    /// as its LLX observed it (validated through the open keeps).
+    pub fn vlx(&self, ctx: &mut V::Ctx<'_>, handles: &[&LlxHandle<V>]) -> bool {
+        handles
+            .iter()
+            .all(|h| self.recs[h.rec].info.vl(ctx, &h.keep))
+    }
+
+    /// VLX over *unlinked* snapshots: value-compare validation — true iff
+    /// every record's `info` word still equals the snapshotted one. The
+    /// version field makes value equality equivalent to "unchanged"
+    /// within the wraparound bound (module docs).
+    pub fn vlx_snapshots(&self, ctx: &mut V::Ctx<'_>, snaps: &[LlxSnapshot]) -> bool {
+        snaps
+            .iter()
+            .all(|s| self.recs[s.rec].info.read(ctx) == s.info)
+    }
+
+    /// SCX as process `p`: atomically (all-or-nothing, helped) verify
+    /// that every handle's record is unchanged since its LLX, write `new`
+    /// into field `fld_idx` of record `fld_rec` (which must be one of the
+    /// linked records), and finalize the records selected by `fin_mask`
+    /// (bit `i` finalizes `handles[i]`). Handles must name distinct
+    /// records, ordered consistently across all possible concurrent SCXs
+    /// (for trees: ancestors first) so freezing cannot livelock.
+    ///
+    /// Returns whether the SCX committed. All keeps are consumed either
+    /// way. `new` must satisfy the freshness requirement (module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or oversized handle set, or if `fld_rec` is not
+    /// among the linked records.
+    #[allow(clippy::too_many_arguments)] // BER's SCX(V, R, fld, new) signature, kept recognizable
+    pub fn scx(
+        &self,
+        ctx: &mut V::Ctx<'_>,
+        p: usize,
+        mut handles: Vec<LlxHandle<V>>,
+        fin_mask: u64,
+        fld_rec: usize,
+        fld_idx: usize,
+        new: u64,
+    ) -> bool {
+        assert!(
+            !handles.is_empty() && handles.len() <= MAX_V,
+            "SCX links 1..={MAX_V} records"
+        );
+        let fld_slot = handles
+            .iter()
+            .position(|h| h.rec == fld_rec)
+            .expect("fld_rec must be one of the linked records");
+        let old = handles[fld_slot].vals[fld_idx];
+
+        // Publish the payload, then bump the state word to InProgress —
+        // Figure 6's announce step. Only the owner writes either, and only
+        // after its previous SCX fully settled, so the payload is frozen
+        // for the whole InProgress window.
+        let d = &self.descs[p];
+        let seq = state_seq(self.states[p].read(ctx)).wrapping_add(1);
+        d.v_len.store(handles.len(), Ordering::Relaxed);
+        for (i, h) in handles.iter().enumerate() {
+            d.v[i].store(h.rec, Ordering::Relaxed);
+            d.exp[i].store(h.info, Ordering::Relaxed);
+        }
+        d.fin_mask.store(fin_mask, Ordering::Relaxed);
+        d.fld_rec.store(fld_rec, Ordering::Relaxed);
+        d.fld_idx.store(fld_idx, Ordering::Relaxed);
+        d.fld_old.store(old, Ordering::Relaxed);
+        d.fld_new.store(new, Ordering::Release);
+        {
+            let mut keep = V::Keep::default();
+            loop {
+                let _ = self.states[p].ll(ctx, &mut keep);
+                // Helpers only touch InProgress states, so this SC races
+                // nothing but spurious failure.
+                if self.states[p].sc(ctx, &mut keep, pack_state(seq, ST_IN_PROGRESS)) {
+                    break;
+                }
+            }
+        }
+
+        // Owner fast path: freeze through the keeps still held from the
+        // LLXs — a true LL/SC commit when uncontended. A failed SC here
+        // is not a verdict (it may be spurious, or a helper may already
+        // have installed our freeze word); help() below resolves every
+        // record uniformly by value.
+        for (i, h) in handles.iter_mut().enumerate() {
+            let target = self.layout.freeze_word(h.info, p, seq);
+            let _ = self.recs[h.rec].info.sc(ctx, &mut h.keep, target);
+            let _ = i;
+        }
+
+        self.help(ctx, p);
+        let outcome = self.states[p].read(ctx);
+        debug_assert_eq!(state_seq(outcome), seq, "only the owner starts a new SCX");
+        let committed = state_of(outcome) == ST_COMMITTED;
+        if !committed {
+            record(Event::ScxAbort);
+        }
+        committed
+    }
+
+    /// Reads `pid`'s descriptor payload; `None` if the state word moved
+    /// while reading (torn — caller rereads the state).
+    fn read_desc(&self, ctx: &mut V::Ctx<'_>, pid: usize, st_word: u64) -> Option<DescSnap> {
+        let d = &self.descs[pid];
+        let v_len = d.v_len.load(Ordering::Acquire).min(MAX_V);
+        let snap = DescSnap {
+            v_len,
+            v: std::array::from_fn(|i| d.v[i].load(Ordering::Relaxed)),
+            exp: std::array::from_fn(|i| d.exp[i].load(Ordering::Relaxed)),
+            fin_mask: d.fin_mask.load(Ordering::Relaxed),
+            fld_rec: d.fld_rec.load(Ordering::Relaxed),
+            fld_idx: d.fld_idx.load(Ordering::Relaxed),
+            fld_old: d.fld_old.load(Ordering::Relaxed),
+            fld_new: d.fld_new.load(Ordering::Relaxed),
+        };
+        (self.states[pid].read(ctx) == st_word).then_some(snap)
+    }
+
+    /// Drives `pid`'s current SCX (if any) to completion: freeze every
+    /// linked record, perform the field write, settle the state word, and
+    /// release (unfreeze or finalize) the records. Idempotent and safe
+    /// for any caller at any time — the uniform helping routine run by
+    /// the owner and by every reader/writer that trips over a frozen
+    /// record.
+    fn help(&self, ctx: &mut V::Ctx<'_>, pid: usize) {
+        let mut keep = V::Keep::default();
+        'outer: loop {
+            let st_word = self.states[pid].read(ctx);
+            let (seq, st) = (state_seq(st_word), state_of(st_word));
+            if st == ST_IDLE {
+                return;
+            }
+            let Some(d) = self.read_desc(ctx, pid, st_word) else {
+                continue 'outer;
+            };
+            let final_word = if st == ST_IN_PROGRESS {
+                let mut frozen_all = true;
+                'freeze: for i in 0..d.v_len {
+                    if self.flaw == Flaw::LostFreeze && i > 0 {
+                        // Planted bug: pretend the record froze.
+                        continue;
+                    }
+                    let info = &self.recs[d.v[i]].info;
+                    let target = self.layout.freeze_word(d.exp[i], pid, seq);
+                    loop {
+                        let cur = info.ll(ctx, &mut keep);
+                        if cur == target {
+                            info.cl(ctx, &mut keep);
+                            break; // frozen for this SCX (by us or a peer)
+                        }
+                        if cur == d.exp[i] {
+                            if info.sc(ctx, &mut keep, target) {
+                                break;
+                            }
+                            continue; // SC lost a race; re-inspect
+                        }
+                        info.cl(ctx, &mut keep);
+                        if self.states[pid].read(ctx) != st_word {
+                            // The SCX settled under us; restart to release.
+                            continue 'outer;
+                        }
+                        // Genuine conflict: the record moved since its LLX.
+                        frozen_all = false;
+                        break 'freeze;
+                    }
+                }
+                if frozen_all {
+                    // All linked records frozen: the committing write. A
+                    // value-guarded CAS, idempotent because `new` is fresh
+                    // (module docs): whichever helper lands it first wins,
+                    // the rest observe old != fld_old and stand down.
+                    let f = &self.recs[d.fld_rec].fields[d.fld_idx];
+                    loop {
+                        let cur = f.ll(ctx, &mut keep);
+                        if cur != d.fld_old {
+                            f.cl(ctx, &mut keep);
+                            break;
+                        }
+                        if f.sc(ctx, &mut keep, d.fld_new) {
+                            break;
+                        }
+                    }
+                    self.settle(ctx, &mut keep, pid, seq, ST_COMMITTED)
+                } else {
+                    self.settle(ctx, &mut keep, pid, seq, ST_ABORTED)
+                }
+            } else {
+                st_word
+            };
+            if state_seq(final_word) != seq {
+                // A different generation: that SCX's own helpers (at
+                // minimum its owner) release its records.
+                return;
+            }
+            let fst = state_of(final_word);
+            debug_assert_ne!(fst, ST_IN_PROGRESS);
+            // Release phase: unfreeze (or finalize) every linked record.
+            // Value-guarded — only the freeze word of exactly this SCX is
+            // ever replaced, so stale helpers no-op.
+            for i in 0..d.v_len {
+                let info = &self.recs[d.v[i]].info;
+                let target = self.layout.freeze_word(d.exp[i], pid, seq);
+                let fin = fst == ST_COMMITTED && (d.fin_mask >> i) & 1 == 1;
+                let release = self.layout.release_word(target, fin);
+                loop {
+                    let cur = info.ll(ctx, &mut keep);
+                    if cur != target {
+                        info.cl(ctx, &mut keep);
+                        break; // already released (or never frozen: abort)
+                    }
+                    if info.sc(ctx, &mut keep, release) {
+                        break;
+                    }
+                }
+            }
+            return;
+        }
+    }
+
+    /// Moves `(pid, seq)` from InProgress to `to` (first settler wins);
+    /// returns the state word that ended the race.
+    fn settle(
+        &self,
+        ctx: &mut V::Ctx<'_>,
+        keep: &mut V::Keep,
+        pid: usize,
+        seq: u64,
+        to: u64,
+    ) -> u64 {
+        let from = pack_state(seq, ST_IN_PROGRESS);
+        loop {
+            let s = self.states[pid].ll(ctx, keep);
+            if s != from {
+                self.states[pid].cl(ctx, keep);
+                return s;
+            }
+            if self.states[pid].sc(ctx, keep, pack_state(seq, to)) {
+                return pack_state(seq, to);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbsp_core::{CasLlSc, Native, TagLayout};
+
+    fn native_domain(n: usize, capacity: usize, fields: usize) -> LlxDomain<CasLlSc<Native>> {
+        let mut ctx = Native;
+        LlxDomain::new(
+            n,
+            capacity,
+            fields,
+            1,
+            || CasLlSc::new_native(TagLayout::half(), 0).unwrap(),
+            &mut ctx,
+        )
+    }
+
+    #[test]
+    fn llx_scx_single_record_roundtrip() {
+        let d = native_domain(2, 4, 2);
+        let mut ctx = Native;
+        let r = d.alloc(&mut ctx, &[11], &[1, 2]).unwrap();
+        assert_eq!(d.meta(r, 0), 11);
+        let h = d.llx(&mut ctx, r).expect_linked("fresh");
+        assert_eq!((h.field(0), h.field(1)), (1, 2));
+        assert!(d.scx(&mut ctx, 0, vec![h], 0, r, 1, 9));
+        assert_eq!(d.read_field(&mut ctx, r, 1), 9);
+        assert_eq!(d.read_field(&mut ctx, r, 0), 1);
+    }
+
+    #[test]
+    fn scx_fails_after_conflicting_scx() {
+        let d = native_domain(2, 4, 1);
+        let mut ctx = Native;
+        let r = d.alloc(&mut ctx, &[0], &[5]).unwrap();
+        let h0 = d.llx(&mut ctx, r).expect_linked("p0");
+        let h1 = d.llx(&mut ctx, r).expect_linked("p1");
+        assert!(d.scx(&mut ctx, 0, vec![h0], 0, r, 0, 6));
+        // p1's snapshot is stale now: its SCX must abort.
+        assert!(!d.scx(&mut ctx, 1, vec![h1], 0, r, 0, 7));
+        assert_eq!(d.read_field(&mut ctx, r, 0), 6);
+    }
+
+    #[test]
+    fn finalized_records_stay_finalized() {
+        let d = native_domain(2, 4, 1);
+        let mut ctx = Native;
+        let a = d.alloc(&mut ctx, &[0], &[1]).unwrap();
+        let b = d.alloc(&mut ctx, &[0], &[2]).unwrap();
+        let ha = d.llx(&mut ctx, a).expect_linked("a");
+        let hb = d.llx(&mut ctx, b).expect_linked("b");
+        // V = {a, b}, finalize b (bit 1), write a.
+        assert!(d.scx(&mut ctx, 0, vec![ha, hb], 0b10, a, 0, 3));
+        assert!(matches!(d.llx(&mut ctx, b), LlxOutcome::Finalized));
+        assert!(d.llx_snapshot(&mut ctx, b).is_none());
+        // a is unfrozen and writable again.
+        let ha = d.llx(&mut ctx, a).expect_linked("a again");
+        assert_eq!(ha.field(0), 3);
+        assert!(d.scx(&mut ctx, 1, vec![ha], 0, a, 0, 4));
+    }
+
+    #[test]
+    fn multi_record_scx_validates_every_link() {
+        let d = native_domain(2, 4, 1);
+        let mut ctx = Native;
+        let a = d.alloc(&mut ctx, &[0], &[10]).unwrap();
+        let b = d.alloc(&mut ctx, &[0], &[20]).unwrap();
+        let ha = d.llx(&mut ctx, a).expect_linked("a");
+        let hb = d.llx(&mut ctx, b).expect_linked("b");
+        // Concurrent change to b (not the written field's record):
+        let hb2 = d.llx(&mut ctx, b).expect_linked("b2");
+        assert!(d.scx(&mut ctx, 1, vec![hb2], 0, b, 0, 21));
+        // The two-record SCX linked b's old snapshot: must abort.
+        assert!(!d.scx(&mut ctx, 0, vec![ha, hb], 0, a, 0, 11));
+        assert_eq!(d.read_field(&mut ctx, a, 0), 10);
+    }
+
+    #[test]
+    fn vlx_detects_interference_and_quiet() {
+        let d = native_domain(2, 4, 1);
+        let mut ctx = Native;
+        let r = d.alloc(&mut ctx, &[0], &[1]).unwrap();
+        let h = d.llx(&mut ctx, r).expect_linked("r");
+        assert!(d.vlx(&mut ctx, &[&h]));
+        let s = d.llx_snapshot(&mut ctx, r).unwrap();
+        assert!(d.vlx_snapshots(&mut ctx, &[s]));
+        let h2 = d.llx(&mut ctx, r).expect_linked("writer");
+        assert!(d.scx(&mut ctx, 1, vec![h2], 0, r, 0, 2));
+        assert!(!d.vlx(&mut ctx, &[&h]));
+        assert!(!d.vlx_snapshots(&mut ctx, &[s]));
+        d.unlink(&mut ctx, h);
+    }
+
+    #[test]
+    fn arena_budget_is_enforced() {
+        let d = native_domain(1, 2, 1);
+        let mut ctx = Native;
+        assert!(d.alloc(&mut ctx, &[0], &[0]).is_ok());
+        assert!(d.alloc(&mut ctx, &[0], &[0]).is_ok());
+        assert_eq!(d.alloc(&mut ctx, &[0], &[0]), Err(LlxError::Full));
+        assert_eq!(d.remaining_capacity(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_conserve() {
+        // 4 threads, each SCX-increments a shared counter field with both
+        // records linked: total = successes, interference forces aborts
+        // and helping rather than lost updates.
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 2_000;
+        let d = native_domain(THREADS, 4, 1);
+        let mut ctx = Native;
+        let a = d.alloc(&mut ctx, &[0], &[0]).unwrap();
+        let b = d.alloc(&mut ctx, &[0], &[0]).unwrap();
+        let successes: u64 = std::thread::scope(|s| {
+            (0..THREADS)
+                .map(|p| {
+                    let d = &d;
+                    s.spawn(move || {
+                        let mut ctx = Native;
+                        let mut ok = 0u64;
+                        for i in 0..ROUNDS {
+                            let ha = d.llx(&mut ctx, a).expect_linked("a");
+                            let hb = d.llx(&mut ctx, b).expect_linked("b");
+                            // Alternate which field carries the counter so
+                            // both positions of V get exercised.
+                            let (t, ti) = if i % 2 == 0 { (a, 0) } else { (b, 0) };
+                            let old = if t == a { ha.field(0) } else { hb.field(0) };
+                            if d.scx(&mut ctx, p, vec![ha, hb], 0, t, ti, old + 1) {
+                                ok += 1;
+                            }
+                        }
+                        ok
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        let total = d.read_field(&mut ctx, a, 0) + d.read_field(&mut ctx, b, 0);
+        assert_eq!(total, successes, "every committed SCX counted exactly once");
+        assert!(successes > 0);
+    }
+
+    #[test]
+    fn works_on_the_lock_baseline() {
+        use nbsp_core::lock_baseline::LockLlSc;
+        use nbsp_memsim::ProcId;
+        let mut c0 = ProcId::new(0);
+        let d = LlxDomain::new(2, 4, 1, 1, || LockLlSc::new(2, 0), &mut c0);
+        let r = d.alloc(&mut c0, &[1], &[5]).unwrap();
+        let h = d.llx(&mut c0, r).expect_linked("r");
+        assert!(d.scx(&mut c0, 0, vec![h], 0, r, 0, 6));
+        assert_eq!(d.read_field(&mut c0, r, 0), 6);
+    }
+}

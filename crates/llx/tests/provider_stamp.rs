@@ -1,0 +1,126 @@
+//! LLX/SCX stamped over the whole provider registry: one generic body
+//! exercising link/commit/abort/finalize plus a cross-thread conservation
+//! race, expanded per registry entry by `for_each_provider!` — a provider
+//! added to the registry gets multi-word coverage by construction.
+
+use nbsp_core::{for_each_provider, Provider};
+use nbsp_llx::{LlxDomain, LlxOutcome};
+
+/// Single-threaded protocol walk, one provider: roundtrip commit,
+/// multi-record commit with finalization, conflict-forced abort, VLX.
+fn protocol<P: Provider>() {
+    let env = P::env(2).expect("provider env");
+    let mut tc0 = P::thread_ctx(&env, 0);
+    let mut ctx0 = P::ctx(&mut tc0);
+    let d = LlxDomain::new(
+        2,
+        8,
+        2,
+        1,
+        || P::var(&env, 0).expect("provider var"),
+        &mut ctx0,
+    );
+    let a = d.alloc(&mut ctx0, &[1], &[10, 20]).unwrap();
+    let b = d.alloc(&mut ctx0, &[2], &[30, 40]).unwrap();
+
+    // Roundtrip: link, commit, re-read.
+    let ha = d.llx(&mut ctx0, a).expect_linked("a");
+    assert_eq!((ha.field(0), ha.field(1)), (10, 20));
+    assert!(d.scx(&mut ctx0, 0, vec![ha], 0, a, 0, 11));
+    assert_eq!(d.read_field(&mut ctx0, a, 0), 11);
+
+    // Two-record SCX from the second slot, finalizing b.
+    let mut tc1 = P::thread_ctx(&env, 1);
+    let mut ctx1 = P::ctx(&mut tc1);
+    let ha = d.llx(&mut ctx1, a).expect_linked("a");
+    let hb = d.llx(&mut ctx1, b).expect_linked("b");
+    assert_eq!(hb.field(0), 30);
+    assert!(d.scx(&mut ctx1, 1, vec![ha, hb], 0b10, a, 1, 99));
+    assert!(matches!(d.llx(&mut ctx1, b), LlxOutcome::Finalized));
+    assert_eq!(d.read_field(&mut ctx1, a, 1), 99);
+
+    // Conflict: a later committed SCX must abort the stale one.
+    let h0 = d.llx(&mut ctx0, a).expect_linked("p0");
+    let h1 = d.llx(&mut ctx1, a).expect_linked("p1");
+    assert!(d.scx(&mut ctx1, 1, vec![h1], 0, a, 0, 12));
+    assert!(!d.scx(&mut ctx0, 0, vec![h0], 0, a, 0, 13));
+    assert_eq!(d.read_field(&mut ctx0, a, 0), 12);
+
+    // VLX: quiet set validates, disturbed set does not.
+    let s = d.llx_snapshot(&mut ctx0, a).unwrap();
+    assert!(d.vlx_snapshots(&mut ctx0, &[s]));
+    let h = d.llx(&mut ctx1, a).expect_linked("writer");
+    assert!(d.scx(&mut ctx1, 1, vec![h], 0, a, 0, 14));
+    assert!(!d.vlx_snapshots(&mut ctx0, &[s]));
+}
+
+/// Cross-thread conservation, one provider: racing two-record SCX
+/// increments must equal the number of committed SCXs — interference
+/// forces helping/aborts, never lost updates.
+fn conservation<P: Provider>() {
+    const THREADS: usize = 2;
+    const ROUNDS: usize = 300;
+    let env = P::env(THREADS + 1).expect("provider env");
+    let mut ctx_init_tc = P::thread_ctx(&env, THREADS);
+    let mut ctx_init = P::ctx(&mut ctx_init_tc);
+    let d = LlxDomain::new(
+        THREADS,
+        4,
+        1,
+        1,
+        || P::var(&env, 0).expect("provider var"),
+        &mut ctx_init,
+    );
+    let a = d.alloc(&mut ctx_init, &[0], &[0]).unwrap();
+    let b = d.alloc(&mut ctx_init, &[0], &[0]).unwrap();
+    let successes: u64 = std::thread::scope(|s| {
+        (0..THREADS)
+            .map(|p| {
+                let d = &d;
+                let env = &env;
+                s.spawn(move || {
+                    let mut tc = P::thread_ctx(env, p);
+                    let mut ctx = P::ctx(&mut tc);
+                    let mut ok = 0u64;
+                    for i in 0..ROUNDS {
+                        let ha = d.llx(&mut ctx, a).expect_linked("a");
+                        let hb = d.llx(&mut ctx, b).expect_linked("b");
+                        let (t, old) = if i % 2 == 0 {
+                            (a, ha.field(0))
+                        } else {
+                            (b, hb.field(0))
+                        };
+                        if d.scx(&mut ctx, p, vec![ha, hb], 0, t, 0, old + 1) {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    let total = d.read_field(&mut ctx_init, a, 0) + d.read_field(&mut ctx_init, b, 0);
+    assert_eq!(total, successes, "committed SCXs must conserve");
+    assert!(successes > 0, "some SCX must commit");
+}
+
+macro_rules! stamp {
+    ($name:ident, $provider:ty) => {
+        mod $name {
+            #[test]
+            fn llx_scx_protocol() {
+                super::protocol::<$provider>();
+            }
+
+            #[test]
+            fn llx_scx_conservation() {
+                super::conservation::<$provider>();
+            }
+        }
+    };
+}
+
+for_each_provider!(stamp);

@@ -65,11 +65,12 @@ use nbsp_structures::{Counter, Queue, Stack};
 
 use crate::admission::AdmissionConfig;
 use crate::fabric::{
-    flush_telemetry, AdmitOutcome, Directory, ShardRing, StripedBucket, STEAL_MAX, STEAL_NS,
+    flush_telemetry, shard_for_key, AdmitOutcome, Directory, ShardRing, StripedBucket, STEAL_MAX,
+    STEAL_NS,
 };
 use crate::loadgen::{ArrivalProcess, LoadGen, Request};
 use crate::metrics::{CellFlusher, CellSink};
-use crate::service::{CellResult, ServeSinks, Workload, CLAIM_NS_PER_CONTENDER, FLUSH_EVERY};
+use crate::service::{CellResult, MapCell, ServeSinks, Workload, CLAIM_NS_PER_CONTENDER, FLUSH_EVERY};
 
 /// The registry provider an elastic cell runs on when the caller does
 /// not pick one: the dynamic-joining construction, whose
@@ -215,7 +216,7 @@ fn run_elastic_cell_for<P: Provider>(
             drive_elastic::<P, _>(cfg, &sink, sinks, |slot| {
                 let c = &c;
                 let mut tc = Fig4Native::thread_ctx(&env, slot);
-                move || {
+                move |_key| {
                     c.increment(&mut Fig4Native::ctx(&mut tc));
                 }
             })
@@ -234,7 +235,7 @@ fn run_elastic_cell_for<P: Provider>(
                 let st = &st;
                 let mut tc = Fig4Native::thread_ctx(&env, slot);
                 let v = slot as u64;
-                move || {
+                move |_key| {
                     let mut ctx = Fig4Native::ctx(&mut tc);
                     let _ = st.push(&mut ctx, v);
                     let _ = st.pop(&mut ctx);
@@ -254,7 +255,7 @@ fn run_elastic_cell_for<P: Provider>(
                 let q = &q;
                 let mut tc = Fig4Native::thread_ctx(&env, slot);
                 let v = slot as u64;
-                move || {
+                move |_key| {
                     let mut ctx = Fig4Native::ctx(&mut tc);
                     let _ = q.enqueue(&mut ctx, v);
                     let _ = q.dequeue(&mut ctx);
@@ -266,13 +267,19 @@ fn run_elastic_cell_for<P: Provider>(
             drive_elastic::<P, _>(cfg, &sink, sinks, |slot| {
                 let stm = &stm;
                 let p = ProcId::new(slot);
-                move || {
+                move |_key| {
                     stm.transact(p, &[0, 1], |vals| {
                         vals[0] += 1;
                         vals[1] += 1;
                     });
                 }
             })
+        }
+        Workload::OrdMap { .. } => {
+            let mc = MapCell::new(cfg.max_workers, cfg.requests, cfg.seed);
+            let pool = drive_elastic::<P, _>(cfg, &sink, sinks, |slot| mc.op(slot));
+            mc.assert_conserved();
+            pool
         }
     };
 
@@ -319,7 +326,7 @@ fn drive_elastic<P: Provider, F>(
     mut make_op: impl FnMut(usize) -> F,
 ) -> PoolTrace
 where
-    F: FnMut() + Send,
+    F: FnMut(u64) + Send,
 {
     let env = P::env(cfg.max_workers + 1).expect("elastic provider env");
     let rings: Vec<ShardRing<P::Var>> = (0..cfg.max_workers)
@@ -381,7 +388,11 @@ fn elastic_produce<P: Provider>(
     shared.directory.publish(&mut ctx, active);
     shared.active.store(active as u64, Ordering::Release);
 
-    let mut gen = LoadGen::new(cfg.seed, cfg.process, cfg.service_mean_ns);
+    let keyed = cfg.workload.key_dist().is_some();
+    let mut gen = match cfg.workload.key_dist() {
+        Some(dist) => LoadGen::new_keyed(cfg.seed, cfg.process, cfg.service_mean_ns, dist),
+        None => LoadGen::new(cfg.seed, cfg.process, cfg.service_mean_ns),
+    };
     let mut cell = CellFlusher::new(max);
     let mut tele = shared.sinks.map(|_| {
         (
@@ -463,8 +474,13 @@ fn elastic_produce<P: Provider>(
                 trace.low_workers = trace.low_workers.min(active);
             }
         }
-        // Round-robin over the *active* shards at generation time.
-        let shard = (i % active as u64) as usize;
+        // Keyed workloads hash over the *active* shards; unkeyed ones
+        // round-robin — both at generation time.
+        let shard = if keyed {
+            shard_for_key(r.key, active)
+        } else {
+            (i % active as u64) as usize
+        };
         let outcome = match bucket {
             None => AdmitOutcome::Admitted { refilled: false },
             Some(b) => b.admit(&mut ctx, shard, r.arrival_ns),
@@ -518,7 +534,7 @@ fn elastic_produce<P: Provider>(
 
 /// One elastic worker: park until activated, join (or fall back to a
 /// fixed slot), serve an activation epoch, retire, repeat.
-fn elastic_worker<P: Provider, F: FnMut()>(shared: &ElasticShared<'_, P>, me: usize, mut op: F) {
+fn elastic_worker<P: Provider, F: FnMut(u64)>(shared: &ElasticShared<'_, P>, me: usize, mut op: F) {
     let mut cell = CellFlusher::new(me);
     let shared_slot = nbsp_telemetry::thread_slot() == shared.producer_slot;
     let mut tele = (!shared_slot)
@@ -535,6 +551,7 @@ fn elastic_worker<P: Provider, F: FnMut()>(shared: &ElasticShared<'_, P>, me: us
     let mut stash = [Request {
         arrival_ns: 0,
         service_ns: 0,
+        key: 0,
     }; STEAL_MAX];
     // Fixed-N providers cannot join, so their workers hold slot `me`
     // for the whole run (created on first activation).
@@ -583,7 +600,7 @@ type TeleFlushers = Option<(nbsp_telemetry::Flusher, nbsp_telemetry::HistFlusher
 /// deactivated (returns `false`) or when the whole fabric is drained
 /// (returns `true`).
 #[allow(clippy::too_many_arguments)]
-fn serve_epoch<P: Provider, F: FnMut()>(
+fn serve_epoch<P: Provider, F: FnMut(u64)>(
     shared: &ElasticShared<'_, P>,
     me: usize,
     op: &mut F,
@@ -603,8 +620,8 @@ fn serve_epoch<P: Provider, F: FnMut()>(
         if workers <= me {
             break false;
         }
-        if let Some(_r) = shared.rings[me].try_pop(&mut ctx) {
-            op();
+        if let Some(r) = shared.rings[me].try_pop(&mut ctx) {
+            op(r.key);
             cell.record_completed(1);
             unflushed += 1;
             backoff.reset();
@@ -624,8 +641,8 @@ fn serve_epoch<P: Provider, F: FnMut()>(
                 }
             }
             if stolen > 0 {
-                for _ in 0..stolen {
-                    op();
+                for r in &stash[..stolen] {
+                    op(r.key);
                 }
                 cell.record_completed(stolen as u64);
                 unflushed += stolen as u32;
@@ -648,8 +665,8 @@ fn serve_epoch<P: Provider, F: FnMut()>(
     if !drained {
         // Deactivated: hand back an empty ring rather than leaving the
         // leftovers for a thief to find.
-        while shared.rings[me].try_pop(&mut ctx).is_some() {
-            op();
+        while let Some(r) = shared.rings[me].try_pop(&mut ctx) {
+            op(r.key);
             cell.record_completed(1);
         }
     }
@@ -733,6 +750,23 @@ mod tests {
         let r = run_elastic_cell_as(ProviderId::Fig4Native, &cfg, None);
         assert_eq!(r.cell.snapshot.completed, r.cell.snapshot.admitted);
         assert!(r.pool.resizes > 0);
+    }
+
+    #[test]
+    fn the_keyed_map_workload_survives_resizes() {
+        // Keys hash over the *active* shard set, which moves under the
+        // run; conservation is asserted inside the cell after the drain.
+        let mut cfg = small_cfg();
+        cfg.requests = 5_000;
+        cfg.workload = Workload::OrdMap {
+            key_space: 32,
+            zipf: true,
+        };
+        let a = run_elastic_cell(&cfg, None);
+        let b = run_elastic_cell(&cfg, None);
+        assert_eq!(a, b, "seeded keyed elastic runs must be byte-identical");
+        assert_eq!(a.cell.snapshot.completed, a.cell.snapshot.admitted);
+        assert!(a.pool.resizes > 0);
     }
 
     #[test]

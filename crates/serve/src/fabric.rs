@@ -74,7 +74,7 @@ use crate::admission::AdmissionConfig;
 use crate::loadgen::{ArrivalProcess, LoadGen, Request};
 use crate::metrics::{CellFlusher, CellSink};
 use crate::service::{
-    CellResult, ServeSinks, Workload, CLAIM_NS_PER_CONTENDER, FLUSH_EVERY,
+    CellResult, MapCell, ServeSinks, Workload, CLAIM_NS_PER_CONTENDER, FLUSH_EVERY,
 };
 
 /// The registry provider a fabric cell runs on when the caller does not
@@ -92,6 +92,20 @@ pub const STEAL_MAX: usize = 32;
 /// request. Calibrated to a few contended-claim costs (see
 /// [`CLAIM_NS_PER_CONTENDER`]).
 pub const STEAL_NS: u64 = 4 * CLAIM_NS_PER_CONTENDER;
+
+/// The keyed-dispatch rule: requests of a keyed workload go to the shard
+/// owning their key, `hash(key) mod shards` (SplitMix64 finalizer — the
+/// raw key would put Zipf's hot keys 0 and 1 on adjacent shards). Every
+/// operation on one key executes on one shard's thread unless stolen, so
+/// per-key conflicts concentrate where admission and the virtual model
+/// account for them.
+#[must_use]
+pub fn shard_for_key(key: u64, shards: usize) -> usize {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((z ^ (z >> 31)) % shards as u64) as usize
+}
 
 // ---------------------------------------------------------------------------
 // Shard ring
@@ -112,6 +126,7 @@ pub struct ShardRing<V: LlScVar> {
     /// module docs of [`crate::ring`] and the steal extension above).
     arrivals: Box<[AtomicU64]>,
     services: Box<[AtomicU64]>,
+    keys: Box<[AtomicU64]>,
 }
 
 impl<V: LlScVar> ShardRing<V> {
@@ -129,6 +144,7 @@ impl<V: LlScVar> ShardRing<V> {
             tail: CachePadded::new(tail),
             arrivals: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
             services: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            keys: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -172,6 +188,7 @@ impl<V: LlScVar> ShardRing<V> {
             let i = (t as usize) % self.capacity();
             self.arrivals[i].store(r.arrival_ns, Ordering::Relaxed);
             self.services[i].store(r.service_ns, Ordering::Relaxed);
+            self.keys[i].store(r.key, Ordering::Relaxed);
             // Releasing SC publishes the slot stores above.
             if self.tail.sc(ctx, &mut keep, t + 1) {
                 return true;
@@ -195,11 +212,13 @@ impl<V: LlScVar> ShardRing<V> {
             let i = (h as usize) % self.capacity();
             let arrival_ns = self.arrivals[i].load(Ordering::Relaxed);
             let service_ns = self.services[i].load(Ordering::Relaxed);
+            let key = self.keys[i].load(Ordering::Relaxed);
             if self.head.sc(ctx, &mut keep, h + 1) {
                 // SC success validates the slot read (module docs).
                 return Some(Request {
                     arrival_ns,
                     service_ns,
+                    key,
                 });
             }
             backoff.spin();
@@ -234,6 +253,7 @@ impl<V: LlScVar> ShardRing<V> {
             *slot = Request {
                 arrival_ns: self.arrivals[i].load(Ordering::Relaxed),
                 service_ns: self.services[i].load(Ordering::Relaxed),
+                key: self.keys[i].load(Ordering::Relaxed),
             };
         }
         if self.head.sc(ctx, &mut keep, h + k as u64) {
@@ -576,7 +596,7 @@ fn run_fabric_cell_for<P: Provider>(
             drive_fabric::<P, _>(cfg, &sink, sinks, |slot| {
                 let c = &c;
                 let mut tc = Fig4Native::thread_ctx(&env, slot);
-                move || {
+                move |_key| {
                     c.increment(&mut Fig4Native::ctx(&mut tc));
                 }
             });
@@ -595,7 +615,7 @@ fn run_fabric_cell_for<P: Provider>(
                 let st = &st;
                 let mut tc = Fig4Native::thread_ctx(&env, slot);
                 let v = slot as u64;
-                move || {
+                move |_key| {
                     let mut ctx = Fig4Native::ctx(&mut tc);
                     let _ = st.push(&mut ctx, v);
                     let _ = st.pop(&mut ctx);
@@ -615,7 +635,7 @@ fn run_fabric_cell_for<P: Provider>(
                 let q = &q;
                 let mut tc = Fig4Native::thread_ctx(&env, slot);
                 let v = slot as u64;
-                move || {
+                move |_key| {
                     let mut ctx = Fig4Native::ctx(&mut tc);
                     let _ = q.enqueue(&mut ctx, v);
                     let _ = q.dequeue(&mut ctx);
@@ -627,13 +647,18 @@ fn run_fabric_cell_for<P: Provider>(
             drive_fabric::<P, _>(cfg, &sink, sinks, |slot| {
                 let stm = &stm;
                 let p = ProcId::new(slot);
-                move || {
+                move |_key| {
                     stm.transact(p, &[0, 1], |vals| {
                         vals[0] += 1;
                         vals[1] += 1;
                     });
                 }
             });
+        }
+        Workload::OrdMap { .. } => {
+            let mc = MapCell::new(cfg.workers, cfg.requests, cfg.seed);
+            drive_fabric::<P, _>(cfg, &sink, sinks, |slot| mc.op(slot));
+            mc.assert_conserved();
         }
     }
 
@@ -671,7 +696,7 @@ fn drive_fabric<P: Provider, F>(
     sinks: Option<&ServeSinks>,
     mut make_op: impl FnMut(usize) -> F,
 ) where
-    F: FnMut() + Send,
+    F: FnMut(u64) + Send,
 {
     let env = P::env(cfg.workers + 1).expect("fabric provider env");
     let rings: Vec<ShardRing<P::Var>> = (0..cfg.workers)
@@ -727,7 +752,11 @@ fn fabric_produce<P: Provider>(
     let mut ctx = P::ctx(&mut tc);
     shared.directory.publish(&mut ctx, workers);
 
-    let mut gen = LoadGen::new(cfg.seed, cfg.process, cfg.service_mean_ns);
+    let keyed = cfg.workload.key_dist().is_some();
+    let mut gen = match cfg.workload.key_dist() {
+        Some(dist) => LoadGen::new_keyed(cfg.seed, cfg.process, cfg.service_mean_ns, dist),
+        None => LoadGen::new(cfg.seed, cfg.process, cfg.service_mean_ns),
+    };
     let mut cell = CellFlusher::new(workers);
     let mut tele = shared.sinks.map(|_| (Flusher::new(), HistFlusher::new()));
     // The virtual model, sharded: each shard's dispatch cursor is its own
@@ -739,9 +768,13 @@ fn fabric_produce<P: Provider>(
     let mut unflushed = 0u32;
     for i in 0..cfg.requests {
         let r = gen.next_request();
-        // Round-robin shard assignment, fixed at generation time (the
-        // directory's ring-assignment rule).
-        let shard = (i % workers as u64) as usize;
+        // Keyed workloads route by key hash (all ops on a key share a
+        // shard); unkeyed ones round-robin, fixed at generation time.
+        let shard = if keyed {
+            shard_for_key(r.key, workers)
+        } else {
+            (i % workers as u64) as usize
+        };
         let outcome = match bucket {
             None => AdmitOutcome::Admitted { refilled: false },
             Some(b) => b.admit(&mut ctx, shard, r.arrival_ns),
@@ -793,7 +826,7 @@ fn fabric_produce<P: Provider>(
 
 /// One fabric worker: drain the own ring, steal when dry, exit when the
 /// producer is done and every ring has been observed empty.
-fn fabric_worker<P: Provider, F: FnMut()>(shared: &FabricShared<'_, P>, me: usize, mut op: F) {
+fn fabric_worker<P: Provider, F: FnMut(u64)>(shared: &FabricShared<'_, P>, me: usize, mut op: F) {
     let mut tc = P::thread_ctx(shared.env, me);
     let mut ctx = P::ctx(&mut tc);
     let mut cell = CellFlusher::new(me);
@@ -821,11 +854,12 @@ fn fabric_worker<P: Provider, F: FnMut()>(shared: &FabricShared<'_, P>, me: usiz
     let mut stash = [Request {
         arrival_ns: 0,
         service_ns: 0,
+        key: 0,
     }; STEAL_MAX];
     let mut unflushed = 0u32;
     loop {
-        if let Some(_r) = shared.rings[me].try_pop(&mut ctx) {
-            op();
+        if let Some(r) = shared.rings[me].try_pop(&mut ctx) {
+            op(r.key);
             cell.record_completed(1);
             unflushed += 1;
             backoff.reset();
@@ -845,8 +879,8 @@ fn fabric_worker<P: Provider, F: FnMut()>(shared: &FabricShared<'_, P>, me: usiz
                 }
             }
             if stolen > 0 {
-                for _ in 0..stolen {
-                    op();
+                for r in &stash[..stolen] {
+                    op(r.key);
                 }
                 cell.record_completed(stolen as u64);
                 unflushed += stolen as u32;
@@ -895,6 +929,7 @@ mod tests {
         Request {
             arrival_ns: n,
             service_ns: 10 * n,
+            key: n % 7,
         }
     }
 
@@ -1104,6 +1139,25 @@ mod tests {
             fab.p99_ns,
             base.p99_ns
         );
+    }
+
+    #[test]
+    fn keyed_map_cells_route_by_hash_and_stay_deterministic() {
+        let mut c = small_cfg(4, 2.0e6, None);
+        c.workload = Workload::OrdMap {
+            key_space: 32,
+            zipf: true,
+        };
+        let a = run_fabric_cell(&c, None);
+        let b = run_fabric_cell(&c, None);
+        assert_eq!(a, b, "seeded keyed fabric runs must be byte-identical");
+        assert_eq!(a.snapshot.completed, a.snapshot.admitted);
+        // The hash router spreads even a tiny key space over all shards.
+        let mut hit = [false; 4];
+        for key in 0..32u64 {
+            hit[shard_for_key(key, 4)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "router left a shard keyless");
     }
 
     #[test]

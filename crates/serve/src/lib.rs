@@ -78,10 +78,10 @@ pub use elastic::{
     DEFAULT_ELASTIC_PROVIDER,
 };
 pub use fabric::{
-    run_fabric_cell, run_fabric_cell_as, AdmitOutcome, Directory, FabricConfig, ShardRing,
-    StripedBucket,
+    run_fabric_cell, run_fabric_cell_as, shard_for_key, AdmitOutcome, Directory, FabricConfig,
+    ShardRing, StripedBucket,
 };
-pub use loadgen::{ArrivalProcess, LoadGen, Request};
+pub use loadgen::{ArrivalProcess, KeyDist, LoadGen, Request};
 pub use metrics::{percentile_ns, CellFlusher, CellSink, CellSnapshot, SOJOURN_BUCKETS};
 pub use ring::SpmcRing;
 pub use service::{run_cell, CellConfig, CellResult, ServeSinks, Workload};

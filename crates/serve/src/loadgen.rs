@@ -33,6 +33,95 @@ pub struct Request {
     /// Seeded service demand in virtual nanoseconds (how long one
     /// virtual worker is occupied executing it).
     pub service_ns: u64,
+    /// The key the request operates on (keyed workloads route by it;
+    /// unkeyed streams carry 0).
+    pub key: u64,
+}
+
+/// The key distribution of a keyed request stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Every key in `0..space` equally likely.
+    Uniform {
+        /// Size of the key space.
+        space: u64,
+    },
+    /// Zipf(1) over `0..space`: key `k` with probability ∝ `1/(k+1)` —
+    /// the classic skewed-popularity model, concentrating traffic (and
+    /// hence SCX conflicts) on a few hot keys.
+    Zipf {
+        /// Size of the key space.
+        space: u64,
+    },
+}
+
+impl KeyDist {
+    /// Stable name for reports and the JSON schema.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KeyDist::Uniform { .. } => "uniform",
+            KeyDist::Zipf { .. } => "zipf",
+        }
+    }
+}
+
+/// Samples keys from a [`KeyDist`] on its **own** SplitMix64 stream, so
+/// adding keys to a cell never perturbs the arrival/service stream — an
+/// unkeyed cell's requests stay byte-identical to pre-key builds.
+#[derive(Clone, Debug)]
+struct KeySampler {
+    rng: SplitMix64,
+    dist: KeyDist,
+    /// Cumulative Zipf probabilities (empty for uniform): `cdf[k]` =
+    /// P(key ≤ k), normalized to end at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl KeySampler {
+    fn new(seed: u64, dist: KeyDist) -> Self {
+        let space = match dist {
+            KeyDist::Uniform { space } | KeyDist::Zipf { space } => space,
+        };
+        assert!(space > 0, "key space must be positive");
+        let cdf = match dist {
+            KeyDist::Uniform { .. } => Vec::new(),
+            KeyDist::Zipf { space } => {
+                assert!(
+                    space <= 1 << 20,
+                    "Zipf CDF table is precomputed; cap the key space"
+                );
+                let mut acc = 0.0f64;
+                let mut cdf: Vec<f64> = (0..space)
+                    .map(|k| {
+                        acc += 1.0 / (k + 1) as f64;
+                        acc
+                    })
+                    .collect();
+                for c in &mut cdf {
+                    *c /= acc;
+                }
+                cdf
+            }
+        };
+        KeySampler {
+            // Decorrelate from the arrival stream's seed (golden-ratio
+            // offset, the SplitMix64 stream-splitting constant).
+            rng: SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15),
+            dist,
+            cdf,
+        }
+    }
+
+    fn next_key(&mut self) -> u64 {
+        match self.dist {
+            KeyDist::Uniform { space } => self.rng.next_below(space),
+            KeyDist::Zipf { .. } => {
+                let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.cdf.partition_point(|&c| c <= u) as u64
+            }
+        }
+    }
 }
 
 /// The arrival process driving a [`LoadGen`].
@@ -106,6 +195,9 @@ pub struct LoadGen {
     /// current ON period ends (arrivals landing past it fast-forward
     /// through OFF periods).
     on_until_ns: f64,
+    /// Key sampling for keyed workloads; `None` stamps every request
+    /// with key 0.
+    keys: Option<KeySampler>,
 }
 
 impl LoadGen {
@@ -129,7 +221,23 @@ impl LoadGen {
             service_mean_ns,
             now_ns: 0.0,
             on_until_ns: 0.0,
+            keys: None,
         }
+    }
+
+    /// As [`LoadGen::new`], with every request additionally stamped with
+    /// a key drawn from `dist`. Keys come from a separate seeded stream,
+    /// so the arrival/service sequence is identical to the unkeyed
+    /// generator's for the same seed.
+    ///
+    /// # Panics
+    ///
+    /// As [`LoadGen::new`]; also panics on a zero key space.
+    #[must_use]
+    pub fn new_keyed(seed: u64, process: ArrivalProcess, service_mean_ns: f64, dist: KeyDist) -> Self {
+        let mut g = LoadGen::new(seed, process, service_mean_ns);
+        g.keys = Some(KeySampler::new(seed, dist));
+        g
     }
 
     /// The virtual time of the last generated arrival (ns).
@@ -167,6 +275,7 @@ impl LoadGen {
         Request {
             arrival_ns: self.now_ns as u64,
             service_ns: service as u64,
+            key: self.keys.as_mut().map_or(0, KeySampler::next_key),
         }
     }
 }
@@ -234,6 +343,40 @@ mod tests {
         assert!(
             (got_rate / 1e6 - 1.0).abs() < 0.15,
             "long-run rate {got_rate}"
+        );
+    }
+
+    #[test]
+    fn keys_never_perturb_the_arrival_stream() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 1e6 };
+        let mut plain = LoadGen::new(42, p, 800.0);
+        let mut keyed = LoadGen::new_keyed(42, p, 800.0, KeyDist::Uniform { space: 64 });
+        for _ in 0..1000 {
+            let a = plain.next_request();
+            let b = keyed.next_request();
+            assert_eq!(a.arrival_ns, b.arrival_ns);
+            assert_eq!(a.service_ns, b.service_ns);
+            assert_eq!(a.key, 0, "unkeyed streams carry key 0");
+            assert!(b.key < 64);
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_on_the_hot_keys() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 1e6 };
+        let space = 256u64;
+        let mut g = LoadGen::new_keyed(7, p, 800.0, KeyDist::Zipf { space });
+        let n = 50_000;
+        let mut counts = vec![0u64; space as usize];
+        for _ in 0..n {
+            counts[g.next_request().key as usize] += 1;
+        }
+        // P(key 0) = 1/H(256) ≈ 0.163; uniform would give 1/256.
+        let hot = counts[0] as f64 / n as f64;
+        assert!(hot > 0.12, "key 0 carried only {hot} of the traffic");
+        assert!(
+            counts[0] > 10 * counts[space as usize / 2].max(1),
+            "head/middle ratio too flat for Zipf"
         );
     }
 

@@ -49,6 +49,7 @@ pub struct SpmcRing {
     /// the cursor protocol above is what makes the pairs consistent.
     arrivals: Box<[AtomicU64]>,
     services: Box<[AtomicU64]>,
+    keys: Box<[AtomicU64]>,
     /// Enforces the single-producer contract at runtime.
     producer_claimed: AtomicBool,
 }
@@ -76,6 +77,7 @@ impl SpmcRing {
             tail: CachePadded::new(CasLlSc::new_native(layout, 0).unwrap()),
             arrivals: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
             services: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            keys: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
             producer_claimed: AtomicBool::new(false),
         }
     }
@@ -136,12 +138,14 @@ impl SpmcRing {
             let i = (h as usize) % self.capacity();
             let arrival_ns = self.arrivals[i].load(Ordering::Relaxed);
             let service_ns = self.services[i].load(Ordering::Relaxed);
+            let key = self.keys[i].load(Ordering::Relaxed);
             if self.head.sc(&mem, &keep, h + 1) {
-                // SC success validates the read pair (module docs).
+                // SC success validates the read triple (module docs).
                 observe(Hist::Retries, attempts);
                 return Some(Request {
                     arrival_ns,
                     service_ns,
+                    key,
                 });
             }
             backoff.spin();
@@ -170,6 +174,7 @@ impl Producer<'_> {
         let i = (t as usize) % ring.capacity();
         ring.arrivals[i].store(r.arrival_ns, Ordering::Relaxed);
         ring.services[i].store(r.service_ns, Ordering::Relaxed);
+        ring.keys[i].store(r.key, Ordering::Relaxed);
         // Releasing SC publishes the slot stores above. Sole tail writer:
         // the tag cannot have moved since the LL.
         let landed = ring.tail.sc(&mem, &keep, t + 1);
@@ -198,6 +203,7 @@ mod tests {
         Request {
             arrival_ns: n,
             service_ns: 10 * n,
+            key: n % 7,
         }
     }
 

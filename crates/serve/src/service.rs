@@ -30,17 +30,17 @@
 //! All metrics flow through [`CellFlusher`]s into the cell's single
 //! Figure-6 [`CellSink`]; the returned [`CellSnapshot`] is one WLL.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use nbsp_core::provider::Fig4Native;
 use nbsp_core::{Backoff, Provider, WideHists, WideTotals};
 use nbsp_memsim::ProcId;
 use nbsp_structures::stm_orec::OrecStm;
-use nbsp_structures::{Counter, Queue, Stack};
+use nbsp_structures::{ordmap_capacity, Counter, OrdMap, Queue, Stack};
 use nbsp_telemetry::{Flusher, HistFlusher};
 
 use crate::admission::{AdmissionConfig, TokenBucket};
-use crate::loadgen::{ArrivalProcess, LoadGen};
+use crate::loadgen::{ArrivalProcess, KeyDist, LoadGen};
 use crate::metrics::{CellFlusher, CellSink, CellSnapshot};
 use crate::ring::SpmcRing;
 
@@ -79,10 +79,22 @@ pub enum Workload {
     Queue,
     /// Two-cell transfer transaction on the ownership-record STM.
     Stm,
+    /// Keyed mixed ops (insert/delete/get) on the LLX/SCX external-BST
+    /// ordered map. The only *keyed* workload: requests carry a sampled
+    /// key and the fabric routes them by key hash (E15).
+    OrdMap {
+        /// Size of the key space keys are sampled from.
+        key_space: u64,
+        /// Zipf(1)-skewed keys when `true`, uniform otherwise.
+        zipf: bool,
+    },
 }
 
 impl Workload {
-    /// Every workload, in report order.
+    /// Every *unkeyed* workload, in report order. Deliberately excludes
+    /// [`Workload::OrdMap`]: E12's sweeps iterate this list and their
+    /// byte-identical baselines predate keys; the keyed map workload is
+    /// swept by its own experiment (E15).
     pub const ALL: [Workload; 4] = [
         Workload::Counter,
         Workload::Stack,
@@ -98,6 +110,21 @@ impl Workload {
             Workload::Stack => "stack",
             Workload::Queue => "queue",
             Workload::Stm => "stm_orec",
+            Workload::OrdMap { .. } => "ordmap",
+        }
+    }
+
+    /// The key distribution of a keyed workload; `None` for the unkeyed
+    /// ones (their generators stamp key 0 and dispatch round-robin).
+    #[must_use]
+    pub fn key_dist(self) -> Option<KeyDist> {
+        match self {
+            Workload::OrdMap { key_space, zipf } => Some(if zipf {
+                KeyDist::Zipf { space: key_space }
+            } else {
+                KeyDist::Uniform { space: key_space }
+            }),
+            _ => None,
         }
     }
 }
@@ -199,7 +226,7 @@ pub fn run_cell(cfg: &CellConfig, sinks: Option<&ServeSinks>) -> CellResult {
             drive(cfg, &sink, sinks, |slot| {
                 let c = &c;
                 let mut tc = Fig4Native::thread_ctx(&env, slot);
-                move || {
+                move |_key| {
                     c.increment(&mut Fig4Native::ctx(&mut tc));
                 }
             });
@@ -218,7 +245,7 @@ pub fn run_cell(cfg: &CellConfig, sinks: Option<&ServeSinks>) -> CellResult {
                 let st = &st;
                 let mut tc = Fig4Native::thread_ctx(&env, slot);
                 let v = slot as u64;
-                move || {
+                move |_key| {
                     let mut ctx = Fig4Native::ctx(&mut tc);
                     let _ = st.push(&mut ctx, v);
                     let _ = st.pop(&mut ctx);
@@ -238,7 +265,7 @@ pub fn run_cell(cfg: &CellConfig, sinks: Option<&ServeSinks>) -> CellResult {
                 let q = &q;
                 let mut tc = Fig4Native::thread_ctx(&env, slot);
                 let v = slot as u64;
-                move || {
+                move |_key| {
                     let mut ctx = Fig4Native::ctx(&mut tc);
                     let _ = q.enqueue(&mut ctx, v);
                     let _ = q.dequeue(&mut ctx);
@@ -250,13 +277,18 @@ pub fn run_cell(cfg: &CellConfig, sinks: Option<&ServeSinks>) -> CellResult {
             drive(cfg, &sink, sinks, |slot| {
                 let stm = &stm;
                 let p = ProcId::new(slot);
-                move || {
+                move |_key| {
                     stm.transact(p, &[0, 1], |vals| {
                         vals[0] += 1;
                         vals[1] += 1;
                     });
                 }
             });
+        }
+        Workload::OrdMap { .. } => {
+            let mc = MapCell::new(cfg.workers, cfg.requests, cfg.seed);
+            drive(cfg, &sink, sinks, |slot| mc.op(slot));
+            mc.assert_conserved();
         }
     }
 
@@ -274,6 +306,100 @@ pub fn run_cell(cfg: &CellConfig, sinks: Option<&ServeSinks>) -> CellResult {
     }
 }
 
+/// The shared state of an [`Workload::OrdMap`] cell: the LLX/SCX
+/// external-BST map (on the registry's Figure-4 native entry, like every
+/// cell workload structure), per-worker op-mix streams, and the
+/// conservation ledger. Each admitted request executes **one** map
+/// operation on its sampled key — 2:1:1 insert/delete/get, the kind drawn
+/// from a worker-seeded stream so a hot key sees all three kinds. The
+/// ledger counts *effective* inserts (a new key landed) and deletes (a
+/// key removed); [`MapCell::assert_conserved`] checks `inserts − deletes
+/// == final size` after the cell drains — the E15 conservation gate, and
+/// a whole-structure check that no SCX was lost or doubled under load.
+pub(crate) struct MapCell {
+    env: <Fig4Native as Provider>::Env,
+    map: OrdMap<<Fig4Native as Provider>::Var>,
+    workers: usize,
+    seed: u64,
+    inserted: AtomicU64,
+    deleted: AtomicU64,
+}
+
+impl MapCell {
+    /// Builds the map with a record budget covering every request being
+    /// an insert (the arena is lifetime-allocated; see `ordmap`).
+    pub(crate) fn new(workers: usize, requests: u64, seed: u64) -> Self {
+        #[allow(clippy::let_unit_value)]
+        let env = Fig4Native::env(workers + 1).unwrap();
+        let mut setup_tc = Fig4Native::thread_ctx(&env, workers);
+        let mut setup = Fig4Native::ctx(&mut setup_tc);
+        let map = OrdMap::new(
+            workers,
+            ordmap_capacity(requests as usize),
+            || Fig4Native::var(&env, 0).unwrap(),
+            &mut setup,
+        );
+        MapCell {
+            env,
+            map,
+            workers,
+            seed,
+            inserted: AtomicU64::new(0),
+            deleted: AtomicU64::new(0),
+        }
+    }
+
+    /// The op closure for worker `slot` (also its LLX/SCX process id).
+    pub(crate) fn op(&self, slot: usize) -> impl FnMut(u64) + Send + '_ {
+        let mut tc = Fig4Native::thread_ctx(&self.env, slot);
+        let mut rng = nbsp_memsim::rng::SplitMix64::new(
+            self.seed ^ (slot as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        move |key| {
+            let mut ctx = Fig4Native::ctx(&mut tc);
+            match rng.next_index(4) {
+                0 | 1 => {
+                    if self
+                        .map
+                        .insert(&mut ctx, slot, key, key + 1)
+                        .expect("map arena sized for every request")
+                        .is_none()
+                    {
+                        self.inserted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                2 => {
+                    if self
+                        .map
+                        .delete(&mut ctx, slot, key)
+                        .expect("map arena sized for every request")
+                        .is_some()
+                    {
+                        self.deleted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                _ => {
+                    let _ = self.map.get(&mut ctx, key);
+                }
+            }
+        }
+    }
+
+    /// The conservation gate: every effective insert grew the map by one
+    /// key and every effective delete shrank it by one, so after the
+    /// drain the final size must equal their difference exactly.
+    pub(crate) fn assert_conserved(&self) {
+        let mut tc = Fig4Native::thread_ctx(&self.env, self.workers);
+        let mut ctx = Fig4Native::ctx(&mut tc);
+        let net = self.inserted.load(Ordering::Relaxed) - self.deleted.load(Ordering::Relaxed);
+        assert_eq!(
+            self.map.len(&mut ctx) as u64,
+            net,
+            "ordmap conservation: inserts − deletes must equal the final size"
+        );
+    }
+}
+
 /// Spawns the workers, runs the producer inline, joins.
 fn drive<F>(
     cfg: &CellConfig,
@@ -281,7 +407,7 @@ fn drive<F>(
     sinks: Option<&ServeSinks>,
     mut make_op: impl FnMut(usize) -> F,
 ) where
-    F: FnMut() + Send,
+    F: FnMut(u64) + Send,
 {
     let ring = SpmcRing::new(cfg.ring_capacity);
     let bucket = cfg.admission.map(TokenBucket::from_config);
@@ -314,7 +440,10 @@ fn produce(
     sink: &CellSink,
     sinks: Option<&ServeSinks>,
 ) {
-    let mut gen = LoadGen::new(cfg.seed, cfg.process, cfg.service_mean_ns);
+    let mut gen = match cfg.workload.key_dist() {
+        Some(dist) => LoadGen::new_keyed(cfg.seed, cfg.process, cfg.service_mean_ns, dist),
+        None => LoadGen::new(cfg.seed, cfg.process, cfg.service_mean_ns),
+    };
     let mut producer = ring.producer();
     let mut cell = CellFlusher::new(cfg.workers);
     let mut tele = sinks.map(|_| (Flusher::new(), HistFlusher::new()));
@@ -365,7 +494,7 @@ fn produce(
 }
 
 /// One worker: claim, execute the real operation, count, flush.
-fn worker_loop<F: FnMut()>(
+fn worker_loop<F: FnMut(u64)>(
     ring: &SpmcRing,
     done: &AtomicBool,
     sink: &CellSink,
@@ -384,8 +513,8 @@ fn worker_loop<F: FnMut()>(
     let mut unflushed = 0u32;
     loop {
         match ring.try_pop() {
-            Some(_r) => {
-                op();
+            Some(r) => {
+                op(r.key);
                 cell.record_completed(1);
                 unflushed += 1;
                 if unflushed >= FLUSH_EVERY {
@@ -484,6 +613,20 @@ mod tests {
             let r = run_cell(&small_cfg(w, 1e6, None), None);
             assert_eq!(r.snapshot.completed, r.snapshot.admitted, "{}", w.name());
             assert_eq!(r.snapshot.sojourns(), r.snapshot.admitted, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn the_keyed_map_cell_drains_and_conserves() {
+        // Conservation (inserts − deletes == final size) is asserted
+        // inside the cell by `MapCell::assert_conserved`; both skews.
+        for zipf in [false, true] {
+            let w = Workload::OrdMap {
+                key_space: 64,
+                zipf,
+            };
+            let r = run_cell(&small_cfg(w, 1e6, None), None);
+            assert_eq!(r.snapshot.completed, r.snapshot.admitted, "{zipf}");
         }
     }
 }

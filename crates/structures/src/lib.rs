@@ -16,6 +16,9 @@
 //!   LL–SC sequences and `CL` (impossible on raw hardware LL/SC).
 //! * [`Set`] — a Harris-style sorted set with two-phase (logical, then
 //!   physical) deletion and traversal-time helping.
+//! * [`OrdMap`] — an external-BST ordered map on multi-word LLX/SCX
+//!   (`nbsp-llx`), with a VLX-validated `range_snapshot` read path and
+//!   the [`LockMap`] baseline it is measured against (experiment E15).
 //! * [`SnapshotRegister`] — a multi-word atomic register over Figure 6.
 //! * [`Universal`] — Herlihy's small-object universal construction \[7\].
 //! * [`stm`] — static software transactional memory in the spirit of
@@ -31,6 +34,7 @@
 
 mod arena;
 mod counter;
+mod ordmap;
 mod queue;
 mod register;
 mod set;
@@ -41,6 +45,7 @@ mod universal;
 
 pub use arena::StructureError;
 pub use counter::Counter;
+pub use ordmap::{ordmap_capacity, LockMap, OrdMap};
 pub use queue::Queue;
 pub use register::SnapshotRegister;
 pub use set::Set;

@@ -7,7 +7,7 @@
 
 /// Number of distinct events ([`Event::ALL`]'s length, and the width `W`
 /// of the Figure-6 wide variable a consistent snapshot publisher uses).
-pub const EVENT_COUNT: usize = 17;
+pub const EVENT_COUNT: usize = 19;
 
 /// One countable occurrence inside the LL/SC stack.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -63,6 +63,13 @@ pub enum Event {
     /// A durable provider ran its crash-recovery procedure after a
     /// simulated power failure rolled memory back to the persisted image.
     CrashRecover = 16,
+    /// An LLX reader (or SCX owner) helped another process's in-progress
+    /// SCX to completion — the BER help-on-read rule (recorded by the
+    /// *helper*).
+    LlxHelp = 17,
+    /// An SCX aborted: one of its linked records was frozen or mutated by
+    /// a conflicting SCX between the LLX and the freeze phase.
+    ScxAbort = 18,
 }
 
 impl Event {
@@ -85,6 +92,8 @@ impl Event {
         Event::JoinAdmit,
         Event::Retire,
         Event::CrashRecover,
+        Event::LlxHelp,
+        Event::ScxAbort,
     ];
 
     /// The event's row index in the counter matrix.
@@ -114,6 +123,8 @@ impl Event {
             Event::JoinAdmit => "join_admit",
             Event::Retire => "retire",
             Event::CrashRecover => "crash_recover",
+            Event::LlxHelp => "llx_help",
+            Event::ScxAbort => "scx_abort",
         }
     }
 }

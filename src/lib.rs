@@ -41,6 +41,11 @@ pub use nbsp_memsim as memsim;
 /// Re-export of `nbsp-core`.
 pub use nbsp_core as core;
 
+/// Multi-word LLX/SCX/VLX (Brown–Ellen–Ruppert) built on any registry
+/// provider's LL/SC: frozen/finalized records, announce/help descriptor
+/// commit. Re-export of `nbsp-llx`.
+pub use nbsp_llx as llx;
+
 /// Non-blocking data structures built on the primitives. Re-export of
 /// `nbsp-structures`.
 pub use nbsp_structures as structures;

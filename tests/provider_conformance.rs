@@ -5,7 +5,7 @@
 //! conformance-tested by construction, and one that breaks the contract
 //! fails here by name.
 //!
-//! Four properties per provider:
+//! Five properties per provider:
 //!
 //! * **semantics** — LL/VL/SC single-thread sequencing: an undisturbed
 //!   sequence validates and commits; a sequence whose variable changed
@@ -19,6 +19,13 @@
 //!   reader polls; the counter must end exact (lost updates would mean a
 //!   falsely-successful SC) and reads must be monotone (a torn or stale
 //!   read would break linearizability of `read`).
+//! * **keep_budget** — the `PROVIDER_K` sizing contract: every provider
+//!   must sustain `PROVIDER_K` *concurrent* open LL–SC sequences on one
+//!   context (the audited LLX/SCX worst case: four held handles plus one
+//!   transient — see the sizing table in `provider.rs`), with all of them
+//!   still able to validate and commit. Exceeding the budget on the
+//!   slot-array domains is a *documented panic* ("exceeded k"), never UB —
+//!   asserted by the targeted `keep_exhaustion_*` tests below the macro.
 //! * **churn** — the `join`/`retire` membership contract: fixed-N
 //!   providers refuse with the typed `PoolExhausted` error and their
 //!   no-op `retire` leaves preadmitted slots working; dynamic providers
@@ -233,7 +240,78 @@ fn churn<P: Provider>() {
     }
 }
 
-// The module generated per provider by `for_each_provider!`: four
+/// The `PROVIDER_K` budget, one provider: open `PROVIDER_K` concurrent
+/// LL–SC sequences on distinct variables from one context (the deepest
+/// nesting LLX/SCX reaches — see `provider.rs`'s sizing table), interleave
+/// a validation pass, then commit every one of them.
+fn keep_budget<P: Provider>() {
+    use nbsp_core::provider::PROVIDER_K;
+    let env = P::env(1).expect("provider env");
+    let vars: Vec<P::Var> = (0..PROVIDER_K)
+        .map(|i| P::var(&env, i as u64).expect("provider var"))
+        .collect();
+    let mut tc = P::thread_ctx(&env, 0);
+    let mut ctx = P::ctx(&mut tc);
+    let mut keeps: Vec<<P::Var as LlScVar>::Keep> = Vec::new();
+    for (i, var) in vars.iter().enumerate() {
+        let mut keep = <P::Var as LlScVar>::Keep::default();
+        assert_eq!(var.ll(&mut ctx, &mut keep), i as u64);
+        keeps.push(keep);
+    }
+    for (var, keep) in vars.iter().zip(&keeps) {
+        assert!(var.vl(&mut ctx, keep), "held sequence must still validate");
+    }
+    for (i, (var, keep)) in vars.iter().zip(&mut keeps).enumerate() {
+        assert!(
+            var.sc(&mut ctx, keep, i as u64 + 100),
+            "sequence {i} of {PROVIDER_K} must commit"
+        );
+        assert_eq!(var.read(&mut ctx), i as u64 + 100);
+    }
+}
+
+/// One-past-the-budget, one slot-array provider: `PROVIDER_K + 1`
+/// concurrent sequences must hit the *documented* failure mode — the
+/// "exceeded k" panic from the domain's slot allocator — instead of UB or
+/// silent corruption. (Only the domain-based entries have per-process
+/// slot arrays to exhaust; the CAS-keep families allocate keeps
+/// independently and have no such bound.)
+fn keep_exhaustion<P: Provider>() {
+    use nbsp_core::provider::PROVIDER_K;
+    let env = P::env(1).expect("provider env");
+    let vars: Vec<P::Var> = (0..=PROVIDER_K)
+        .map(|_| P::var(&env, 0).expect("provider var"))
+        .collect();
+    let mut tc = P::thread_ctx(&env, 0);
+    let mut ctx = P::ctx(&mut tc);
+    let mut keeps: Vec<<P::Var as LlScVar>::Keep> = Vec::new();
+    for var in &vars {
+        let mut keep = <P::Var as LlScVar>::Keep::default();
+        let _ = var.ll(&mut ctx, &mut keep); // the K+1th must panic
+        keeps.push(keep);
+    }
+    unreachable!("PROVIDER_K + 1 concurrent sequences must panic");
+}
+
+#[test]
+#[should_panic(expected = "exceeded k")]
+fn keep_exhaustion_fig7_bounded() {
+    keep_exhaustion::<nbsp_core::provider::Fig7Bounded>();
+}
+
+#[test]
+#[should_panic(expected = "exceeded k")]
+fn keep_exhaustion_fig7_bounded_scan() {
+    keep_exhaustion::<nbsp_core::provider::Fig7BoundedScan>();
+}
+
+#[test]
+#[should_panic(expected = "exceeded k")]
+fn keep_exhaustion_constant_time() {
+    keep_exhaustion::<nbsp_core::provider::ConstantTime>();
+}
+
+// The module generated per provider by `for_each_provider!`: five
 // `#[test]`s per registry entry, named by the provider's snake_case slug.
 macro_rules! conformance {
     ($name:ident, $provider:ty) => {
@@ -241,6 +319,11 @@ macro_rules! conformance {
             #[test]
             fn semantics() {
                 super::semantics::<$provider>();
+            }
+
+            #[test]
+            fn keep_budget() {
+                super::keep_budget::<$provider>();
             }
 
             #[test]

@@ -106,6 +106,7 @@ fn steal_commit_never_duplicates_or_loses_under_starvation() {
                 let mut stash = [Request {
                     arrival_ns: 0,
                     service_ns: 0,
+                    key: 0,
                 }; STEAL_MAX];
                 loop {
                     let k = ring.steal_into(ctx, &mut stash);
@@ -143,6 +144,7 @@ fn steal_commit_never_duplicates_or_loses_under_starvation() {
             let r = Request {
                 arrival_ns: i,
                 service_ns: 1,
+                key: 0,
             };
             while !ring.try_push(ctx, r) {
                 std::thread::yield_now();

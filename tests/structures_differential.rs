@@ -6,11 +6,11 @@
 //! bugs, lost marks, or capacity accounting.) Programs come from a seeded
 //! [`SplitMix64`], so failures reproduce exactly.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use nbsp::core::{CasLlSc, Native, TagLayout};
+use nbsp::core::{for_each_provider, CasLlSc, Native, Provider, TagLayout};
 use nbsp::memsim::rng::SplitMix64;
-use nbsp::structures::{Queue, Set, Stack};
+use nbsp::structures::{ordmap_capacity, OrdMap, Queue, Set, Stack};
 
 fn nat() -> CasLlSc<Native> {
     CasLlSc::new_native(TagLayout::half(), 0).unwrap()
@@ -104,3 +104,70 @@ fn set_matches_btreeset_model() {
         assert_eq!(set.to_vec_quiescent(&mut ctx), live, "case {case}");
     }
 }
+
+/// The ordmap against `BTreeMap`, one provider: seeded op fuzzing with
+/// exact sequential equality on every return value, plus a snapshot and a
+/// range scan at the end of each program. Stamped over the whole registry
+/// below, so a newly registered provider gets ordered-map differential
+/// coverage for free. (Sized within the constant-time provider's
+/// per-domain variable budget: each record costs three LL/SC words.)
+fn ordmap_matches_btreemap<P: Provider>(seed: u64) {
+    const CASES: usize = 12;
+    const OPS: usize = 36;
+    let mut rng = SplitMix64::new(seed);
+    for case in 0..CASES {
+        let env = P::env(1).expect("provider env");
+        let mut tc = P::thread_ctx(&env, 0);
+        let mut ctx = P::ctx(&mut tc);
+        let map = OrdMap::new(
+            1,
+            ordmap_capacity(OPS),
+            || P::var(&env, 0).expect("provider var"),
+            &mut ctx,
+        );
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for step in 0..OPS {
+            let kind = rng.next_index(4);
+            let key = rng.next_below(10);
+            let value = rng.next_below(1_000);
+            match kind {
+                0 | 1 => assert_eq!(
+                    map.insert(&mut ctx, 0, key, value).unwrap(),
+                    model.insert(key, value),
+                    "case {case} step {step}: insert({key}, {value})"
+                ),
+                2 => assert_eq!(
+                    map.delete(&mut ctx, 0, key).unwrap(),
+                    model.remove(&key),
+                    "case {case} step {step}: delete({key})"
+                ),
+                _ => assert_eq!(
+                    map.get(&mut ctx, key),
+                    model.get(&key).copied(),
+                    "case {case} step {step}: get({key})"
+                ),
+            }
+        }
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(map.snapshot(&mut ctx), want, "case {case}: full snapshot");
+        let ranged: Vec<(u64, u64)> = model.range(3..=7).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(
+            map.range_snapshot(&mut ctx, 3, 7),
+            ranged,
+            "case {case}: range snapshot"
+        );
+    }
+}
+
+macro_rules! ordmap_differential {
+    ($name:ident, $provider:ty) => {
+        mod $name {
+            #[test]
+            fn ordmap_matches_btreemap() {
+                super::ordmap_matches_btreemap::<$provider>(0x57ac_0004);
+            }
+        }
+    };
+}
+
+for_each_provider!(ordmap_differential);

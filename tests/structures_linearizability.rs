@@ -5,13 +5,13 @@
 //! We don't take transitivity on faith; we check recorded histories of the
 //! *structures* directly.
 
-use nbsp::core::{CasLlSc, Native, TagLayout};
+use nbsp::core::{for_each_provider, CasLlSc, Native, Provider, TagLayout};
 use nbsp::linearize::{
-    history, is_linearizable, Completed, HistoryClock, QueueOp, QueueRet, QueueSpec, SetOp,
-    SetRet, SetSpec, StackOp, StackRet, StackSpec,
+    history, is_linearizable, Completed, HistoryClock, MapOp, MapRet, MapSpec, QueueOp, QueueRet,
+    QueueSpec, SetOp, SetRet, SetSpec, StackOp, StackRet, StackSpec,
 };
 use nbsp::memsim::ProcId;
-use nbsp::structures::{Queue, Set, Stack};
+use nbsp::structures::{ordmap_capacity, OrdMap, Queue, Set, Stack};
 
 const THREADS: usize = 3;
 const OPS_PER_THREAD: usize = 4;
@@ -165,3 +165,87 @@ fn set_histories_are_linearizable() {
         );
     }
 }
+
+/// The ordmap's recorded histories against [`MapSpec`], one provider —
+/// multi-word LLX/SCX commits racing on a tiny key space, checked
+/// end-to-end by the Wing–Gong search. Stamped over the registry below:
+/// every provider's LL/SC must carry the full SCX protocol without
+/// producing a non-linearizable map history.
+fn ordmap_histories_are_linearizable<P: Provider>() {
+    const MAP_SEEDS: u64 = 20;
+    for seed in 0..MAP_SEEDS {
+        // One spare slot: the construction context must not collide with
+        // the worker threads' claims.
+        let env = P::env(THREADS + 1).expect("provider env");
+        let mut tc0 = P::thread_ctx(&env, THREADS);
+        let mut ctx0 = P::ctx(&mut tc0);
+        // Budget for every op being a new-key insert; sized within the
+        // constant-time provider's variable budget (3 words per record).
+        let map = OrdMap::new(
+            THREADS,
+            ordmap_capacity(THREADS * OPS_PER_THREAD),
+            || P::var(&env, 0).expect("provider var"),
+            &mut ctx0,
+        );
+        drop(ctx0);
+        let clock = HistoryClock::new();
+        let logs: Vec<Vec<Completed<MapOp, MapRet>>> = std::thread::scope(|s| {
+            (0..THREADS)
+                .map(|t| {
+                    let map = &map;
+                    let env = &env;
+                    let mut rec = clock.recorder_for::<MapOp, MapRet>(ProcId::new(t));
+                    let mut rng = rng_stream(seed, t);
+                    s.spawn(move || {
+                        let mut tc = P::thread_ctx(env, t);
+                        let mut ctx = P::ctx(&mut tc);
+                        for _ in 0..OPS_PER_THREAD {
+                            let r = rng();
+                            let key = (r >> 8) % 3; // tiny key space: max conflict
+                            match r % 3 {
+                                0 => {
+                                    let v = r >> 32;
+                                    let _ = rec.record(MapOp::Insert(key, v), || {
+                                        MapRet(map.insert(&mut ctx, t, key, v).unwrap())
+                                    });
+                                }
+                                1 => {
+                                    let _ = rec.record(MapOp::Delete(key), || {
+                                        MapRet(map.delete(&mut ctx, t, key).unwrap())
+                                    });
+                                }
+                                _ => {
+                                    let _ = rec.record(MapOp::Get(key), || {
+                                        MapRet(map.get(&mut ctx, key))
+                                    });
+                                }
+                            }
+                        }
+                        rec.into_events()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let h = history::merge(logs);
+        assert!(
+            is_linearizable(MapSpec::new(), &h),
+            "ordmap seed {seed}: non-linearizable history:\n{h:#?}"
+        );
+    }
+}
+
+macro_rules! ordmap_linearizability {
+    ($name:ident, $provider:ty) => {
+        mod $name {
+            #[test]
+            fn ordmap_histories_are_linearizable() {
+                super::ordmap_histories_are_linearizable::<$provider>();
+            }
+        }
+    };
+}
+
+for_each_provider!(ordmap_linearizability);
