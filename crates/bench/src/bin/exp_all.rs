@@ -1,4 +1,4 @@
-//! Regenerates every experiment table in `EXPERIMENTS.md` (E1–E5, E7–E13;
+//! Regenerates every experiment table in `EXPERIMENTS.md` (E1–E5, E7–E16;
 //! E6 is `examples/concurrent_sequences.rs` / `tests/figure1.rs`; the
 //! figure-level model-checking certificates and the `BENCH_modelcheck.json`
 //! artifact are the separate `exp_modelcheck` binary).
@@ -57,6 +57,12 @@ fn main() -> ExitCode {
             Box::new(move || {
                 let (requests, iters) = if quick { (20_000, 12_000) } else { (100_000, 48_000) };
                 e15_structures::run(requests, iters).to_string()
+            }),
+        ),
+        (
+            "e16_hierarchy",
+            Box::new(move || {
+                e16_hierarchy::run(if quick { 40_000 } else { 200_000 }, quick).to_string()
             }),
         ),
     ])

@@ -27,7 +27,12 @@
 //! provider runs the base configuration; providers whose base run costs
 //! more than [`HEAVY_THRESHOLD`] executions skip the larger
 //! configurations (recorded as skipped, deterministically — cost depends
-//! only on the provider's access pattern).
+//! only on the provider's access pattern). Weak-primitive-tier providers
+//! also stop at the base configuration: their base counts are tiny
+//! (await-parking collapses the blocking waits), but every emulated
+//! CAS/LL/SC expands into many schedule points, so the 3-process
+//! configuration's interleaving space is intractable rather than merely
+//! heavy. Their base-configuration DPOR verdict is (re-)gated in E16.
 
 use nbsp_check::planted::{aba_program, PlantedTagDrop};
 use nbsp_check::{
@@ -216,9 +221,16 @@ fn check_provider<P: Provider>(quick: bool) -> ProviderRow {
     let provider = <P as Provider>::ID.name();
     let ladder = configs();
     let mut results = Vec::with_capacity(ladder.len());
+    // Weak-primitive emulations expand every op into many schedule
+    // points; their base run is cheap but the 3-process configuration is
+    // intractable, so they stop at the base rung (module doc).
+    let weak = matches!(
+        <P as Provider>::ID.meta().tier,
+        nbsp_core::provider::Tier::WeakPrimitive
+    );
     let mut heavy = false;
     for (i, cfg) in ladder.iter().enumerate() {
-        let skip = (quick && i > 0) || heavy;
+        let skip = ((quick || weak) && i > 0) || heavy;
         if skip {
             results.push(ConfigResult {
                 config: cfg.name,
@@ -532,7 +544,7 @@ mod tests {
     #[test]
     fn quick_sweep_passes_all_gates() {
         let r = collect(true);
-        assert_eq!(r.rows.len(), 15, "every registry entry is swept");
+        assert_eq!(r.rows.len(), 17, "every registry entry is swept");
         enforce(&r);
         let json = to_json(&r);
         assert!(json.contains("\"schema_version\": 1"));

@@ -4,8 +4,9 @@
 //! were inapplicable on real machines. Here they run — counter, Treiber
 //! stack, Michael–Scott queue and a lock-free set — on registry providers
 //! (the Figure-4 construction vs. the Figure-2 lock baseline, footnote 1's
-//! "straightforward" alternative), plus the static STM against a coarse
-//! mutex heap. The LL/SC substrates come from `nbsp_core::provider`; this
+//! "straightforward" alternative, plus the two weak-primitive emulations
+//! as "cost of weakening the hardware" rows), and the static STM against
+//! a coarse mutex heap. The LL/SC substrates come from `nbsp_core::provider`; this
 //! module keeps no construction list of its own.
 //!
 //! Telemetry: every throughput cell runs through `nbsp_bench::sinks` —
@@ -31,8 +32,17 @@ use crate::sinks::{session_loop, FlushPair, Sinks};
 const THREADS: [usize; 3] = [1, 2, 4];
 
 /// The substrates this experiment compares, by registry id: the paper's
-/// Figure-4 construction and the Figure-2 lock baseline.
-const E7_PROVIDERS: [ProviderId; 2] = [ProviderId::Fig4Native, ProviderId::LockBaseline];
+/// Figure-4 construction, the Figure-2 lock baseline, and the two
+/// consensus-hierarchy emulations — LL/SC built from swap+fetch-add
+/// (Khanchandani–Wattenhofer) and from NB-FEB. The weak-primitive rows
+/// price "weakening the hardware": same structures, same LL/VL/SC
+/// interface, strictly weaker instruction set underneath.
+const E7_PROVIDERS: [ProviderId; 4] = [
+    ProviderId::Fig4Native,
+    ProviderId::LockBaseline,
+    ProviderId::CasFromSwap,
+    ProviderId::FebLlSc,
+];
 
 /// Shared-counter increments.
 fn counter_tput<P: Provider>(n: usize, per_thread: u64, sinks: &Sinks, main: &mut FlushPair) -> f64 {
@@ -272,7 +282,10 @@ pub fn run(iters: u64) -> Report {
          vs the Figure-2 lock baseline (and a mutex heap for the STM), at \
          1/2/4 threads. The non-blocking versions additionally survive \
          arbitrary delays and failures of individual threads, which no \
-         lock can.",
+         lock can. The cas-from-swap and feb-llsc rows are the cost of \
+         weakening the hardware: the same structures running unchanged on \
+         LL/SC emulated from swap+fetch-add and from NB-FEB — weaker \
+         instruction sets that real CAS-less machines would offer.",
     );
 
     let sinks = Sinks::new();
@@ -337,7 +350,7 @@ pub fn run(iters: u64) -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nbsp_core::provider::{Fig4Native, LockBaseline};
+    use nbsp_core::provider::{CasFromSwap, FebLlSc, Fig4Native, LockBaseline};
 
     fn counter_smoke<P: Provider>() {
         // Cheap correctness pass of exactly the code paths the experiment
@@ -351,9 +364,11 @@ mod tests {
     }
 
     #[test]
-    fn structures_work_on_both_substrates() {
+    fn structures_work_on_every_swept_substrate() {
         counter_smoke::<Fig4Native>();
         counter_smoke::<LockBaseline>();
+        counter_smoke::<CasFromSwap>();
+        counter_smoke::<FebLlSc>();
     }
 
     #[test]
@@ -364,5 +379,7 @@ mod tests {
         assert!(md.contains("queue enq+deq"));
         assert!(md.contains("fig4-native"));
         assert!(md.contains("lock"));
+        assert!(md.contains("cas-from-swap"));
+        assert!(md.contains("feb-llsc"));
     }
 }

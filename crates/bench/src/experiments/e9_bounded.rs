@@ -23,6 +23,11 @@
 //! provider's tail latency must grow with N while the constant provider's
 //! stays flat — the asymptotic gap the constant-time construction exists
 //! to close, measured rather than asserted.
+//!
+//! The weak-primitive tier (`cas-from-swap`, `feb-llsc`) joins the
+//! contended-exactness audit as a "cost of weakening the hardware"
+//! column: the emulated LL/SC must be exactly as lossless as the
+//! native-CAS disciplines.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -107,6 +112,13 @@ const ABLATION: [ProviderId; 3] = [
     ProviderId::Fig7BoundedScan,
     ProviderId::ConstantTime,
 ];
+
+/// The weak-primitive tier rides along through the contended-exactness
+/// audit only — the "cost of weakening the hardware" column. The
+/// emulations must be exactly as lossless as the native-CAS disciplines;
+/// they are excluded from the latency profile and its growth gates, which
+/// measure tag-queue maintenance these constructions don't have.
+const WEAK: [ProviderId; 2] = [ProviderId::CasFromSwap, ProviderId::FebLlSc];
 
 /// Contended exactness for one registry provider.
 #[derive(Clone, Copy, Debug)]
@@ -247,6 +259,17 @@ pub fn collect(per_thread: u64, quick: bool, filter: &ProviderFilter) -> E9Resul
         }
         with_provider!(id, ablate_one);
     }
+    for id in WEAK {
+        if !filter.allows(id) {
+            continue;
+        }
+        macro_rules! weak_one {
+            ($p:ty) => {
+                exactness.push(provider_exactness::<$p>(exact_per_thread))
+            };
+        }
+        with_provider!(id, weak_one);
+    }
 
     let growth = ABLATION
         .iter()
@@ -358,7 +381,9 @@ pub fn render(r: &E9Results) -> Report {
     report.para(
         "Constant-time ablation: the same contended-exactness audit over \
          the registry's three tag-recycling disciplines (2 writers, 1 \
-         reader):",
+         reader). The cas-from-swap and feb-llsc rows are the \
+         weak-primitive tier riding the same audit — weakening the \
+         hardware may cost throughput, never exactness:",
     );
     let mut t = Table::new(["provider", "expected", "observed"]);
     for e in &r.exactness {
@@ -508,7 +533,13 @@ mod tests {
         for e in &r.exactness {
             assert_eq!(e.expected, e.observed, "provider {} lost updates", e.provider);
         }
-        assert_eq!(r.exactness.len(), ABLATION.len());
+        assert_eq!(r.exactness.len(), ABLATION.len() + WEAK.len());
+        for id in WEAK {
+            assert!(
+                r.exactness.iter().any(|e| e.provider == id.meta().name),
+                "weak provider {id:?} missing from the exactness audit"
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`e13_modelcheck`] | E13 | every registry provider is linearizable under exhaustive DPOR on small configurations; DPOR prunes ≥2x vs naive DFS; a planted tag-drop bug is caught |
 //! | [`e14_elastic`] | E14 | the elastic pool (dynamic joining) beats every fixed pool size on p99 under a flash crowd; the durable provider survives kill-at-schedule-point crashes |
 //! | [`e15_structures`] | E15 | the LLX/SCX ordered map serves keyed traffic deterministically through the fabric and beats the lock-baseline map at 4 threads; Zipf hot keys exercise real helping |
+//! | [`e16_hierarchy`] | E16 | the consensus-hierarchy portability matrix: every provider's capability/tier, conformance+differential+DPOR stamps for the weak-primitive tier, and the monotone cost of weakening the hardware |
 //!
 //! (E6 — Figure 1 — is `examples/concurrent_sequences.rs` and
 //! `tests/figure1.rs`.)
@@ -26,6 +27,7 @@ pub mod e12_serve;
 pub mod e13_modelcheck;
 pub mod e14_elastic;
 pub mod e15_structures;
+pub mod e16_hierarchy;
 pub mod e1_time;
 pub mod e2_wide;
 pub mod e3_space;

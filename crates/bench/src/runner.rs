@@ -9,7 +9,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use nbsp_core::ProviderId;
+use nbsp_core::{ProviderId, Tier};
 
 /// A parsed `--provider` CLI restriction: which registry entries an
 /// experiment binary should sweep. `None` means "the experiment's
@@ -36,12 +36,15 @@ impl ProviderFilter {
 /// Parses `--provider name[,name…]` (repeatable) from the process's
 /// arguments — the single provider-flag parser every experiment binary
 /// routes through, so the accepted names are exactly the registry's
-/// [`ProviderId::parse`] names everywhere.
+/// [`ProviderId::parse`] names everywhere. An entry may also be a
+/// `tier:` prefix (`tier:fixed-n`, `tier:dynamic`, `tier:weak-primitive`),
+/// which admits every registry entry of that [`Tier`]; tiers and plain
+/// names mix freely in one list.
 ///
 /// # Errors
 ///
 /// Returns a message (listing the valid names) on an unknown provider or
-/// a missing flag value; binaries print it and exit nonzero.
+/// tier, or a missing flag value; binaries print it and exit nonzero.
 pub fn provider_filter() -> Result<ProviderFilter, String> {
     let args: Vec<String> = std::env::args().collect();
     let mut ids: Option<Vec<ProviderId>> = None;
@@ -58,13 +61,30 @@ pub fn provider_filter() -> Result<ProviderFilter, String> {
             args[i].strip_prefix("--provider=")
         };
         if let Some(list) = value {
-            for name in list.split(',').filter(|s| !s.is_empty()) {
-                ids.get_or_insert_with(Vec::new).push(ProviderId::parse(name)?);
-            }
+            parse_provider_list(list, ids.get_or_insert_with(Vec::new))?;
         }
         i += 1;
     }
     Ok(ProviderFilter { ids })
+}
+
+/// Expands one comma-separated `--provider` payload (registry names and
+/// `tier:` slices) into `ids`. See [`provider_filter`].
+fn parse_provider_list(list: &str, ids: &mut Vec<ProviderId>) -> Result<(), String> {
+    for name in list.split(',').filter(|s| !s.is_empty()) {
+        if let Some(tier) = name.strip_prefix("tier:") {
+            let tier = Tier::parse(tier)?;
+            ids.extend(
+                ProviderId::ALL
+                    .iter()
+                    .copied()
+                    .filter(|id| id.meta().tier == tier),
+            );
+        } else {
+            ids.push(ProviderId::parse(name)?);
+        }
+    }
+    Ok(())
 }
 
 /// Extracts a printable message from a panic payload.
@@ -190,5 +210,34 @@ mod tests {
         assert!(f.is_restricted());
         assert!(f.allows(ProviderId::ConstantTime));
         assert!(!f.allows(ProviderId::Fig4Native));
+    }
+
+    #[test]
+    fn tier_prefix_expands_to_the_registry_slice() {
+        let mut ids = Vec::new();
+        parse_provider_list("tier:weak-primitive", &mut ids).unwrap();
+        assert_eq!(ids.len(), 2, "both consensus-hierarchy providers");
+        assert!(ids.iter().all(|id| id.meta().tier == Tier::WeakPrimitive));
+
+        let mut all = Vec::new();
+        for tier in Tier::ALL {
+            parse_provider_list(&format!("tier:{tier}"), &mut all).unwrap();
+        }
+        assert_eq!(all.len(), ProviderId::ALL.len(), "tiers partition the registry");
+    }
+
+    #[test]
+    fn tier_prefix_mixes_with_plain_names() {
+        let mut ids = Vec::new();
+        parse_provider_list("lock,tier:dynamic", &mut ids).unwrap();
+        assert!(ids.contains(&ProviderId::LockBaseline));
+        assert!(ids.len() > 1, "the dynamic tier follows the named entry");
+    }
+
+    #[test]
+    fn unknown_tier_is_rejected_with_the_valid_names() {
+        let mut ids = Vec::new();
+        let err = parse_provider_list("tier:bogus", &mut ids).unwrap_err();
+        assert!(err.contains("weak-primitive"), "error lists valid tiers: {err}");
     }
 }

@@ -147,7 +147,17 @@ pub struct ExecOutcome {
 #[derive(Debug)]
 enum Phase {
     AtStart,
-    Parked { addr: usize, kind: AccessKind },
+    /// Parked at a yield point. `runnable` is true for every ordinary
+    /// access; a declared [`AccessKind::Wait`] parks *un*-runnable and is
+    /// flipped runnable when the controller grants a mutating access to
+    /// the same raw address (the wake may be spurious — e.g. a
+    /// spuriously-failing RSC — in which case the waiter just re-checks
+    /// its condition and parks again, which is harmless).
+    Parked {
+        addr: usize,
+        kind: AccessKind,
+        runnable: bool,
+    },
     Running,
     Done,
 }
@@ -207,7 +217,11 @@ impl SchedulePoint for WorkerHook {
         if g.abort {
             return Decision::Proceed;
         }
-        g.phase[self.p] = Phase::Parked { addr, kind };
+        g.phase[self.p] = Phase::Parked {
+            addr,
+            kind,
+            runnable: kind != AccessKind::Wait,
+        };
         self.shared.cv.notify_all();
         loop {
             if g.abort {
@@ -387,18 +401,44 @@ where
                 break;
             }
             let parked: Vec<usize> = (0..n)
-                .filter(|&p| matches!(g.phase[p], Phase::Parked { .. }))
+                .filter(|&p| matches!(g.phase[p], Phase::Parked { runnable: true, .. }))
                 .collect();
             if parked.is_empty() {
+                let waiting: Vec<usize> = (0..n)
+                    .filter(|&p| matches!(g.phase[p], Phase::Parked { .. }))
+                    .collect();
+                if !waiting.is_empty() {
+                    // Every live process is in a declared wait and no
+                    // runnable process is left to write the awaited words:
+                    // the construction deadlocked, which the blocking
+                    // providers' bounded-wait arguments say cannot happen.
+                    // Diagnose before draining — a truly wedged waiter may
+                    // free-run forever and hang the drain.
+                    eprintln!(
+                        "nbsp-check: declared-wait deadlock, processes {waiting:?} wait on \
+                         words no runnable process will write"
+                    );
+                    drop(g);
+                    abort_and_drain(&shared);
+                    panic!(
+                        "deadlock: processes {waiting:?} wait on words no runnable process \
+                         will write"
+                    );
+                }
                 debug_assert!(g.phase.iter().all(|ph| matches!(ph, Phase::Done)));
                 break;
             }
             // Rename raw addresses to logical ones in process-index order —
             // deterministic because the pending *set* at a decision point is
             // determined by the schedule, even though parking order is not.
+            // Un-runnable declared waiters are pending too: their wait is a
+            // (read-only) step once woken, and naming their address here
+            // keeps the renaming schedule-determined.
             let pending: Vec<Option<(usize, AccessKind)>> = (0..n)
                 .map(|p| match g.phase[p] {
-                    Phase::Parked { addr, kind } => Some((logical_addr(&mut addr_map, addr), kind)),
+                    Phase::Parked { addr, kind, .. } => {
+                        Some((logical_addr(&mut addr_map, addr), kind))
+                    }
                     _ => None,
                 })
                 .collect();
@@ -443,6 +483,32 @@ where
                 sleep.retain(|e| e.independent_of(proc, addr, kind));
             }
             let mut g = g;
+            // A mutating grant wakes every declared waiter parked on the
+            // same raw word (raw, not logical — wakes are local to this
+            // execution). Flipping the flag at grant time is safe: the
+            // token hand-off completes the granted access before the next
+            // scheduling decision, so the woken waiter re-checks only
+            // after the write. A spuriously-failing RSC writes nothing and
+            // produces a spurious wake; the waiter re-checks its condition
+            // and parks again, which is harmless.
+            if !kind.is_read_only() {
+                let raw = match g.phase[proc] {
+                    Phase::Parked { addr, .. } => addr,
+                    _ => unreachable!("granted process is parked"),
+                };
+                for ph in &mut g.phase {
+                    if let Phase::Parked {
+                        addr,
+                        kind: AccessKind::Wait,
+                        runnable,
+                    } = ph
+                    {
+                        if *addr == raw {
+                            *runnable = true;
+                        }
+                    }
+                }
+            }
             g.grant = Some((proc, decision));
             drop(g);
             shared.cv.notify_all();

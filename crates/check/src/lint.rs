@@ -17,17 +17,25 @@
 //!   restricted to the registry itself plus the ablation experiments; the
 //!   registry's `for_each_provider!`/`with_provider!` macros are the only
 //!   sanctioned id→type dispatch.
-//! * **R4 `telemetry-parity`** — inside `crates/telemetry` and
-//!   `crates/llx`, every `#[cfg(feature = …)]` block has a matching
+//! * **R4 `telemetry-parity`** — inside `crates/telemetry`, `crates/llx`
+//!   and `crates/memsim` (home of the instruction-set `AccessKind`
+//!   instrumentation), every `#[cfg(feature = …)]` block has a matching
 //!   `#[cfg(not(feature = …))]` stub, so the API is identical with
 //!   recording compiled out (the E11 overhead gate relies on this); and
-//!   inside `crates/llx`, `Event::` values (the `LlxHelp`/`ScxAbort`
-//!   sites) may only appear in `record(…)` calls, the API whose stub
-//!   parity the first half checks — ad-hoc counters would silently skew
-//!   one build config.
+//!   inside `crates/llx` and the weak-primitive constructions
+//!   (`cas_from_swap.rs`, `feb_llsc.rs`), `Event::` values may only
+//!   appear in `record(…)` calls, the API whose stub parity the first
+//!   half checks — ad-hoc counters would silently skew one build config.
 //! * **R5 `bench-schema`** — any file that builds or writes a
 //!   `BENCH_*.json` artifact must declare `schema_version`, so CI sanity
 //!   checks and trend tooling can dispatch on it.
+//! * **R6 `weak-ops`** — the sub-CAS instruction set (NB-FEB
+//!   `feb_tfas`/`feb_sac`/`feb_load` and the capability-gated
+//!   `try_swap`/`try_fetch_add` accessors) may only be invoked by the
+//!   instruction-set layer itself and the registered weak-primitive
+//!   constructions. Everything else must stay behind the `CasMemory`
+//!   boundary, so the capability bitset in `ProviderMeta` remains an
+//!   honest statement of what each construction assumes of the hardware.
 //!
 //! Allowlists carry a reason per entry and are themselves linted: an entry
 //! whose file is gone or no longer triggers its rule is reported as
@@ -72,6 +80,14 @@ const SCHEMA_VERSION: &str = concat!("schema", "_version");
 const CACHE_PADDED: &str = concat!("Cache", "Padded");
 const EVENT_PATH: &str = concat!("Event", "::");
 const RECORD_CALL: &str = concat!("record", "(");
+// The substring `feb_…(` needles also match the gated `try_feb_…(`
+// accessors, so both seams are covered by one needle each.
+const FEB_TFAS: &str = concat!("feb_", "tfas(");
+const FEB_SAC: &str = concat!("feb_", "sac(");
+const FEB_LOAD: &str = concat!("feb_", "load(");
+const TRY_SWAP: &str = concat!("try_", "swap(");
+const TRY_FETCH_ADD: &str = concat!("try_", "fetch_add(");
+const WEAK_OPS: &[&str] = &[FEB_TFAS, FEB_SAC, FEB_LOAD, TRY_SWAP, TRY_FETCH_ADD];
 
 /// R1: files allowed to use `Ordering::SeqCst`, with the justification.
 const SEQCST_ALLOW: &[(&str, &str)] = &[
@@ -177,6 +193,11 @@ const PROVIDER_ID_ALLOW: &[(&str, &str)] = &[
          native-vs-lock-substrate baseline pair",
     ),
     (
+        "crates/bench/src/experiments/e16_hierarchy.rs",
+        "the consensus-hierarchy sweep names the native/cas-from-swap/feb-llsc gate \
+         triple by id; all dispatch is with_provider!",
+    ),
+    (
         "crates/check/src/lint.rs",
         "this linter pulls the authoritative provider-name list from the registry",
     ),
@@ -192,6 +213,35 @@ const BENCH_SCHEMA_ALLOW: &[(&str, &str)] = &[
     (
         "crates/bench/src/bin/exp_modelcheck.rs",
         "writes the JSON built by e13_modelcheck::to_json, which declares the schema",
+    ),
+    (
+        "crates/bench/src/bin/exp_hierarchy.rs",
+        "writes the JSON built by e16_hierarchy::to_json, which declares the schema",
+    ),
+];
+
+/// R6: files allowed to invoke the sub-CAS instruction set, with
+/// justification.
+const WEAK_OPS_ALLOW: &[(&str, &str)] = &[
+    (
+        "crates/memsim/src/machine.rs",
+        "the Processor implements the instruction set; these are the ops themselves",
+    ),
+    (
+        "crates/core/src/cas_provider.rs",
+        "the SyncMemory boundary defines and implements the capability-gated accessors",
+    ),
+    (
+        "crates/core/src/cas_from_swap.rs",
+        "the registered swap+fetch-and-add construction (arXiv:1802.03844)",
+    ),
+    (
+        "crates/core/src/feb_llsc.rs",
+        "the registered NB-FEB construction (arXiv:0811.1304)",
+    ),
+    (
+        "crates/core/src/cas_from_rll.rs",
+        "tests that the RLL/RSC-only memory reports UnsupportedOp for swap",
     ),
 ];
 
@@ -308,7 +358,10 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
     }
 
     // R4: telemetry real/stub parity.
-    if path.starts_with("crates/telemetry/src/") || path.starts_with("crates/llx/src/") {
+    if path.starts_with("crates/telemetry/src/")
+        || path.starts_with("crates/llx/src/")
+        || path.starts_with("crates/memsim/src/")
+    {
         let on = content.matches(CFG_TELEMETRY_ON).count();
         let off = content.matches(CFG_TELEMETRY_OFF).count();
         if on != off {
@@ -323,7 +376,10 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
             });
         }
     }
-    if path.starts_with("crates/llx/src/") {
+    if path.starts_with("crates/llx/src/")
+        || path == "crates/core/src/cas_from_swap.rs"
+        || path == "crates/core/src/feb_llsc.rs"
+    {
         for (i, line) in content.lines().enumerate() {
             if is_comment_line(line) {
                 continue;
@@ -334,8 +390,29 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
                     path: path.to_string(),
                     line: i + 1,
                     message: format!(
-                        "{EVENT_PATH} value outside a {RECORD_CALL}…) call; llx events \
-                         (LlxHelp/ScxAbort) must flow through the parity-checked API"
+                        "{EVENT_PATH} value outside a {RECORD_CALL}…) call; events from \
+                         instrumented constructions must flow through the parity-checked API"
+                    ),
+                });
+            }
+        }
+    }
+
+    // R6: the sub-CAS instruction set stays inside the sanctioned homes.
+    if allowed(WEAK_OPS_ALLOW, path).is_none() {
+        for (i, line) in content.lines().enumerate() {
+            if is_comment_line(line) {
+                continue;
+            }
+            if let Some(op) = WEAK_OPS.iter().find(|op| line.contains(**op)) {
+                findings.push(Finding {
+                    rule: "weak-ops",
+                    path: path.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "sub-CAS op `{op}…)` outside the instruction-set layer and the \
+                         weak-primitive constructions; go through CasMemory (or register \
+                         a new weak-primitive provider and allowlist it)"
                     ),
                 });
             }
@@ -405,14 +482,16 @@ pub fn run_lints(root: &Path) -> Vec<Finding> {
         findings.extend(lint_file(path, content));
     }
 
-    // Stale-allowlist audit: every entry must exist and still trigger.
+    // Stale-allowlist audit: every entry must exist and still trigger at
+    // least one of its rule's needles.
     type AllowList = [(&'static str, &'static str)];
-    let lists: &[(&str, &'static AllowList, &str)] = &[
-        ("seqcst", SEQCST_ALLOW, SEQCST),
-        ("registry", PROVIDER_ID_ALLOW, PROVIDER_ID_PATH),
-        ("bench-schema", BENCH_SCHEMA_ALLOW, BENCH_PREFIX),
+    let lists: &[(&str, &'static AllowList, &[&str])] = &[
+        ("seqcst", SEQCST_ALLOW, &[SEQCST]),
+        ("registry", PROVIDER_ID_ALLOW, &[PROVIDER_ID_PATH]),
+        ("bench-schema", BENCH_SCHEMA_ALLOW, &[BENCH_PREFIX]),
+        ("weak-ops", WEAK_OPS_ALLOW, WEAK_OPS),
     ];
-    for (rule, list, needle) in lists {
+    for (rule, list, needles) in lists {
         for (allow_path, _) in *list {
             match files.iter().find(|(p, _)| p == allow_path) {
                 None => findings.push(Finding {
@@ -422,7 +501,7 @@ pub fn run_lints(root: &Path) -> Vec<Finding> {
                     message: format!("{rule} allowlist entry points at a missing file"),
                 }),
                 Some((_, content)) => {
-                    if !content.contains(needle) {
+                    if !needles.iter().any(|n| content.contains(n)) {
                         findings.push(Finding {
                             rule: "stale-allowlist",
                             path: (*allow_path).to_string(),
@@ -539,6 +618,50 @@ mod tests {
     fn llx_telemetry_cfg_blocks_need_stubs() {
         let src = format!("{CFG_TELEMETRY_ON}\nfn real() {{}}\n");
         let f = lint_file("crates/llx/src/lib.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "telemetry-parity");
+    }
+
+    #[test]
+    fn weak_op_outside_allowlist_is_flagged() {
+        let src = format!("fn f(m: &M, w: &W) {{ let _ = m.{FEB_TFAS}w, 1); }}\n");
+        let f = lint_file("crates/structures/src/foo.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "weak-ops");
+        assert_eq!(f[0].line, 1);
+        let gated = format!("fn f(m: &M, w: &W) {{ let _ = m.{TRY_SWAP}w, 1); }}\n");
+        assert!(lint_file("crates/structures/src/foo.rs", &gated)
+            .iter()
+            .any(|x| x.rule == "weak-ops"));
+    }
+
+    #[test]
+    fn weak_op_in_sanctioned_home_passes() {
+        let src = format!("fn f(m: &M, w: &W) {{ let _ = m.{FEB_SAC}w, 0); }}\n");
+        assert!(lint_file("crates/core/src/feb_llsc.rs", &src).is_empty());
+        assert!(lint_file("crates/memsim/src/machine.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn weak_op_in_comment_is_ignored() {
+        let src = format!("// discussing {FEB_LOAD}…) and {TRY_FETCH_ADD}…) freely\n");
+        assert!(lint_file("crates/structures/src/foo.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn weak_event_outside_record_is_flagged() {
+        let src = format!("fn f() {{ let e = {EVENT_PATH}LlRestart; count(e); }}\n");
+        let f = lint_file("crates/core/src/feb_llsc.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "telemetry-parity");
+        let through_api = format!("fn f() {{ {RECORD_CALL}{EVENT_PATH}LlRestart); }}\n");
+        assert!(lint_file("crates/core/src/cas_from_swap.rs", &through_api).is_empty());
+    }
+
+    #[test]
+    fn memsim_telemetry_cfg_blocks_need_stubs() {
+        let src = format!("{CFG_TELEMETRY_ON}\nfn real() {{}}\n");
+        let f = lint_file("crates/memsim/src/foo.rs", &src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "telemetry-parity");
     }

@@ -13,8 +13,9 @@
 //! memory access**, satisfying the hardware restriction (and the simulator's
 //! strict mode can verify that).
 
-use nbsp_memsim::{Processor, SimWord};
+use nbsp_memsim::{Capability, Processor, SimWord};
 
+use crate::cas_provider::SyncMemory;
 use crate::{CasFamily, CasMemory, Result, TagLayout};
 
 /// A shared word supporting CAS on machines that only provide RLL/RSC.
@@ -184,6 +185,25 @@ impl<'a, const TAG_BITS: u32> EmuCas<'a, TAG_BITS> {
         EmuCas { proc }
     }
 
+    /// Like [`EmuCas::new`], but verifies up front that the machine
+    /// provides the RLL/RSC pair Figure 3 is built on, so the hot-path ops
+    /// cannot hit the simulator's instruction-set panic later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsupportedOp`](crate::Error::UnsupportedOp) if
+    /// the machine's instruction set has no RLL/RSC.
+    pub fn try_new(proc: &'a Processor) -> Result<Self> {
+        let caps = proc.instruction_set().capability();
+        if !caps.contains(Capability::RLL_RSC) {
+            return Err(crate::Error::UnsupportedOp {
+                op: "rll",
+                have: caps.to_string(),
+            });
+        }
+        Ok(EmuCas { proc })
+    }
+
     /// The underlying processor (for reading stats).
     #[must_use]
     pub fn processor(&self) -> &Processor {
@@ -244,6 +264,18 @@ impl<const TAG_BITS: u32> CasMemory for EmuCas<'_, TAG_BITS> {
             }
             nbsp_telemetry::record(nbsp_telemetry::Event::LlRestart);
         }
+    }
+}
+
+impl<const TAG_BITS: u32> SyncMemory for EmuCas<'_, TAG_BITS> {
+    /// What the emulation *offers upward* is exactly CAS; the RLL/RSC pair
+    /// beneath is an implementation detail, and exposing it raw would let
+    /// a caller silently trample the reservation the emulation depends on.
+    /// Weak-op requests therefore get a typed
+    /// [`Error::UnsupportedOp`](crate::Error::UnsupportedOp) (satellite:
+    /// this used to be an unconditional simulator panic).
+    fn capabilities(&self) -> Capability {
+        Capability::CAS
     }
 }
 
@@ -396,6 +428,40 @@ mod tests {
             TagLayout::for_width(16, 48, 64).unwrap().val(cell.peek()),
             8_000
         );
+    }
+
+    #[test]
+    fn try_new_reports_missing_rll_rsc_as_typed_error() {
+        let m = Machine::builder(1)
+            .instruction_set(InstructionSet::CasOnly)
+            .build();
+        let p = m.processor(0);
+        let err = EmuCas::<16>::try_new(&p).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::Error::UnsupportedOp { op: "rll", .. }
+        ));
+        let m2 = rll_machine(1);
+        let p2 = m2.processor(0);
+        assert!(EmuCas::<16>::try_new(&p2).is_ok());
+    }
+
+    #[test]
+    fn emu_cas_sync_memory_offers_only_cas() {
+        use crate::SyncMemory;
+        let m = rll_machine(1);
+        let p = m.processor(0);
+        let mem = EmuCas::<16>::new(&p);
+        assert_eq!(mem.capabilities(), Capability::CAS);
+        let cell = EmuFamily::<16>::make_cell(0);
+        assert!(matches!(
+            mem.try_rll(&cell),
+            Err(crate::Error::UnsupportedOp { op: "rll", .. })
+        ));
+        assert!(matches!(
+            mem.try_swap(&cell, 1),
+            Err(crate::Error::UnsupportedOp { op: "swap", .. })
+        ));
     }
 
     #[test]

@@ -28,7 +28,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use nbsp_memsim::sched::{self, AccessKind};
-use nbsp_memsim::{Processor, SimWord};
+use nbsp_memsim::{Capability, Processor, SimWord};
+
+use crate::error::{Error, Result};
 
 /// Schedule-point for a native atomic cell: a no-op unless the calling
 /// thread is running under `nbsp-check`'s cooperative scheduler.
@@ -137,6 +139,99 @@ pub trait CasMemory {
     }
 }
 
+/// The capability-gated instruction-set seam over [`CasMemory`].
+///
+/// [`CasMemory`] hard-assumes CAS — the paper's setting. The rungs *below*
+/// CAS in the consensus hierarchy (swap and fetch-and-add at consensus
+/// number two, Khanchandani–Wattenhofer arXiv:1802.03844; the NB-FEB
+/// test-flag-and-set word of Ha–Tsigas–Anshus arXiv:0811.1304) need extra
+/// ops that most backends do *not* provide. `SyncMemory` exposes them as
+/// fallible `try_*` methods gated by a runtime [`Capability`] bitset:
+///
+/// * [`SyncMemory::capabilities`] reports exactly which ops the backend
+///   executes; every op outside that set returns
+///   [`Error::UnsupportedOp`] instead of panicking, so callers can probe a
+///   backend and degrade gracefully (satellite: the old behaviour was a
+///   `debug_assert!`/panic at the `CasMemory` boundary).
+/// * Ops inside the set behave like their [`Processor`] counterparts:
+///   `try_swap`/`try_fetch_add` are unconditional read-modify-writes,
+///   `try_feb_tfas`/`try_feb_sac`/`try_feb_load` operate on a word with a
+///   full/empty flag bit ([`nbsp_memsim::FEB_FLAG`]), and
+///   `try_rll`/`try_rsc` are the paper's restricted LL/SC pair.
+///
+/// The weak-primitive providers (`cas_from_swap`, `feb_llsc`) are written
+/// against the corresponding [`Processor`] ops directly (their inner loops
+/// are capability-checked once at machine construction); `SyncMemory` is
+/// the *generic* seam for code that must run over any backend.
+pub trait SyncMemory: CasMemory {
+    /// Which operations this backend actually executes.
+    ///
+    /// [`CasMemory`]'s own `load`/`store`/`cas` are usable iff
+    /// [`Capability::CAS`] is reported (every backend in this crate
+    /// reports it — a memory that cannot CAS implements neither trait).
+    fn capabilities(&self) -> Capability;
+
+    /// Unconditional atomic exchange: installs `value`, returns the old
+    /// value. Gated by [`Capability::SWAP`].
+    fn try_swap(&self, cell: &CellOf<Self>, value: u64) -> Result<u64> {
+        let _ = (cell, value);
+        Err(self.unsupported("swap"))
+    }
+
+    /// Fetch-and-add: adds `delta`, returns the value before the add.
+    /// Gated by [`Capability::FETCH_ADD`].
+    fn try_fetch_add(&self, cell: &CellOf<Self>, delta: u64) -> Result<u64> {
+        let _ = (cell, delta);
+        Err(self.unsupported("fetch_add"))
+    }
+
+    /// NB-FEB test-flag-and-set: iff the cell's full/empty flag is clear,
+    /// installs `value` with the flag set; either way returns the old word
+    /// (flag included). Gated by [`Capability::FEB`].
+    fn try_feb_tfas(&self, cell: &CellOf<Self>, value: u64) -> Result<u64> {
+        let _ = (cell, value);
+        Err(self.unsupported("feb_tfas"))
+    }
+
+    /// NB-FEB store-and-clear: unconditionally installs `value` with the
+    /// flag cleared, returning the old word. Gated by [`Capability::FEB`].
+    fn try_feb_sac(&self, cell: &CellOf<Self>, value: u64) -> Result<u64> {
+        let _ = (cell, value);
+        Err(self.unsupported("feb_sac"))
+    }
+
+    /// NB-FEB load of the word including its flag bit. Gated by
+    /// [`Capability::FEB`].
+    fn try_feb_load(&self, cell: &CellOf<Self>) -> Result<u64> {
+        let _ = cell;
+        Err(self.unsupported("feb_load"))
+    }
+
+    /// The paper's restricted load-linked. Gated by
+    /// [`Capability::RLL_RSC`].
+    fn try_rll(&self, cell: &CellOf<Self>) -> Result<u64> {
+        let _ = cell;
+        Err(self.unsupported("rll"))
+    }
+
+    /// The paper's restricted store-conditional (may fail spuriously).
+    /// Gated by [`Capability::RLL_RSC`].
+    fn try_rsc(&self, cell: &CellOf<Self>, new: u64) -> Result<bool> {
+        let _ = (cell, new);
+        Err(self.unsupported("rsc"))
+    }
+
+    /// The [`Error::UnsupportedOp`] for `op` against this backend's
+    /// capability set. Implementations reuse it when an op is present in
+    /// the trait but absent from the machine beneath.
+    fn unsupported(&self, op: &'static str) -> Error {
+        Error::UnsupportedOp {
+            op,
+            have: self.capabilities().to_string(),
+        }
+    }
+}
+
 /// [`CasFamily`] and [`CasMemory`] backed by the host's native `AtomicU64` —
 /// the "machine that provides CAS" case, and the implementation a real
 /// application would deploy.
@@ -203,6 +298,26 @@ impl CasMemory for Native {
     }
 }
 
+impl SyncMemory for Native {
+    /// The host's `AtomicU64` provides CAS, swap and fetch-and-add; it has
+    /// no reservation bit and no full/empty flag.
+    fn capabilities(&self) -> Capability {
+        Capability::CAS | Capability::SWAP | Capability::FETCH_ADD
+    }
+
+    #[inline]
+    fn try_swap(&self, cell: &AtomicU64, value: u64) -> Result<u64> {
+        hook(cell, AccessKind::Swap);
+        Ok(cell.swap(value, Ordering::SeqCst))
+    }
+
+    #[inline]
+    fn try_fetch_add(&self, cell: &AtomicU64, delta: u64) -> Result<u64> {
+        hook(cell, AccessKind::FetchAdd);
+        Ok(cell.fetch_add(delta, Ordering::SeqCst))
+    }
+}
+
 /// A [`CasMemory`] over [`Native`] cells that executes **every** operation
 /// — including the acquire/release variants — with `SeqCst`, reproducing
 /// the pre-optimization behaviour of this crate.
@@ -245,6 +360,25 @@ impl CasMemory for NativeSeqCst {
     }
     // load_acquire / store_release / cas_acqrel inherit the defaults, which
     // delegate to the SeqCst operations above — the whole point.
+}
+
+impl SyncMemory for NativeSeqCst {
+    /// Same hardware as [`Native`], so the same capability set.
+    fn capabilities(&self) -> Capability {
+        Capability::CAS | Capability::SWAP | Capability::FETCH_ADD
+    }
+
+    #[inline]
+    fn try_swap(&self, cell: &AtomicU64, value: u64) -> Result<u64> {
+        hook(cell, AccessKind::Swap);
+        Ok(cell.swap(value, Ordering::SeqCst))
+    }
+
+    #[inline]
+    fn try_fetch_add(&self, cell: &AtomicU64, delta: u64) -> Result<u64> {
+        hook(cell, AccessKind::FetchAdd);
+        Ok(cell.fetch_add(delta, Ordering::SeqCst))
+    }
 }
 
 /// Storage family for simulated CAS machines: cells are [`SimWord`]s.
@@ -292,6 +426,25 @@ impl<'a> SimCas<'a> {
         SimCas { proc }
     }
 
+    /// Like [`SimCas::new`], but verifies up front that the machine
+    /// provides CAS, so the hot-path ops cannot hit the simulator's
+    /// instruction-set panic later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsupportedOp`] if the machine's instruction set
+    /// has no CAS.
+    pub fn try_new(proc: &'a Processor) -> Result<Self> {
+        let caps = proc.instruction_set().capability();
+        if !caps.contains(Capability::CAS) {
+            return Err(Error::UnsupportedOp {
+                op: "cas",
+                have: caps.to_string(),
+            });
+        }
+        Ok(SimCas { proc })
+    }
+
     /// The underlying processor (for reading stats).
     #[must_use]
     pub fn processor(&self) -> &Processor {
@@ -315,6 +468,64 @@ impl CasMemory for SimCas<'_> {
     #[inline]
     fn cas(&self, cell: &SimWord, old: u64, new: u64) -> bool {
         self.proc.cas(cell, old, new)
+    }
+}
+
+impl SyncMemory for SimCas<'_> {
+    /// Whatever the simulated machine was built with — this is the one
+    /// backend whose capability set is genuinely dynamic, which is why
+    /// [`SyncMemory::capabilities`] is a method rather than a constant.
+    fn capabilities(&self) -> Capability {
+        self.proc.instruction_set().capability()
+    }
+
+    fn try_swap(&self, cell: &SimWord, value: u64) -> Result<u64> {
+        if !self.capabilities().contains(Capability::SWAP) {
+            return Err(self.unsupported("swap"));
+        }
+        Ok(self.proc.swap(cell, value))
+    }
+
+    fn try_fetch_add(&self, cell: &SimWord, delta: u64) -> Result<u64> {
+        if !self.capabilities().contains(Capability::FETCH_ADD) {
+            return Err(self.unsupported("fetch_add"));
+        }
+        Ok(self.proc.fetch_add(cell, delta))
+    }
+
+    fn try_feb_tfas(&self, cell: &SimWord, value: u64) -> Result<u64> {
+        if !self.capabilities().contains(Capability::FEB) {
+            return Err(self.unsupported("feb_tfas"));
+        }
+        Ok(self.proc.feb_tfas(cell, value))
+    }
+
+    fn try_feb_sac(&self, cell: &SimWord, value: u64) -> Result<u64> {
+        if !self.capabilities().contains(Capability::FEB) {
+            return Err(self.unsupported("feb_sac"));
+        }
+        Ok(self.proc.feb_sac(cell, value))
+    }
+
+    fn try_feb_load(&self, cell: &SimWord) -> Result<u64> {
+        if !self.capabilities().contains(Capability::FEB) {
+            return Err(self.unsupported("feb_load"));
+        }
+        Ok(self.proc.feb_load(cell))
+    }
+
+    fn try_rll(&self, cell: &SimWord) -> Result<u64> {
+        if !self.capabilities().contains(Capability::RLL_RSC) {
+            return Err(self.unsupported("rll"));
+        }
+        Ok(self.proc.rll(cell))
+    }
+
+    fn try_rsc(&self, cell: &SimWord, new: u64) -> Result<bool> {
+        if !self.capabilities().contains(Capability::RLL_RSC) {
+            return Err(self.unsupported("rsc"));
+        }
+        Ok(self.proc.rsc(cell, new))
     }
 }
 
@@ -374,6 +585,71 @@ mod tests {
             }
         });
         assert_eq!(cell.peek(), 2000);
+    }
+
+    #[test]
+    fn native_sync_memory_swap_and_faa() {
+        for mem in [&Native as &dyn SyncMemory<Family = Native>, &NativeSeqCst] {
+            let cell = Native::make_cell(4);
+            assert!(mem.capabilities().contains(Capability::SWAP | Capability::FETCH_ADD));
+            assert_eq!(mem.try_swap(&cell, 9).unwrap(), 4);
+            assert_eq!(mem.try_fetch_add(&cell, 2).unwrap(), 9);
+            assert_eq!(mem.load(&cell), 11);
+            // No reservation bit and no full/empty flag on host atomics.
+            assert!(matches!(
+                mem.try_rll(&cell),
+                Err(Error::UnsupportedOp { op: "rll", .. })
+            ));
+            assert!(matches!(
+                mem.try_feb_tfas(&cell, 1),
+                Err(Error::UnsupportedOp { op: "feb_tfas", .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn sim_sync_memory_is_gated_by_instruction_set() {
+        let m = Machine::builder(1)
+            .instruction_set(InstructionSet::CasOnly)
+            .build();
+        let p = m.processor(0);
+        let mem = SimCas::new(&p);
+        let cell = SimFamily::make_cell(0);
+        assert_eq!(mem.capabilities(), Capability::CAS);
+        let err = mem.try_swap(&cell, 1).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "operation swap is not in the backend's instruction set (cas)"
+        );
+        assert!(mem.try_fetch_add(&cell, 1).is_err());
+        assert!(mem.try_feb_sac(&cell, 1).is_err());
+        assert!(mem.try_feb_load(&cell).is_err());
+        assert!(mem.try_rsc(&cell, 1).is_err());
+    }
+
+    #[test]
+    fn sim_sync_memory_executes_granted_ops() {
+        let m = Machine::builder(1)
+            .instruction_set(InstructionSet::Both)
+            .build();
+        let p = m.processor(0);
+        let mem = SimCas::new(&p);
+        let cell = SimFamily::make_cell(1);
+        assert_eq!(mem.try_swap(&cell, 2).unwrap(), 1);
+        assert_eq!(mem.try_fetch_add(&cell, 3).unwrap(), 2);
+        let v = mem.try_rll(&cell).unwrap();
+        assert!(mem.try_rsc(&cell, v + 1).unwrap());
+        assert_eq!(mem.try_feb_tfas(&cell, 9).unwrap(), 6);
+        assert_eq!(
+            mem.try_feb_sac(&cell, 0).unwrap(),
+            9 | nbsp_memsim::FEB_FLAG
+        );
+        assert_eq!(mem.try_feb_load(&cell).unwrap(), 0);
+        let s = p.stats();
+        assert_eq!(
+            (s.swaps, s.fetch_adds, s.febs, s.rll, s.rsc_success),
+            (1, 1, 3, 1, 1)
+        );
     }
 
     #[test]

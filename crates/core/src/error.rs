@@ -45,6 +45,15 @@ pub enum Error {
         /// Number of process slots the provider was created with.
         capacity: usize,
     },
+    /// A memory operation was requested that the backing instruction set
+    /// does not provide (see [`Capability`](nbsp_memsim::Capability)).
+    UnsupportedOp {
+        /// The requested operation, e.g. `"swap"` or `"feb_tfas"`.
+        op: &'static str,
+        /// The capabilities the backend actually offers, rendered the way
+        /// `Capability` displays them (e.g. `"cas+rll_rsc"`).
+        have: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -68,6 +77,9 @@ impl fmt::Display for Error {
             Error::InvalidDomain { what } => write!(f, "invalid domain parameter: {what}"),
             Error::PoolExhausted { capacity } => {
                 write!(f, "process pool exhausted: all {capacity} slots are taken")
+            }
+            Error::UnsupportedOp { op, have } => {
+                write!(f, "operation {op} is not in the backend's instruction set ({have})")
             }
         }
     }
@@ -103,6 +115,13 @@ mod tests {
             ),
             (Error::InvalidDomain { what: "n must be positive" }, "n must be"),
             (Error::PoolExhausted { capacity: 4 }, "all 4 slots"),
+            (
+                Error::UnsupportedOp {
+                    op: "swap",
+                    have: "cas".to_string(),
+                },
+                "not in the backend's instruction set",
+            ),
         ];
         for (e, needle) in cases {
             let msg = e.to_string();

@@ -47,10 +47,12 @@
 pub mod backoff;
 pub mod bounded;
 mod cas_from_rll;
+mod cas_from_swap;
 mod cas_provider;
 pub mod constant_llsc;
 pub mod dynamic_llsc;
 mod error;
+mod feb_llsc;
 pub mod keep_search;
 mod layout;
 mod llsc_from_cas;
@@ -65,15 +67,19 @@ pub mod wide;
 pub use backoff::Backoff;
 pub use bounded::TagPolicy;
 pub use cas_from_rll::{EmuCas, EmuCasWord, EmuFamily};
-pub use cas_provider::{CasFamily, CasMemory, CellOf, Native, NativeSeqCst, SimCas, SimFamily};
+pub use cas_from_swap::{KwCas, KwFamily, KwWord, KW_VALUE_BITS, ROUND_BITS};
+pub use cas_provider::{
+    CasFamily, CasMemory, CellOf, Native, NativeSeqCst, SimCas, SimFamily, SyncMemory,
+};
 pub use constant_llsc::{ConstantDomain, ConstantKeep, ConstantProc, ConstantVar};
 pub use dynamic_llsc::{DurableDynamicVar, DynProc, DynamicDomain, DynamicVar, VolatileDynamicVar};
 pub use error::{Error, Result};
+pub use feb_llsc::{FebCas, FebFamily, FebWord, FEB_VALUE_BITS, RING};
 pub use layout::TagLayout;
 pub use llsc_from_cas::{CasLlSc, Keep};
 pub use llsc_from_rll::RllLlSc;
 pub use ops::LlScVar;
-pub use provider::{Provider, ProviderId, ProviderMeta};
+pub use provider::{Provider, ProviderId, ProviderMeta, Tier};
 pub use tag_queue::{ScanQueue, TagQueue};
 pub use telemetry::{WideHists, WideTotals};
 

@@ -19,7 +19,10 @@ use crate::bounded::{BoundedKeep, BoundedProc, BoundedVar};
 use crate::constant_llsc::{ConstantKeep, ConstantProc, ConstantVar};
 use crate::keep_search::{PerVarKeepVar, RegistryKeepVar};
 use crate::lock_baseline::LockLlSc;
-use crate::{CasLlSc, EmuCas, EmuFamily, Keep, Native, RllLlSc, SimCas, SimFamily};
+use crate::{
+    CasLlSc, EmuCas, EmuFamily, FebCas, FebFamily, Keep, KwCas, KwFamily, Native, RllLlSc,
+    SimCas, SimFamily,
+};
 
 /// A shared variable supporting LL/VL/SC, usable from many threads, with
 /// per-thread context `Ctx` and per-sequence state `Keep`.
@@ -172,6 +175,75 @@ impl<const TAG_BITS: u32> LlScVar for CasLlSc<EmuFamily<TAG_BITS>> {
     }
 
     fn read(&self, ctx: &mut EmuCas<'_, TAG_BITS>) -> u64 {
+        CasLlSc::read(self, ctx)
+    }
+
+    fn max_val(&self) -> u64 {
+        self.layout().max_val()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 over the Khanchandani–Wattenhofer CAS (swap + fetch-and-add
+// hardware — consensus number two).
+// ---------------------------------------------------------------------------
+
+impl LlScVar for CasLlSc<KwFamily> {
+    type Keep = Option<Keep>;
+    type Ctx<'a> = KwCas<'a>;
+
+    fn ll(&self, ctx: &mut KwCas<'_>, keep: &mut Option<Keep>) -> u64 {
+        let k = keep.get_or_insert_with(Keep::default);
+        CasLlSc::ll(self, ctx, k)
+    }
+
+    fn vl(&self, ctx: &mut KwCas<'_>, keep: &Option<Keep>) -> bool {
+        keep.as_ref().is_some_and(|k| CasLlSc::vl(self, ctx, k))
+    }
+
+    fn sc(&self, ctx: &mut KwCas<'_>, keep: &mut Option<Keep>, new: u64) -> bool {
+        keep.take().is_some_and(|k| CasLlSc::sc(self, ctx, &k, new))
+    }
+
+    fn cl(&self, _ctx: &mut KwCas<'_>, keep: &mut Option<Keep>) {
+        *keep = None;
+    }
+
+    fn read(&self, ctx: &mut KwCas<'_>) -> u64 {
+        CasLlSc::read(self, ctx)
+    }
+
+    fn max_val(&self) -> u64 {
+        self.layout().max_val()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 over the NB-FEB CAS (test-flag-and-set hardware).
+// ---------------------------------------------------------------------------
+
+impl LlScVar for CasLlSc<FebFamily> {
+    type Keep = Option<Keep>;
+    type Ctx<'a> = FebCas<'a>;
+
+    fn ll(&self, ctx: &mut FebCas<'_>, keep: &mut Option<Keep>) -> u64 {
+        let k = keep.get_or_insert_with(Keep::default);
+        CasLlSc::ll(self, ctx, k)
+    }
+
+    fn vl(&self, ctx: &mut FebCas<'_>, keep: &Option<Keep>) -> bool {
+        keep.as_ref().is_some_and(|k| CasLlSc::vl(self, ctx, k))
+    }
+
+    fn sc(&self, ctx: &mut FebCas<'_>, keep: &mut Option<Keep>, new: u64) -> bool {
+        keep.take().is_some_and(|k| CasLlSc::sc(self, ctx, &k, new))
+    }
+
+    fn cl(&self, _ctx: &mut FebCas<'_>, keep: &mut Option<Keep>) {
+        *keep = None;
+    }
+
+    fn read(&self, ctx: &mut FebCas<'_>) -> u64 {
         CasLlSc::read(self, ctx)
     }
 

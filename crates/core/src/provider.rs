@@ -37,7 +37,7 @@
 
 use std::sync::Arc;
 
-use nbsp_memsim::{InstructionSet, Machine, ProcId, Processor};
+use nbsp_memsim::{Capability, InstructionSet, Machine, ProcId, Processor};
 
 use nbsp_memsim::{PWord, VWord};
 
@@ -47,8 +47,8 @@ use crate::dynamic_llsc::{DynProc, DynamicDomain, DynamicVar};
 use crate::keep_search::{KeepRegistry, PerVarKeepVar, RegistryKeepVar};
 use crate::lock_baseline::LockLlSc;
 use crate::{
-    CachePadded, CasFamily, CasLlSc, EmuCas, EmuFamily, Error, Keep, LlScVar, Native,
-    NativeSeqCst, Result, RllLlSc, SimCas, SimFamily, TagLayout,
+    CachePadded, CasFamily, CasLlSc, EmuCas, EmuFamily, Error, FebCas, FebFamily, Keep, KwCas,
+    KwFamily, LlScVar, Native, NativeSeqCst, Result, RllLlSc, SimCas, SimFamily, TagLayout,
 };
 
 /// Concurrent LL–SC sequences per process (`k`) used by the registry's
@@ -83,6 +83,13 @@ pub const PROVIDER_MAX_VARS: usize = 256;
 
 /// Tag bits of the registry's Figure-3 emulated-CAS entry.
 pub const PROVIDER_EMU_TAG_BITS: u32 = 16;
+
+/// LL/SC tag bits of the registry's weak-primitive entries (CAS-from-swap
+/// and NB-FEB). Their emulated CAS words carry 48 value bits (16 go to
+/// the round counter), split 16 tag + 32 value exactly like the
+/// Figure-3 entry — wide enough for every structure layered above and
+/// for the differential fuzzer's tag churn not to wrap inside a window.
+pub const PROVIDER_WEAK_TAG_BITS: u32 = 16;
 
 // ---------------------------------------------------------------------------
 // Native-family ablation wrappers (moved here from exp_contention, which
@@ -191,11 +198,17 @@ pub enum ProviderId {
     /// The dynamic-joining construction over the persistent-memory model
     /// (durably linearizable, crash–recovery tested).
     DynamicDurable,
+    /// Figure 4 over CAS emulated from swap + fetch-and-add
+    /// (arXiv:1802.03844) — the consensus-hierarchy ablation's first rung.
+    CasFromSwap,
+    /// Figure 4 over CAS emulated from NB-FEB test-flag-and-set
+    /// (arXiv:0811.1304) — the consensus-hierarchy ablation's second rung.
+    FebLlSc,
 }
 
 impl ProviderId {
     /// Every registered construction, in registry order.
-    pub const ALL: [ProviderId; 15] = [
+    pub const ALL: [ProviderId; 17] = [
         ProviderId::Fig4Native,
         ProviderId::Fig4NativeSeqCst,
         ProviderId::Fig4NativePadded,
@@ -211,6 +224,8 @@ impl ProviderId {
         ProviderId::KeepWithRegistry,
         ProviderId::Dynamic,
         ProviderId::DynamicDurable,
+        ProviderId::CasFromSwap,
+        ProviderId::FebLlSc,
     ];
 
     /// The stable CLI/JSON name (`--provider` flags, BENCH output).
@@ -243,6 +258,8 @@ impl ProviderId {
             ProviderId::Fig4Native => ProviderMeta {
                 id: self,
                 name: "fig4-native",
+                capability: Capability::CAS,
+                tier: Tier::FixedN,
                 figure: "4",
                 family: "native CAS",
                 space_class: "O(1)/var",
@@ -255,6 +272,8 @@ impl ProviderId {
             ProviderId::Fig4NativeSeqCst => ProviderMeta {
                 id: self,
                 name: "fig4-native-seqcst",
+                capability: Capability::CAS,
+                tier: Tier::FixedN,
                 figure: "4",
                 family: "native CAS",
                 space_class: "O(1)/var",
@@ -267,6 +286,8 @@ impl ProviderId {
             ProviderId::Fig4NativePadded => ProviderMeta {
                 id: self,
                 name: "fig4-native-padded",
+                capability: Capability::CAS,
+                tier: Tier::FixedN,
                 figure: "4",
                 family: "native CAS",
                 space_class: "O(1)/var",
@@ -279,6 +300,8 @@ impl ProviderId {
             ProviderId::Fig4NativePaddedSeqCst => ProviderMeta {
                 id: self,
                 name: "fig4-native-padded-seqcst",
+                capability: Capability::CAS,
+                tier: Tier::FixedN,
                 figure: "4",
                 family: "native CAS",
                 space_class: "O(1)/var",
@@ -291,6 +314,8 @@ impl ProviderId {
             ProviderId::Fig4Sim => ProviderMeta {
                 id: self,
                 name: "fig4-sim",
+                capability: Capability::CAS,
+                tier: Tier::FixedN,
                 figure: "4",
                 family: "simulated CAS",
                 space_class: "O(1)/var",
@@ -303,6 +328,8 @@ impl ProviderId {
             ProviderId::Fig4Emu => ProviderMeta {
                 id: self,
                 name: "fig4-emu",
+                capability: Capability::RLL_RSC,
+                tier: Tier::FixedN,
                 figure: "4 over 3",
                 family: "RLL/RSC-emulated CAS",
                 space_class: "O(1)/var",
@@ -315,6 +342,8 @@ impl ProviderId {
             ProviderId::Fig5Rll => ProviderMeta {
                 id: self,
                 name: "fig5-rll",
+                capability: Capability::RLL_RSC,
+                tier: Tier::FixedN,
                 figure: "5",
                 family: "RLL/RSC",
                 space_class: "O(1)/var",
@@ -327,6 +356,8 @@ impl ProviderId {
             ProviderId::Fig7Bounded => ProviderMeta {
                 id: self,
                 name: "fig7-bounded",
+                capability: Capability::CAS,
+                tier: Tier::FixedN,
                 figure: "7",
                 family: "native CAS",
                 space_class: "Θ(N(k+T))",
@@ -339,6 +370,8 @@ impl ProviderId {
             ProviderId::Fig7BoundedScan => ProviderMeta {
                 id: self,
                 name: "fig7-bounded-scan",
+                capability: Capability::CAS,
+                tier: Tier::FixedN,
                 figure: "7 (literal)",
                 family: "native CAS",
                 space_class: "Θ(N(k+T))",
@@ -351,6 +384,8 @@ impl ProviderId {
             ProviderId::ConstantTime => ProviderMeta {
                 id: self,
                 name: "constant",
+                capability: Capability::CAS,
+                tier: Tier::FixedN,
                 figure: "— (arXiv:1911.09671)",
                 family: "native CAS",
                 space_class: "Θ(N²k + T)",
@@ -363,6 +398,8 @@ impl ProviderId {
             ProviderId::LockBaseline => ProviderMeta {
                 id: self,
                 name: "lock",
+                capability: Capability::CAS,
+                tier: Tier::FixedN,
                 figure: "2",
                 family: "lock",
                 space_class: "Θ(N)/var",
@@ -375,6 +412,8 @@ impl ProviderId {
             ProviderId::KeepPerVar => ProviderMeta {
                 id: self,
                 name: "keep-pervar",
+                capability: Capability::CAS,
+                tier: Tier::FixedN,
                 figure: "4 + per-var keeps",
                 family: "native CAS",
                 space_class: "Θ(N)/var",
@@ -387,6 +426,8 @@ impl ProviderId {
             ProviderId::KeepWithRegistry => ProviderMeta {
                 id: self,
                 name: "keep-registry",
+                capability: Capability::CAS,
+                tier: Tier::FixedN,
                 figure: "4 + keep registry",
                 family: "native CAS",
                 space_class: "Θ(N + T)",
@@ -399,6 +440,8 @@ impl ProviderId {
             ProviderId::Dynamic => ProviderMeta {
                 id: self,
                 name: "dynamic",
+                capability: Capability::CAS,
+                tier: Tier::Dynamic,
                 figure: "— (arXiv:2302.00135)",
                 family: "native CAS",
                 space_class: "Θ(N)/var",
@@ -411,6 +454,8 @@ impl ProviderId {
             ProviderId::DynamicDurable => ProviderMeta {
                 id: self,
                 name: "dynamic-durable",
+                capability: Capability::CAS,
+                tier: Tier::Dynamic,
                 figure: "— (arXiv:2302.00135)",
                 family: "persistent memory (model)",
                 space_class: "Θ(N)/var",
@@ -420,11 +465,90 @@ impl ProviderId {
                 constant_time_sc: true,
                 native_ablation: false,
             },
+            ProviderId::CasFromSwap => ProviderMeta {
+                id: self,
+                name: "cas-from-swap",
+                capability: Capability::SWAP | Capability::FETCH_ADD,
+                tier: Tier::WeakPrimitive,
+                figure: "— (arXiv:1802.03844)",
+                family: "swap+faa-emulated CAS",
+                space_class: "O(1)/var",
+                tag_bits: "16+16",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: false,
+                native_ablation: false,
+            },
+            ProviderId::FebLlSc => ProviderMeta {
+                id: self,
+                name: "feb-llsc",
+                capability: Capability::FEB,
+                tier: Tier::WeakPrimitive,
+                figure: "— (arXiv:0811.1304)",
+                family: "NB-FEB-emulated CAS",
+                space_class: "O(1)/var",
+                tag_bits: "16+16",
+                padded: false,
+                ordering: "seqcst",
+                constant_time_sc: false,
+                native_ablation: false,
+            },
         }
     }
 }
 
 impl std::fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Process-model tier of a construction — how its process set is sized
+/// and what primitive strength it assumes. Queryable so sweeps can slice
+/// the registry (`--provider tier:dynamic`) without naming providers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// The process set is sealed at `env(n)` time (the paper's model).
+    FixedN,
+    /// Processes join and retire at runtime (arXiv:2302.00135).
+    Dynamic,
+    /// Built on primitives strictly weaker than CAS (the
+    /// consensus-hierarchy ablation: swap/fetch-and-add, NB-FEB).
+    WeakPrimitive,
+}
+
+impl Tier {
+    /// Every tier, in registry order.
+    pub const ALL: [Tier; 3] = [Tier::FixedN, Tier::Dynamic, Tier::WeakPrimitive];
+
+    /// The stable CLI name used by `--provider tier:` filters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::FixedN => "fixed-n",
+            Tier::Dynamic => "dynamic",
+            Tier::WeakPrimitive => "weak-primitive",
+        }
+    }
+
+    /// Parses a CLI tier name (the `tier:` filter payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names on an unknown tier.
+    pub fn parse(s: &str) -> std::result::Result<Tier, String> {
+        Tier::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Tier::ALL.iter().map(|t| t.name()).collect();
+                format!("unknown tier {s:?}; valid: {}", names.join(", "))
+            })
+    }
+}
+
+impl std::fmt::Display for Tier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
@@ -456,6 +580,13 @@ pub struct ProviderMeta {
     /// Whether this entry exists for the exp_contention padding/ordering
     /// ablation matrix (the four native Figure-4 corners).
     pub native_ablation: bool,
+    /// The instruction-set capabilities the construction requires of its
+    /// memory (what a [`Machine`] must grant for `env` to make sense).
+    /// Native entries require `CAS` — hardware grants the rest for free,
+    /// but CAS is what their hot path issues.
+    pub capability: Capability,
+    /// Which process-model/primitive tier the construction belongs to.
+    pub tier: Tier,
 }
 
 // ---------------------------------------------------------------------------
@@ -1011,6 +1142,77 @@ impl Provider for DynamicDurable {
     }
 }
 
+/// Figure 4 over CAS emulated from swap + fetch-and-add
+/// (arXiv:1802.03844): the consensus-hierarchy ablation's Φ/swap rung.
+/// Runs on a machine that grants *only* swap and fetch-and-add.
+#[derive(Debug)]
+pub struct CasFromSwap;
+
+impl Provider for CasFromSwap {
+    const ID: ProviderId = ProviderId::CasFromSwap;
+    type Var = CasLlSc<KwFamily>;
+    type Env = Machine;
+    type ThreadCtx = Processor;
+
+    fn env(n: usize) -> Result<Machine> {
+        Ok(machine(n, InstructionSet::SwapFaaOnly))
+    }
+
+    fn var(_env: &Machine, initial: u64) -> Result<Self::Var> {
+        // 16 LL/SC tag bits + 32 value bits inside the emulation's 48
+        // value bits (the Khanchandani–Wattenhofer word spends its top 16
+        // on the round counter).
+        CasLlSc::new(
+            TagLayout::for_width(PROVIDER_WEAK_TAG_BITS, 32, KwFamily::VALUE_BITS)?,
+            initial,
+        )
+    }
+
+    fn try_thread_ctx(env: &Machine, p: usize) -> Result<Processor> {
+        check_pid(env.n(), p)?;
+        Ok(env.processor(p))
+    }
+
+    fn ctx<'a>(tc: &'a mut Processor) -> KwCas<'a> {
+        KwCas::new(&*tc)
+    }
+}
+
+/// Figure 4 over CAS emulated from NB-FEB test-flag-and-set
+/// (arXiv:0811.1304): the consensus-hierarchy ablation's FEB rung.
+/// Runs on a machine that grants *only* the NB-FEB operations.
+#[derive(Debug)]
+pub struct FebLlSc;
+
+impl Provider for FebLlSc {
+    const ID: ProviderId = ProviderId::FebLlSc;
+    type Var = CasLlSc<FebFamily>;
+    type Env = Machine;
+    type ThreadCtx = Processor;
+
+    fn env(n: usize) -> Result<Machine> {
+        Ok(machine(n, InstructionSet::FebOnly))
+    }
+
+    fn var(_env: &Machine, initial: u64) -> Result<Self::Var> {
+        // Same 16 tag + 32 value split as `CasFromSwap` — the FEB word
+        // also keeps its top 16 bits for the round counter.
+        CasLlSc::new(
+            TagLayout::for_width(PROVIDER_WEAK_TAG_BITS, 32, FebFamily::VALUE_BITS)?,
+            initial,
+        )
+    }
+
+    fn try_thread_ctx(env: &Machine, p: usize) -> Result<Processor> {
+        check_pid(env.n(), p)?;
+        Ok(env.processor(p))
+    }
+
+    fn ctx<'a>(tc: &'a mut Processor) -> FebCas<'a> {
+        FebCas::new(&*tc)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Dispatch macros.
 // ---------------------------------------------------------------------------
@@ -1048,6 +1250,8 @@ macro_rules! for_each_provider {
         $body!(keep_with_registry, $crate::provider::KeepWithRegistry);
         $body!(dynamic, $crate::provider::Dynamic);
         $body!(dynamic_durable, $crate::provider::DynamicDurable);
+        $body!(cas_from_swap, $crate::provider::CasFromSwap);
+        $body!(feb_llsc, $crate::provider::FebLlSc);
     };
 }
 
@@ -1090,6 +1294,8 @@ macro_rules! with_provider {
             $crate::ProviderId::KeepWithRegistry => $body!($crate::provider::KeepWithRegistry),
             $crate::ProviderId::Dynamic => $body!($crate::provider::Dynamic),
             $crate::ProviderId::DynamicDurable => $body!($crate::provider::DynamicDurable),
+            $crate::ProviderId::CasFromSwap => $body!($crate::provider::CasFromSwap),
+            $crate::ProviderId::FebLlSc => $body!($crate::provider::FebLlSc),
         }
     };
 }
@@ -1139,6 +1345,47 @@ mod tests {
                 ProviderId::Fig4NativePaddedSeqCst,
             ]
         );
+    }
+
+    #[test]
+    fn tiers_partition_the_registry() {
+        let dynamic: Vec<ProviderId> = ProviderId::ALL
+            .iter()
+            .copied()
+            .filter(|id| id.meta().tier == Tier::Dynamic)
+            .collect();
+        assert_eq!(dynamic, [ProviderId::Dynamic, ProviderId::DynamicDurable]);
+        let weak: Vec<ProviderId> = ProviderId::ALL
+            .iter()
+            .copied()
+            .filter(|id| id.meta().tier == Tier::WeakPrimitive)
+            .collect();
+        assert_eq!(weak, [ProviderId::CasFromSwap, ProviderId::FebLlSc]);
+        let fixed = ProviderId::ALL
+            .iter()
+            .filter(|id| id.meta().tier == Tier::FixedN)
+            .count();
+        assert_eq!(fixed, ProviderId::ALL.len() - 4);
+        assert_eq!(Tier::WeakPrimitive.to_string(), "weak-primitive");
+    }
+
+    #[test]
+    fn weak_providers_require_exactly_their_machines_capability() {
+        assert_eq!(
+            ProviderId::CasFromSwap.meta().capability,
+            InstructionSet::SwapFaaOnly.capability()
+        );
+        assert_eq!(
+            ProviderId::FebLlSc.meta().capability,
+            InstructionSet::FebOnly.capability()
+        );
+        // Every CAS-tier entry's requirement is granted by a CAS machine.
+        for id in ProviderId::ALL {
+            let cap = id.meta().capability;
+            if cap.contains(Capability::CAS) {
+                assert!(InstructionSet::CasOnly.capability().contains(cap), "{id}");
+            }
+        }
     }
 
     #[test]

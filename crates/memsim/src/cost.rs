@@ -37,13 +37,19 @@ pub struct CostModel {
     pub rll: u64,
     /// Cost of an RSC attempt (success or failure).
     pub rsc: u64,
+    /// Cost of an unconditional atomic exchange.
+    pub swap: u64,
+    /// Cost of a fetch-and-add.
+    pub fetch_add: u64,
+    /// Cost of an NB-FEB word operation (TFAS, SAC, or flag-load).
+    pub feb: u64,
 }
 
 impl Default for CostModel {
     /// A deliberately coarse 1990s-flavoured default: loads and stores one
     /// cycle, reservation instructions two to three (they interact with
-    /// the cache-coherence machinery), CAS three (a read-modify-write bus
-    /// transaction).
+    /// the cache-coherence machinery), CAS and the other read-modify-write
+    /// bus transactions (swap, fetch-and-add, the NB-FEB ops) three.
     fn default() -> Self {
         CostModel {
             read: 1,
@@ -51,6 +57,9 @@ impl Default for CostModel {
             cas: 3,
             rll: 2,
             rsc: 3,
+            swap: 3,
+            fetch_add: 3,
+            feb: 3,
         }
     }
 }
@@ -66,6 +75,9 @@ impl CostModel {
             cas: 1,
             rll: 1,
             rsc: 1,
+            swap: 1,
+            fetch_add: 1,
+            feb: 1,
         }
     }
 
@@ -77,6 +89,9 @@ impl CostModel {
             + stats.cas_attempts * self.cas
             + stats.rll * self.rll
             + stats.rsc_attempts * self.rsc
+            + stats.swaps * self.swap
+            + stats.fetch_adds * self.fetch_add
+            + stats.febs * self.feb
     }
 }
 
@@ -91,6 +106,9 @@ mod tests {
             cas_attempts: 5,
             rll: 7,
             rsc_attempts: 11,
+            swaps: 13,
+            fetch_adds: 17,
+            febs: 19,
             ..ProcStats::default()
         }
     }
@@ -106,7 +124,7 @@ mod tests {
     #[test]
     fn default_model_weights_instructions() {
         let c = CostModel::default().cycles(&stats());
-        assert_eq!(c, 2 + 3 + 15 + 14 + 33);
+        assert_eq!(c, 2 + 3 + 15 + 14 + 33 + 39 + 51 + 57);
     }
 
     #[test]
@@ -117,8 +135,11 @@ mod tests {
             cas: 10,
             rll: 1,
             rsc: 1,
+            swap: 4,
+            fetch_add: 5,
+            feb: 6,
         };
-        assert_eq!(m.cycles(&stats()), 2 + 6 + 50 + 7 + 11);
+        assert_eq!(m.cycles(&stats()), 2 + 6 + 50 + 7 + 11 + 52 + 85 + 114);
     }
 
     #[test]

@@ -66,10 +66,20 @@ mod word;
 
 pub use cost::CostModel;
 pub use pmem::{MemWord, PWord, VWord};
-pub use machine::{AccessBetween, InstructionSet, Machine, MachineBuilder, Processor};
+pub use machine::{
+    AccessBetween, Capability, InstructionSet, Machine, MachineBuilder, Processor,
+};
 pub use pad::CachePadded;
 pub use proc_id::ProcId;
 pub use spurious::SpuriousMode;
 pub use stats::ProcStats;
-pub use trace::{RscOutcome, TraceEvent, TraceKind};
+pub use trace::{FebOp, RscOutcome, TraceEvent, TraceKind};
 pub use word::SimWord;
+
+/// The NB-FEB full/empty flag bit, stored in the top bit of a [`SimWord`].
+///
+/// [`Processor::feb_tfas`] refuses to install when this bit is set and sets
+/// it when it installs; [`Processor::feb_sac`] clears it. Values passed to
+/// the NB-FEB ops must leave this bit clear — the flag is metadata owned by
+/// the instruction set, not part of the stored value.
+pub const FEB_FLAG: u64 = 1 << 63;

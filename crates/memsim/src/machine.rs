@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::rng::SplitMix64;
-use crate::trace::{TraceEvent, TraceKind, TraceRing};
+use crate::trace::{FebOp, TraceEvent, TraceKind, TraceRing};
 use crate::{CachePadded, ProcId, ProcStats, RscOutcome, SimWord, SpuriousMode};
 
 /// Which strong synchronization instructions the simulated machine provides.
@@ -19,7 +19,14 @@ pub enum InstructionSet {
     CasOnly,
     /// RLL/RSC are available; CAS is not (e.g. MIPS R4000, Alpha, PowerPC).
     RllRscOnly,
-    /// Both are available (used by tests that need a reference machine).
+    /// Only the consensus-number-2 pair swap and fetch-and-add — the
+    /// machine Khanchandani–Wattenhofer's CAS construction targets.
+    SwapFaaOnly,
+    /// Only the NB-FEB full/empty-bit operations (TFAS, SAC, and the
+    /// flag-aware load) of Ha–Tsigas–Anshus.
+    FebOnly,
+    /// Every instruction the simulator models (the reference machine used
+    /// by tests that need all of them at once).
     Both,
 }
 
@@ -34,6 +41,112 @@ impl InstructionSet {
     #[must_use]
     pub fn has_rll_rsc(self) -> bool {
         matches!(self, InstructionSet::RllRscOnly | InstructionSet::Both)
+    }
+
+    /// Whether this machine executes swap and fetch-and-add.
+    #[must_use]
+    pub fn has_swap_faa(self) -> bool {
+        matches!(self, InstructionSet::SwapFaaOnly | InstructionSet::Both)
+    }
+
+    /// Whether this machine executes the NB-FEB word operations.
+    #[must_use]
+    pub fn has_feb(self) -> bool {
+        matches!(self, InstructionSet::FebOnly | InstructionSet::Both)
+    }
+
+    /// The capability bitset equivalent to this instruction set.
+    #[must_use]
+    pub fn capability(self) -> Capability {
+        let mut c = Capability::NONE;
+        if self.has_cas() {
+            c = c | Capability::CAS;
+        }
+        if self.has_rll_rsc() {
+            c = c | Capability::RLL_RSC;
+        }
+        if self.has_swap_faa() {
+            c = c | Capability::SWAP | Capability::FETCH_ADD;
+        }
+        if self.has_feb() {
+            c = c | Capability::FEB;
+        }
+        c
+    }
+}
+
+/// A bitset of synchronization instructions: which ops a machine provides,
+/// or which ops a construction *requires* of its machine (carried by
+/// `ProviderMeta` in `nbsp-core` — the registry's portability matrix over
+/// the consensus hierarchy).
+///
+/// ```
+/// use nbsp_memsim::{Capability, InstructionSet};
+/// let weak = Capability::SWAP | Capability::FETCH_ADD;
+/// assert!(InstructionSet::SwapFaaOnly.capability().contains(weak));
+/// assert!(!weak.contains(Capability::CAS));
+/// assert_eq!(weak.to_string(), "swap+fetch_add");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Capability(u8);
+
+impl Capability {
+    /// The empty set (no synchronization beyond plain reads/writes).
+    pub const NONE: Capability = Capability(0);
+    /// Compare-and-swap.
+    pub const CAS: Capability = Capability(1);
+    /// Restricted load-linked / store-conditional.
+    pub const RLL_RSC: Capability = Capability(1 << 1);
+    /// Unconditional atomic exchange.
+    pub const SWAP: Capability = Capability(1 << 2);
+    /// Fetch-and-add.
+    pub const FETCH_ADD: Capability = Capability(1 << 3);
+    /// The NB-FEB full/empty-bit operations (TFAS, SAC, flag-aware load).
+    pub const FEB: Capability = Capability(1 << 4);
+
+    /// True iff every bit of `other` is present in `self`.
+    #[must_use]
+    pub fn contains(self, other: Capability) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True iff no instruction is present.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The names of the present instructions, in declaration order.
+    #[must_use]
+    pub fn names(self) -> Vec<&'static str> {
+        [
+            (Capability::CAS, "cas"),
+            (Capability::RLL_RSC, "rll_rsc"),
+            (Capability::SWAP, "swap"),
+            (Capability::FETCH_ADD, "fetch_add"),
+            (Capability::FEB, "feb"),
+        ]
+        .into_iter()
+        .filter(|(bit, _)| self.contains(*bit))
+        .map(|(_, name)| name)
+        .collect()
+    }
+}
+
+impl std::ops::BitOr for Capability {
+    type Output = Capability;
+
+    fn bitor(self, rhs: Capability) -> Capability {
+        Capability(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        f.write_str(&self.names().join("+"))
     }
 }
 
@@ -314,6 +427,14 @@ impl Processor {
         self.inner.n
     }
 
+    /// The instruction-set capability of the machine this processor
+    /// belongs to (so per-thread accessors can gate operations without a
+    /// handle on the [`Machine`]).
+    #[must_use]
+    pub fn instruction_set(&self) -> InstructionSet {
+        self.inner.isa
+    }
+
     /// Snapshot of this processor's instruction counters.
     #[must_use]
     pub fn stats(&self) -> ProcStats {
@@ -363,6 +484,25 @@ impl Processor {
         }
     }
 
+    /// Declares that this processor cannot make progress until some other
+    /// processor writes `w`, and yields the time slice.
+    ///
+    /// This performs **no** shared access: no memory is touched, no
+    /// reservation is invalidated, nothing is counted or traced — the
+    /// processor merely hands control away. Spin loops that wait for a
+    /// *specific* word to change (the FIFO hand-off of
+    /// `nbsp_core::KwWord`, the claim-slot release of
+    /// `nbsp_core::FebWord`) call this between re-reads. On a live
+    /// machine it degrades to [`std::thread::yield_now`]; under a
+    /// cooperative model checker the [`crate::sched::AccessKind::Wait`]
+    /// yield parks the processor until a mutating access hits `w`, so a
+    /// blocking construction produces finitely many schedule points per
+    /// wake instead of an unbounded spin.
+    pub fn await_change(&self, w: &SimWord) {
+        let _ = crate::sched::yield_point(w.addr(), crate::sched::AccessKind::Wait);
+        std::thread::yield_now();
+    }
+
     /// Reads a word (an ordinary load).
     ///
     /// Under the default [`AccessBetween::Invalidate`] policy this drops any
@@ -391,7 +531,8 @@ impl Processor {
     ///
     /// # Panics
     ///
-    /// Panics on a machine without CAS ([`InstructionSet::RllRscOnly`]).
+    /// Panics on a machine without CAS ([`InstructionSet::RllRscOnly`],
+    /// [`InstructionSet::SwapFaaOnly`] or [`InstructionSet::FebOnly`]).
     #[must_use]
     pub fn cas(&self, w: &SimWord, old: u64, new: u64) -> bool {
         assert!(
@@ -410,6 +551,136 @@ impl Processor {
         });
         self.record(w.addr(), TraceKind::Cas { old, new, ok });
         ok
+    }
+
+    /// Unconditional atomic exchange: installs `value` and returns the old
+    /// word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine without swap/fetch-and-add.
+    #[must_use]
+    pub fn swap(&self, w: &SimWord, value: u64) -> u64 {
+        assert!(
+            self.inner.isa.has_swap_faa(),
+            "this machine ({:?}) does not provide swap",
+            self.inner.isa
+        );
+        let _ = crate::sched::yield_point(w.addr(), crate::sched::AccessKind::Swap);
+        self.touch_memory();
+        self.bump(|s| s.swaps += 1);
+        let old = w.swap(value);
+        self.record(w.addr(), TraceKind::Swap { new: value, old });
+        old
+    }
+
+    /// Fetch-and-add: adds `delta` (wrapping) and returns the old word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine without swap/fetch-and-add.
+    #[must_use]
+    pub fn fetch_add(&self, w: &SimWord, delta: u64) -> u64 {
+        assert!(
+            self.inner.isa.has_swap_faa(),
+            "this machine ({:?}) does not provide fetch-and-add",
+            self.inner.isa
+        );
+        let _ = crate::sched::yield_point(w.addr(), crate::sched::AccessKind::FetchAdd);
+        self.touch_memory();
+        self.bump(|s| s.fetch_adds += 1);
+        let old = w.fetch_add(delta);
+        self.record(w.addr(), TraceKind::FetchAdd { delta, old });
+        old
+    }
+
+    /// NB-FEB test-flag-and-set: iff the word's full/empty flag
+    /// ([`crate::FEB_FLAG`]) is clear, install `value` with the flag set;
+    /// either way, return the old word (flag included).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine without the NB-FEB operations, or if `value`
+    /// itself carries the flag bit.
+    #[must_use]
+    pub fn feb_tfas(&self, w: &SimWord, value: u64) -> u64 {
+        assert!(
+            self.inner.isa.has_feb(),
+            "this machine ({:?}) does not provide NB-FEB operations",
+            self.inner.isa
+        );
+        assert!(value & crate::FEB_FLAG == 0, "TFAS value overlaps the flag bit");
+        let _ = crate::sched::yield_point(w.addr(), crate::sched::AccessKind::Feb);
+        self.touch_memory();
+        self.bump(|s| s.febs += 1);
+        let old = w.tfas(value);
+        self.record(
+            w.addr(),
+            TraceKind::Feb {
+                op: FebOp::Tfas,
+                value,
+                old,
+            },
+        );
+        old
+    }
+
+    /// NB-FEB store-and-clear: unconditionally install `value` with the
+    /// full/empty flag cleared, returning the old word (flag included).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine without the NB-FEB operations, or if `value`
+    /// itself carries the flag bit.
+    #[must_use]
+    pub fn feb_sac(&self, w: &SimWord, value: u64) -> u64 {
+        assert!(
+            self.inner.isa.has_feb(),
+            "this machine ({:?}) does not provide NB-FEB operations",
+            self.inner.isa
+        );
+        assert!(value & crate::FEB_FLAG == 0, "SAC value overlaps the flag bit");
+        let _ = crate::sched::yield_point(w.addr(), crate::sched::AccessKind::Feb);
+        self.touch_memory();
+        self.bump(|s| s.febs += 1);
+        let old = w.sac(value);
+        self.record(
+            w.addr(),
+            TraceKind::Feb {
+                op: FebOp::Sac,
+                value,
+                old,
+            },
+        );
+        old
+    }
+
+    /// NB-FEB load: reads the word, flag included. Read-only (commutes
+    /// with other loads), so it yields as an [`AccessKind::Read`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine without the NB-FEB operations.
+    #[must_use]
+    pub fn feb_load(&self, w: &SimWord) -> u64 {
+        assert!(
+            self.inner.isa.has_feb(),
+            "this machine ({:?}) does not provide NB-FEB operations",
+            self.inner.isa
+        );
+        let _ = crate::sched::yield_point(w.addr(), crate::sched::AccessKind::Read);
+        self.touch_memory();
+        self.bump(|s| s.febs += 1);
+        let old = w.load();
+        self.record(
+            w.addr(),
+            TraceKind::Feb {
+                op: FebOp::Load,
+                value: 0,
+                old,
+            },
+        );
+        old
     }
 
     /// Restricted load-linked: reads `w` and sets this processor's single
@@ -691,6 +962,105 @@ mod tests {
         let p = m.processor(0);
         let w = SimWord::new(0);
         let _ = p.rll(&w);
+    }
+
+    #[test]
+    fn swap_faa_round_trip_and_counters() {
+        let m = Machine::builder(1)
+            .instruction_set(InstructionSet::SwapFaaOnly)
+            .build();
+        let p = m.processor(0);
+        let w = SimWord::new(10);
+        assert_eq!(p.swap(&w, 20), 10);
+        assert_eq!(p.fetch_add(&w, 5), 20);
+        assert_eq!(p.read(&w), 25);
+        let s = p.stats();
+        assert_eq!((s.swaps, s.fetch_adds), (1, 1));
+    }
+
+    #[test]
+    fn feb_ops_round_trip_and_counters() {
+        let m = Machine::builder(1)
+            .instruction_set(InstructionSet::FebOnly)
+            .build();
+        let p = m.processor(0);
+        let w = SimWord::new(3);
+        assert_eq!(p.feb_tfas(&w, 7), 3, "flag clear: install");
+        assert_eq!(p.feb_tfas(&w, 8), 7 | crate::FEB_FLAG, "flag set: refuse");
+        assert_eq!(p.feb_load(&w), 7 | crate::FEB_FLAG);
+        assert_eq!(p.feb_sac(&w, 1), 7 | crate::FEB_FLAG);
+        assert_eq!(p.feb_load(&w), 1);
+        assert_eq!(p.stats().febs, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not provide swap")]
+    fn swap_panics_on_cas_machine() {
+        let m = Machine::builder(1)
+            .instruction_set(InstructionSet::CasOnly)
+            .build();
+        let p = m.processor(0);
+        let _ = p.swap(&SimWord::new(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not provide NB-FEB")]
+    fn tfas_panics_on_swap_machine() {
+        let m = Machine::builder(1)
+            .instruction_set(InstructionSet::SwapFaaOnly)
+            .build();
+        let p = m.processor(0);
+        let _ = p.feb_tfas(&SimWord::new(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not provide CAS")]
+    fn cas_panics_on_feb_machine() {
+        let m = Machine::builder(1)
+            .instruction_set(InstructionSet::FebOnly)
+            .build();
+        let p = m.processor(0);
+        let _ = p.cas(&SimWord::new(0), 0, 1);
+    }
+
+    #[test]
+    fn swap_invalidates_reservation() {
+        let m = Machine::new(1);
+        let p = m.processor(0);
+        let w = SimWord::new(0);
+        let z = SimWord::new(0);
+        let v = p.rll(&w);
+        let _ = p.swap(&z, 1); // intervening access drops the LLBit
+        assert!(!p.rsc(&w, v + 1));
+        assert_eq!(p.stats().reservations_invalidated, 1);
+    }
+
+    #[test]
+    fn instruction_set_capability_mapping() {
+        use crate::Capability;
+        assert_eq!(
+            InstructionSet::SwapFaaOnly.capability(),
+            Capability::SWAP | Capability::FETCH_ADD
+        );
+        assert_eq!(InstructionSet::FebOnly.capability(), Capability::FEB);
+        assert!(InstructionSet::Both
+            .capability()
+            .contains(Capability::CAS | Capability::RLL_RSC | Capability::FEB));
+        assert!(!InstructionSet::CasOnly.capability().contains(Capability::SWAP));
+        assert_eq!(InstructionSet::RllRscOnly.capability().to_string(), "rll_rsc");
+        assert_eq!(Capability::NONE.to_string(), "none");
+        assert_eq!(
+            (Capability::SWAP | Capability::FETCH_ADD).names(),
+            vec!["swap", "fetch_add"]
+        );
+    }
+
+    #[test]
+    fn processor_exposes_instruction_set() {
+        let m = Machine::builder(1)
+            .instruction_set(InstructionSet::SwapFaaOnly)
+            .build();
+        assert_eq!(m.processor(0).instruction_set(), InstructionSet::SwapFaaOnly);
     }
 
     #[test]

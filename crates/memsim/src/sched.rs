@@ -46,14 +46,40 @@ pub enum AccessKind {
     Rll,
     /// A restricted store-conditional (may write; may fail spuriously).
     Rsc,
+    /// An unconditional atomic exchange (always writes).
+    Swap,
+    /// A fetch-and-add (always writes; the paper's Φ-style sequence
+    /// numbers in the consensus-hierarchy providers come from here).
+    FetchAdd,
+    /// A full/empty-bit word operation (TFAS or SAC — both may write the
+    /// flag and therefore conflict; the read-only NB-FEB load is issued as
+    /// [`AccessKind::Read`]).
+    Feb,
+    /// A declared wait: the process announces it cannot make progress
+    /// until some other process *writes* the yielded address, and performs
+    /// no access itself. Cooperative schedulers park the process until a
+    /// mutating access hits that address instead of re-granting a spin
+    /// loop forever; with no hook installed the yield is a no-op and the
+    /// caller's own retry loop (with [`std::thread::yield_now`]) provides
+    /// host-side fairness. This is the standard "await" reduction for
+    /// model-checking blocking constructions: side-effect-free re-reads of
+    /// an unchanged word need not be explored as distinct interleavings.
+    Wait,
 }
 
 impl AccessKind {
     /// True iff this access never modifies the shared word: two read-only
-    /// accesses to the same address commute.
+    /// accesses to the same address commute. A declared [`Wait`] touches
+    /// nothing at all, so it commutes with reads — but *not* with writes:
+    /// reordering a wait across the write that would wake it changes when
+    /// the waiter becomes runnable, so a DPOR driver must still treat the
+    /// pair as dependent (which this predicate's callers get for free,
+    /// because the write side is never read-only).
+    ///
+    /// [`Wait`]: AccessKind::Wait
     #[must_use]
     pub fn is_read_only(self) -> bool {
-        matches!(self, AccessKind::Read | AccessKind::Rll)
+        matches!(self, AccessKind::Read | AccessKind::Rll | AccessKind::Wait)
     }
 }
 

@@ -41,6 +41,12 @@ pub struct ProcStats {
     /// Reservations invalidated by an intervening access from the *same*
     /// processor (the paper's restriction #1 being exercised).
     pub reservations_invalidated: u64,
+    /// Unconditional atomic exchanges.
+    pub swaps: u64,
+    /// Fetch-and-add instructions.
+    pub fetch_adds: u64,
+    /// NB-FEB word operations (TFAS, SAC, and flag-loads combined).
+    pub febs: u64,
 }
 
 impl ProcStats {
@@ -53,7 +59,14 @@ impl ProcStats {
     /// Total simulated memory instructions of any kind.
     #[must_use]
     pub fn total_instructions(&self) -> u64 {
-        self.reads + self.writes + self.cas_attempts + self.rll + self.rsc_attempts
+        self.reads
+            + self.writes
+            + self.cas_attempts
+            + self.rll
+            + self.rsc_attempts
+            + self.swaps
+            + self.fetch_adds
+            + self.febs
     }
 }
 
@@ -73,6 +86,9 @@ impl Add for ProcStats {
             rsc_conflict: self.rsc_conflict + rhs.rsc_conflict,
             reservations_invalidated: self.reservations_invalidated
                 + rhs.reservations_invalidated,
+            swaps: self.swaps + rhs.swaps,
+            fetch_adds: self.fetch_adds + rhs.fetch_adds,
+            febs: self.febs + rhs.febs,
         }
     }
 }
@@ -99,6 +115,9 @@ mod tests {
             rsc_spurious: k,
             rsc_conflict: k,
             reservations_invalidated: k,
+            swaps: k,
+            fetch_adds: 2 * k,
+            febs: 3 * k,
         }
     }
 
@@ -118,6 +137,6 @@ mod tests {
     fn derived_totals() {
         let s = sample(2);
         assert_eq!(s.rsc_failures(), 4);
-        assert_eq!(s.total_instructions(), 2 + 4 + 6 + 8 + 8);
+        assert_eq!(s.total_instructions(), 2 + 4 + 6 + 8 + 8 + 2 + 4 + 6);
     }
 }

@@ -25,6 +25,17 @@ pub enum RscOutcome {
     Conflict,
 }
 
+/// Which NB-FEB word operation a [`TraceKind::Feb`] entry records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FebOp {
+    /// Test-flag-and-set: install iff the full/empty flag was clear.
+    Tfas,
+    /// Store-and-clear: unconditional store clearing the flag.
+    Sac,
+    /// Plain load of the word including the flag bit.
+    Load,
+}
+
 /// One traced instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceKind {
@@ -46,6 +57,29 @@ pub enum TraceKind {
         new: u64,
         /// Whether it succeeded.
         ok: bool,
+    },
+    /// An unconditional atomic exchange.
+    Swap {
+        /// Value installed.
+        new: u64,
+        /// Value displaced.
+        old: u64,
+    },
+    /// A fetch-and-add.
+    FetchAdd {
+        /// Increment applied.
+        delta: u64,
+        /// Value before the add.
+        old: u64,
+    },
+    /// An NB-FEB word operation.
+    Feb {
+        /// Which of the three NB-FEB ops executed.
+        op: FebOp,
+        /// Operand value (zero for [`FebOp::Load`]).
+        value: u64,
+        /// Word content observed (including the flag bit).
+        old: u64,
     },
     /// An RLL and the value observed.
     Rll {
@@ -88,6 +122,21 @@ impl fmt::Display for TraceEvent {
                 self.seq,
                 self.addr,
                 if ok { "ok" } else { "failed" }
+            ),
+            TraceKind::Swap { new, old } => write!(
+                f,
+                "[{}] swap  {:#x} := {new:#x} <- {old:#x}",
+                self.seq, self.addr
+            ),
+            TraceKind::FetchAdd { delta, old } => write!(
+                f,
+                "[{}] faa   {:#x} += {delta:#x} <- {old:#x}",
+                self.seq, self.addr
+            ),
+            TraceKind::Feb { op, value, old } => write!(
+                f,
+                "[{}] feb   {:#x} {op:?}({value:#x}) <- {old:#x}",
+                self.seq, self.addr
             ),
             TraceKind::Rll { value } => {
                 write!(f, "[{}] rll   {:#x} -> {value:#x}", self.seq, self.addr)
@@ -174,6 +223,16 @@ mod tests {
                     ok: true,
                 },
                 "cas",
+            ),
+            (TraceKind::Swap { new: 7, old: 6 }, "swap"),
+            (TraceKind::FetchAdd { delta: 2, old: 6 }, "faa"),
+            (
+                TraceKind::Feb {
+                    op: FebOp::Tfas,
+                    value: 4,
+                    old: 0,
+                },
+                "Tfas",
             ),
             (TraceKind::Rll { value: 9 }, "rll"),
             (

@@ -47,6 +47,46 @@ impl SimWord {
             .is_ok()
     }
 
+    pub(crate) fn swap(&self, value: u64) -> u64 {
+        self.0.swap(value, Ordering::SeqCst)
+    }
+
+    pub(crate) fn fetch_add(&self, delta: u64) -> u64 {
+        self.0.fetch_add(delta, Ordering::SeqCst)
+    }
+
+    /// Test-flag-and-set: iff the full/empty flag ([`crate::FEB_FLAG`]) is
+    /// clear, install `value` with the flag set; either way return the old
+    /// word. A CAS loop on the host atomic is fine here: like
+    /// [`SimWord::compare_exchange`], the *simulated* instruction is one
+    /// atomic step — the loop is invisible below the simulation boundary.
+    pub(crate) fn tfas(&self, value: u64) -> u64 {
+        loop {
+            let old = self.0.load(Ordering::SeqCst);
+            if old & crate::FEB_FLAG != 0 {
+                return old;
+            }
+            if self
+                .0
+                .compare_exchange(
+                    old,
+                    value | crate::FEB_FLAG,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                return old;
+            }
+        }
+    }
+
+    /// Store-and-clear: unconditionally install `value` with the
+    /// full/empty flag cleared, returning the old word.
+    pub(crate) fn sac(&self, value: u64) -> u64 {
+        self.0.swap(value & !crate::FEB_FLAG, Ordering::SeqCst)
+    }
+
     /// Reads the word without going through a [`Processor`](crate::Processor).
     ///
     /// This is intended for *sequential* inspection in tests and assertions
@@ -118,5 +158,26 @@ mod tests {
     #[test]
     fn debug_is_nonempty() {
         assert_eq!(format!("{:?}", SimWord::new(255)), "SimWord(0xff)");
+    }
+
+    #[test]
+    fn swap_and_fetch_add_return_old() {
+        let w = SimWord::new(5);
+        assert_eq!(w.swap(9), 5);
+        assert_eq!(w.fetch_add(3), 9);
+        assert_eq!(w.peek(), 12);
+    }
+
+    #[test]
+    fn tfas_sets_once_until_cleared() {
+        let w = SimWord::new(0);
+        assert_eq!(w.tfas(7), 0, "flag clear: install");
+        assert_eq!(w.peek(), 7 | crate::FEB_FLAG);
+        assert_eq!(w.tfas(8), 7 | crate::FEB_FLAG, "flag set: refuse");
+        assert_eq!(w.peek(), 7 | crate::FEB_FLAG);
+        assert_eq!(w.sac(1), 7 | crate::FEB_FLAG);
+        assert_eq!(w.peek(), 1, "sac clears the flag");
+        assert_eq!(w.tfas(2), 1, "cleared word accepts again");
+        assert_eq!(w.peek(), 2 | crate::FEB_FLAG);
     }
 }
