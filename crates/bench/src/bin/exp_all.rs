@@ -1,4 +1,4 @@
-//! Regenerates every experiment table in `EXPERIMENTS.md` (E1–E5, E7–E16;
+//! Regenerates every experiment table in `EXPERIMENTS.md` (E1–E5, E7–E17;
 //! E6 is `examples/concurrent_sequences.rs` / `tests/figure1.rs`; the
 //! figure-level model-checking certificates and the `BENCH_modelcheck.json`
 //! artifact are the separate `exp_modelcheck` binary).
@@ -65,5 +65,7 @@ fn main() -> ExitCode {
                 e16_hierarchy::run(if quick { 40_000 } else { 200_000 }, quick).to_string()
             }),
         ),
+        // Static analysis is already fast; it runs in full either way.
+        ("e17_obligations", Box::new(|| e17_obligations::run().to_string())),
     ])
 }

@@ -1,0 +1,56 @@
+//! Static protocol-obligation certification (`nbsp_check::flow`), as a
+//! CI gate — the client-side complement of `exp_modelcheck`'s
+//! provider-side certificates.
+//!
+//! Runs the keep-lifetime dataflow, the `PROVIDER_K` bound
+//! certification, the release/acquire pairing table and the R7
+//! backoff-discipline scan over the six client crates; verifies both
+//! planted canaries are caught; writes `BENCH_obligations.json`
+//! (byte-identical across runs); and exits nonzero on any unallowlisted
+//! violation, canary miss, bound mismatch, or nondeterminism.
+//!
+//! No arguments (`--quick` is accepted and ignored: the pass is already
+//! fast and always runs in full).
+use std::path::Path;
+use std::process::ExitCode;
+
+use nbsp_bench::experiments::e17_obligations;
+
+fn main() -> ExitCode {
+    // The binary lives in crates/bench; the repo root is two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let r = e17_obligations::collect(&root);
+    println!("{}", e17_obligations::render(&r));
+    let json = e17_obligations::to_json(&r);
+    let out = root.join("BENCH_obligations.json");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("[exp_obligations] failed to write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[exp_obligations] wrote {}", out.display());
+    let ok = r.canary_leak.caught
+        && r.canary_release.caught
+        && r.repo.violations.is_empty()
+        && r.repo.certified_bound == r.repo.provider_k
+        && r.deterministic;
+    if ok {
+        eprintln!(
+            "[exp_obligations] clean: {} function(s), bound {} == PROVIDER_K, {} allowed finding(s)",
+            r.functions, r.repo.certified_bound, r.allowed
+        );
+        return ExitCode::SUCCESS;
+    }
+    for v in &r.repo.violations {
+        println!("{v}");
+    }
+    eprintln!(
+        "[exp_obligations] FAILED: violations={} bound={}(k={}) canaries=({}, {}) deterministic={}",
+        r.repo.violations.len(),
+        r.repo.certified_bound,
+        r.repo.provider_k,
+        r.canary_leak.caught,
+        r.canary_release.caught,
+        r.deterministic,
+    );
+    ExitCode::FAILURE
+}

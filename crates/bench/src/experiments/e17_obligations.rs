@@ -1,0 +1,327 @@
+//! E17: static LL/SC protocol-obligation certification. See
+//! `EXPERIMENTS.md`.
+//!
+//! Where E13 certifies the *providers* (every interleaving of the shipped
+//! LL/SC implementations is linearizable), this experiment certifies the
+//! *clients*: `nbsp_check::flow` lexes the six client crates, builds an
+//! intraprocedural CFG per function, and runs the keep-lifetime dataflow,
+//! the `PROVIDER_K` bound certification, the release/acquire pairing
+//! table, and the R7 backoff-discipline scan.
+//!
+//! Four deterministic gates:
+//! * zero unallowlisted violations across the scanned crates;
+//! * the repo-wide certified keep bound **equals**
+//!   [`nbsp_core::provider::PROVIDER_K`] (a drifting bound in either
+//!   direction means the constant and the code disagree);
+//! * both planted canaries (the PR 6 keep-leak-on-early-return and an
+//!   unpaired Release store) are caught with file:line + path
+//!   diagnostics — the analyzer is not vacuous;
+//! * the whole report is byte-identical across two back-to-back runs
+//!   (the JSON artifact is diffable in CI).
+
+use std::path::Path;
+
+use nbsp_check::flow::{self, CanaryVerdict, RepoFlow};
+
+use crate::report::{Report, Table};
+
+/// Everything E17 measures.
+#[derive(Clone, Debug)]
+pub struct E17Results {
+    /// The aggregate repo analysis.
+    pub repo: RepoFlow,
+    /// Keep-leak canary verdict.
+    pub canary_leak: CanaryVerdict,
+    /// Unpaired-release canary verdict.
+    pub canary_release: CanaryVerdict,
+    /// True iff two consecutive analyses serialized byte-identically.
+    pub deterministic: bool,
+    /// Number of functions analyzed (post-filter: protocol-relevant).
+    pub functions: usize,
+    /// Total keep births across those functions.
+    pub births: usize,
+    /// Findings suppressed by annotations/allowlists.
+    pub allowed: usize,
+}
+
+/// Runs the analyzer twice against `root` and compares the serialized
+/// artifacts for byte-identity.
+#[must_use]
+pub fn collect(root: &Path) -> E17Results {
+    let repo = flow::analyze_repo(root);
+    let again = flow::analyze_repo(root);
+    let (canary_leak, canary_release) = flow::check_canaries();
+    let first = E17Results {
+        functions: repo.functions.len(),
+        births: repo.functions.iter().map(|f| f.births).sum(),
+        allowed: repo.allowed.len(),
+        deterministic: true,
+        canary_leak: canary_leak.clone(),
+        canary_release: canary_release.clone(),
+        repo,
+    };
+    let second = E17Results {
+        functions: again.functions.len(),
+        births: again.functions.iter().map(|f| f.births).sum(),
+        allowed: again.allowed.len(),
+        deterministic: true,
+        canary_leak,
+        canary_release,
+        repo: again,
+    };
+    let deterministic = to_json(&first) == to_json(&second);
+    E17Results { deterministic, ..first }
+}
+
+/// Renders the markdown report.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn render(r: &E17Results) -> Report {
+    let mut report = Report::new();
+    report.heading("E17: static LL/SC protocol-obligation certification");
+    report.para(&format!(
+        "Keep-lifetime dataflow over {} protocol-touching functions ({} keep \
+         births) in crates/{{core,llx,structures,serve,dynamic,telemetry}}: \
+         every LL/WLL/LLX birth must reach an SC/VL/CL/SCX-shaped consumer \
+         on all paths, the certified simultaneous-keep bound must equal \
+         PROVIDER_K = {}, and every Release store site must pair with an \
+         Acquire load site on the same field. {} finding(s) are suppressed \
+         by in-source annotations/allowlists (each with a reason); \
+         unallowlisted violations: {}.",
+        r.functions,
+        r.births,
+        r.repo.provider_k,
+        r.allowed,
+        r.repo.violations.len(),
+    ));
+    let mut t = Table::new(["function", "file", "births", "max live", "certified", "llx +1"]);
+    let mut top: Vec<_> = r.repo.functions.iter().filter(|f| !f.protocol_impl).collect();
+    top.sort_by(|a, b| {
+        (std::cmp::Reverse(b.certified), &b.file, b.line)
+            .cmp(&(std::cmp::Reverse(a.certified), &a.file, a.line))
+            .reverse()
+    });
+    for f in top.iter().take(12) {
+        t.row([
+            f.name.clone(),
+            f.file.clone(),
+            f.births.to_string(),
+            f.max_live.to_string(),
+            f.certified.to_string(),
+            if f.uses_llx_family { "yes" } else { "-" }.to_string(),
+        ]);
+    }
+    report.table(&t);
+    report.para(&format!(
+        "Certified repo-wide keep bound: {} (PROVIDER_K = {}, {}).",
+        r.repo.certified_bound,
+        r.repo.provider_k,
+        if r.repo.certified_bound == r.repo.provider_k {
+            "exact match — the hand audit is now mechanical"
+        } else {
+            "MISMATCH"
+        },
+    ));
+    let mut ot = Table::new(["crate", "field", "release sites", "acquire sites", "paired via"]);
+    for e in &r.repo.ordering {
+        if e.releases.is_empty() {
+            continue;
+        }
+        ot.row([
+            e.crate_name.clone(),
+            e.field.clone(),
+            e.releases.len().to_string(),
+            e.acquires.len().to_string(),
+            match (&e.alias, e.paired) {
+                (Some(a), _) => format!("alias `{a}`"),
+                (None, true) if !e.acquires.is_empty() => "same field".to_string(),
+                (None, true) => "annotation".to_string(),
+                (None, false) => "UNPAIRED".to_string(),
+            },
+        ]);
+    }
+    report.table(&ot);
+    report.para(&format!(
+        "Canaries: keep-leak {} ({}); unpaired-release {} ({}). \
+         Deterministic across two runs: {}.",
+        if r.canary_leak.caught { "caught" } else { "MISSED" },
+        r.canary_leak.diagnostic,
+        if r.canary_release.caught { "caught" } else { "MISSED" },
+        r.canary_release.diagnostic,
+        r.deterministic,
+    ));
+    for v in &r.repo.violations {
+        report.para(&format!("VIOLATION: {v}"));
+    }
+    report
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// JSON artifact for CI (`BENCH_obligations.json` is written by the
+/// `exp_obligations` binary). Byte-identical across runs by
+/// construction: everything serialized is sorted and line-number based.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn to_json(r: &E17Results) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str("  \"experiment\": \"obligations\",\n");
+    s.push_str(&format!("  \"provider_k\": {},\n", r.repo.provider_k));
+    s.push_str(&format!(
+        "  \"certified_keep_bound\": {},\n",
+        r.repo.certified_bound
+    ));
+    s.push_str(&format!(
+        "  \"bound_matches_provider_k\": {},\n",
+        r.repo.certified_bound == r.repo.provider_k
+    ));
+    s.push_str(&format!(
+        "  \"canaries\": {{\"keep_leak_caught\": {}, \"unpaired_release_caught\": {}}},\n",
+        r.canary_leak.caught, r.canary_release.caught,
+    ));
+    s.push_str(&format!("  \"deterministic\": {},\n", r.deterministic));
+    s.push_str(&format!("  \"functions_analyzed\": {},\n", r.functions));
+    s.push_str(&format!("  \"keep_births\": {},\n", r.births));
+    s.push_str(&format!("  \"allowed_findings\": {},\n", r.allowed));
+    s.push_str("  \"functions\": [\n");
+    for (i, f) in r.repo.functions.iter().enumerate() {
+        let comma = if i + 1 == r.repo.functions.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"file\": \"{}\", \"fn\": \"{}\", \"line\": {}, \"births\": {}, \
+             \"max_live\": {}, \"certified\": {}, \"uses_llx_family\": {}, \
+             \"protocol_impl\": {}, \"leaks_allowed\": {}}}{comma}\n",
+            esc(&f.file),
+            esc(&f.name),
+            f.line,
+            f.births,
+            f.max_live,
+            f.certified,
+            f.uses_llx_family,
+            f.protocol_impl,
+            f.leaks.iter().filter(|l| l.allowed.is_some()).count(),
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"ordering\": [\n");
+    let with_sites: Vec<_> = r
+        .repo
+        .ordering
+        .iter()
+        .filter(|e| !e.releases.is_empty())
+        .collect();
+    for (i, e) in with_sites.iter().enumerate() {
+        let comma = if i + 1 == with_sites.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"crate\": \"{}\", \"field\": \"{}\", \"releases\": {}, \
+             \"acquires\": {}, \"alias\": {}, \"paired\": {}}}{comma}\n",
+            esc(&e.crate_name),
+            esc(&e.field),
+            e.releases.len(),
+            e.acquires.len(),
+            e.alias
+                .as_ref()
+                .map_or("null".to_string(), |a| format!("\"{}\"", esc(a))),
+            e.paired,
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"violations\": [\n");
+    for (i, v) in r.repo.violations.iter().enumerate() {
+        let comma = if i + 1 == r.repo.violations.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{comma}\n",
+            esc(v.rule),
+            esc(&v.path),
+            v.line,
+            esc(&v.message),
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Enforces the four gates; panics (→ nonzero exit) on any failure.
+pub fn enforce(r: &E17Results) {
+    assert!(
+        r.canary_leak.caught,
+        "planted keep-leak canary missed — the dataflow pass is vacuous: {}",
+        r.canary_leak.diagnostic
+    );
+    assert!(
+        r.canary_release.caught,
+        "planted unpaired-release canary missed — the ordering pass is vacuous: {}",
+        r.canary_release.diagnostic
+    );
+    assert!(
+        r.repo.violations.is_empty(),
+        "{} unallowlisted obligation violation(s):\n{}",
+        r.repo.violations.len(),
+        r.repo
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(
+        r.repo.certified_bound, r.repo.provider_k,
+        "certified keep bound {} != PROVIDER_K {} — update the constant or the client",
+        r.repo.certified_bound, r.repo.provider_k
+    );
+    assert!(
+        r.deterministic,
+        "BENCH_obligations.json differed between two back-to-back analyses"
+    );
+}
+
+/// Collect + render + enforce against the workspace root, for `exp_all`.
+#[must_use]
+pub fn run() -> Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let r = collect(&root);
+    let report = render(&r);
+    enforce(&r);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> std::path::PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    #[test]
+    fn repo_passes_all_gates() {
+        let r = collect(&repo_root());
+        enforce(&r);
+        let json = to_json(&r);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"keep_leak_caught\": true"));
+        assert!(json.contains("\"unpaired_release_caught\": true"));
+    }
+
+    #[test]
+    fn certified_bound_equals_provider_k() {
+        // The satellite replacing the PR 8 hand audit: the analyzer's
+        // repo-wide static maximum of simultaneously-live keeps (plus the
+        // LLX help transient) must equal the constant the providers
+        // allocate for. A new nested-keep structure bumps this test, and
+        // the constant, mechanically.
+        let r = flow::analyze_repo(&repo_root());
+        assert_eq!(r.certified_bound, nbsp_core::provider::PROVIDER_K);
+    }
+
+    #[test]
+    fn artifact_is_byte_identical_across_runs() {
+        let a = collect(&repo_root());
+        let b = collect(&repo_root());
+        assert_eq!(to_json(&a), to_json(&b));
+    }
+}

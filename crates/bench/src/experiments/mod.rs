@@ -17,6 +17,7 @@
 //! | [`e14_elastic`] | E14 | the elastic pool (dynamic joining) beats every fixed pool size on p99 under a flash crowd; the durable provider survives kill-at-schedule-point crashes |
 //! | [`e15_structures`] | E15 | the LLX/SCX ordered map serves keyed traffic deterministically through the fabric and beats the lock-baseline map at 4 threads; Zipf hot keys exercise real helping |
 //! | [`e16_hierarchy`] | E16 | the consensus-hierarchy portability matrix: every provider's capability/tier, conformance+differential+DPOR stamps for the weak-primitive tier, and the monotone cost of weakening the hardware |
+//! | [`e17_obligations`] | E17 | static client-side certification: every keep reaches a consumer on all paths, the certified simultaneous-keep bound equals PROVIDER_K, and every Release store pairs with an Acquire load |
 //!
 //! (E6 — Figure 1 — is `examples/concurrent_sequences.rs` and
 //! `tests/figure1.rs`.)
@@ -28,6 +29,7 @@ pub mod e13_modelcheck;
 pub mod e14_elastic;
 pub mod e15_structures;
 pub mod e16_hierarchy;
+pub mod e17_obligations;
 pub mod e1_time;
 pub mod e2_wide;
 pub mod e3_space;

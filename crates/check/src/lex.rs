@@ -1,0 +1,356 @@
+//! A dependency-free Rust token lexer for the obligation analyzer.
+//!
+//! The static passes in [`crate::flow`] need to see *calls*, *bindings*
+//! and *control keywords* — not types or macros — so this lexer is
+//! deliberately small: it produces identifiers, literals, lifetimes and
+//! punctuation with 1-based line numbers, and it drops comments and
+//! normalizes every string/char literal to an opaque literal token (so a
+//! brace inside a string can never unbalance the CFG builder). What it
+//! does get exactly right is the part that matters for token-tree
+//! nesting: nested block comments, raw strings (`r#"…"#`), byte strings,
+//! char literals vs lifetimes, and the multi-character operators the
+//! downstream passes match on (`::`, `=>`, `->`, `==`, `..`).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `loop`, `keep`, …).
+    Ident,
+    /// A numeric, string, char or byte literal (string/char contents are
+    /// replaced by a placeholder; numbers keep their text).
+    Lit,
+    /// A lifetime or loop label (`'a`, `'retry`) — without the quote.
+    Lifetime,
+    /// Punctuation; multi-character operators that downstream passes
+    /// match on arrive as one token (`::`, `=>`, `->`, `==`, `!=`, `<=`,
+    /// `>=`, `&&`, `||`, `..`, `..=`).
+    Punct,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokKind,
+    /// The lexeme text (placeholder `"§str"`/`"§char"` for string/char
+    /// literal contents).
+    pub text: String,
+    /// 1-based line of the lexeme's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True iff this is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True iff this is the punctuation `s`.
+    #[must_use]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators kept as single tokens, longest first.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "=>", "->", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "|=", "&=", "..",
+];
+
+/// Lexes Rust source into a flat token stream. Comments vanish; string
+/// and char literal contents are replaced with placeholders; everything
+/// else keeps its text. Never panics on malformed input — an unexpected
+/// byte becomes a one-character punct token.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    let ident_start = |c: u8| c == b'_' || c.is_ascii_alphabetic();
+    let ident_cont = |c: u8| c == b'_' || c.is_ascii_alphanumeric();
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments (covers `//`, `///`, `//!`).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comments, nested.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"…" / r#"…"# / br#"…"# (any # count).
+        if (c == b'r' || c == b'b') && {
+            let mut j = i;
+            if b[j] == b'b' && j + 1 < n && b[j + 1] == b'r' {
+                j += 1;
+            }
+            b[j] == b'r' && {
+                let mut k = j + 1;
+                while k < n && b[k] == b'#' {
+                    k += 1;
+                }
+                k < n && b[k] == b'"'
+            }
+        } {
+            let start_line = line;
+            let mut j = i;
+            if b[j] == b'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0usize;
+            while j < n && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // past opening quote
+            loop {
+                if j >= n {
+                    break;
+                }
+                if b[j] == b'\n' {
+                    line += 1;
+                    j += 1;
+                    continue;
+                }
+                if b[j] == b'"' {
+                    let mut k = j + 1;
+                    let mut seen = 0usize;
+                    while k < n && seen < hashes && b[k] == b'#' {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        j = k;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            toks.push(Token { kind: TokKind::Lit, text: "§str".into(), line: start_line });
+            i = j;
+            continue;
+        }
+        // Plain and byte strings.
+        if c == b'"' || (c == b'b' && i + 1 < n && b[i + 1] == b'"') {
+            let start_line = line;
+            let mut j = if c == b'b' { i + 2 } else { i + 1 };
+            while j < n {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            toks.push(Token { kind: TokKind::Lit, text: "§str".into(), line: start_line });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime/label. A quote starts a char literal
+        // iff it closes within a couple of characters (`'x'`, `'\n'`,
+        // `'\u{1F600}'`); otherwise it is a lifetime.
+        if c == b'\'' {
+            if i + 1 < n && b[i + 1] == b'\\' {
+                // Escaped char literal: scan to the closing quote.
+                let mut j = i + 2;
+                if j < n {
+                    j += 1; // the escaped character
+                }
+                if j < n && b[j - 1] == b'u' && b[j] == b'{' {
+                    while j < n && b[j] != b'}' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                while j < n && b[j] != b'\'' {
+                    j += 1;
+                }
+                toks.push(Token { kind: TokKind::Lit, text: "§char".into(), line });
+                i = j + 1;
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                toks.push(Token { kind: TokKind::Lit, text: "§char".into(), line });
+                i += 3;
+                continue;
+            }
+            // Lifetime or label: 'ident.
+            let mut j = i + 1;
+            while j < n && ident_cont(b[j]) {
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Lifetime,
+                text: String::from_utf8_lossy(&b[i + 1..j]).into_owned(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords (incl. r#ident raw identifiers).
+        if ident_start(c) {
+            let mut j = i + 1;
+            while j < n && ident_cont(b[j]) {
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers: integers, floats, hex/oct/bin, suffixes, underscores.
+        // Stop a float at `..` so ranges survive (`0..n`).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n {
+                let d = b[j];
+                if ident_cont(d)
+                    || (d == b'.'
+                        && j + 1 < n
+                        && b[j + 1] != b'.'
+                        && !ident_start(b[j + 1]))
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Lit,
+                text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Multi-character operators, longest match first.
+        let rest = &src[i..];
+        if let Some(op) = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op)) {
+            toks.push(Token { kind: TokKind::Punct, text: (*op).into(), line });
+            i += op.len();
+            continue;
+        }
+        // Single-character punct (fallback for anything unexpected too).
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: (c as char).to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("fn f() {\n  x.ll(ctx)\n}\n");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("f"));
+        let ll = toks.iter().find(|t| t.is_ident("ll")).unwrap();
+        assert_eq!(ll.line, 2);
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        assert_eq!(texts("a // b { c\nd /* e /* f */ g */ h"), ["a", "d", "h"]);
+    }
+
+    #[test]
+    fn block_comment_lines_are_counted() {
+        let toks = lex("/* one\ntwo */ x");
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn strings_cannot_unbalance_braces() {
+        assert_eq!(texts(r#"{ "}{" }"#), ["{", "§str", "}"]);
+        assert_eq!(texts("r#\"quote \" and }{\"# x"), ["§str", "x"]);
+        assert_eq!(texts(r#"b"bytes {""#), ["§str"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex(r"'a' 'static '\n' 'retry: x");
+        assert_eq!(toks[0].kind, TokKind::Lit);
+        assert_eq!(toks[1].kind, TokKind::Lifetime);
+        assert_eq!(toks[1].text, "static");
+        assert_eq!(toks[2].kind, TokKind::Lit);
+        assert_eq!(toks[3].kind, TokKind::Lifetime);
+        assert_eq!(toks[3].text, "retry");
+        assert!(toks[4].is_punct(":"));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        assert_eq!(texts("a::b => c -> d == e"), ["a", "::", "b", "=>", "c", "->", "d", "==", "e"]);
+        assert_eq!(texts("0..n x..=y"), ["0", "..", "n", "x", "..=", "y"]);
+    }
+
+    #[test]
+    fn numbers_keep_ranges_intact() {
+        assert_eq!(texts("1.5 + 0..10"), ["1.5", "+", "0", "..", "10"]);
+        assert_eq!(texts("0x1f_u64"), ["0x1f_u64"]);
+    }
+
+    #[test]
+    fn shift_right_stays_split_for_generics() {
+        // `Vec<Vec<u64>>` must not produce a `>>` token that would confuse
+        // angle-bracket skipping in the CFG builder.
+        let t = texts("Vec<Vec<u64>>");
+        assert_eq!(t, ["Vec", "<", "Vec", "<", "u64", ">", ">"]);
+    }
+}

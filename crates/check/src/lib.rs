@@ -24,21 +24,37 @@
 //!   telemetry stub/real parity, benchmark-schema versioning) so they are
 //!   CI-enforced instead of review-enforced.
 //!
+//! * [`flow`] (on [`lex`] + [`cfg`]) — a **static protocol-obligation
+//!   analyzer**: an intraprocedural keep-lifetime dataflow over a
+//!   dependency-free lexer and CFG builder that certifies, for every
+//!   function in the client crates, that (a) every keep born from
+//!   `ll`/`wll`/`llx` reaches an `sc`/`vl`/`cl`/`scx`-shaped consumer on
+//!   all paths, (b) the repo-wide static bound on simultaneously-live
+//!   keeps equals [`nbsp_core::provider::PROVIDER_K`], and (c) every
+//!   `Ordering::Release` store site has a matching `Acquire` load site on
+//!   the same field.
+//!
 //! The checker is validated for non-vacuity by [`planted`]: a deliberately
 //! broken provider (SC installs its new value *without* incrementing the
 //! tag, re-introducing the ABA bug the tag exists to prevent) for which the
-//! checker must produce a concrete violating schedule.
+//! checker must produce a concrete violating schedule. The flow analyzer
+//! carries its own canaries ([`flow::PLANTED_KEEP_LEAK`],
+//! [`flow::PLANTED_UNPAIRED_RELEASE`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod cfg;
 pub mod dpor;
 pub mod exec;
+pub mod flow;
+pub mod lex;
 pub mod lint;
 pub mod llx;
 pub mod planted;
 
 pub use dpor::{check, explore, Judgment, Mode, Outcome, Violation};
 pub use exec::{PlanOp, Program};
+pub use flow::{analyze_repo, analyze_source, RepoFlow};
 pub use lint::{run_lints, Finding};
 pub use llx::{check_conservation, check_lost_freeze, IncrVia, LlxProgram};

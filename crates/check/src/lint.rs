@@ -218,6 +218,10 @@ const BENCH_SCHEMA_ALLOW: &[(&str, &str)] = &[
         "crates/bench/src/bin/exp_hierarchy.rs",
         "writes the JSON built by e16_hierarchy::to_json, which declares the schema",
     ),
+    (
+        "crates/bench/src/bin/exp_obligations.rs",
+        "writes the JSON built by e17_obligations::to_json, which declares the schema",
+    ),
 ];
 
 /// R6: files allowed to invoke the sub-CAS instruction set, with
@@ -515,6 +519,13 @@ pub fn run_lints(root: &Path) -> Vec<Finding> {
             }
         }
     }
+
+    // Flow-analyzer rules (R7 backoff discipline, keep-leak/bound,
+    // release/acquire pairing, stale flow-allow audits) surface through
+    // the same findings channel, so `exp_lint` and the repo-clean test
+    // gate on them too.
+    findings.extend(crate::flow::lint_extras(root));
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
 
     findings
 }

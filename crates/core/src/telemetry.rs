@@ -27,7 +27,7 @@ use nbsp_telemetry::{
 };
 
 use crate::wide::{WideDomain, WideKeep, WideVar};
-use crate::{Native, Result};
+use crate::{Backoff, Native, Result};
 
 /// Tag width of the totals variable. 16 tag bits leave 48 value bits per
 /// event word — at one event per nanosecond that is over three days of
@@ -95,8 +95,10 @@ impl AtomicTotals for WideTotals {
         let pid = ProcId::new(slot % self.var.domain().n());
         let mut keep = WideKeep::default();
         let mut buf = [0u64; EVENT_COUNT];
+        let mut backoff = Backoff::new();
         loop {
             if !self.var.wll(&mem, &mut keep, &mut buf).is_success() {
+                backoff.spin();
                 continue;
             }
             let mut new = [0u64; EVENT_COUNT];
@@ -108,6 +110,7 @@ impl AtomicTotals for WideTotals {
             if self.var.sc(&mem, pid, &keep, &new) {
                 return;
             }
+            backoff.spin();
         }
     }
 
@@ -174,8 +177,10 @@ impl AtomicHists for WideHists {
         let pid = ProcId::new(slot % self.var.domain().n());
         let mut keep = WideKeep::default();
         let mut buf = [0u64; HIST_WORDS];
+        let mut backoff = Backoff::new();
         loop {
             if !self.var.wll(&mem, &mut keep, &mut buf).is_success() {
+                backoff.spin();
                 continue;
             }
             let mut new = [0u64; HIST_WORDS];
@@ -188,6 +193,7 @@ impl AtomicHists for WideHists {
             if self.var.sc(&mem, pid, &keep, &new) {
                 return;
             }
+            backoff.spin();
         }
     }
 

@@ -433,6 +433,7 @@ impl<F: CasFamily> WideVar<F> {
         let mut keep = WideKeep::default();
         let mut buf = vec![0u64; self.domain.w];
         loop {
+            // nbsp-flow: allow(keep-leak) — a WideKeep is a tag snapshot; there is no announce slot to release on the value-mismatch return
             if !self.wll(mem, &mut keep, &mut buf).is_success() {
                 continue;
             }
@@ -451,6 +452,7 @@ impl<F: CasFamily> WideVar<F> {
     pub fn read<M: CasMemory<Family = F>>(&self, mem: &M) -> Vec<u64> {
         let mut buf = vec![0u64; self.domain.w];
         let mut keep = WideKeep::default();
+        // nbsp-flow: allow(keep-leak) — pure read: the successful WLL is the consumer; a WideKeep claims no slot, so dropping it is free
         while !self.wll(mem, &mut keep, &mut buf).is_success() {}
         buf
     }

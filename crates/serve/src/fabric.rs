@@ -403,8 +403,11 @@ impl<V: LlScVar> StripedBucket<V> {
         let mut buf = [0u64; 2];
         let max_stamp = self.global.domain().max_val();
         let now_period = (now_ns / self.period_ns).min(max_stamp);
+        let mut backoff = Backoff::new();
         loop {
+            // nbsp-flow: allow(keep-leak) — a WideKeep is a tag snapshot; WideVar has no announce slot to release, so returning with it live frees nothing
             if !self.global.wll(&mem, &mut keep, &mut buf).is_success() {
+                backoff.spin();
                 continue;
             }
             let (stamp, tokens) = (buf[G_STAMP], buf[G_TOKENS]);
@@ -420,6 +423,7 @@ impl<V: LlScVar> StripedBucket<V> {
             if self.global.sc(&mem, ProcId::new(0), &keep, &new) {
                 return take;
             }
+            backoff.spin();
         }
     }
 

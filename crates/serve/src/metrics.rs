@@ -28,7 +28,7 @@
 //! makes byte-identical across hosts).
 
 use nbsp_core::wide::{WideDomain, WideKeep, WideVar};
-use nbsp_core::{Native, Result};
+use nbsp_core::{Backoff, Native, Result};
 use nbsp_memsim::ProcId;
 
 /// log2 of the linear sub-buckets per octave.
@@ -197,8 +197,10 @@ impl CellSink {
         let mut keep = WideKeep::default();
         let mut buf = [0u64; CELL_WORDS];
         let max = self.var.domain().max_val();
+        let mut backoff = Backoff::new();
         loop {
             if !self.var.wll(&mem, &mut keep, &mut buf).is_success() {
+                backoff.spin();
                 continue;
             }
             let mut new = [0u64; CELL_WORDS];
@@ -210,6 +212,7 @@ impl CellSink {
             if self.var.sc(&mem, pid, &keep, &new) {
                 return;
             }
+            backoff.spin();
         }
     }
 

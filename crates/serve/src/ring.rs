@@ -128,6 +128,7 @@ impl SpmcRing {
         let mut attempts = 0u64;
         loop {
             attempts += 1;
+            // nbsp-flow: allow(keep-leak) — CasLlSc's LL is a plain acquire load into the keep; no slot is claimed, so the empty-ring return abandons nothing
             let h = self.head.ll(&mem, &mut keep);
             // Acquire read: synchronizes with the producer's releasing SC,
             // so the slot stores made before that SC are visible below.
@@ -161,6 +162,7 @@ impl Producer<'_> {
         let ring = self.ring;
         let mem = Native;
         let mut keep = Keep::default();
+        // nbsp-flow: allow(keep-leak) — CasLlSc's LL claims no slot; the full-ring return abandons only a local snapshot
         let t = ring.tail.ll(&mem, &mut keep);
         let h = ring.head.read(&mem);
         // A stale (small) h only makes this check conservative.

@@ -75,6 +75,7 @@ impl<F: CasFamily> SnapshotRegister<F> {
     pub fn read_into<M: CasMemory<Family = F>>(&self, mem: &M, buf: &mut [u64]) {
         let mut keep = WideKeep::default();
         let mut backoff = Backoff::new();
+        // nbsp-flow: allow(keep-leak) — pure read: the successful WLL is the consumer; a WideKeep claims no slot, so dropping it is free
         while !self.var.wll(mem, &mut keep, buf).is_success() {
             backoff.spin();
         }
